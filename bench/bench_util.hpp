@@ -1,0 +1,32 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace benchutil {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void rule() {
+  std::printf("------------------------------------------------------------\n");
+}
+
+}  // namespace benchutil

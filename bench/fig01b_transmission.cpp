@@ -1,0 +1,117 @@
+// Fig. 1(b): energy-resolved transmission through a Si nanowire,
+// LDA vs. HSE06 hybrid functional.
+//
+// Paper workload: d = 2.2 nm, L = 34.8 nm, 10560 atoms.  Scaled workload
+// here: d = 0.6 nm, 8 cells (see DESIGN.md, scale policy).  The headline
+// behaviour to reproduce: T(E) vanishes inside the band gap and rises as a
+// staircase outside it, and the HSE06 parameterization yields a *wider* gap
+// than LDA (the known LDA underestimation corrected by hybrid functionals).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "omen/simulator.hpp"
+#include "transport/bands.hpp"
+
+using namespace omenx;
+
+namespace {
+
+omen::Simulator make_sim(dft::Functional f) {
+  omen::SimulationConfig cfg;
+  cfg.structure = lattice::make_nanowire(0.6, 8);
+  cfg.functional = f;
+  cfg.point.obc = transport::ObcAlgorithm::kFeast;
+  cfg.point.feast.annulus_r = 30.0;
+  cfg.point.solver = transport::SolverAlgorithm::kSplitSolve;
+  cfg.point.partitions = 2;
+  cfg.num_devices = 2;
+  return omen::Simulator(cfg);
+}
+
+// Largest spectral gap within the lower part of the band structure (the
+// physically meaningful valence/conduction-like separation of the emulator).
+struct Gap {
+  double lo, hi;
+  double width() const { return hi - lo; }
+};
+
+Gap largest_gap(const transport::BandStructure& bs) {
+  std::vector<double> all;
+  for (const auto& bands : bs.bands)
+    for (const double e : bands) all.push_back(e);
+  std::sort(all.begin(), all.end());
+  // Restrict to the lowest 60% of states: the top of the emulator spectrum
+  // is distorted by near-singular overlaps and not physical.
+  all.resize(std::max<std::size_t>(2, all.size() * 6 / 10));
+  Gap best{all[0], all[0]};
+  for (std::size_t i = 1; i < all.size(); ++i)
+    if (all[i] - all[i - 1] > best.width()) best = {all[i - 1], all[i]};
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Fig. 1(b): Si nanowire T(E), LDA vs HSE06");
+  std::printf("paper: d=2.2 nm, 10560 atoms | here: d=0.6 nm, 72 atoms "
+              "(scaled, same code path)\n");
+  benchutil::WallTimer timer;
+
+  omen::Simulator lda = make_sim(dft::Functional::kLDA);
+  omen::Simulator hse = make_sim(dft::Functional::kHSE06);
+  const Gap gap_lda = largest_gap(lda.bands(17));
+  // For HSE06, track the *same* physical gap: the spectral gap whose lower
+  // edge sits closest to the LDA one (shell shifts move it, they do not
+  // create a new gap elsewhere).
+  const Gap gap_hse = [&] {
+    std::vector<double> all;
+    for (const auto& bands : hse.bands(17).bands)
+      for (const double e : bands) all.push_back(e);
+    std::sort(all.begin(), all.end());
+    all.resize(std::max<std::size_t>(2, all.size() * 6 / 10));
+    Gap best{all[0], all[0]};
+    double dist = 1e300;
+    for (std::size_t i = 1; i < all.size(); ++i) {
+      const Gap g{all[i - 1], all[i]};
+      if (g.width() < 0.05) continue;
+      const double d = std::abs(g.lo - gap_lda.lo);
+      if (d < dist) {
+        dist = d;
+        best = g;
+      }
+    }
+    return best;
+  }();
+
+  benchutil::rule();
+  std::printf("%10s %14s %14s %12s\n", "functional", "gap low (eV)",
+              "gap high (eV)", "gap (eV)");
+  std::printf("%10s %14.3f %14.3f %12.3f\n", "LDA", gap_lda.lo, gap_lda.hi,
+              gap_lda.width());
+  std::printf("%10s %14.3f %14.3f %12.3f\n", "HSE06", gap_hse.lo, gap_hse.hi,
+              gap_hse.width());
+  std::printf("HSE06 valence-edge shift: %+.3f eV | gap change: %+.3f eV\n",
+              gap_hse.lo - gap_lda.lo, gap_hse.width() - gap_lda.width());
+  std::printf("(paper: the hybrid functional widens the gap; in this Hueckel "
+              "emulator the shell\n shifts raise the band edge but also "
+              "rescale the couplings — see EXPERIMENTS.md)\n");
+
+  // T(E) across the gap region of each functional.
+  benchutil::rule();
+  std::printf("%12s %14s %14s\n", "E (eV)", "T_LDA", "T_HSE06");
+  const double lo = std::min(gap_lda.lo, gap_hse.lo) - 0.15;
+  const double hi = std::max(gap_lda.hi, gap_hse.hi) + 0.15;
+  std::vector<double> grid;
+  for (double e = lo; e <= hi; e += (hi - lo) / 16.0) grid.push_back(e);
+  const auto t_lda = lda.transmission_spectrum(grid);
+  const auto t_hse = hse.transmission_spectrum(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    std::printf("%12.3f %14.5f %14.5f\n", grid[i], t_lda.transmission[i],
+                t_hse.transmission[i]);
+  benchutil::rule();
+  std::printf("T(E) ~ 0 inside each functional's gap; staircase outside\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 1(d): transfer characteristics Id-Vgs of a Si DG UTBFET.
+//
+// Paper workload: tbody = 5 nm, Ls = Ld = 20 nm, Lg = 10 nm, self-consistent
+// Schroedinger-Poisson at Vds = 0.6 V.  Scaled workload: a 1-orbital
+// transport chain (same solver stack, same SCF loop) with proportional
+// source/gate/drain regions.  The behaviour to reproduce is the FET shape:
+// exponential subthreshold current, then saturation once the barrier is
+// pushed below the source Fermi level.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "omen/simulator.hpp"
+#include "transport/bands.hpp"
+
+using namespace omenx;
+
+int main() {
+  benchutil::header("Fig. 1(d): DG UTBFET transfer characteristics Id-Vgs");
+  std::printf("paper: tbody=5 nm, Lg=10 nm, Vds=0.6 V | scaled chain device\n");
+
+  omen::SimulationConfig cfg;
+  lattice::Structure chain;
+  chain.cell_atoms = {{lattice::Species::kLi, {0.0, 0.0, 0.0}}};
+  chain.cell_length = 0.5;
+  chain.num_cells = 24;
+  chain.name = "scaled UTBFET channel";
+  cfg.structure = chain;
+  cfg.build.cutoff_nm = 1.0;  // NBW = 2
+  cfg.point.obc = transport::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = transport::SolverAlgorithm::kBlockLU;
+  omen::Simulator sim(cfg);
+
+  const auto bs = sim.bands(9);
+  const auto win = transport::band_window(bs);
+  // Source Fermi level just above the band bottom: the gate barrier then
+  // modulates the thermionic window, as in an n-FET near threshold.
+  const double mu_s = win.emin + 0.08;
+  const double vds = 0.3;
+
+  std::vector<double> grid;
+  for (double e = win.emin - 0.02; e <= mu_s + 0.35; e += 0.02)
+    grid.push_back(e);
+
+  const lattice::DeviceRegions regions{8, 8, 8};
+  poisson::ScfOptions scf;
+  scf.poisson.screening_length_cells = 2.0;
+  scf.poisson.charge_coupling = 0.02;
+  scf.max_iter = 12;
+  scf.tol = 2e-3;
+  scf.mixing = 0.5;
+
+  benchutil::WallTimer timer;
+  // The gate "off" state raises the channel barrier: sweep Vgs upward.
+  // Potential convention: barrier height = V_channel - mu offset; we sweep
+  // the gate from depleting (negative) to accumulating (positive).
+  std::vector<double> vgs;
+  for (double v = -0.45; v <= 0.31; v += 0.15) vgs.push_back(v);
+
+  // Shift all potentials so Vgs = 0 leaves a barrier of ~0.25 eV: emulate
+  // the workfunction offset through the regions' gate target.
+  std::vector<omen::Simulator::IvPoint> iv;
+  for (const double v : vgs) {
+    // Workfunction offset: at Vgs = 0 the channel barrier sits ~0.25 eV
+    // above the source Fermi level (subthreshold).
+    auto pts = sim.transfer_characteristics({v - 0.25}, vds, regions, grid,
+                                            mu_s, scf);
+    iv.push_back({v, pts[0].current, pts[0].scf_iterations, pts[0].converged});
+  }
+
+  benchutil::rule();
+  std::printf("%10s %16s %12s %10s\n", "Vgs (V)", "Id (2e/h*eV)", "SCF iters",
+              "conv");
+  double prev = 0.0;
+  bool monotone = true;
+  for (const auto& p : iv) {
+    std::printf("%10.2f %16.6e %12d %10s\n", p.vgs, p.current,
+                p.scf_iterations, p.converged ? "yes" : "no");
+    if (p.current < prev - 1e-12) monotone = false;
+    prev = p.current;
+  }
+  benchutil::rule();
+  const double on_off = iv.back().current / std::max(iv.front().current, 1e-30);
+  std::printf("on/off ratio over the sweep: %.1e (monotone: %s)\n", on_off,
+              monotone ? "yes" : "no");
+  std::printf("paper shape: exponential subthreshold slope, saturation at "
+              "high Vgs\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 4: structure of the open-boundary Schroedinger system
+// T x = b with T = (E S - H - Sigma^RB).
+//
+// Reports the block-tridiagonal shape, where the self-energy corrections
+// land (first/last diagonal blocks), and the sparsity of the right-hand
+// side (non-zeros confined to the top and bottom block rows) — the
+// structure SplitSolve exploits.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "blockmat/block_tridiag.hpp"
+#include "dft/hamiltonian.hpp"
+#include "lattice/structure.hpp"
+#include "obc/decimation.hpp"
+#include "obc/modes.hpp"
+#include "obc/self_energy.hpp"
+#include "obc/shift_invert.hpp"
+#include "solvers/splitsolve.hpp"
+
+using namespace omenx;
+using numeric::cplx;
+using numeric::idx;
+
+int main() {
+  benchutil::header("Fig. 4: sparsity pattern of (E S - H - Sigma) x = Inj");
+  benchutil::WallTimer timer;
+  const auto wire = lattice::make_nanowire(0.6, 8);
+  const dft::BasisLibrary basis;
+  const auto lead = dft::build_lead_blocks(wire, basis);
+  const auto folded = dft::fold_lead(lead);
+  const std::vector<double> pot(8, 0.0);
+  const auto dm = dft::assemble_device(lead, 8, pot);
+
+  const double energy = -9.0;
+  const auto a = blockmat::BlockTridiag::es_minus_h(cplx{energy}, dm.s, dm.h);
+  const auto modes = obc::compute_modes_shift_invert(lead, cplx{energy});
+  const auto ops = obc::lead_operators(folded, cplx{energy});
+  const auto bnd = obc::build_boundary(modes, ops);
+  const auto t = solvers::apply_boundary(a, bnd.sigma_l, bnd.sigma_r);
+
+  const idx nb = t.num_blocks(), s = t.block_size();
+  std::printf("device: %s, %lld cells (fold %lld)\n", wire.name.c_str(),
+              static_cast<long long>(dm.cells),
+              static_cast<long long>(dm.fold));
+  std::printf("T: %lld x %lld, block tridiagonal with %lld blocks of %lld\n",
+              static_cast<long long>(t.dim()), static_cast<long long>(t.dim()),
+              static_cast<long long>(nb), static_cast<long long>(s));
+  benchutil::rule();
+  std::printf("%18s %14s %14s\n", "region", "nnz(A)", "nnz(T=A-Sigma)");
+  const double tol = 1e-10;
+  for (idx i = 0; i < nb; ++i) {
+    std::printf("  diag block %2lld    %12lld   %12lld%s\n",
+                static_cast<long long>(i),
+                static_cast<long long>(blockmat::count_nnz(a.diag(i), tol)),
+                static_cast<long long>(blockmat::count_nnz(t.diag(i), tol)),
+                (i == 0 || i == nb - 1) ? "   <- Sigma^RB applied here" : "");
+  }
+  benchutil::rule();
+  // RHS structure: Inj non-zero only in the first block rows.
+  std::printf("Inj: %lld columns (propagating modes), non-zero rows confined"
+              " to the top block\n",
+              static_cast<long long>(bnd.inj.cols()));
+  idx inj_nnz = blockmat::count_nnz(bnd.inj, tol);
+  std::printf("Inj nnz = %lld of %lld stored entries (top block only; the "
+              "full RHS would have %lld rows)\n",
+              static_cast<long long>(inj_nnz),
+              static_cast<long long>(bnd.inj.size()),
+              static_cast<long long>(t.dim()));
+  std::printf("off-band blocks outside the tridiagonal: exactly 0 (by "
+              "construction)\n");
+  std::printf("elapsed: %.1f s\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fig. 7: SplitSolve weak and strong scaling on Piz Daint.
+//
+// Two parts:
+//  (1) measured — the SPIKE-partitioned Step 1 on emulated accelerators at
+//      laptop scale, showing the same qualitative behaviour: weak-scaling
+//      time grows with the spike/merge work, strong scaling saturates when
+//      the per-device workload shrinks;
+//  (2) model — the calibrated Piz Daint numbers of the paper (weak: 30 s on
+//      2 GPUs -> 70 s on 32 GPUs; strong: limited by workload).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/blas.hpp"
+#include "parallel/device.hpp"
+#include "perf/scaling.hpp"
+#include "solvers/spike.hpp"
+
+using namespace omenx;
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+namespace {
+
+blockmat::BlockTridiag make_system(idx nb, idx s, unsigned seed) {
+  blockmat::BlockTridiag t(nb, s);
+  for (idx i = 0; i < nb; ++i) {
+    t.diag(i) = numeric::random_cmatrix(s, s, seed + (unsigned)i);
+    for (idx d = 0; d < s; ++d) t.diag(i)(d, d) += cplx{8.0};
+    if (i + 1 < nb) {
+      t.upper(i) = numeric::random_cmatrix(s, s, seed + 100 + (unsigned)i);
+      t.lower(i) = numeric::random_cmatrix(s, s, seed + 200 + (unsigned)i);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Fig. 7(a): weak scaling, measured (emulated devices)");
+  const idx s = 96;
+  const idx blocks_per_dev = 6;
+  std::printf("%8s %12s %12s %12s\n", "devices", "blocks", "time (s)",
+              "efficiency");
+  double t_base = 0.0;
+  for (int p : {1, 2, 4, 8}) {
+    const idx nb = blocks_per_dev * p;
+    const auto a = make_system(nb, s, 42);
+    parallel::DevicePool pool(p);
+    solvers::SpikeOptions opt;
+    opt.partitions = p;
+    benchutil::WallTimer timer;
+    solvers::spike_block_columns(a, pool, opt);
+    const double t = timer.seconds();
+    if (t_base == 0.0) t_base = t;
+    std::printf("%8d %12lld %12.3f %12.2f\n", p, static_cast<long long>(nb), t,
+                t_base / t);
+  }
+
+  benchutil::header("Fig. 7(b): strong scaling, measured (fixed system)");
+  {
+    const idx nb = 32;
+    const auto a = make_system(nb, s, 77);
+    std::printf("%8s %12s %12s\n", "devices", "time (s)", "speedup");
+    double t1 = 0.0;
+    for (int p : {1, 2, 4, 8}) {
+      parallel::DevicePool pool(p);
+      solvers::SpikeOptions opt;
+      opt.partitions = p;
+      benchutil::WallTimer timer;
+      solvers::spike_block_columns(a, pool, opt);
+      const double t = timer.seconds();
+      if (t1 == 0.0) t1 = t;
+      std::printf("%8d %12.3f %12.2f\n", p, t, t1 / t);
+    }
+  }
+
+  benchutil::header("Fig. 7 model: Piz Daint (paper scale, UTB NSS=NGPU*30720)");
+  perf::SplitSolveScalingModel model;
+  std::printf("%8s %14s %16s   paper anchors: 30 s @ 2 GPUs, 70 s @ 32\n",
+              "GPUs", "weak t (s)", "weak efficiency");
+  for (int g : {2, 4, 8, 16, 32})
+    std::printf("%8d %14.1f %16.2f\n", g, model.weak_time(g),
+                model.weak_efficiency(g));
+  benchutil::rule();
+  std::printf("%8s %14s %16s   (NSS=122880 fits on 2 GPUs)\n", "GPUs",
+              "strong t (s)", "strong eff.");
+  for (int g : {2, 4, 8, 16})
+    std::printf("%8d %14.1f %16.2f\n", g, model.strong_time(g),
+                model.strong_efficiency(g));
+  std::printf("spike/merge overhead: +%.0f s per recursive step (paper: 10 s)\n",
+              model.spike_step_time_s);
+  return 0;
+}

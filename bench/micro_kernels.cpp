@@ -1,0 +1,106 @@
+// Kernel microbenchmarks (google-benchmark): the primitives behind
+// SplitSolve (zgemm, zgesv-like LU, RGF sweeps) and the FEAST contour solve.
+#include <benchmark/benchmark.h>
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "obc/companion.hpp"
+#include "solvers/rgf.hpp"
+
+using namespace omenx;
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+namespace {
+
+CMatrix well_conditioned(idx n, unsigned seed) {
+  CMatrix a = numeric::random_cmatrix(n, n, seed);
+  for (idx i = 0; i < n; ++i) a(i, i) += cplx{double(n)};
+  return a;
+}
+
+blockmat::BlockTridiag tridiag(idx nb, idx s) {
+  blockmat::BlockTridiag t(nb, s);
+  for (idx i = 0; i < nb; ++i) {
+    t.diag(i) = numeric::random_cmatrix(s, s, 5 + (unsigned)i);
+    for (idx d = 0; d < s; ++d) t.diag(i)(d, d) += cplx{8.0};
+    if (i + 1 < nb) {
+      t.upper(i) = numeric::random_cmatrix(s, s, 105 + (unsigned)i);
+      t.lower(i) = numeric::random_cmatrix(s, s, 205 + (unsigned)i);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+static void BM_Zgemm(benchmark::State& state) {
+  const idx n = state.range(0);
+  const CMatrix a = numeric::random_cmatrix(n, n, 1);
+  const CMatrix b = numeric::random_cmatrix(n, n, 2);
+  CMatrix c(n, n);
+  for (auto _ : state) {
+    numeric::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["GFlop/s"] = benchmark::Counter(
+      static_cast<double>(8 * n * n * n) * state.iterations() * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Zgemm)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_ZgesvNoPiv(benchmark::State& state) {
+  // The MAGMA zgesv_nopiv_gpu stand-in: LU without pivoting + solve.
+  const idx n = state.range(0);
+  const CMatrix a = well_conditioned(n, 3);
+  const CMatrix b = numeric::random_cmatrix(n, 16, 4);
+  for (auto _ : state) {
+    numeric::LUFactor lu(a, numeric::Pivoting::kNone);
+    benchmark::DoNotOptimize(lu.solve(b).data());
+  }
+}
+BENCHMARK(BM_ZgesvNoPiv)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_ZgesvPartialPivot(benchmark::State& state) {
+  const idx n = state.range(0);
+  const CMatrix a = well_conditioned(n, 5);
+  const CMatrix b = numeric::random_cmatrix(n, 16, 6);
+  for (auto _ : state) {
+    numeric::LUFactor lu(a, numeric::Pivoting::kPartial);
+    benchmark::DoNotOptimize(lu.solve(b).data());
+  }
+}
+BENCHMARK(BM_ZgesvPartialPivot)->Arg(64)->Arg(128)->Arg(256);
+
+static void BM_RgfBlockColumns(benchmark::State& state) {
+  const auto t = tridiag(state.range(0), 48);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(solvers::rgf_block_columns(t).data());
+}
+BENCHMARK(BM_RgfBlockColumns)->Arg(4)->Arg(8)->Arg(16);
+
+static void BM_FeastContourPoint(benchmark::State& state) {
+  // One (z B - A)^{-1} B Y solve via the companion reduction.
+  const idx s = state.range(0);
+  dft::LeadBlocks lead;
+  lead.h.resize(3);
+  lead.s.resize(3);
+  CMatrix h0 = numeric::random_cmatrix(s, s, 11);
+  lead.h[0] = h0 + numeric::dagger(h0);
+  lead.h[1] = numeric::random_cmatrix(s, s, 12);
+  lead.h[2] = numeric::random_cmatrix(s, s, 13) * cplx{0.1};
+  lead.s[0] = CMatrix::identity(s);
+  lead.s[1] = CMatrix(s, s);
+  lead.s[2] = CMatrix(s, s);
+  const obc::CompanionPencil pencil(lead, cplx{0.2});
+  const CMatrix y = numeric::random_cmatrix(pencil.dim(), s / 2, 14);
+  const cplx z{1.1, 0.4};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(pencil.solve_shifted(z, y).data());
+}
+BENCHMARK(BM_FeastContourPoint)->Arg(32)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

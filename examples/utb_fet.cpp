@@ -1,0 +1,38 @@
+// Ultra-thin-body FET with transverse momentum: the Fig. 1(c) scenario.
+//
+// The UTB film is periodic out-of-plane, so transport observables are
+// averaged over a k grid — H(k), S(k) are generated from the 3-D blocks in
+// OMEN (the paper notes CP2K provides no k dependence itself).
+#include <cstdio>
+#include <vector>
+
+#include "omen/simulator.hpp"
+#include "transport/bands.hpp"
+
+using namespace omenx;
+
+int main() {
+  omen::SimulationConfig cfg;
+  cfg.structure = lattice::make_utb(0.8, 8);
+  cfg.num_k = 3;  // transverse momentum points in [0, pi]
+  cfg.point.obc = transport::ObcAlgorithm::kFeast;
+  cfg.point.solver = transport::SolverAlgorithm::kBlockLU;
+  omen::Simulator sim(cfg);
+  std::printf("device: %s, %lld k-points, N_SS = %lld\n",
+              cfg.structure.name.c_str(), static_cast<long long>(cfg.num_k),
+              static_cast<long long>(sim.hamiltonian_dimension()));
+
+  const auto window = transport::band_window(sim.bands(9));
+  std::vector<double> grid;
+  for (double e = window.emin - 0.02; e <= window.emin + 0.6; e += 0.06)
+    grid.push_back(e);
+
+  const auto sp = sim.transmission_spectrum(grid);
+  std::printf("%12s %16s %16s\n", "E (eV)", "<T(E)>_k", "channels (sum k)");
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    std::printf("%12.3f %16.4f %16lld\n", grid[i], sp.transmission[i],
+                static_cast<long long>(sp.propagating[i]));
+  std::printf("\nk-averaging smears the single-k staircase, as expected for "
+              "a 2-D film.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "blockmat/block_tridiag.hpp"
+
+#include <stdexcept>
+
+namespace omenx::blockmat {
+
+BlockTridiag::BlockTridiag(idx nb, idx s) : nb_(nb), s_(s) {
+  if (nb <= 0 || s <= 0)
+    throw std::invalid_argument("BlockTridiag: nb and s must be positive");
+  diag_.assign(static_cast<std::size_t>(nb), CMatrix(s, s));
+  if (nb > 1) {
+    upper_.assign(static_cast<std::size_t>(nb - 1), CMatrix(s, s));
+    lower_.assign(static_cast<std::size_t>(nb - 1), CMatrix(s, s));
+  }
+}
+
+CMatrix BlockTridiag::to_dense() const {
+  CMatrix out(dim(), dim());
+  for (idx i = 0; i < nb_; ++i) {
+    out.set_block(i * s_, i * s_, diag(i));
+    if (i + 1 < nb_) {
+      out.set_block(i * s_, (i + 1) * s_, upper(i));
+      out.set_block((i + 1) * s_, i * s_, lower(i));
+    }
+  }
+  return out;
+}
+
+CMatrix BlockTridiag::multiply(const CMatrix& x) const {
+  if (x.rows() != dim())
+    throw std::invalid_argument("BlockTridiag::multiply: dimension mismatch");
+  CMatrix y(dim(), x.cols());
+  for (idx i = 0; i < nb_; ++i) {
+    CMatrix xi = x.block(i * s_, 0, s_, x.cols());
+    CMatrix yi = numeric::matmul(diag(i), xi);
+    if (i > 0) {
+      CMatrix xm = x.block((i - 1) * s_, 0, s_, x.cols());
+      CMatrix t;
+      numeric::gemm(lower(i - 1), xm, t);
+      yi += t;
+    }
+    if (i + 1 < nb_) {
+      CMatrix xp = x.block((i + 1) * s_, 0, s_, x.cols());
+      CMatrix t;
+      numeric::gemm(upper(i), xp, t);
+      yi += t;
+    }
+    y.set_block(i * s_, 0, yi);
+  }
+  return y;
+}
+
+idx BlockTridiag::nnz(double threshold) const {
+  idx total = 0;
+  for (const auto& b : diag_) total += count_nnz(b, threshold);
+  for (const auto& b : upper_) total += count_nnz(b, threshold);
+  for (const auto& b : lower_) total += count_nnz(b, threshold);
+  return total;
+}
+
+bool BlockTridiag::is_hermitian(double tol) const {
+  for (const auto& b : diag_)
+    if (!numeric::is_hermitian(b, tol)) return false;
+  for (idx i = 0; i + 1 < nb_; ++i)
+    if (numeric::max_abs_diff(lower(i), numeric::dagger(upper(i))) >
+        tol * std::max(1.0, numeric::max_abs(upper(i))))
+      return false;
+  return true;
+}
+
+void BlockTridiag::axpy(cplx alpha, const BlockTridiag& other, cplx beta) {
+  if (other.nb_ != nb_ || other.s_ != s_)
+    throw std::invalid_argument("BlockTridiag::axpy: structure mismatch");
+  auto combine = [&](CMatrix& mine, const CMatrix& theirs) {
+    for (idx i = 0; i < mine.size(); ++i)
+      mine.data()[i] = alpha * mine.data()[i] + beta * theirs.data()[i];
+  };
+  for (idx i = 0; i < nb_; ++i) combine(diag_[static_cast<std::size_t>(i)],
+                                        other.diag_[static_cast<std::size_t>(i)]);
+  for (idx i = 0; i + 1 < nb_; ++i) {
+    combine(upper_[static_cast<std::size_t>(i)],
+            other.upper_[static_cast<std::size_t>(i)]);
+    combine(lower_[static_cast<std::size_t>(i)],
+            other.lower_[static_cast<std::size_t>(i)]);
+  }
+}
+
+BlockTridiag BlockTridiag::es_minus_h(cplx e, const BlockTridiag& s,
+                                      const BlockTridiag& h) {
+  if (s.nb_ != h.nb_ || s.s_ != h.s_)
+    throw std::invalid_argument("es_minus_h: structure mismatch");
+  BlockTridiag out = s;
+  out.axpy(e, h, cplx{-1.0});
+  return out;
+}
+
+idx count_nnz(const CMatrix& m, double threshold) {
+  idx count = 0;
+  for (idx i = 0; i < m.size(); ++i)
+    if (std::abs(m.data()[i]) > threshold) ++count;
+  return count;
+}
+
+}  // namespace omenx::blockmat

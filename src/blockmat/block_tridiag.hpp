@@ -1,0 +1,80 @@
+// Block-tridiagonal matrix container with uniform block size.
+//
+// This is the shape of T = (E*S - H - Sigma^RB) in Fig. 4 of the paper:
+// nb diagonal blocks of size s, plus upper/lower coupling blocks.  Every
+// transport solver (sparse direct, BCR, RGF, SplitSolve) consumes this type.
+#pragma once
+
+#include <vector>
+
+#include "numeric/blas.hpp"
+#include "numeric/matrix.hpp"
+
+namespace omenx::blockmat {
+
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+class BlockTridiag {
+ public:
+  BlockTridiag() = default;
+
+  /// nb blocks of size s x s, all zero.
+  BlockTridiag(idx nb, idx s);
+
+  idx num_blocks() const noexcept { return nb_; }
+  idx block_size() const noexcept { return s_; }
+  idx dim() const noexcept { return nb_ * s_; }
+
+  /// Diagonal block i (0-based).
+  CMatrix& diag(idx i) { return diag_.at(static_cast<std::size_t>(i)); }
+  const CMatrix& diag(idx i) const {
+    return diag_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Coupling block (i, i+1).
+  CMatrix& upper(idx i) { return upper_.at(static_cast<std::size_t>(i)); }
+  const CMatrix& upper(idx i) const {
+    return upper_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Coupling block (i+1, i).
+  CMatrix& lower(idx i) { return lower_.at(static_cast<std::size_t>(i)); }
+  const CMatrix& lower(idx i) const {
+    return lower_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Dense expansion (tests and small baselines only).
+  CMatrix to_dense() const;
+
+  /// y = A * x for a dense multi-column x of matching dimension.
+  CMatrix multiply(const CMatrix& x) const;
+
+  /// Non-zeros with |a_ij| > threshold, over all stored blocks.
+  idx nnz(double threshold = 0.0) const;
+
+  /// True if the full matrix is Hermitian (diag blocks Hermitian and
+  /// lower(i) == upper(i)^dagger within tol).
+  bool is_hermitian(double tol = 1e-10) const;
+
+  /// this = alpha*this + beta*other (same structure required).
+  void axpy(cplx alpha, const BlockTridiag& other, cplx beta);
+
+  /// Returns E*S - H as a new block tridiagonal matrix.
+  static BlockTridiag es_minus_h(cplx e, const BlockTridiag& s,
+                                 const BlockTridiag& h);
+
+ private:
+  idx nb_ = 0;
+  idx s_ = 0;
+  std::vector<CMatrix> diag_;
+  std::vector<CMatrix> upper_;
+  std::vector<CMatrix> lower_;
+};
+
+/// Count entries of a dense matrix with magnitude > threshold (sparsity
+/// statistics for Fig. 3).
+idx count_nnz(const CMatrix& m, double threshold);
+
+}  // namespace omenx::blockmat

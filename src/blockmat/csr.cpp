@@ -1,0 +1,58 @@
+#include "blockmat/csr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace omenx::blockmat {
+
+CsrMatrix to_csr(const BlockTridiag& a, double drop_tol) {
+  const idx nb = a.num_blocks();
+  const idx s = a.block_size();
+  CsrMatrix out;
+  out.rows = a.dim();
+  out.cols = a.dim();
+  out.row_ptr.reserve(static_cast<std::size_t>(out.rows + 1));
+  out.row_ptr.push_back(0);
+  for (idx bi = 0; bi < nb; ++bi) {
+    for (idx r = 0; r < s; ++r) {
+      // Scan the (up to three) blocks in this block row, left to right.
+      for (idx bj = std::max<idx>(0, bi - 1); bj <= std::min(nb - 1, bi + 1);
+           ++bj) {
+        const CMatrix* blk = nullptr;
+        if (bj == bi) {
+          blk = &a.diag(bi);
+        } else if (bj == bi + 1) {
+          blk = &a.upper(bi);
+        } else {
+          blk = &a.lower(bj);
+        }
+        for (idx c = 0; c < s; ++c) {
+          const cplx v = (*blk)(r, c);
+          if (std::abs(v) > drop_tol) {
+            out.col_idx.push_back(bj * s + c);
+            out.values.push_back(v);
+          }
+        }
+      }
+      out.row_ptr.push_back(static_cast<idx>(out.values.size()));
+    }
+  }
+  return out;
+}
+
+std::vector<cplx> csr_matvec(const CsrMatrix& a, const std::vector<cplx>& x) {
+  if (static_cast<idx>(x.size()) != a.cols)
+    throw std::invalid_argument("csr_matvec: dimension mismatch");
+  std::vector<cplx> y(static_cast<std::size_t>(a.rows), cplx{0.0});
+  for (idx r = 0; r < a.rows; ++r) {
+    cplx acc{0.0};
+    for (idx k = a.row_ptr[static_cast<std::size_t>(r)];
+         k < a.row_ptr[static_cast<std::size_t>(r + 1)]; ++k)
+      acc += a.values[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(a.col_idx[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+}  // namespace omenx::blockmat

@@ -1,0 +1,31 @@
+// Compressed-sparse-row export of block matrices.
+//
+// External sparse direct solvers (MUMPS/SuperLU in the paper) consume CSR;
+// this is the exchange format a downstream user would feed them, plus a
+// reference SpMV for validation.
+#pragma once
+
+#include <vector>
+
+#include "blockmat/block_tridiag.hpp"
+
+namespace omenx::blockmat {
+
+struct CsrMatrix {
+  idx rows = 0;
+  idx cols = 0;
+  std::vector<idx> row_ptr;   ///< size rows+1
+  std::vector<idx> col_idx;   ///< size nnz
+  std::vector<cplx> values;   ///< size nnz
+
+  idx nnz() const { return static_cast<idx>(values.size()); }
+};
+
+/// Convert a block tridiagonal matrix to CSR, dropping entries with
+/// magnitude <= drop_tol.
+CsrMatrix to_csr(const BlockTridiag& a, double drop_tol = 0.0);
+
+/// y = A x (reference sparse mat-vec).
+std::vector<cplx> csr_matvec(const CsrMatrix& a, const std::vector<cplx>& x);
+
+}  // namespace omenx::blockmat

@@ -1,0 +1,53 @@
+#include "dft/gaussian.hpp"
+
+#include <cmath>
+
+#include "numeric/types.hpp"
+
+namespace omenx::dft {
+
+namespace {
+double s00(double a, double b, double r2) {
+  const double p = a + b;
+  const double mu = a * b / p;
+  return std::pow(numeric::kPi / p, 1.5) * std::exp(-mu * r2);
+}
+}  // namespace
+
+double gaussian_overlap_raw(const Orbital& oa, const lattice::Vec3& ra,
+                            const Orbital& ob, const lattice::Vec3& rb) {
+  const double a = oa.exponent, b = ob.exponent;
+  const double p = a + b;
+  const lattice::Vec3 ab = {ra[0] - rb[0], ra[1] - rb[1], ra[2] - rb[2]};
+  const double r2 = ab[0] * ab[0] + ab[1] * ab[1] + ab[2] * ab[2];
+  const double base = s00(a, b, r2);
+  // P - A = (b/p)(B - A); P - B = (a/p)(A - B).
+  auto pa = [&](int i) { return -(b / p) * ab[i]; };
+  auto pb = [&](int i) { return (a / p) * ab[i]; };
+
+  const bool a_is_p = oa.l == AngularMomentum::kP;
+  const bool b_is_p = ob.l == AngularMomentum::kP;
+  if (!a_is_p && !b_is_p) return base;
+  if (a_is_p && !b_is_p) return pa(oa.component) * base;
+  if (!a_is_p && b_is_p) return pb(ob.component) * base;
+  const double delta = oa.component == ob.component ? 1.0 / (2.0 * p) : 0.0;
+  return (pa(oa.component) * pb(ob.component) + delta) * base;
+}
+
+double gaussian_norm(const Orbital& o) {
+  // Self overlap with identical center: r2 = 0.
+  const double a = o.exponent;
+  const double p = 2.0 * a;
+  const double base = std::pow(numeric::kPi / p, 1.5);
+  const double self =
+      o.l == AngularMomentum::kS ? base : base / (2.0 * p);
+  return 1.0 / std::sqrt(self);
+}
+
+double gaussian_overlap(const Orbital& oa, const lattice::Vec3& ra,
+                        const Orbital& ob, const lattice::Vec3& rb) {
+  return gaussian_norm(oa) * gaussian_norm(ob) *
+         gaussian_overlap_raw(oa, ra, ob, rb);
+}
+
+}  // namespace omenx::dft

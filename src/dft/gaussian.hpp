@@ -1,0 +1,29 @@
+// Analytic overlap integrals between Cartesian Gaussian orbitals (s and p).
+//
+// With P = (a*A + b*B)/(a+b), p = a+b, mu = a*b/p and the Gaussian product
+// prefactor S00 = (pi/p)^{3/2} exp(-mu |A-B|^2):
+//   (s_A | s_B)      = S00
+//   (p_i_A | s_B)    = (P_i - A_i) * S00
+//   (p_i_A | p_j_B)  = [(P_i - A_i)(P_j - B_j) + delta_ij/(2p)] * S00
+// Orbitals are normalized so that the self-overlap is exactly 1, which makes
+// the assembled S matrix a Gram matrix of unit-norm functions (HPD).
+#pragma once
+
+#include "dft/basis.hpp"
+#include "lattice/structure.hpp"
+
+namespace omenx::dft {
+
+/// Raw (unnormalized) overlap between two Gaussian orbitals at centers
+/// `ra`, `rb` (nm).
+double gaussian_overlap_raw(const Orbital& oa, const lattice::Vec3& ra,
+                            const Orbital& ob, const lattice::Vec3& rb);
+
+/// Normalization factor 1/sqrt(<g|g>) for one orbital.
+double gaussian_norm(const Orbital& o);
+
+/// Normalized overlap <a|b> / (|a| |b|).
+double gaussian_overlap(const Orbital& oa, const lattice::Vec3& ra,
+                        const Orbital& ob, const lattice::Vec3& rb);
+
+}  // namespace omenx::dft

@@ -1,0 +1,92 @@
+// Atomistic structure generation for the devices studied in the paper:
+// gate-all-around Si nanowire FETs (Fig. 1a), double-gate ultra-thin-body
+// FETs (Fig. 1c), and a lithiated SnO battery-anode toy structure (Fig. 1e).
+//
+// Transport is along x.  A device is a periodic repetition of one unit cell
+// (length `cell_length`) whose atom set is identical in every cell — the
+// contacts are semi-infinite continuations of the same cell, which is what
+// the open-boundary-condition machinery assumes.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "numeric/types.hpp"
+
+namespace omenx::lattice {
+
+using numeric::idx;
+
+using Vec3 = std::array<double, 3>;
+
+enum class Species : int { kSi = 0, kO = 1, kSn = 2, kLi = 3 };
+
+/// Number of orbitals each species carries in the 3SP Gaussian basis
+/// (3 s-shells + 3 p-shells = 3 + 9 = 12 for Si; reduced sets for the
+/// battery species).
+int orbitals_per_atom(Species s);
+
+struct Atom {
+  Species species;
+  Vec3 position;  ///< nm, absolute within the device.
+};
+
+/// Periodicity of the confinement directions (paper Fig. 1): nanowires
+/// confine y and z; UTB films confine y and are periodic in z.
+enum class Periodicity { kNone, kZ };
+
+/// One transport unit cell plus replication info.
+struct Structure {
+  std::vector<Atom> cell_atoms;  ///< atoms of one unit cell
+  double cell_length = 0.0;      ///< nm along x
+  idx num_cells = 0;             ///< device length in cells
+  Periodicity periodicity = Periodicity::kNone;
+  double z_period = 0.0;  ///< nm, only meaningful when periodic in z
+  std::string name;
+
+  idx atoms_per_cell() const { return static_cast<idx>(cell_atoms.size()); }
+  idx total_atoms() const { return atoms_per_cell() * num_cells; }
+
+  /// Sum of orbitals over one cell (the block size of H/S before folding).
+  idx orbitals_per_cell() const;
+
+  /// Total Hamiltonian dimension N_SS = total atoms x orbitals.
+  idx total_orbitals() const { return orbitals_per_cell() * num_cells; }
+};
+
+/// Si diamond lattice constant (nm).
+inline constexpr double kSiLatticeConstant = 0.5431;
+
+/// Gate-all-around circular nanowire along <100>: diameter d (nm), length
+/// expressed in unit cells.  Atoms outside the circular cross-section are
+/// discarded.
+Structure make_nanowire(double diameter_nm, idx num_cells);
+
+/// Ultra-thin-body film: thickness t_body (nm) in y, periodic in z with one
+/// lattice constant period.
+Structure make_utb(double thickness_nm, idx num_cells);
+
+/// Toy lithiated SnO anode: alternating Sn/O planes with Li intercalated in
+/// the middle `li_cells` cells.  `capacity_mah_g` controls the Li fraction
+/// (Fig. 1e's x-axis); it also expands the lattice via `volume_expansion`.
+Structure make_sno_anode(idx num_cells, idx li_cells, double capacity_mah_g);
+
+/// Relative volume expansion of lithiated SnO vs. capacity, the quantity
+/// plotted in Fig. 1(e).  Simple two-regime intercalation/alloying model
+/// calibrated to the paper's endpoints (~+140% at 1000 mAh/g).
+double volume_expansion(double capacity_mah_g);
+
+/// Device bias regions for FET structures (Fig. 1a/1c): source / gate /
+/// drain extents along x in cells, derived from nm lengths.
+struct DeviceRegions {
+  idx source_cells = 0;
+  idx gate_cells = 0;
+  idx drain_cells = 0;
+  idx total() const { return source_cells + gate_cells + drain_cells; }
+};
+
+DeviceRegions make_regions(double ls_nm, double lg_nm, double ld_nm,
+                           double cell_length_nm);
+
+}  // namespace omenx::lattice

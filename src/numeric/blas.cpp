@@ -1,0 +1,156 @@
+#include "numeric/blas.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "numeric/flops.hpp"
+
+namespace omenx::numeric {
+
+namespace {
+thread_local bool g_parallel = true;
+
+// Resolve op(A) into an explicit copy when needed.  GEMM inner loops then
+// always run on plain row-major operands, which keeps the kernel simple and
+// cache-friendly.
+CMatrix apply_op(const CMatrix& a, char op) {
+  switch (op) {
+    case 'N':
+      return a;
+    case 'T':
+      return a.transpose();
+    case 'C':
+      return dagger(a);
+    default:
+      throw std::invalid_argument("gemm: op must be one of N/T/C");
+  }
+}
+
+constexpr idx kBlock = 64;
+}  // namespace
+
+void set_thread_parallelism(bool enabled) noexcept { g_parallel = enabled; }
+bool thread_parallelism() noexcept { return g_parallel; }
+
+void gemm(const CMatrix& a_in, const CMatrix& b_in, CMatrix& c, cplx alpha,
+          cplx beta, char op_a, char op_b) {
+  const CMatrix a = apply_op(a_in, op_a);
+  const CMatrix b = apply_op(b_in, op_b);
+  const idx m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k) throw std::invalid_argument("gemm: inner dim mismatch");
+  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+
+  if (beta == cplx{0.0}) {
+    c.fill(cplx{0.0});
+  } else if (beta != cplx{1.0}) {
+    c *= beta;
+  }
+
+  // 8 real flops per complex multiply-add.
+  FlopCounter::add(static_cast<std::uint64_t>(m) * n * k * 8u);
+
+  const bool par = g_parallel && m * n * k > 64 * 64 * 64;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) if (par)
+#endif
+  for (idx i0 = 0; i0 < m; i0 += kBlock) {
+    const idx i1 = std::min(i0 + kBlock, m);
+    for (idx k0 = 0; k0 < k; k0 += kBlock) {
+      const idx k1 = std::min(k0 + kBlock, k);
+      for (idx i = i0; i < i1; ++i) {
+        cplx* crow = c.row_ptr(i);
+        const cplx* arow = a.row_ptr(i);
+        for (idx kk = k0; kk < k1; ++kk) {
+          const cplx av = alpha * arow[kk];
+          if (av == cplx{0.0}) continue;
+          const cplx* brow = b.row_ptr(kk);
+          for (idx j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  (void)par;
+}
+
+CMatrix matmul(const CMatrix& a, const CMatrix& b, char op_a, char op_b) {
+  CMatrix c;
+  gemm(a, b, c, cplx{1.0}, cplx{0.0}, op_a, op_b);
+  return c;
+}
+
+void gemv(const CMatrix& a, const std::vector<cplx>& x, std::vector<cplx>& y,
+          cplx alpha, cplx beta) {
+  const idx m = a.rows(), n = a.cols();
+  if (static_cast<idx>(x.size()) != n)
+    throw std::invalid_argument("gemv: dimension mismatch");
+  if (static_cast<idx>(y.size()) != m) y.assign(static_cast<std::size_t>(m), cplx{0.0});
+  FlopCounter::add(static_cast<std::uint64_t>(m) * n * 8u);
+  for (idx i = 0; i < m; ++i) {
+    cplx acc{0.0};
+    const cplx* row = a.row_ptr(i);
+    for (idx j = 0; j < n; ++j) acc += row[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] =
+        alpha * acc + beta * y[static_cast<std::size_t>(i)];
+  }
+}
+
+double frob_norm(const CMatrix& a) {
+  double s = 0.0;
+  const cplx* p = a.data();
+  for (idx i = 0; i < a.size(); ++i) s += std::norm(p[i]);
+  return std::sqrt(s);
+}
+
+double frob_norm(const RMatrix& a) {
+  double s = 0.0;
+  const double* p = a.data();
+  for (idx i = 0; i < a.size(); ++i) s += p[i] * p[i];
+  return std::sqrt(s);
+}
+
+double max_abs_diff(const CMatrix& a, const CMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double m = 0.0;
+  for (idx i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a.data()[i] - b.data()[i]));
+  return m;
+}
+
+double max_abs(const CMatrix& a) {
+  double m = 0.0;
+  for (idx i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a.data()[i]));
+  return m;
+}
+
+bool is_hermitian(const CMatrix& a, double tol) {
+  if (!a.square()) return false;
+  const double scale = std::max(1.0, max_abs(a));
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = i; j < a.cols(); ++j)
+      if (std::abs(a(i, j) - std::conj(a(j, i))) > tol * scale) return false;
+  return true;
+}
+
+CMatrix random_cmatrix(idx rows, idx cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  CMatrix out(rows, cols);
+  for (idx i = 0; i < out.size(); ++i)
+    out.data()[i] = cplx(dist(rng), dist(rng));
+  return out;
+}
+
+RMatrix random_rmatrix(idx rows, idx cols, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  RMatrix out(rows, cols);
+  for (idx i = 0; i < out.size(); ++i) out.data()[i] = dist(rng);
+  return out;
+}
+
+}  // namespace omenx::numeric

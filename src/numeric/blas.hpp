@@ -1,0 +1,47 @@
+// Dense BLAS-like kernels (GEMM, GEMV, norms) for the Matrix container.
+//
+// The paper's hot loops are zgemm on the emulated accelerators; here GEMM is
+// a cache-blocked, optionally OpenMP-parallel kernel.  Device workers run
+// with parallelism disabled (see parallel/device.hpp) so that emulated GPUs
+// do not oversubscribe the host.
+#pragma once
+
+#include "numeric/matrix.hpp"
+#include "numeric/types.hpp"
+
+namespace omenx::numeric {
+
+/// Per-thread switch: when false, kernels in this thread run serially.
+/// Accelerator-emulation workers disable parallelism to avoid nested
+/// oversubscription.
+void set_thread_parallelism(bool enabled) noexcept;
+bool thread_parallelism() noexcept;
+
+/// C = alpha*op(A)*op(B) + beta*C.  Op is 'N' (none), 'T' (transpose) or
+/// 'C' (conjugate transpose).  Counted in the global FlopCounter.
+void gemm(const CMatrix& a, const CMatrix& b, CMatrix& c,
+          cplx alpha = cplx{1.0}, cplx beta = cplx{0.0}, char op_a = 'N',
+          char op_b = 'N');
+
+/// Convenience: returns op(A)*op(B).
+CMatrix matmul(const CMatrix& a, const CMatrix& b, char op_a = 'N',
+               char op_b = 'N');
+
+/// y = alpha*A*x + beta*y.
+void gemv(const CMatrix& a, const std::vector<cplx>& x, std::vector<cplx>& y,
+          cplx alpha = cplx{1.0}, cplx beta = cplx{0.0});
+
+/// Frobenius norm.
+double frob_norm(const CMatrix& a);
+double frob_norm(const RMatrix& a);
+
+/// Max |a_ij - b_ij|.
+double max_abs_diff(const CMatrix& a, const CMatrix& b);
+
+/// Largest |a_ij|.
+double max_abs(const CMatrix& a);
+
+/// True if ||A - A^dagger||_max <= tol * max(1, ||A||_max).
+bool is_hermitian(const CMatrix& a, double tol = 1e-10);
+
+}  // namespace omenx::numeric

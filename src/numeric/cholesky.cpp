@@ -1,0 +1,40 @@
+#include "numeric/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/flops.hpp"
+
+namespace omenx::numeric {
+
+CMatrix cholesky(const CMatrix& a) {
+  if (!a.square()) throw std::invalid_argument("cholesky: matrix not square");
+  const idx n = a.rows();
+  CMatrix l(n, n);
+  FlopCounter::add(static_cast<std::uint64_t>(4.0 / 3.0 * n * n * n));
+  for (idx j = 0; j < n; ++j) {
+    cplx diag = a(j, j);
+    for (idx k = 0; k < j; ++k) diag -= l(j, k) * std::conj(l(j, k));
+    const double d = diag.real();
+    if (d <= 0.0 || std::abs(diag.imag()) > 1e-10 * std::max(1.0, d))
+      throw std::runtime_error("cholesky: matrix not positive definite");
+    l(j, j) = cplx{std::sqrt(d)};
+    for (idx i = j + 1; i < n; ++i) {
+      cplx sum = a(i, j);
+      for (idx k = 0; k < j; ++k) sum -= l(i, k) * std::conj(l(j, k));
+      l(i, j) = sum / l(j, j);
+    }
+  }
+  return l;
+}
+
+bool is_hpd(const CMatrix& a) {
+  try {
+    cholesky(a);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace omenx::numeric

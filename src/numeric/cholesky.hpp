@@ -1,0 +1,19 @@
+// Cholesky factorization for Hermitian positive definite matrices.
+//
+// The overlap matrix S produced by a localized Gaussian basis is HPD; the
+// DFT emulator uses this to validate its assembled S, and transport code
+// uses it for Loewdin-style orthogonalization checks.
+#pragma once
+
+#include "numeric/matrix.hpp"
+
+namespace omenx::numeric {
+
+/// Lower-triangular L with A = L L^H.  Throws std::runtime_error when the
+/// matrix is not positive definite.
+CMatrix cholesky(const CMatrix& a);
+
+/// True if `a` is Hermitian positive definite (attempts a factorization).
+bool is_hpd(const CMatrix& a);
+
+}  // namespace omenx::numeric

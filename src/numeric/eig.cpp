@@ -1,0 +1,387 @@
+#include "numeric/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "numeric/flops.hpp"
+#include "numeric/lu.hpp"
+
+namespace omenx::numeric {
+
+namespace {
+
+// Reduce `a` to upper Hessenberg form H = Q^H A Q, accumulating Q.
+void hessenberg(CMatrix& a, CMatrix& q) {
+  const idx n = a.rows();
+  q = CMatrix::identity(n);
+  FlopCounter::add(static_cast<std::uint64_t>(10u) * n * n * n / 3u);
+  for (idx k = 0; k < n - 2; ++k) {
+    double norm_x = 0.0;
+    for (idx i = k + 1; i < n; ++i) norm_x += std::norm(a(i, k));
+    norm_x = std::sqrt(norm_x);
+    if (norm_x == 0.0) continue;
+    const cplx x0 = a(k + 1, k);
+    const double ax0 = std::abs(x0);
+    const cplx phase = ax0 > 0.0 ? x0 / ax0 : cplx{1.0};
+    const cplx alpha = -phase * norm_x;
+    std::vector<cplx> v(static_cast<std::size_t>(n - k - 1));
+    for (idx i = k + 1; i < n; ++i) v[static_cast<std::size_t>(i - k - 1)] = a(i, k);
+    v[0] -= alpha;
+    double nv = 0.0;
+    for (const auto& vi : v) nv += std::norm(vi);
+    nv = std::sqrt(nv);
+    if (nv == 0.0) continue;
+    for (auto& vi : v) vi /= nv;
+    // A <- H A with H = I - 2 v v^H acting on rows k+1..n-1.
+    for (idx j = k; j < n; ++j) {
+      cplx dot{0.0};
+      for (idx i = k + 1; i < n; ++i)
+        dot += std::conj(v[static_cast<std::size_t>(i - k - 1)]) * a(i, j);
+      dot *= 2.0;
+      for (idx i = k + 1; i < n; ++i)
+        a(i, j) -= dot * v[static_cast<std::size_t>(i - k - 1)];
+    }
+    // A <- A H on columns k+1..n-1.
+    for (idx i = 0; i < n; ++i) {
+      cplx dot{0.0};
+      for (idx j = k + 1; j < n; ++j)
+        dot += a(i, j) * v[static_cast<std::size_t>(j - k - 1)];
+      dot *= 2.0;
+      for (idx j = k + 1; j < n; ++j)
+        a(i, j) -= dot * std::conj(v[static_cast<std::size_t>(j - k - 1)]);
+    }
+    // Q <- Q H.
+    for (idx i = 0; i < n; ++i) {
+      cplx dot{0.0};
+      for (idx j = k + 1; j < n; ++j)
+        dot += q(i, j) * v[static_cast<std::size_t>(j - k - 1)];
+      dot *= 2.0;
+      for (idx j = k + 1; j < n; ++j)
+        q(i, j) -= dot * std::conj(v[static_cast<std::size_t>(j - k - 1)]);
+    }
+    // Clean the annihilated column.
+    a(k + 1, k) = alpha;
+    for (idx i = k + 2; i < n; ++i) a(i, k) = cplx{0.0};
+  }
+}
+
+struct Givens {
+  cplx c;
+  cplx s;
+};
+
+// Compute a Givens rotation G = [[c, s], [-conj(s), conj(c)]] with
+// G^H [f; g] = [r; 0].
+Givens make_givens(cplx f, cplx g) {
+  const double norm = std::sqrt(std::norm(f) + std::norm(g));
+  if (norm == 0.0) return {cplx{1.0}, cplx{0.0}};
+  return {f / norm, g / norm};
+}
+
+// Wilkinson shift: eigenvalue of the trailing 2x2 of H(lo..hi, lo..hi)
+// closest to the bottom-right entry.
+cplx wilkinson_shift(const CMatrix& h, idx hi) {
+  const cplx a = h(hi - 1, hi - 1), b = h(hi - 1, hi);
+  const cplx c = h(hi, hi - 1), d = h(hi, hi);
+  const cplx tr = a + d;
+  const cplx det = a * d - b * c;
+  const cplx disc = std::sqrt(tr * tr - 4.0 * det);
+  const cplx l1 = (tr + disc) * 0.5;
+  const cplx l2 = (tr - disc) * 0.5;
+  return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+// Francis single-shift bulge-chase sweep on the active Hessenberg block
+// [lo, hi]; Z accumulates the Schur vectors.  Each step applies the Givens
+// similarity G^H H G on rows/columns (k, k+1); by the implicit-Q theorem the
+// sweep equals one explicit shifted QR step.
+void qr_sweep(CMatrix& h, CMatrix& z, idx lo, idx hi, cplx shift) {
+  const idx n = h.rows();
+  cplx f = h(lo, lo) - shift;
+  cplx g = h(lo + 1, lo);
+  for (idx k = lo; k < hi; ++k) {
+    const Givens gr = make_givens(f, g);
+    // Rows k, k+1: H <- G^H H.
+    for (idx j = 0; j < n; ++j) {
+      const cplx t1 = h(k, j), t2 = h(k + 1, j);
+      h(k, j) = std::conj(gr.c) * t1 + std::conj(gr.s) * t2;
+      h(k + 1, j) = -gr.s * t1 + gr.c * t2;
+    }
+    // Columns k, k+1: H <- H G.
+    for (idx i = 0; i < n; ++i) {
+      const cplx t1 = h(i, k), t2 = h(i, k + 1);
+      h(i, k) = t1 * gr.c + t2 * gr.s;
+      h(i, k + 1) = -t1 * std::conj(gr.s) + t2 * std::conj(gr.c);
+    }
+    // Schur vectors: Z <- Z G.
+    for (idx i = 0; i < n; ++i) {
+      const cplx t1 = z(i, k), t2 = z(i, k + 1);
+      z(i, k) = t1 * gr.c + t2 * gr.s;
+      z(i, k + 1) = -t1 * std::conj(gr.s) + t2 * std::conj(gr.c);
+    }
+    if (k + 1 < hi) {
+      // The similarity created a bulge at (k+2, k); the next rotation on
+      // rows (k+1, k+2) chases it down the subdiagonal.
+      f = h(k + 1, k);
+      g = h(k + 2, k);
+    }
+  }
+  // Scrub numerical dust below the first subdiagonal in the active window.
+  for (idx k = lo; k + 2 <= hi; ++k) h(k + 2, k) = cplx{0.0};
+}
+
+// Schur decomposition A = Z T Z^H of a Hessenberg matrix (in-place on h).
+void hessenberg_schur(CMatrix& h, CMatrix& z) {
+  const idx n = h.rows();
+  if (n == 0) return;
+  const double eps = 1e-15;
+  // Norm-scaled deflation floor (LAPACK smlnum role): subdiagonals this far
+  // below the matrix scale are numerically zero even when the neighbouring
+  // diagonal entries vanish (large zero-eigenvalue clusters in companion
+  // pencils would otherwise never deflate).
+  double hnorm = 0.0;
+  for (idx i = 0; i < n; ++i)
+    for (idx j = std::max<idx>(0, i - 1); j < n; ++j)
+      hnorm = std::max(hnorm, std::abs(h(i, j)));
+  const double floor_tol = 1e-20 * std::max(hnorm, 1e-300);
+  idx hi = n - 1;
+  int iter_guard = 0;
+  const int max_iter = 120 * static_cast<int>(n) + 400;
+  FlopCounter::add(static_cast<std::uint64_t>(25u) * n * n * n);
+  while (hi > 0) {
+    // Deflation scan.
+    idx lo = hi;
+    while (lo > 0) {
+      const double sub = std::abs(h(lo, lo - 1));
+      const double scale = std::abs(h(lo - 1, lo - 1)) + std::abs(h(lo, lo));
+      if (sub <= std::max(eps * scale, floor_tol)) {
+        h(lo, lo - 1) = cplx{0.0};
+        break;
+      }
+      --lo;
+    }
+    if (lo == hi) {
+      --hi;
+      iter_guard = 0;
+      continue;
+    }
+    if (hi - lo == 1) {
+      // 2x2 active block: triangularize analytically.  QR iteration stalls
+      // on (nearly) defective pairs, but the exact Schur rotation is cheap:
+      // rotate an eigenvector of the 2x2 onto e1.
+      const cplx a = h(lo, lo), b = h(lo, hi);
+      const cplx c = h(hi, lo), d = h(hi, hi);
+      const cplx lam = wilkinson_shift(h, hi);
+      cplx v1 = b, v2 = lam - a;
+      if (std::abs(v1) + std::abs(v2) < 1e-30 * (std::abs(a) + std::abs(d))) {
+        v1 = lam - d;
+        v2 = c;
+      }
+      const Givens gr = make_givens(v1, v2);
+      for (idx j = 0; j < n; ++j) {
+        const cplx t1 = h(lo, j), t2 = h(hi, j);
+        h(lo, j) = std::conj(gr.c) * t1 + std::conj(gr.s) * t2;
+        h(hi, j) = -gr.s * t1 + gr.c * t2;
+      }
+      for (idx i = 0; i < n; ++i) {
+        const cplx t1 = h(i, lo), t2 = h(i, hi);
+        h(i, lo) = t1 * gr.c + t2 * gr.s;
+        h(i, hi) = -t1 * std::conj(gr.s) + t2 * std::conj(gr.c);
+      }
+      for (idx i = 0; i < n; ++i) {
+        const cplx t1 = z(i, lo), t2 = z(i, hi);
+        z(i, lo) = t1 * gr.c + t2 * gr.s;
+        z(i, hi) = -t1 * std::conj(gr.s) + t2 * std::conj(gr.c);
+      }
+      h(hi, lo) = cplx{0.0};
+      hi = lo;
+      iter_guard = 0;
+      continue;
+    }
+    if (++iter_guard > max_iter) {
+      // Stalled (nearly defective cluster).  If the offending subdiagonal is
+      // already tiny relative to the matrix scale, force the deflation: the
+      // perturbation is far below the accuracy of the downstream physics.
+      const double sub = std::abs(h(hi, hi - 1));
+      if (sub < 1e-8 * std::max(hnorm, 1e-300)) {
+        h(hi, hi - 1) = cplx{0.0};
+        --hi;
+        iter_guard = 0;
+        continue;
+      }
+      throw std::runtime_error("eig: QR iteration failed to converge");
+    }
+    // Occasional randomized exceptional shift to break limit cycles (the
+    // deterministic pattern depends only on the iteration counter).
+    cplx shift;
+    if (iter_guard % 20 == 0) {
+      const double mag =
+          std::abs(h(hi, hi - 1)) + std::abs(h(hi, hi)) +
+          (hi >= 2 ? std::abs(h(hi - 1, hi - 2)) : 0.0);
+      const double angle = 2.399963 * static_cast<double>(iter_guard);
+      shift = h(hi, hi) + mag * cplx{std::cos(angle), std::sin(angle)};
+    } else {
+      shift = wilkinson_shift(h, hi);
+    }
+    qr_sweep(h, z, lo, hi, shift);
+  }
+}
+
+// Eigenvectors of the triangular Schur factor T, back-transformed by Z.
+CMatrix schur_vectors(const CMatrix& t, const CMatrix& z) {
+  const idx n = t.rows();
+  CMatrix y(n, n);
+  const double small = 1e-290;
+  for (idx k = 0; k < n; ++k) {
+    y(k, k) = cplx{1.0};
+    const cplx lam = t(k, k);
+    for (idx i = k - 1; i >= 0; --i) {
+      cplx rhs{0.0};
+      for (idx j = i + 1; j <= k; ++j) rhs += t(i, j) * y(j, k);
+      cplx denom = t(i, i) - lam;
+      if (std::abs(denom) < small) denom = cplx{small};
+      y(i, k) = -rhs / denom;
+    }
+    // Normalize the column.
+    double norm = 0.0;
+    for (idx i = 0; i <= k; ++i) norm += std::norm(y(i, k));
+    norm = std::sqrt(norm);
+    if (norm > 0.0)
+      for (idx i = 0; i <= k; ++i) y(i, k) /= norm;
+  }
+  CMatrix x = matmul(z, y);
+  // Re-normalize columns of the back-transformed vectors.
+  for (idx k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (idx i = 0; i < n; ++i) norm += std::norm(x(i, k));
+    norm = std::sqrt(norm);
+    if (norm > 0.0)
+      for (idx i = 0; i < n; ++i) x(i, k) /= norm;
+  }
+  return x;
+}
+
+}  // namespace
+
+EigResult eig(const CMatrix& a_in, bool want_vectors) {
+  if (!a_in.square()) throw std::invalid_argument("eig: matrix not square");
+  const idx n = a_in.rows();
+  EigResult out;
+  if (n == 0) return out;
+  if (n == 1) {
+    out.values = {a_in(0, 0)};
+    if (want_vectors) out.vectors = CMatrix::identity(1);
+    return out;
+  }
+  CMatrix h = a_in;
+  CMatrix q;
+  hessenberg(h, q);
+  hessenberg_schur(h, q);
+  out.values.resize(static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i) out.values[static_cast<std::size_t>(i)] = h(i, i);
+  if (want_vectors) out.vectors = schur_vectors(h, q);
+  return out;
+}
+
+EigResult generalized_eig(const CMatrix& a, const CMatrix& b,
+                          bool want_vectors) {
+  LUFactor blu(b);
+  return eig(blu.solve(a), want_vectors);
+}
+
+EigResult shift_invert_eig(const CMatrix& a, const CMatrix& b, cplx sigma,
+                           bool want_vectors, double drop_tol) {
+  // M = (A - sigma B)^{-1} B; eig(M) = 1/(lambda - sigma).
+  CMatrix shifted = a;
+  shifted.add_block(0, 0, b, -sigma);
+  LUFactor lu(shifted);
+  EigResult mres = eig(lu.solve(b), want_vectors);
+  EigResult out;
+  out.values.reserve(mres.values.size());
+  std::vector<idx> keep;
+  for (idx i = 0; i < static_cast<idx>(mres.values.size()); ++i) {
+    const cplx theta = mres.values[static_cast<std::size_t>(i)];
+    if (std::abs(theta) <= drop_tol) continue;  // lambda at infinity
+    out.values.push_back(sigma + cplx{1.0} / theta);
+    keep.push_back(i);
+  }
+  if (want_vectors) {
+    out.vectors = CMatrix(mres.vectors.rows(), static_cast<idx>(keep.size()));
+    for (idx c = 0; c < static_cast<idx>(keep.size()); ++c)
+      for (idx r = 0; r < mres.vectors.rows(); ++r)
+        out.vectors(r, c) = mres.vectors(r, keep[static_cast<std::size_t>(c)]);
+  }
+  return out;
+}
+
+HermEigResult hermitian_eig(const CMatrix& a_in, double tol) {
+  if (!a_in.square())
+    throw std::invalid_argument("hermitian_eig: matrix not square");
+  const idx n = a_in.rows();
+  CMatrix a = a_in;
+  CMatrix v = CMatrix::identity(n);
+  FlopCounter::add(static_cast<std::uint64_t>(30u) * n * n * n);
+
+  // Cyclic Jacobi with complex rotations.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (idx p = 0; p < n; ++p)
+      for (idx q = p + 1; q < n; ++q) off += std::norm(a(p, q));
+    if (std::sqrt(off) < tol * std::max(1.0, frob_norm(a_in))) break;
+    for (idx p = 0; p < n; ++p) {
+      for (idx q = p + 1; q < n; ++q) {
+        const cplx apq = a(p, q);
+        if (std::abs(apq) == 0.0) continue;
+        const double app = a(p, p).real();
+        const double aqq = a(q, q).real();
+        // Diagonalize the 2x2 Hermitian block [[app, apq],[conj(apq), aqq]].
+        const double abs_apq = std::abs(apq);
+        const cplx phase = apq / abs_apq;
+        const double tau = (aqq - app) / (2.0 * abs_apq);
+        const double t = (tau >= 0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        const cplx sp = s * phase;
+        // Apply rotation: columns/rows p and q.
+        for (idx i = 0; i < n; ++i) {
+          const cplx aip = a(i, p), aiq = a(i, q);
+          a(i, p) = c * aip - std::conj(sp) * aiq;
+          a(i, q) = sp * aip + c * aiq;
+        }
+        for (idx j = 0; j < n; ++j) {
+          const cplx apj = a(p, j), aqj = a(q, j);
+          a(p, j) = c * apj - sp * aqj;
+          a(q, j) = std::conj(sp) * apj + c * aqj;
+        }
+        for (idx i = 0; i < n; ++i) {
+          const cplx vip = v(i, p), viq = v(i, q);
+          v(i, p) = c * vip - std::conj(sp) * viq;
+          v(i, q) = sp * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue.
+  std::vector<idx> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), idx{0});
+  std::sort(order.begin(), order.end(), [&](idx i, idx j) {
+    return a(i, i).real() < a(j, j).real();
+  });
+  HermEigResult out;
+  out.values.resize(static_cast<std::size_t>(n));
+  out.vectors = CMatrix(n, n);
+  for (idx k = 0; k < n; ++k) {
+    const idx src = order[static_cast<std::size_t>(k)];
+    out.values[static_cast<std::size_t>(k)] = a(src, src).real();
+    for (idx i = 0; i < n; ++i) out.vectors(i, k) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace omenx::numeric

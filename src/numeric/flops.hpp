@@ -1,0 +1,45 @@
+// Global floating-point-operation accounting.
+//
+// The paper measures FLOPs with PAPI (CPU) and CUPTI (GPU).  Here every
+// numeric kernel reports its deterministic operation count to a
+// thread-safe global counter, which the perf library reads to validate its
+// analytic FLOP model (Section 5B of the paper notes the SplitSolve count
+// is deterministic).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace omenx::numeric {
+
+class FlopCounter {
+ public:
+  /// Add `n` floating point operations to the global tally.
+  static void add(std::uint64_t n) noexcept {
+    counter_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Current tally since process start or last reset().
+  static std::uint64_t total() noexcept {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  static void reset() noexcept {
+    counter_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static inline std::atomic<std::uint64_t> counter_{0};
+};
+
+/// RAII scope that measures the FLOPs executed while it is alive.
+class FlopScope {
+ public:
+  FlopScope() : start_(FlopCounter::total()) {}
+  std::uint64_t elapsed() const { return FlopCounter::total() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace omenx::numeric

@@ -1,0 +1,162 @@
+// Dense row-major matrix container used by every subsystem.
+//
+// Kept deliberately simple: owning, contiguous storage, no expression
+// templates.  Heavy kernels (GEMM, LU, QR, eigensolvers) live in separate
+// translation units and operate on this type.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <initializer_list>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/types.hpp"
+
+namespace omenx::numeric {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(idx rows, idx cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), init) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  /// Build from a nested initializer list: Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = static_cast<idx>(init.size());
+    cols_ = rows_ > 0 ? static_cast<idx>(init.begin()->size()) : 0;
+    data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+    for (const auto& row : init) {
+      if (static_cast<idx>(row.size()) != cols_)
+        throw std::invalid_argument("Matrix: ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  idx rows() const noexcept { return rows_; }
+  idx cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+  bool square() const noexcept { return rows_ == cols_; }
+
+  T& operator()(idx r, idx c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& operator()(idx r, idx c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+  T* row_ptr(idx r) noexcept { return data_.data() + r * cols_; }
+  const T* row_ptr(idx r) const noexcept { return data_.data() + r * cols_; }
+
+  /// Number of stored scalars.
+  idx size() const noexcept { return rows_ * cols_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  void resize(idx rows, idx cols, T init = T{}) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), init);
+  }
+
+  /// Copy of the [r0, r0+nr) x [c0, c0+nc) sub-block.
+  Matrix block(idx r0, idx c0, idx nr, idx nc) const {
+    assert(r0 + nr <= rows_ && c0 + nc <= cols_);
+    Matrix out(nr, nc);
+    for (idx i = 0; i < nr; ++i)
+      std::copy_n(row_ptr(r0 + i) + c0, nc, out.row_ptr(i));
+    return out;
+  }
+
+  /// Write `src` into this matrix at offset (r0, c0).
+  void set_block(idx r0, idx c0, const Matrix& src) {
+    assert(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    for (idx i = 0; i < src.rows(); ++i)
+      std::copy_n(src.row_ptr(i), src.cols(), row_ptr(r0 + i) + c0);
+  }
+
+  /// Add `src` into this matrix at offset (r0, c0).
+  void add_block(idx r0, idx c0, const Matrix& src, T scale = T{1}) {
+    assert(r0 + src.rows() <= rows_ && c0 + src.cols() <= cols_);
+    for (idx i = 0; i < src.rows(); ++i) {
+      const T* s = src.row_ptr(i);
+      T* d = row_ptr(r0 + i) + c0;
+      for (idx j = 0; j < src.cols(); ++j) d[j] += scale * s[j];
+    }
+  }
+
+  Matrix transpose() const {
+    Matrix out(cols_, rows_);
+    for (idx i = 0; i < rows_; ++i)
+      for (idx j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  static Matrix identity(idx n) {
+    Matrix out(n, n);
+    for (idx i = 0; i < n; ++i) out(i, i) = T{1};
+    return out;
+  }
+
+  static Matrix zeros(idx rows, idx cols) { return Matrix(rows, cols); }
+
+  Matrix& operator+=(const Matrix& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    assert(rows_ == o.rows_ && cols_ == o.cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+ private:
+  idx rows_ = 0;
+  idx cols_ = 0;
+  std::vector<T> data_;
+};
+
+using CMatrix = Matrix<cplx>;
+using RMatrix = Matrix<double>;
+
+/// Conjugate transpose (dagger).
+inline CMatrix dagger(const CMatrix& a) {
+  CMatrix out(a.cols(), a.rows());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j) out(j, i) = std::conj(a(i, j));
+  return out;
+}
+
+/// Promote a real matrix to complex.
+inline CMatrix to_complex(const RMatrix& a) {
+  CMatrix out(a.rows(), a.cols());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j) out(i, j) = cplx(a(i, j), 0.0);
+  return out;
+}
+
+/// Deterministically seeded random matrix with entries in [-1, 1] (+i[-1,1]
+/// for complex), used for FEAST probing vectors and tests.
+CMatrix random_cmatrix(idx rows, idx cols, unsigned seed);
+RMatrix random_rmatrix(idx rows, idx cols, unsigned seed);
+
+}  // namespace omenx::numeric

@@ -1,0 +1,99 @@
+#include "numeric/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/flops.hpp"
+
+namespace omenx::numeric {
+
+QRResult qr_decompose(const CMatrix& a) {
+  const idx m = a.rows(), n = a.cols();
+  if (m < n) throw std::invalid_argument("qr_decompose: requires m >= n");
+  CMatrix r = a;
+  // Accumulate Q by applying the reflectors to an identity afterwards; store
+  // the Householder vectors in-place below the diagonal plus a tau array.
+  std::vector<std::vector<cplx>> vs;
+  vs.reserve(static_cast<std::size_t>(n));
+  FlopCounter::add(static_cast<std::uint64_t>(16.0 / 3.0 * n * n * (3 * m - n)));
+
+  for (idx k = 0; k < n; ++k) {
+    // Build Householder vector for column k, rows k..m-1.
+    double norm_x = 0.0;
+    for (idx i = k; i < m; ++i) norm_x += std::norm(r(i, k));
+    norm_x = std::sqrt(norm_x);
+    std::vector<cplx> v(static_cast<std::size_t>(m - k), cplx{0.0});
+    if (norm_x > 0.0) {
+      const cplx x0 = r(k, k);
+      const double ax0 = std::abs(x0);
+      const cplx phase = ax0 > 0.0 ? x0 / ax0 : cplx{1.0};
+      const cplx alpha = -phase * norm_x;
+      // v = x - alpha*e1, normalized.
+      for (idx i = k; i < m; ++i) v[static_cast<std::size_t>(i - k)] = r(i, k);
+      v[0] -= alpha;
+      double nv = 0.0;
+      for (const auto& vi : v) nv += std::norm(vi);
+      nv = std::sqrt(nv);
+      if (nv > 0.0) {
+        for (auto& vi : v) vi /= nv;
+        // Apply reflector H = I - 2 v v^H to trailing columns of R.
+        for (idx j = k; j < n; ++j) {
+          cplx dot{0.0};
+          for (idx i = k; i < m; ++i)
+            dot += std::conj(v[static_cast<std::size_t>(i - k)]) * r(i, j);
+          dot *= 2.0;
+          for (idx i = k; i < m; ++i)
+            r(i, j) -= dot * v[static_cast<std::size_t>(i - k)];
+        }
+      }
+    }
+    vs.push_back(std::move(v));
+  }
+
+  // Form the thin Q by applying reflectors in reverse to the first n columns
+  // of the identity.
+  CMatrix q(m, n);
+  for (idx j = 0; j < n; ++j) q(j, j) = cplx{1.0};
+  for (idx k = n - 1; k >= 0; --k) {
+    const auto& v = vs[static_cast<std::size_t>(k)];
+    for (idx j = 0; j < n; ++j) {
+      cplx dot{0.0};
+      for (idx i = k; i < m; ++i)
+        dot += std::conj(v[static_cast<std::size_t>(i - k)]) * q(i, j);
+      dot *= 2.0;
+      for (idx i = k; i < m; ++i)
+        q(i, j) -= dot * v[static_cast<std::size_t>(i - k)];
+    }
+  }
+
+  // Zero the strict lower triangle of R (numerical dust from reflections).
+  CMatrix r_out(n, n);
+  for (idx i = 0; i < n; ++i)
+    for (idx j = i; j < n; ++j) r_out(i, j) = r(i, j);
+  return {std::move(q), std::move(r_out)};
+}
+
+CMatrix orthonormalize(const CMatrix& a, double rank_tol) {
+  QRResult qr = qr_decompose(a);
+  double max_diag = 0.0;
+  for (idx i = 0; i < qr.r.rows(); ++i)
+    max_diag = std::max(max_diag, std::abs(qr.r(i, i)));
+  if (max_diag == 0.0) return CMatrix(a.rows(), 0);
+  idx rank = 0;
+  for (idx i = 0; i < qr.r.rows(); ++i)
+    if (std::abs(qr.r(i, i)) > rank_tol * max_diag) ++rank;
+  // Columns of Q with large R diagonal form the retained basis.  With
+  // column-pivot-free QR the significant columns are not necessarily the
+  // leading ones, so gather explicitly.
+  CMatrix out(a.rows(), rank);
+  idx c = 0;
+  for (idx j = 0; j < qr.r.cols(); ++j) {
+    if (std::abs(qr.r(j, j)) > rank_tol * max_diag) {
+      for (idx i = 0; i < a.rows(); ++i) out(i, c) = qr.q(i, j);
+      ++c;
+    }
+  }
+  return out;
+}
+
+}  // namespace omenx::numeric

@@ -1,0 +1,34 @@
+// Core scalar types and tolerances shared by all numeric kernels.
+#pragma once
+
+#include <complex>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace omenx::numeric {
+
+/// Double-precision complex scalar; all transport matrices use this type.
+using cplx = std::complex<double>;
+
+/// Index type used for matrix dimensions (signed, per C++ Core Guidelines
+/// ES.107: avoid unsigned arithmetic surprises in loop math).
+using idx = std::int64_t;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Default relative tolerance for iterative numeric algorithms.
+inline constexpr double kDefaultTol = 1e-12;
+
+/// True if |a-b| <= atol + rtol*max(|a|,|b|).
+inline bool almost_equal(double a, double b, double rtol = 1e-10,
+                         double atol = 1e-13) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+inline bool almost_equal(cplx a, cplx b, double rtol = 1e-10,
+                         double atol = 1e-13) {
+  return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace omenx::numeric

@@ -1,0 +1,146 @@
+#include "obc/beyn.hpp"
+
+#include <cmath>
+
+#include "numeric/blas.hpp"
+#include "numeric/eig.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/qr.hpp"
+#include "numeric/types.hpp"
+#include "obc/self_energy.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace omenx::obc {
+
+namespace {
+
+struct Moments {
+  CMatrix a0;  ///< zeroth contour moment (s x m)
+  CMatrix a1;  ///< first contour moment (s x m)
+};
+
+Moments contour_moments(const CompanionPencil& pencil, const CMatrix& v,
+                        double r, idx np, bool parallel) {
+  const idx s = pencil.block_size();
+  const idx m = v.cols();
+  const idx total = 2 * np;
+  std::vector<CMatrix> part0(static_cast<std::size_t>(total));
+  std::vector<CMatrix> part1(static_cast<std::size_t>(total));
+  auto solve_point = [&](std::size_t p) {
+    const bool outer = p < static_cast<std::size_t>(np);
+    const double theta =
+        2.0 * numeric::kPi *
+        (static_cast<double>(outer ? p : p - np) + 0.5) /
+        static_cast<double>(np);
+    const cplx phase = std::exp(cplx{0.0, theta});
+    const cplx z = outer ? r * phase : phase / r;
+    const cplx w = (outer ? z : -z) / static_cast<double>(np);
+    CMatrix x = numeric::LUFactor(pencil.polynomial(z)).solve(v);
+    CMatrix x1 = x;
+    x1 *= w * z;
+    x *= w;
+    part0[p] = std::move(x);
+    part1[p] = std::move(x1);
+  };
+  if (parallel) {
+    parallel::ThreadPool::global().parallel_for(
+        static_cast<std::size_t>(total), solve_point);
+  } else {
+    for (std::size_t p = 0; p < static_cast<std::size_t>(total); ++p)
+      solve_point(p);
+  }
+  Moments out;
+  out.a0 = CMatrix(s, m);
+  out.a1 = CMatrix(s, m);
+  for (idx p = 0; p < total; ++p) {
+    out.a0 += part0[static_cast<std::size_t>(p)];
+    out.a1 += part1[static_cast<std::size_t>(p)];
+  }
+  return out;
+}
+
+}  // namespace
+
+LeadModes compute_modes_beyn(const dft::LeadBlocks& lead, cplx e,
+                             const BeynOptions& options, BeynStats* stats) {
+  const CompanionPencil pencil(lead, e);
+  const idx s = pencil.block_size();
+  const idx nbw = lead.nbw();
+  idx m = options.probe_columns > 0
+              ? std::min(options.probe_columns, s)
+              : std::min(s, std::max<idx>(24, s / 2 + 8));
+
+  numeric::EigResult found;
+  double max_residual = 0.0;
+  idx rank = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const CMatrix v = numeric::random_cmatrix(s, m, options.seed);
+    const Moments mo = contour_moments(pencil, v, options.annulus_r,
+                                       options.num_points,
+                                       options.parallel_points);
+    // Rank-revealing basis of A_0's column span.
+    const CMatrix q = numeric::orthonormalize(mo.a0, options.rank_tol);
+    rank = q.cols();
+    if (rank == 0) break;
+    if (rank == m && m < s) {
+      m = s;  // probing saturated: retry with a full probe block
+      continue;
+    }
+    // On the invariant subspace: A_1 = T A_0 with T = V diag(lambda) V^+.
+    // Projected: C1 = M C0, M = Q^H T Q, recovered by least squares.
+    const CMatrix c0 = numeric::matmul(q, mo.a0, 'C', 'N');  // rank x m
+    const CMatrix c1 = numeric::matmul(q, mo.a1, 'C', 'N');
+    // M = C1 C0^H (C0 C0^H + ridge)^{-1}.
+    CMatrix gram = numeric::matmul(c0, c0, 'N', 'C');
+    for (idx i = 0; i < rank; ++i) gram(i, i) += cplx{1e-14};
+    const CMatrix mmat = numeric::LUFactor(gram)
+                             .solve_left(numeric::matmul(c1, c0, 'N', 'C'));
+    const numeric::EigResult small = numeric::eig(mmat, /*want_vectors=*/true);
+
+    // Back-transform, keep annulus + residual-converged pairs.
+    found = numeric::EigResult{};
+    std::vector<std::pair<cplx, CMatrix>> kept;
+    max_residual = 0.0;
+    for (idx c = 0; c < static_cast<idx>(small.values.size()); ++c) {
+      const cplx lam = small.values[static_cast<std::size_t>(c)];
+      const double mag = std::abs(lam);
+      if (mag < 1.0 / options.annulus_r || mag > options.annulus_r) continue;
+      CMatrix y(rank, 1);
+      for (idx rr = 0; rr < rank; ++rr) y(rr, 0) = small.vectors(rr, c);
+      CMatrix x = numeric::matmul(q, y);  // s x 1 candidate eigenvector
+      // Residual of the *polynomial* problem: ||P(lambda) x|| / ||x||.
+      const CMatrix px = numeric::matmul(pencil.polynomial(lam), x);
+      const double res = numeric::frob_norm(px) /
+                         std::max(numeric::frob_norm(x), 1e-300) /
+                         std::max(numeric::max_abs(pencil.polynomial(lam)),
+                                  1e-300);
+      if (res > options.residual_tol) continue;
+      max_residual = std::max(max_residual, res);
+      kept.push_back({lam, std::move(x)});
+    }
+    // Assemble companion-structured vectors [u; lam u; ...] so the shared
+    // fold/classify path applies unchanged.
+    found.vectors = CMatrix(pencil.dim(), static_cast<idx>(kept.size()));
+    for (idx c = 0; c < static_cast<idx>(kept.size()); ++c) {
+      const auto& [lam, x] = kept[static_cast<std::size_t>(c)];
+      found.values.push_back(lam);
+      cplx scale{1.0};
+      for (idx blk = 0; blk < pencil.degree(); ++blk) {
+        for (idx i = 0; i < s; ++i)
+          found.vectors(blk * s + i, c) = scale * x(i, 0);
+        scale *= lam;
+      }
+    }
+    break;
+  }
+
+  if (stats != nullptr) {
+    stats->modes_found = static_cast<idx>(found.values.size());
+    stats->rank = rank;
+    stats->max_residual = max_residual;
+  }
+  const LeadOperators ops = lead_operators(dft::fold_lead(lead), e);
+  return fold_and_classify(found, nbw, s, ops, options.prop_tol);
+}
+
+}  // namespace omenx::obc

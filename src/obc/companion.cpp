@@ -1,0 +1,114 @@
+#include "obc/companion.hpp"
+
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+
+namespace omenx::obc {
+
+CompanionPencil::CompanionPencil(const dft::LeadBlocks& lead, cplx e) {
+  const idx nbw = lead.nbw();
+  if (nbw < 1) throw std::invalid_argument("CompanionPencil: NBW must be >= 1");
+  s_ = lead.block_dim();
+  degree_ = 2 * nbw;
+  coeffs_.reserve(static_cast<std::size_t>(degree_ + 1));
+  // C_j = Htilde_{j - NBW} with Htilde_l = H_l - E*S_l;
+  // Htilde_{-l} = (H_l)^dagger - E*(S_l)^dagger  (note: E multiplies the
+  // conjugate-transposed S block, not the conjugate of E).
+  for (idx j = 0; j <= degree_; ++j) {
+    const idx l = j - nbw;
+    const idx al = l < 0 ? -l : l;
+    const CMatrix& h = lead.h[static_cast<std::size_t>(al)];
+    const CMatrix& sm = lead.s[static_cast<std::size_t>(al)];
+    CMatrix c = l < 0 ? numeric::dagger(h) : h;
+    const CMatrix sc = l < 0 ? numeric::dagger(sm) : sm;
+    for (idx ii = 0; ii < c.size(); ++ii)
+      c.data()[ii] = c.data()[ii] - e * sc.data()[ii];
+    // The mode equation is sum lambda^l (H_l - E S_l) u = 0; our pencil
+    // stores C_j directly.
+    coeffs_.push_back(std::move(c));
+  }
+}
+
+CMatrix CompanionPencil::a_dense() const {
+  const idx n = dim();
+  CMatrix a(n, n);
+  for (idx b = 0; b + 1 < degree_; ++b)
+    a.set_block(b * s_, (b + 1) * s_, CMatrix::identity(s_));
+  for (idx j = 0; j < degree_; ++j) {
+    CMatrix neg = coeffs_[static_cast<std::size_t>(j)];
+    neg *= cplx{-1.0};
+    a.set_block((degree_ - 1) * s_, j * s_, neg);
+  }
+  return a;
+}
+
+CMatrix CompanionPencil::b_dense() const {
+  const idx n = dim();
+  CMatrix b(n, n);
+  for (idx blk = 0; blk + 1 < degree_; ++blk)
+    b.set_block(blk * s_, blk * s_, CMatrix::identity(s_));
+  b.set_block((degree_ - 1) * s_, (degree_ - 1) * s_,
+              coeffs_[static_cast<std::size_t>(degree_)]);
+  return b;
+}
+
+CMatrix CompanionPencil::polynomial(cplx z) const {
+  // Horner evaluation: P(z) = C_0 + z(C_1 + z(...)).
+  CMatrix p = coeffs_[static_cast<std::size_t>(degree_)];
+  for (idx j = degree_ - 1; j >= 0; --j) {
+    p *= z;
+    p += coeffs_[static_cast<std::size_t>(j)];
+  }
+  return p;
+}
+
+CMatrix CompanionPencil::solve_shifted(cplx z, const CMatrix& y) const {
+  if (y.rows() != dim())
+    throw std::invalid_argument("solve_shifted: RHS dimension mismatch");
+  const idx m = y.cols();
+  // R = B_F * Y: r_i = y_i for i < d-1, r_{d-1} = C_d y_{d-1}.
+  std::vector<CMatrix> r(static_cast<std::size_t>(degree_));
+  for (idx i = 0; i < degree_; ++i)
+    r[static_cast<std::size_t>(i)] = y.block(i * s_, 0, s_, m);
+  r[static_cast<std::size_t>(degree_ - 1)] = numeric::matmul(
+      coeffs_[static_cast<std::size_t>(degree_)],
+      r[static_cast<std::size_t>(degree_ - 1)]);
+
+  // Block rows i < d-1 of (zB - A)X = R give x_{i+1} = z x_i - r_i.
+  // Writing x_j = z^j x_0 - w_j with w_0 = 0, w_{j+1} = z w_j + r_j,
+  // the last row collapses onto P(z) x_0 = r_{d-1} + z C_d w_{d-1}
+  //                                        + sum_{j=0}^{d-1} C_j w_j.
+  std::vector<CMatrix> w(static_cast<std::size_t>(degree_));
+  w[0] = CMatrix(s_, m);
+  for (idx j = 1; j < degree_; ++j) {
+    w[static_cast<std::size_t>(j)] = w[static_cast<std::size_t>(j - 1)] * z;
+    w[static_cast<std::size_t>(j)] += r[static_cast<std::size_t>(j - 1)];
+  }
+  CMatrix rhs = r[static_cast<std::size_t>(degree_ - 1)];
+  {
+    CMatrix t = numeric::matmul(coeffs_[static_cast<std::size_t>(degree_)],
+                                w[static_cast<std::size_t>(degree_ - 1)]);
+    t *= z;
+    rhs += t;
+  }
+  for (idx j = 0; j < degree_; ++j) {
+    if (j == 0) continue;  // w_0 = 0
+    rhs += numeric::matmul(coeffs_[static_cast<std::size_t>(j)],
+                           w[static_cast<std::size_t>(j)]);
+  }
+  const CMatrix x0 = numeric::solve(polynomial(z), rhs);
+
+  // Reconstruct the full block vector x_j = z^j x_0 - w_j.
+  CMatrix x(dim(), m);
+  CMatrix zj_x0 = x0;
+  for (idx j = 0; j < degree_; ++j) {
+    CMatrix xj = zj_x0;
+    xj -= w[static_cast<std::size_t>(j)];
+    x.set_block(j * s_, 0, xj);
+    if (j + 1 < degree_) zj_x0 *= z;
+  }
+  return x;
+}
+
+}  // namespace omenx::obc

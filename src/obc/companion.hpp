@@ -1,0 +1,64 @@
+// Companion linearization of the lead polynomial eigenvalue problem (Eq. 6).
+//
+// The open boundary conditions require the phase factors lambda = e^{i k_B}
+// and eigenmodes u_B solving
+//     sum_{l=-NBW}^{NBW} lambda^l (H_{q,q+l} - E S_{q,q+l}) u = 0.
+// Multiplying by lambda^{NBW} gives a polynomial of degree d = 2*NBW with
+// matrix coefficients C_j = Htilde_{j-NBW}, linearized into the pencil
+// (A_F, B_F) of Eqs. (8)-(9) with size N_BC = d*s:
+//     A_F = [[0 I 0 ...], ..., [-C_0 -C_1 ... -C_{d-1}]],
+//     B_F = diag(I, ..., I, C_d).
+// Eigenvectors carry the Krylov structure [u; lambda*u; ...; lambda^{d-1}u],
+// which directly yields the *folded-supercell* modes used by the transport
+// self-energies (lambda_f = lambda^{NBW}).
+//
+// The linear systems (z B_F - A_F) X = R reduce analytically to one s x s
+// solve with the evaluated polynomial P(z) = sum_j C_j z^j — the size
+// reduction to N_BC/(2 NBW) exploited by the paper's FEAST implementation.
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+
+namespace omenx::obc {
+
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+class CompanionPencil {
+ public:
+  /// Build the pencil for lead blocks at energy `e` (eV).
+  CompanionPencil(const dft::LeadBlocks& lead, cplx e);
+
+  idx block_size() const noexcept { return s_; }
+  idx degree() const noexcept { return degree_; }
+  idx dim() const noexcept { return s_ * degree_; }
+
+  /// Dense A_F and B_F (baseline shift-and-invert path and tests).
+  CMatrix a_dense() const;
+  CMatrix b_dense() const;
+
+  /// Matrix polynomial P(z) = sum_{j=0}^{d} C_j z^j (size s x s).
+  CMatrix polynomial(cplx z) const;
+
+  /// Solve (z B_F - A_F) X = B_F Y for X using the analytical reduction:
+  /// one LU of P(z) instead of an N_BC-sized factorization.
+  /// Y must have dim() rows.
+  CMatrix solve_shifted(cplx z, const CMatrix& y) const;
+
+  /// Coefficient C_j (j = 0..degree).
+  const CMatrix& coeff(idx j) const {
+    return coeffs_.at(static_cast<std::size_t>(j));
+  }
+
+ private:
+  idx s_ = 0;
+  idx degree_ = 0;                ///< d = 2*NBW
+  std::vector<CMatrix> coeffs_;   ///< C_0..C_d
+};
+
+}  // namespace omenx::obc

@@ -1,0 +1,69 @@
+#include "obc/decimation.hpp"
+
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+
+namespace omenx::obc {
+
+namespace {
+
+// Generic Sancho-Rubio doubling for a semi-infinite lead whose surface
+// couples inward via `alpha` (and back via `beta`): returns
+// g = (t0 - alpha g beta)^{-1}.
+CMatrix sancho_rubio(const CMatrix& t0, const CMatrix& alpha0,
+                     const CMatrix& beta0, const DecimationOptions& o) {
+  const idx n = t0.rows();
+  CMatrix eps_s = t0;
+  CMatrix eps = t0;
+  for (idx i = 0; i < n; ++i) eps_s(i, i) += cplx{0.0, o.eta};
+  for (idx i = 0; i < n; ++i) eps(i, i) += cplx{0.0, o.eta};
+  CMatrix alpha = alpha0;
+  CMatrix beta = beta0;
+
+  for (idx it = 0; it < o.max_iter; ++it) {
+    const numeric::LUFactor lu(eps);
+    const CMatrix g_a = lu.solve(alpha);  // eps^{-1} alpha
+    const CMatrix g_b = lu.solve(beta);   // eps^{-1} beta
+    const CMatrix a_g_b = numeric::matmul(alpha, g_b);
+    const CMatrix b_g_a = numeric::matmul(beta, g_a);
+    // Schur complements in the (E*S - H) form: eliminating interior cells
+    // *subtracts* alpha g beta from the effective surface operator.
+    eps_s -= a_g_b;
+    eps -= a_g_b;
+    eps -= b_g_a;
+    alpha = numeric::matmul(alpha, g_a);
+    beta = numeric::matmul(beta, g_b);
+    if (numeric::max_abs(alpha) < o.tol && numeric::max_abs(beta) < o.tol)
+      return numeric::inverse(eps_s);
+  }
+  throw std::runtime_error(
+      "sancho_rubio: decimation failed to converge; increase eta or max_iter");
+}
+
+}  // namespace
+
+CMatrix surface_gf_left(const LeadOperators& ops, const DecimationOptions& o) {
+  // Left lead (q -> -inf): the surface cell couples inward via tc^H.
+  return sancho_rubio(ops.t0, numeric::dagger(ops.tc), ops.tc, o);
+}
+
+CMatrix surface_gf_right(const LeadOperators& ops, const DecimationOptions& o) {
+  // Right lead (q -> +inf): the surface cell couples inward via tc.
+  return sancho_rubio(ops.t0, ops.tc, numeric::dagger(ops.tc), o);
+}
+
+CMatrix sigma_left_decimation(const LeadOperators& ops,
+                              const DecimationOptions& o) {
+  const CMatrix g = surface_gf_left(ops, o);
+  return numeric::matmul(numeric::dagger(ops.tc), numeric::matmul(g, ops.tc));
+}
+
+CMatrix sigma_right_decimation(const LeadOperators& ops,
+                               const DecimationOptions& o) {
+  const CMatrix g = surface_gf_right(ops, o);
+  return numeric::matmul(ops.tc, numeric::matmul(g, numeric::dagger(ops.tc)));
+}
+
+}  // namespace omenx::obc

@@ -1,0 +1,35 @@
+// Sancho-Rubio decimation: the "standard iterative technique" of Ref. [40]
+// the paper contrasts with the eigenmode-based OBC algorithms.
+//
+// Computes the surface Green's function of a semi-infinite lead by doubling
+// the effective cell length per iteration; convergence is geometric once a
+// small imaginary part is added to the energy.
+#pragma once
+
+#include "numeric/matrix.hpp"
+#include "obc/modes.hpp"
+
+namespace omenx::obc {
+
+struct DecimationOptions {
+  double eta = 1e-6;     ///< imaginary energy broadening (eV)
+  idx max_iter = 200;
+  double tol = 1e-12;    ///< convergence on the coupling norm
+};
+
+/// Surface Green's function of the left (q -> -inf) lead:
+/// g = (t0 - tc^H g tc)^{-1} evaluated at E + i*eta.
+CMatrix surface_gf_left(const LeadOperators& ops, const DecimationOptions& o = {});
+
+/// Surface Green's function of the right (q -> +inf) lead:
+/// g = (t0 - tc g tc^H)^{-1}.
+CMatrix surface_gf_right(const LeadOperators& ops, const DecimationOptions& o = {});
+
+/// Boundary self-energies from decimation:
+/// Sigma_L = tc^H g_L tc, Sigma_R = tc g_R tc^H.
+CMatrix sigma_left_decimation(const LeadOperators& ops,
+                              const DecimationOptions& o = {});
+CMatrix sigma_right_decimation(const LeadOperators& ops,
+                               const DecimationOptions& o = {});
+
+}  // namespace omenx::obc

@@ -1,0 +1,189 @@
+#include "obc/feast.hpp"
+
+#include <cmath>
+
+#include "numeric/blas.hpp"
+#include "numeric/eig.hpp"
+#include "numeric/qr.hpp"
+#include "numeric/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace omenx::obc {
+
+namespace {
+
+// Contour integration points and weights for the annulus boundary.
+struct ContourPoint {
+  cplx z;
+  cplx weight;
+};
+
+std::vector<ContourPoint> annulus_contour(double r, idx np) {
+  std::vector<ContourPoint> pts;
+  pts.reserve(static_cast<std::size_t>(2 * np));
+  // (1/(2*pi*i)) \oint f(z) dz on a circle of radius rho with the trapezoid
+  // rule gives weights z_p / Np (Eq. 10).  The outer circle is traversed
+  // counter-clockwise, the inner circle clockwise (negative weight).
+  for (idx p = 0; p < np; ++p) {
+    const double theta =
+        2.0 * numeric::kPi * (static_cast<double>(p) + 0.5) /
+        static_cast<double>(np);
+    const cplx phase = std::exp(cplx{0.0, theta});
+    pts.push_back({r * phase, r * phase / static_cast<double>(np)});
+    pts.push_back({phase / r, -phase / (r * static_cast<double>(np))});
+  }
+  return pts;
+}
+
+}  // namespace
+
+LeadModes compute_modes_feast(const dft::LeadBlocks& lead, cplx e,
+                              const FeastOptions& options, FeastStats* stats) {
+  const CompanionPencil pencil(lead, e);
+  const idx nbc = pencil.dim();
+  const idx s = pencil.block_size();
+  const CMatrix a = pencil.a_dense();
+  const CMatrix b = pencil.b_dense();
+  const auto contour = annulus_contour(options.annulus_r, options.num_points);
+
+  idx subspace = options.subspace > 0
+                     ? std::min(options.subspace, nbc)
+                     : std::min(nbc, std::max<idx>(8, nbc / 2));
+
+  numeric::EigResult kept;
+  double max_residual = 0.0;
+  idx iterations = 0;
+
+  for (;;) {  // subspace-saturation restart loop
+    CMatrix y = numeric::random_cmatrix(nbc, subspace, options.seed);
+    bool saturated = false;
+    kept = numeric::EigResult{};
+
+    for (idx iter = 0; iter < options.max_refinement; ++iter) {
+      ++iterations;
+      // Contour filter: Q = sum_p w_p (z_p B - A)^{-1} B Y.  Each point is
+      // one s x s solve via the companion reduction; points run in parallel.
+      std::vector<CMatrix> partial(contour.size());
+      auto solve_point = [&](std::size_t p) {
+        CMatrix xp = pencil.solve_shifted(contour[p].z, y);
+        xp *= contour[p].weight;
+        partial[p] = std::move(xp);
+      };
+      if (options.parallel_points) {
+        parallel::ThreadPool::global().parallel_for(contour.size(),
+                                                    solve_point);
+      } else {
+        for (std::size_t p = 0; p < contour.size(); ++p) solve_point(p);
+      }
+      CMatrix q(nbc, subspace);
+      for (const auto& xp : partial) q += xp;
+
+      const CMatrix qo = numeric::orthonormalize(q);
+      if (qo.cols() == 0) break;  // nothing inside the contour
+
+      // Rayleigh-Ritz on the projected pencil; shift-invert tolerates a
+      // singular projected B and drops infinite Ritz values.
+      const CMatrix ar = numeric::matmul(qo, numeric::matmul(a, qo), 'C', 'N');
+      const CMatrix br = numeric::matmul(qo, numeric::matmul(b, qo), 'C', 'N');
+      const numeric::EigResult ritz = numeric::shift_invert_eig(
+          ar, br, cplx{1.07, 0.23}, /*want_vectors=*/true);
+
+      // Back-transform and keep Ritz pairs inside the annulus.
+      kept = numeric::EigResult{};
+      std::vector<idx> keep_cols;
+      for (idx c = 0; c < static_cast<idx>(ritz.values.size()); ++c) {
+        const double mag = std::abs(ritz.values[static_cast<std::size_t>(c)]);
+        if (mag >= 1.0 / options.annulus_r && mag <= options.annulus_r) {
+          kept.values.push_back(ritz.values[static_cast<std::size_t>(c)]);
+          keep_cols.push_back(c);
+        }
+      }
+      kept.vectors = CMatrix(nbc, static_cast<idx>(keep_cols.size()));
+      for (idx c = 0; c < static_cast<idx>(keep_cols.size()); ++c) {
+        CMatrix yc = CMatrix(ritz.vectors.rows(), 1);
+        for (idx rr = 0; rr < ritz.vectors.rows(); ++rr)
+          yc(rr, 0) = ritz.vectors(rr, keep_cols[static_cast<std::size_t>(c)]);
+        const CMatrix xc = numeric::matmul(qo, yc);
+        for (idx rr = 0; rr < nbc; ++rr) kept.vectors(rr, c) = xc(rr, 0);
+      }
+
+      // Residuals ||A x - lambda B x|| / (||A x|| + |lambda| ||B x||).
+      max_residual = 0.0;
+      const CMatrix ax = numeric::matmul(a, kept.vectors);
+      const CMatrix bx = numeric::matmul(b, kept.vectors);
+      for (idx c = 0; c < static_cast<idx>(kept.values.size()); ++c) {
+        const cplx lam = kept.values[static_cast<std::size_t>(c)];
+        double num = 0.0, den = 0.0;
+        for (idx rr = 0; rr < nbc; ++rr) {
+          num += std::norm(ax(rr, c) - lam * bx(rr, c));
+          den += std::norm(ax(rr, c)) + std::norm(lam) * std::norm(bx(rr, c));
+        }
+        max_residual = std::max(max_residual,
+                                std::sqrt(num / std::max(den, 1e-300)));
+      }
+
+      if (static_cast<idx>(kept.values.size()) >= subspace &&
+          subspace < nbc) {
+        saturated = true;  // annulus may hold more modes than the subspace
+        break;
+      }
+      if (max_residual < options.residual_tol) break;
+      // Subspace iteration: feed the Ritz vectors back through the filter,
+      // padded with fresh random columns to keep the subspace size.
+      y = numeric::random_cmatrix(nbc, subspace,
+                                  options.seed + 7 * (unsigned)iter + 1);
+      for (idx c = 0;
+           c < std::min<idx>(subspace, static_cast<idx>(kept.values.size()));
+           ++c)
+        for (idx rr = 0; rr < nbc; ++rr) y(rr, c) = kept.vectors(rr, c);
+    }
+
+    if (!saturated) break;
+    subspace = std::min(nbc, 2 * subspace);
+  }
+
+  // Final filter: discard Ritz pairs that never converged (spurious values
+  // that the contour filter could not resolve, typically deep inside large
+  // annuli).  The survivors are the trustworthy modes.
+  {
+    const double keep_tol = std::max(options.residual_tol * 1e3, 1e-6);
+    const CMatrix ax = numeric::matmul(a, kept.vectors);
+    const CMatrix bx = numeric::matmul(b, kept.vectors);
+    std::vector<idx> good;
+    max_residual = 0.0;
+    for (idx c = 0; c < static_cast<idx>(kept.values.size()); ++c) {
+      const cplx lam = kept.values[static_cast<std::size_t>(c)];
+      double num = 0.0, den = 0.0;
+      for (idx rr = 0; rr < nbc; ++rr) {
+        num += std::norm(ax(rr, c) - lam * bx(rr, c));
+        den += std::norm(ax(rr, c)) + std::norm(lam) * std::norm(bx(rr, c));
+      }
+      const double res = std::sqrt(num / std::max(den, 1e-300));
+      if (res <= keep_tol) {
+        good.push_back(c);
+        max_residual = std::max(max_residual, res);
+      }
+    }
+    numeric::EigResult filtered;
+    filtered.vectors = CMatrix(nbc, static_cast<idx>(good.size()));
+    for (idx c = 0; c < static_cast<idx>(good.size()); ++c) {
+      const idx src = good[static_cast<std::size_t>(c)];
+      filtered.values.push_back(kept.values[static_cast<std::size_t>(src)]);
+      for (idx rr = 0; rr < nbc; ++rr)
+        filtered.vectors(rr, c) = kept.vectors(rr, src);
+    }
+    kept = std::move(filtered);
+  }
+
+  if (stats != nullptr) {
+    stats->modes_found = static_cast<idx>(kept.values.size());
+    stats->subspace_used = subspace;
+    stats->iterations = iterations;
+    stats->max_residual = max_residual;
+  }
+
+  const LeadOperators ops = lead_operators(dft::fold_lead(lead), e);
+  return fold_and_classify(kept, lead.nbw(), s, ops, options.prop_tol);
+}
+
+}  // namespace omenx::obc

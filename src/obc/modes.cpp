@@ -1,0 +1,83 @@
+#include "obc/modes.hpp"
+
+#include <cmath>
+
+#include "numeric/blas.hpp"
+
+namespace omenx::obc {
+
+LeadOperators lead_operators(const dft::FoldedLead& lead, cplx e) {
+  LeadOperators out;
+  out.s00 = lead.s00;
+  out.s01 = lead.s01;
+  out.t0 = lead.s00 * e - lead.h00;
+  out.tc = lead.s01 * e - lead.h01;
+  return out;
+}
+
+double group_velocity(cplx lambda, const CMatrix& u, idx col,
+                      const LeadOperators& ops) {
+  const idx n = u.rows();
+  // num = 2 * Im(lambda * u^H tc u)
+  cplx utcu{0.0};
+  cplx norm{0.0};
+  for (idx i = 0; i < n; ++i) {
+    const cplx ui = std::conj(u(i, col));
+    for (idx j = 0; j < n; ++j) {
+      const cplx uj = u(j, col);
+      utcu += ui * ops.tc(i, j) * uj;
+      norm += ui * (ops.s00(i, j) + lambda * ops.s01(i, j) +
+                    std::conj(lambda * ops.s01(j, i))) *
+              uj;
+    }
+  }
+  const double den = std::max(std::abs(norm.real()), 1e-12);
+  return 2.0 * std::imag(lambda * utcu) / den;
+}
+
+LeadModes fold_and_classify(const numeric::EigResult& eig, idx nbw, idx s,
+                            const LeadOperators& ops, double prop_tol) {
+  const idx sf = nbw * s;
+  const idx m = static_cast<idx>(eig.values.size());
+  LeadModes out;
+  out.vectors = CMatrix(sf, m);
+  out.lambda.reserve(static_cast<std::size_t>(m));
+  out.velocity.reserve(static_cast<std::size_t>(m));
+  out.kind.reserve(static_cast<std::size_t>(m));
+
+  for (idx c = 0; c < m; ++c) {
+    const cplx lam = eig.values[static_cast<std::size_t>(c)];
+    // Folded phase factor.
+    cplx lam_f{1.0};
+    for (idx p = 0; p < nbw; ++p) lam_f *= lam;
+    // Folded vector = first nbw*s entries of the companion eigenvector,
+    // which already carry the [u; lambda*u; ...] structure.
+    double norm = 0.0;
+    for (idx i = 0; i < sf; ++i) norm += std::norm(eig.vectors(i, c));
+    norm = std::sqrt(norm);
+    const double scale = norm > 0.0 ? 1.0 / norm : 0.0;
+    for (idx i = 0; i < sf; ++i)
+      out.vectors(i, c) = eig.vectors(i, c) * scale;
+
+    out.lambda.push_back(lam_f);
+    const double mag = std::abs(lam_f);
+    if (std::abs(mag - 1.0) < prop_tol) {
+      const double v = group_velocity(lam_f, out.vectors, c, ops);
+      out.velocity.push_back(v);
+      if (v >= 0.0) {
+        out.kind.push_back(ModeKind::kPropagatingRight);
+        ++out.num_propagating_right;
+      } else {
+        out.kind.push_back(ModeKind::kPropagatingLeft);
+        ++out.num_propagating_left;
+      }
+    } else {
+      out.velocity.push_back(0.0);
+      out.kind.push_back(mag < 1.0 ? ModeKind::kDecayingRight
+                                   : ModeKind::kDecayingLeft);
+    }
+  }
+  return out;
+}
+
+}  // namespace omenx::obc

@@ -1,0 +1,56 @@
+// Lead eigenmode extraction, classification, and folding.
+//
+// Modes of the companion pencil are classified into right/left-propagating
+// (|lambda| ~ 1, sign of the group velocity) and right/left-decaying
+// (|lambda| < 1 / > 1).  Folded-supercell modes (lambda_f = lambda^NBW,
+// u_f = [u; lambda*u; ...]) feed the self-energy construction.
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/eig.hpp"
+#include "numeric/matrix.hpp"
+#include "obc/companion.hpp"
+
+namespace omenx::obc {
+
+enum class ModeKind {
+  kPropagatingRight,  ///< |lambda| = 1, group velocity > 0
+  kPropagatingLeft,   ///< |lambda| = 1, group velocity < 0
+  kDecayingRight,     ///< |lambda| < 1 (bounded as q -> +inf)
+  kDecayingLeft,      ///< |lambda| > 1 (bounded as q -> -inf)
+};
+
+/// Folded lead modes at one energy.
+struct LeadModes {
+  std::vector<cplx> lambda;        ///< folded phase factors lambda^NBW
+  CMatrix vectors;                 ///< sf x M folded eigenvectors (columns)
+  std::vector<double> velocity;    ///< group velocity (arb. units), 0 if evanescent
+  std::vector<ModeKind> kind;
+  idx num_propagating_right = 0;
+  idx num_propagating_left = 0;
+};
+
+/// Folded-supercell operator blocks of the lead at energy E:
+/// t0 = E*S00 - H00, tc = E*S01 - H01.
+struct LeadOperators {
+  CMatrix t0, tc;
+  CMatrix s00, s01;
+};
+
+LeadOperators lead_operators(const dft::FoldedLead& lead, cplx e);
+
+/// Group velocity of a folded mode: v = 2*Im(lambda * u^H tc u) / (u^H Sv u)
+/// with the Bloch-periodic overlap Sv = S00 + lambda*S01 + lambda^H*S01^H.
+/// Verified analytically against dE/dk for the 1-D chain.
+double group_velocity(cplx lambda, const CMatrix& u, idx col,
+                      const LeadOperators& ops);
+
+/// Build folded modes from raw companion eigenpairs (values + vectors with
+/// the Krylov block structure).  `prop_tol` decides |(|lambda|-1)| for the
+/// propagating classification.
+LeadModes fold_and_classify(const numeric::EigResult& eig, idx nbw, idx s,
+                            const LeadOperators& ops, double prop_tol = 1e-6);
+
+}  // namespace omenx::obc

@@ -1,0 +1,127 @@
+#include "obc/self_energy.hpp"
+
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+
+namespace omenx::obc {
+
+CMatrix pseudo_inverse(const CMatrix& u, double ridge) {
+  const idx m = u.cols();
+  CMatrix gram = numeric::matmul(u, u, 'C', 'N');
+  for (idx i = 0; i < m; ++i) gram(i, i) += cplx{ridge};
+  return numeric::LUFactor(gram).solve(numeric::dagger(u));
+}
+
+namespace {
+
+// Gather the columns of `modes.vectors` whose kind passes `want`.
+struct Selection {
+  CMatrix u;
+  std::vector<cplx> lambda;
+  std::vector<double> velocity;
+  std::vector<ModeKind> kind;
+};
+
+template <typename Pred>
+Selection select_modes(const LeadModes& modes, Pred want) {
+  Selection out;
+  std::vector<idx> cols;
+  for (idx c = 0; c < static_cast<idx>(modes.lambda.size()); ++c) {
+    if (want(modes.kind[static_cast<std::size_t>(c)])) cols.push_back(c);
+  }
+  out.u = CMatrix(modes.vectors.rows(), static_cast<idx>(cols.size()));
+  for (idx j = 0; j < static_cast<idx>(cols.size()); ++j) {
+    const idx c = cols[static_cast<std::size_t>(j)];
+    for (idx i = 0; i < modes.vectors.rows(); ++i)
+      out.u(i, j) = modes.vectors(i, c);
+    out.lambda.push_back(modes.lambda[static_cast<std::size_t>(c)]);
+    out.velocity.push_back(modes.velocity[static_cast<std::size_t>(c)]);
+    out.kind.push_back(modes.kind[static_cast<std::size_t>(c)]);
+  }
+  return out;
+}
+
+// F = U diag(f(lambda)) U^+.
+CMatrix bloch_propagator(const Selection& sel, bool inverse_lambda,
+                         double ridge) {
+  const idx sf = sel.u.rows();
+  if (sel.u.cols() == 0) return CMatrix(sf, sf);
+  CMatrix scaled = sel.u;
+  for (idx j = 0; j < scaled.cols(); ++j) {
+    const cplx lam = sel.lambda[static_cast<std::size_t>(j)];
+    const cplx f = inverse_lambda ? cplx{1.0} / lam : lam;
+    for (idx i = 0; i < sf; ++i) scaled(i, j) *= f;
+  }
+  return numeric::matmul(scaled, pseudo_inverse(sel.u, ridge));
+}
+
+}  // namespace
+
+Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
+                        const BoundaryOptions& options) {
+  const idx sf = modes.vectors.rows();
+  if (ops.t0.rows() != sf)
+    throw std::invalid_argument("build_boundary: operator/mode size mismatch");
+
+  // Left-bounded set (reflected waves in the left contact): decaying-left
+  // plus left-moving propagating modes.
+  const Selection left = select_modes(modes, [](ModeKind k) {
+    return k == ModeKind::kDecayingLeft || k == ModeKind::kPropagatingLeft;
+  });
+  // Right-bounded set (transmitted waves in the right contact).
+  const Selection right = select_modes(modes, [](ModeKind k) {
+    return k == ModeKind::kDecayingRight || k == ModeKind::kPropagatingRight;
+  });
+  // Incident modes: right-moving propagating.
+  const Selection incident = select_modes(
+      modes, [](ModeKind k) { return k == ModeKind::kPropagatingRight; });
+
+  Boundary out;
+  const CMatrix tch = numeric::dagger(ops.tc);
+
+  // Sigma_L = tc^H (t0 + tc^H F_L)^{-1} tc with F_L = U_L Lambda^{-1} U_L^+.
+  {
+    const CMatrix f_l = bloch_propagator(left, /*inverse_lambda=*/true,
+                                         options.pinv_ridge);
+    CMatrix denom = ops.t0 + numeric::matmul(tch, f_l);
+    const CMatrix g_l = numeric::inverse(denom);
+    out.sigma_l = numeric::matmul(tch, numeric::matmul(g_l, ops.tc));
+  }
+  // Sigma_R = tc (t0 + tc F_R)^{-1} tc^H with F_R = U_R Lambda U_R^+.
+  {
+    const CMatrix f_r = bloch_propagator(right, /*inverse_lambda=*/false,
+                                         options.pinv_ridge);
+    CMatrix denom = ops.t0 + numeric::matmul(ops.tc, f_r);
+    const CMatrix g_r = numeric::inverse(denom);
+    out.sigma_r = numeric::matmul(ops.tc, numeric::matmul(g_r, tch));
+  }
+
+  // Injection: Inj_p = -(tc^H u_p + lambda_p Sigma_L u_p).
+  out.num_incident = incident.u.cols();
+  out.inj = CMatrix(sf, out.num_incident);
+  out.inj_velocity.reserve(static_cast<std::size_t>(out.num_incident));
+  if (out.num_incident > 0) {
+    const CMatrix t1 = numeric::matmul(tch, incident.u);
+    const CMatrix t2 = numeric::matmul(out.sigma_l, incident.u);
+    for (idx j = 0; j < out.num_incident; ++j) {
+      const cplx lam = incident.lambda[static_cast<std::size_t>(j)];
+      for (idx i = 0; i < sf; ++i)
+        out.inj(i, j) = -(t1(i, j) + lam * t2(i, j));
+      out.inj_velocity.push_back(
+          std::abs(incident.velocity[static_cast<std::size_t>(j)]));
+    }
+  }
+
+  // Right-lead projection basis for transmission amplitudes.
+  out.right_basis = right.u;
+  out.right_lambda = right.lambda;
+  out.right_velocity = right.velocity;
+  out.right_propagating.reserve(right.kind.size());
+  for (const auto k : right.kind)
+    out.right_propagating.push_back(k == ModeKind::kPropagatingRight);
+  return out;
+}
+
+}  // namespace omenx::obc

@@ -1,0 +1,53 @@
+// Boundary self-energies Sigma^RB and injection vectors Inj from lead
+// eigenmodes — the quantities FEAST (or shift-and-invert) feeds into
+// SplitSolve (Fig. 4 / Fig. 6 "upon availability of the boundary
+// conditions").
+//
+// With U the matrix of modes bounded in the lead and Lambda their phase
+// factors, the Bloch propagator F = U Lambda^{-1} U^+ (left) closes the
+// semi-infinite lead onto its surface cell:
+//     g_L = (t0 + tc^H F_L)^{-1},    Sigma_L = tc^H g_L tc,
+//     g_R = (t0 + tc  F_R)^{-1},     Sigma_R = tc  g_R tc^H.
+// Incident (right-moving) propagating modes inject through the first block:
+//     Inj_p = -(tc^H u_p + lambda_p Sigma_L u_p).
+#pragma once
+
+#include "numeric/matrix.hpp"
+#include "obc/modes.hpp"
+
+namespace omenx::obc {
+
+struct BoundaryOptions {
+  /// Tikhonov ridge for the mode pseudo-inverse (U^H U + ridge I)^{-1} U^H.
+  double pinv_ridge = 1e-12;
+};
+
+/// Everything the Schroedinger solver needs to apply open boundaries at one
+/// energy, plus the right-lead mode basis for transmission extraction.
+struct Boundary {
+  CMatrix sigma_l;  ///< sf x sf, acts on the first block
+  CMatrix sigma_r;  ///< sf x sf, acts on the last block
+  CMatrix inj;      ///< sf x n_inc injection columns (first block rows)
+
+  std::vector<double> inj_velocity;  ///< |v| of each incident mode
+  idx num_incident = 0;
+
+  /// Right-bounded mode basis (columns), phases, velocities; propagating
+  /// entries flagged for the transmission projection.
+  CMatrix right_basis;
+  std::vector<cplx> right_lambda;
+  std::vector<double> right_velocity;
+  std::vector<bool> right_propagating;
+};
+
+/// Build boundary data from classified lead modes.  Both contacts are the
+/// same pristine material (as in the paper's FET structures), so one mode
+/// set serves both sides.
+Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
+                        const BoundaryOptions& options = {});
+
+/// Moore-Penrose-style pseudo-inverse via the normal equations with a small
+/// ridge: (U^H U + ridge I)^{-1} U^H.
+CMatrix pseudo_inverse(const CMatrix& u, double ridge);
+
+}  // namespace omenx::obc

@@ -1,0 +1,18 @@
+#include "obc/shift_invert.hpp"
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/eig.hpp"
+
+namespace omenx::obc {
+
+LeadModes compute_modes_shift_invert(const dft::LeadBlocks& lead, cplx e,
+                                     const ShiftInvertOptions& options) {
+  const CompanionPencil pencil(lead, e);
+  const numeric::EigResult eig = numeric::shift_invert_eig(
+      pencil.a_dense(), pencil.b_dense(), options.sigma, /*want_vectors=*/true);
+  const LeadOperators ops = lead_operators(dft::fold_lead(lead), e);
+  return fold_and_classify(eig, lead.nbw(), lead.block_dim(), ops,
+                           options.prop_tol);
+}
+
+}  // namespace omenx::obc

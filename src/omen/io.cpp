@@ -1,0 +1,64 @@
+#include "omen/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace omenx::omen {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x4F4D454E58484B53ULL;  // "OMENXHKS"
+
+void write_matrix(std::ofstream& out, const numeric::CMatrix& m) {
+  const std::int64_t rows = m.rows(), cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
+  out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(sizeof(numeric::cplx) * m.size()));
+}
+
+numeric::CMatrix read_matrix(std::ifstream& in) {
+  std::int64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof rows);
+  in.read(reinterpret_cast<char*>(&cols), sizeof cols);
+  if (!in || rows < 0 || cols < 0)
+    throw std::runtime_error("read_lead_blocks: corrupt matrix header");
+  numeric::CMatrix m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(sizeof(numeric::cplx) * m.size()));
+  if (!in) throw std::runtime_error("read_lead_blocks: truncated matrix data");
+  return m;
+}
+}  // namespace
+
+void write_lead_blocks(const std::string& path, const dft::LeadBlocks& lead) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_lead_blocks: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  const std::int64_t nblocks = static_cast<std::int64_t>(lead.h.size());
+  out.write(reinterpret_cast<const char*>(&nblocks), sizeof nblocks);
+  for (const auto& m : lead.h) write_matrix(out, m);
+  for (const auto& m : lead.s) write_matrix(out, m);
+  if (!out) throw std::runtime_error("write_lead_blocks: write failed");
+}
+
+dft::LeadBlocks read_lead_blocks(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_lead_blocks: cannot open " + path);
+  std::uint64_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  if (magic != kMagic)
+    throw std::runtime_error("read_lead_blocks: bad magic in " + path);
+  std::int64_t nblocks = 0;
+  in.read(reinterpret_cast<char*>(&nblocks), sizeof nblocks);
+  if (!in || nblocks <= 0)
+    throw std::runtime_error("read_lead_blocks: corrupt block count");
+  dft::LeadBlocks lead;
+  lead.h.reserve(static_cast<std::size_t>(nblocks));
+  lead.s.reserve(static_cast<std::size_t>(nblocks));
+  for (std::int64_t i = 0; i < nblocks; ++i) lead.h.push_back(read_matrix(in));
+  for (std::int64_t i = 0; i < nblocks; ++i) lead.s.push_back(read_matrix(in));
+  return lead;
+}
+
+}  // namespace omenx::omen

@@ -1,0 +1,21 @@
+// Binary transfer of Hamiltonian/overlap blocks — the CP2K -> OMEN coupling.
+//
+// "The coupling between the two packages currently occurs through a transfer
+// of binary files" (Section 4).  Only the unique inter-cell blocks are
+// stored; OMEN-side ranks load them once and broadcast (see
+// scheduler::broadcast_lead_blocks).
+#pragma once
+
+#include <string>
+
+#include "dft/hamiltonian.hpp"
+
+namespace omenx::omen {
+
+/// Write the lead blocks to `path`.  Throws std::runtime_error on I/O error.
+void write_lead_blocks(const std::string& path, const dft::LeadBlocks& lead);
+
+/// Read lead blocks back.  Validates the magic header and dimensions.
+dft::LeadBlocks read_lead_blocks(const std::string& path);
+
+}  // namespace omenx::omen

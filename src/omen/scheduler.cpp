@@ -1,0 +1,104 @@
+#include "omen/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace omenx::omen {
+
+std::vector<int> allocate_groups(const std::vector<idx>& energies_per_k,
+                                 int total_groups) {
+  const int nk = static_cast<int>(energies_per_k.size());
+  if (nk == 0) throw std::invalid_argument("allocate_groups: empty k list");
+  if (total_groups < nk)
+    throw std::invalid_argument(
+        "allocate_groups: need at least one group per k point");
+  const double total_e = static_cast<double>(
+      std::accumulate(energies_per_k.begin(), energies_per_k.end(), idx{0}));
+  if (total_e <= 0.0)
+    throw std::invalid_argument("allocate_groups: no energy points");
+
+  // Proportional shares with a floor of 1, then largest-remainder rounding.
+  std::vector<int> alloc(static_cast<std::size_t>(nk), 1);
+  int remaining = total_groups - nk;
+  std::vector<std::pair<double, int>> remainders;  // (fraction, k index)
+  for (int k = 0; k < nk; ++k) {
+    const double ideal =
+        static_cast<double>(energies_per_k[static_cast<std::size_t>(k)]) /
+        total_e * static_cast<double>(total_groups);
+    const int extra = std::max(0, static_cast<int>(std::floor(ideal)) - 1);
+    const int granted = std::min(extra, remaining);
+    alloc[static_cast<std::size_t>(k)] += granted;
+    remaining -= granted;
+    remainders.push_back({ideal - std::floor(ideal), k});
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [frac, k] : remainders) {
+    if (remaining == 0) break;
+    ++alloc[static_cast<std::size_t>(k)];
+    --remaining;
+  }
+  // Any leftovers go to the most loaded k points.
+  while (remaining > 0) {
+    int busiest = 0;
+    double worst = -1.0;
+    for (int k = 0; k < nk; ++k) {
+      const double load =
+          static_cast<double>(energies_per_k[static_cast<std::size_t>(k)]) /
+          static_cast<double>(alloc[static_cast<std::size_t>(k)]);
+      if (load > worst) {
+        worst = load;
+        busiest = k;
+      }
+    }
+    ++alloc[static_cast<std::size_t>(busiest)];
+    --remaining;
+  }
+  return alloc;
+}
+
+double allocation_makespan(const std::vector<idx>& energies_per_k,
+                           const std::vector<int>& groups_per_k) {
+  if (energies_per_k.size() != groups_per_k.size())
+    throw std::invalid_argument("allocation_makespan: size mismatch");
+  double makespan = 0.0;
+  for (std::size_t k = 0; k < energies_per_k.size(); ++k) {
+    if (groups_per_k[k] <= 0)
+      throw std::invalid_argument("allocation_makespan: empty group");
+    const double t = std::ceil(static_cast<double>(energies_per_k[k]) /
+                               static_cast<double>(groups_per_k[k]));
+    makespan = std::max(makespan, t);
+  }
+  return makespan;
+}
+
+double allocation_efficiency(const std::vector<idx>& energies_per_k,
+                             const std::vector<int>& groups_per_k) {
+  const double total_e = static_cast<double>(std::accumulate(
+      energies_per_k.begin(), energies_per_k.end(), idx{0}));
+  const double total_g = static_cast<double>(
+      std::accumulate(groups_per_k.begin(), groups_per_k.end(), 0));
+  const double ideal = total_e / total_g;
+  const double actual = allocation_makespan(energies_per_k, groups_per_k);
+  return ideal / actual;
+}
+
+void broadcast_lead_blocks(parallel::Comm& comm, dft::LeadBlocks& lead) {
+  // Rank 0 announces the block count; everyone then receives each matrix.
+  std::vector<double> meta{
+      static_cast<double>(comm.rank() == 0 ? lead.h.size() : 0)};
+  comm.bcast(meta, 0);
+  const std::size_t n = static_cast<std::size_t>(meta[0]);
+  if (comm.rank() != 0) {
+    lead.h.assign(n, numeric::CMatrix{});
+    lead.s.assign(n, numeric::CMatrix{});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    comm.bcast(lead.h[i], 0);
+    comm.bcast(lead.s[i], 0);
+  }
+}
+
+}  // namespace omenx::omen

@@ -1,0 +1,43 @@
+// Multi-level workload distribution (Fig. 9).
+//
+// OMEN parallelizes over momentum k (almost embarrassingly parallel), then
+// energy E, then a 1-D spatial domain decomposition.  Because the energy
+// count differs per k point, a *dynamic* allocation of node groups per
+// momentum is used to avoid imbalance (Ref. [45]).  The logic is pure and
+// shared between the live thread-backed runs and the perf-model machine
+// simulation of Tables II/III.
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/types.hpp"
+#include "parallel/comm.hpp"
+
+namespace omenx::omen {
+
+using numeric::idx;
+
+/// Allocate `total_groups` node groups to k-points proportionally to their
+/// energy counts (largest-remainder rounding; every k gets >= 1 group).
+/// total_groups must be >= the number of k points.
+std::vector<int> allocate_groups(const std::vector<idx>& energies_per_k,
+                                 int total_groups);
+
+/// Makespan (in units of time-per-energy-point) of the allocation: each
+/// k-point's energies are distributed round-robin over its groups; the
+/// slowest group determines the time.
+double allocation_makespan(const std::vector<idx>& energies_per_k,
+                           const std::vector<int>& groups_per_k);
+
+/// Parallel efficiency of an allocation vs. the ideal
+/// sum(E)/total_groups.
+double allocation_efficiency(const std::vector<idx>& energies_per_k,
+                             const std::vector<int>& groups_per_k);
+
+/// Rank-side helper mirroring OMEN's input distribution: rank 0 holds the
+/// unique H/S blocks (loaded from the CP2K file) and broadcasts them to all
+/// ranks of `comm` (MPI_Bcast in the paper).
+void broadcast_lead_blocks(parallel::Comm& comm, dft::LeadBlocks& lead);
+
+}  // namespace omenx::omen

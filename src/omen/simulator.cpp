@@ -1,0 +1,197 @@
+#include "omen/simulator.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+
+#include "numeric/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace omenx::omen {
+
+Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
+  const dft::BasisLibrary basis(config_.functional);
+  const bool periodic =
+      config_.structure.periodicity == lattice::Periodicity::kZ;
+  const idx nk = periodic ? std::max<idx>(1, config_.num_k) : 1;
+  for (idx ik = 0; ik < nk; ++ik) {
+    dft::BuildOptions opts = config_.build;
+    // Uniform k grid over [0, pi] (time-reversal halves the zone).
+    const double k =
+        nk == 1 ? 0.0
+                : numeric::kPi * static_cast<double>(ik) /
+                      static_cast<double>(nk - 1);
+    opts.k_transverse = k;
+    k_values_.push_back(k);
+    lead_.push_back(dft::build_lead_blocks(config_.structure, basis, opts));
+    folded_.push_back(dft::fold_lead(lead_.back()));
+  }
+  pool_ = std::make_unique<parallel::DevicePool>(
+      std::max(1, config_.num_devices));
+  kt_ = 8.617e-5 * config_.temperature_k;
+}
+
+const dft::LeadBlocks& Simulator::lead_blocks(idx ik) const {
+  return lead_.at(static_cast<std::size_t>(ik));
+}
+
+const dft::FoldedLead& Simulator::folded_lead(idx ik) const {
+  return folded_.at(static_cast<std::size_t>(ik));
+}
+
+transport::BandStructure Simulator::bands(idx nk) const {
+  return transport::lead_band_structure(folded_.front(), nk);
+}
+
+idx Simulator::hamiltonian_dimension() const {
+  return config_.structure.orbitals_per_cell() * config_.structure.num_cells;
+}
+
+namespace {
+
+std::vector<double> flat_or(const std::vector<double>* potential, idx cells) {
+  if (potential == nullptr)
+    return std::vector<double>(static_cast<std::size_t>(cells), 0.0);
+  if (static_cast<idx>(potential->size()) != cells)
+    throw std::invalid_argument("Simulator: potential size mismatch");
+  return *potential;
+}
+
+}  // namespace
+
+Spectrum Simulator::transmission_spectrum(
+    const std::vector<double>& energies,
+    const std::vector<double>* cell_potential) {
+  const idx cells = config_.structure.num_cells;
+  const std::vector<double> pot = flat_or(cell_potential, cells);
+  const idx nk = static_cast<idx>(lead_.size());
+  const idx ne = static_cast<idx>(energies.size());
+
+  Spectrum out;
+  out.energies = energies;
+  out.transmission.assign(static_cast<std::size_t>(ne), 0.0);
+  out.propagating.assign(static_cast<std::size_t>(ne), 0);
+
+  // Assemble one device per k (shared across its energies).
+  std::vector<dft::DeviceMatrices> dms;
+  dms.reserve(static_cast<std::size_t>(nk));
+  for (idx ik = 0; ik < nk; ++ik)
+    dms.push_back(dft::assemble_device(lead_[static_cast<std::size_t>(ik)],
+                                       cells, pot));
+
+  // The (k, E) loop: embarrassingly parallel (Fig. 9 levels 1-2).
+  std::vector<double> t_acc(static_cast<std::size_t>(nk * ne), 0.0);
+  std::vector<idx> p_acc(static_cast<std::size_t>(nk * ne), 0);
+  parallel::ThreadPool::global().parallel_for(
+      static_cast<std::size_t>(nk * ne), [&](std::size_t idx_flat) {
+        const idx ik = static_cast<idx>(idx_flat) / ne;
+        const idx ie = static_cast<idx>(idx_flat) % ne;
+        transport::EnergyPointOptions opts = config_.point;
+        opts.want_density = false;
+        opts.want_current = false;
+        const auto res = transport::solve_energy_point(
+            dms[static_cast<std::size_t>(ik)],
+            lead_[static_cast<std::size_t>(ik)],
+            folded_[static_cast<std::size_t>(ik)],
+            energies[static_cast<std::size_t>(ie)], opts, pool_.get());
+        const double t = res.num_propagating > 0 || opts.obc ==
+                                 transport::ObcAlgorithm::kDecimation
+                             ? (res.num_propagating > 0 ? res.transmission
+                                                        : res.transmission_caroli)
+                             : 0.0;
+        t_acc[idx_flat] = t;
+        p_acc[idx_flat] = res.num_propagating;
+      });
+
+  for (idx ik = 0; ik < nk; ++ik) {
+    for (idx ie = 0; ie < ne; ++ie) {
+      out.transmission[static_cast<std::size_t>(ie)] +=
+          t_acc[static_cast<std::size_t>(ik * ne + ie)] /
+          static_cast<double>(nk);
+      out.propagating[static_cast<std::size_t>(ie)] +=
+          p_acc[static_cast<std::size_t>(ik * ne + ie)];
+    }
+  }
+  return out;
+}
+
+transport::EnergyPointResult Simulator::solve_point(
+    double energy, const std::vector<double>* cell_potential) {
+  const idx cells = config_.structure.num_cells;
+  const std::vector<double> pot = flat_or(cell_potential, cells);
+  const auto dm = dft::assemble_device(lead_.front(), cells, pot);
+  return transport::solve_energy_point(dm, lead_.front(), folded_.front(),
+                                       energy, config_.point, pool_.get());
+}
+
+std::vector<double> Simulator::charge_density(
+    const std::vector<double>& energies, double mu_l, double mu_r,
+    const std::vector<double>* potential) {
+  const idx cells = config_.structure.num_cells;
+  const std::vector<double> pot = flat_or(potential, cells);
+  const auto dm = dft::assemble_device(lead_.front(), cells, pot);
+  const idx orb_cell = config_.structure.orbitals_per_cell();
+
+  std::vector<double> charge(static_cast<std::size_t>(cells), 0.0);
+  std::mutex merge;
+  parallel::ThreadPool::global().parallel_for(
+      energies.size(), [&](std::size_t ie) {
+        transport::EnergyPointOptions opts = config_.point;
+        opts.want_density = true;
+        opts.want_current = false;
+        opts.want_caroli = false;
+        const auto res = transport::solve_energy_point(
+            dm, lead_.front(), folded_.front(), energies[ie], opts,
+            pool_.get());
+        if (res.orbital_density.empty()) return;
+        // Trapezoid-ish energy weight, left-contact occupation (ballistic
+        // left-injected states).
+        const double de =
+            ie + 1 < energies.size()
+                ? energies[ie + 1] - energies[ie]
+                : energies[ie] - energies[ie - 1];
+        const double w =
+            de * transport::fermi(energies[ie], mu_l, kt_);
+        const auto per_cell =
+            transport::density_per_cell(res.orbital_density, orb_cell, cells);
+        std::lock_guard lock(merge);
+        for (idx c = 0; c < cells; ++c)
+          charge[static_cast<std::size_t>(c)] +=
+              w * per_cell[static_cast<std::size_t>(c)];
+        (void)mu_r;
+      });
+  return charge;
+}
+
+double Simulator::current(const std::vector<double>& energies, double mu_l,
+                          double mu_r, const std::vector<double>* potential) {
+  const Spectrum sp = transmission_spectrum(energies, potential);
+  return transport::landauer_current(sp.energies, sp.transmission, mu_l, mu_r,
+                                     kt_);
+}
+
+std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
+    const std::vector<double>& vgs_values, double vds,
+    const lattice::DeviceRegions& regions,
+    const std::vector<double>& energies, double mu_source,
+    const poisson::ScfOptions& scf) {
+  if (regions.total() != config_.structure.num_cells)
+    throw std::invalid_argument(
+        "transfer_characteristics: regions must cover all cells");
+  const double mu_drain = mu_source - vds;
+  std::vector<IvPoint> out;
+  out.reserve(vgs_values.size());
+  for (const double vgs : vgs_values) {
+    // Ballistic charge model: electrons injected from both contacts.
+    poisson::ChargeModel charge = [&](const std::vector<double>& v) {
+      return charge_density(energies, mu_source, mu_drain, &v);
+    };
+    const auto res =
+        poisson::self_consistent_potential(regions, vgs, vds, charge, scf);
+    const double i = current(energies, mu_source, mu_drain, &res.potential);
+    out.push_back({vgs, i, res.iterations, res.converged});
+  }
+  return out;
+}
+
+}  // namespace omenx::omen

@@ -1,0 +1,102 @@
+// High-level OMEN-style simulator: the public API used by the examples and
+// the benchmark harness.
+//
+// A Simulator owns one device (structure + basis + Hamiltonian blocks) and
+// runs transport over energies and transverse momenta with the configured
+// OBC and linear-solver algorithms, in parallel over (k, E) on the host
+// threads with SplitSolve work placed on emulated accelerators — the
+// three-level parallelism of Fig. 9 mapped onto one process.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "lattice/structure.hpp"
+#include "parallel/device.hpp"
+#include "poisson/scf.hpp"
+#include "transport/bands.hpp"
+#include "transport/transmission.hpp"
+
+namespace omenx::omen {
+
+using numeric::idx;
+
+struct SimulationConfig {
+  lattice::Structure structure;
+  dft::Functional functional = dft::Functional::kLDA;
+  dft::BuildOptions build;
+  transport::EnergyPointOptions point;
+  idx num_k = 1;          ///< transverse momentum points (z-periodic only)
+  int num_devices = 2;    ///< emulated accelerators
+  double temperature_k = 300.0;
+};
+
+struct Spectrum {
+  std::vector<double> energies;
+  std::vector<double> transmission;         ///< k-averaged T(E)
+  std::vector<idx> propagating;             ///< k-summed channel counts
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SimulationConfig config);
+
+  const SimulationConfig& config() const noexcept { return config_; }
+  const dft::LeadBlocks& lead_blocks(idx ik = 0) const;
+  const dft::FoldedLead& folded_lead(idx ik = 0) const;
+
+  /// Band structure of the (first-k) lead.
+  transport::BandStructure bands(idx nk = 21) const;
+
+  /// N_SS of the assembled device (atoms x orbitals).
+  idx hamiltonian_dimension() const;
+
+  /// T(E) over `energies`, averaged over the k grid, with a flat potential
+  /// or the provided per-cell potential.  Parallel over (k, E).
+  Spectrum transmission_spectrum(
+      const std::vector<double>& energies,
+      const std::vector<double>* cell_potential = nullptr);
+
+  /// Full observables at one energy (first k point).
+  transport::EnergyPointResult solve_point(
+      double energy, const std::vector<double>* cell_potential = nullptr);
+
+  /// Ballistic charge per physical cell for contacts at mu_l / mu_r.
+  std::vector<double> charge_density(const std::vector<double>& energies,
+                                     double mu_l, double mu_r,
+                                     const std::vector<double>* potential);
+
+  /// Ballistic drain current (2e/h * eV units) through the device with the
+  /// given potential profile.
+  double current(const std::vector<double>& energies, double mu_l, double mu_r,
+                 const std::vector<double>* potential);
+
+  /// Self-consistent Id(Vgs) sweep: for each gate bias run the
+  /// Schroedinger-Poisson loop with the ballistic charge model and
+  /// integrate the Landauer current.
+  struct IvPoint {
+    double vgs;
+    double current;
+    int scf_iterations;
+    bool converged;
+  };
+  /// `mu_source` is the source Fermi level (eV, absolute); the drain sits
+  /// at mu_source - vds.
+  std::vector<IvPoint> transfer_characteristics(
+      const std::vector<double>& vgs_values, double vds,
+      const lattice::DeviceRegions& regions,
+      const std::vector<double>& energies, double mu_source,
+      const poisson::ScfOptions& scf = {});
+
+ private:
+  SimulationConfig config_;
+  std::vector<dft::LeadBlocks> lead_;    ///< one per k point
+  std::vector<dft::FoldedLead> folded_;  ///< one per k point
+  std::vector<double> k_values_;
+  std::unique_ptr<parallel::DevicePool> pool_;
+  double kt_ = 0.0259;
+};
+
+}  // namespace omenx::omen

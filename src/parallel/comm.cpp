@@ -1,0 +1,258 @@
+#include "parallel/comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace omenx::parallel {
+
+namespace {
+// Reserved tag spaces for collectives, far above any user tag.
+constexpr std::int64_t kBcastTagBase = 1'000'000'000'000LL;
+constexpr std::int64_t kReduceTagBase = 2'000'000'000'000LL;
+constexpr std::int64_t kReduceResultTagBase = 3'000'000'000'000LL;
+}  // namespace
+
+namespace detail {
+// Per-communicator, per-rank collective sequence numbers.  Each rank only
+// touches its own slot, so no locking is required.  Stored out-of-line to
+// keep CommState copy-free.
+struct CollectiveSeq {
+  std::mutex mutex;
+  std::map<const CommState*, std::vector<std::uint64_t>> seq;
+
+  std::uint64_t next(const CommState* state, int rank, int size) {
+    std::lock_guard lock(mutex);
+    auto& v = seq[state];
+    if (v.empty()) v.assign(static_cast<std::size_t>(size), 0);
+    return v[static_cast<std::size_t>(rank)]++;
+  }
+
+  static CollectiveSeq& instance() {
+    static CollectiveSeq s;
+    return s;
+  }
+};
+}  // namespace detail
+
+namespace {
+
+void mail_send(detail::CommState& st, int src, int dst, std::int64_t tag,
+               std::vector<double> data) {
+  {
+    std::lock_guard lock(st.mail_mutex);
+    st.mail[{src, dst, static_cast<int>(tag % 1'000'000'000LL)}]
+        .push_back(std::move(data));
+    // NOTE: tags are folded into the int key space; collective bases are
+    // chosen so folded values cannot collide with user tags (< 10^6 assumed,
+    // enforced in Comm::send).
+  }
+  st.mail_cv.notify_all();
+}
+
+std::vector<double> mail_recv(detail::CommState& st, int src, int dst,
+                              std::int64_t tag) {
+  std::unique_lock lock(st.mail_mutex);
+  const auto key = std::make_tuple(src, dst,
+                                   static_cast<int>(tag % 1'000'000'000LL));
+  st.mail_cv.wait(lock, [&] {
+    auto it = st.mail.find(key);
+    return it != st.mail.end() && !it->second.empty();
+  });
+  auto it = st.mail.find(key);
+  std::vector<double> out = std::move(it->second.front());
+  it->second.erase(it->second.begin());
+  if (it->second.empty()) st.mail.erase(it);
+  return out;
+}
+
+std::int64_t fold_collective_tag(std::int64_t base, std::uint64_t seq) {
+  // Distinct bases land in distinct hundred-million bands after folding.
+  return base + 100'000'000LL *
+                    ((base / 1'000'000'000'000LL)) +
+         static_cast<std::int64_t>(seq % 90'000'000ULL) + 1'000'000LL;
+}
+
+}  // namespace
+
+void Comm::barrier() {
+  auto& st = *state_;
+  std::unique_lock lock(st.barrier_mutex);
+  const std::uint64_t gen = st.barrier_generation;
+  if (++st.barrier_count == st.size) {
+    st.barrier_count = 0;
+    ++st.barrier_generation;
+    st.barrier_cv.notify_all();
+  } else {
+    st.barrier_cv.wait(lock, [&] { return st.barrier_generation != gen; });
+  }
+}
+
+void Comm::bcast(std::vector<double>& data, int root) {
+  auto& st = *state_;
+  if (root < 0 || root >= st.size)
+    throw std::invalid_argument("bcast: root out of range");
+  if (st.size == 1) return;
+  const std::uint64_t seq =
+      detail::CollectiveSeq::instance().next(&st, rank_, st.size);
+  const std::int64_t tag = fold_collective_tag(kBcastTagBase, seq);
+  if (rank_ == root) {
+    for (int dst = 0; dst < st.size; ++dst)
+      if (dst != root) mail_send(st, root, dst, tag, data);
+  } else {
+    data = mail_recv(st, root, rank_, tag);
+  }
+}
+
+void Comm::bcast(numeric::CMatrix& m, int root) {
+  std::vector<double> buf;
+  if (rank_ == root) {
+    buf.reserve(static_cast<std::size_t>(2 + 2 * m.size()));
+    buf.push_back(static_cast<double>(m.rows()));
+    buf.push_back(static_cast<double>(m.cols()));
+    for (numeric::idx i = 0; i < m.size(); ++i) {
+      buf.push_back(m.data()[i].real());
+      buf.push_back(m.data()[i].imag());
+    }
+  }
+  bcast(buf, root);
+  if (rank_ != root) {
+    const auto rows = static_cast<numeric::idx>(buf.at(0));
+    const auto cols = static_cast<numeric::idx>(buf.at(1));
+    m.resize(rows, cols);
+    for (numeric::idx i = 0; i < m.size(); ++i)
+      m.data()[i] = numeric::cplx(buf[static_cast<std::size_t>(2 + 2 * i)],
+                                  buf[static_cast<std::size_t>(3 + 2 * i)]);
+  }
+}
+
+void Comm::allreduce(std::vector<double>& data, ReduceOp op) {
+  auto& st = *state_;
+  if (st.size == 1) return;
+  const std::uint64_t seq =
+      detail::CollectiveSeq::instance().next(&st, rank_, st.size);
+  const std::int64_t up_tag = fold_collective_tag(kReduceTagBase, seq);
+  const std::int64_t down_tag = fold_collective_tag(kReduceResultTagBase, seq);
+  if (rank_ == 0) {
+    std::vector<double> acc = data;
+    for (int src = 1; src < st.size; ++src) {
+      std::vector<double> incoming = mail_recv(st, src, 0, up_tag);
+      if (incoming.size() != acc.size())
+        throw std::runtime_error("allreduce: mismatched buffer sizes");
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        switch (op) {
+          case ReduceOp::kSum:
+            acc[i] += incoming[i];
+            break;
+          case ReduceOp::kMax:
+            acc[i] = std::max(acc[i], incoming[i]);
+            break;
+          case ReduceOp::kMin:
+            acc[i] = std::min(acc[i], incoming[i]);
+            break;
+        }
+      }
+    }
+    for (int dst = 1; dst < st.size; ++dst) mail_send(st, 0, dst, down_tag, acc);
+    data = std::move(acc);
+  } else {
+    mail_send(st, rank_, 0, up_tag, data);
+    data = mail_recv(st, 0, rank_, down_tag);
+  }
+}
+
+double Comm::allreduce(double value, ReduceOp op) {
+  std::vector<double> buf{value};
+  allreduce(buf, op);
+  return buf[0];
+}
+
+void Comm::send(const std::vector<double>& data, int dst, int tag) {
+  if (tag < 0 || tag >= 1'000'000)
+    throw std::invalid_argument("send: user tags must be in [0, 1e6)");
+  if (dst < 0 || dst >= state_->size)
+    throw std::invalid_argument("send: destination out of range");
+  mail_send(*state_, rank_, dst, tag, data);
+}
+
+std::vector<double> Comm::recv(int src, int tag) {
+  if (tag < 0 || tag >= 1'000'000)
+    throw std::invalid_argument("recv: user tags must be in [0, 1e6)");
+  if (src < 0 || src >= state_->size)
+    throw std::invalid_argument("recv: source out of range");
+  return mail_recv(*state_, src, rank_, tag);
+}
+
+Comm Comm::split(int color, int key) {
+  auto& st = *state_;
+  std::unique_lock lock(st.split_mutex);
+  // Wait for any previous round to fully drain before depositing.
+  st.split_cv.wait(lock, [&] { return st.split_count < st.size; });
+  if (st.split_count == 0) {
+    st.split_keys.assign(static_cast<std::size_t>(st.size), {0, 0});
+    st.split_children.clear();
+    st.split_members.clear();
+  }
+  st.split_keys[static_cast<std::size_t>(rank_)] = {color, key};
+  const std::uint64_t gen = st.split_generation;
+  ++st.split_count;
+  if (st.split_count == st.size) {
+    // Group ranks by color, order by (key, rank).
+    std::map<int, std::vector<std::pair<int, int>>> groups;  // color->(key,rank)
+    for (int r = 0; r < st.size; ++r) {
+      const auto [c, k] = st.split_keys[static_cast<std::size_t>(r)];
+      groups[c].push_back({k, r});
+    }
+    for (auto& [c, members] : groups) {
+      std::sort(members.begin(), members.end());
+      auto child = std::make_shared<detail::CommState>(
+          static_cast<int>(members.size()));
+      st.split_children[c] = std::move(child);
+      std::vector<int> order;
+      order.reserve(members.size());
+      for (auto& [k, r] : members) order.push_back(r);
+      st.split_members[c] = std::move(order);
+    }
+    st.split_consumed = 0;
+    ++st.split_generation;
+    st.split_cv.notify_all();
+  } else {
+    st.split_cv.wait(lock, [&] { return st.split_generation != gen; });
+  }
+  auto child = st.split_children.at(color);
+  const auto& members = st.split_members.at(color);
+  const int new_rank = static_cast<int>(
+      std::find(members.begin(), members.end(), rank_) - members.begin());
+  if (++st.split_consumed == st.size) {
+    st.split_count = 0;
+    st.split_cv.notify_all();
+  }
+  return Comm(std::move(child), new_rank);
+}
+
+CommWorld::CommWorld(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("CommWorld: size must be > 0");
+}
+
+void CommWorld::run(const std::function<void(Comm&)>& fn) {
+  auto state = std::make_shared<detail::CommState>(size_);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(size_));
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(state, r);
+        fn(comm);
+      } catch (...) {
+        std::lock_guard lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace omenx::parallel

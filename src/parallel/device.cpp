@@ -1,0 +1,127 @@
+#include "parallel/device.hpp"
+
+#include <chrono>
+
+#include "numeric/blas.hpp"
+#include "parallel/tracer.hpp"
+
+namespace omenx::parallel {
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+DeviceBuffer::DeviceBuffer(Device* device, std::uint64_t bytes)
+    : device_(device), bytes_(bytes) {}
+
+DeviceBuffer::~DeviceBuffer() {
+  if (device_ != nullptr && bytes_ > 0) device_->release(bytes_);
+}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& o) noexcept
+    : device_(o.device_), bytes_(o.bytes_) {
+  o.device_ = nullptr;
+  o.bytes_ = 0;
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& o) noexcept {
+  if (this != &o) {
+    if (device_ != nullptr && bytes_ > 0) device_->release(bytes_);
+    device_ = o.device_;
+    bytes_ = o.bytes_;
+    o.device_ = nullptr;
+    o.bytes_ = 0;
+  }
+  return *this;
+}
+
+Device::Device(int id, std::uint64_t memory_bytes)
+    : id_(id), capacity_(memory_bytes), worker_([this] { worker_loop(); }) {}
+
+Device::~Device() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+}
+
+std::future<void> Device::enqueue(std::string label,
+                                  std::function<void()> kernel) {
+  Kernel k{std::move(label), std::packaged_task<void()>(std::move(kernel))};
+  std::future<void> fut = k.task.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) throw std::runtime_error("Device: enqueue after shutdown");
+    queue_.push_back(std::move(k));
+    ++inflight_;
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void Device::synchronize() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+DeviceBuffer Device::allocate(std::uint64_t bytes) {
+  std::uint64_t prev = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (prev + bytes > capacity_)
+      throw std::runtime_error(
+          "Device " + std::to_string(id_) + ": out of device memory (" +
+          std::to_string(prev + bytes) + " > " + std::to_string(capacity_) +
+          " bytes); use more accelerators for this structure");
+    if (used_.compare_exchange_weak(prev, prev + bytes,
+                                    std::memory_order_relaxed))
+      break;
+  }
+  return DeviceBuffer(this, bytes);
+}
+
+void Device::worker_loop() {
+  // Emulated GPUs execute kernels single-threaded so that p devices give
+  // true p-way parallelism without oversubscribing the host.
+  omenx::numeric::set_thread_parallelism(false);
+  for (;;) {
+    Kernel k;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;
+      k = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto start = std::chrono::steady_clock::now();
+    k.task();
+    const auto end = std::chrono::steady_clock::now();
+    Tracer::global().record(k.label, id_, start);
+    const double secs = std::chrono::duration<double>(end - start).count();
+    double prev = busy_seconds_.load(std::memory_order_relaxed);
+    while (!busy_seconds_.compare_exchange_weak(prev, prev + secs,
+                                                std::memory_order_relaxed)) {
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --inflight_;
+      if (inflight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+DevicePool::DevicePool(int num_devices, std::uint64_t memory_bytes) {
+  if (num_devices <= 0)
+    throw std::invalid_argument("DevicePool: need at least one device");
+  devices_.reserve(static_cast<std::size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i)
+    devices_.push_back(std::make_unique<Device>(i, memory_bytes));
+}
+
+void DevicePool::synchronize_all() {
+  for (auto& d : devices_) d->synchronize();
+}
+
+}  // namespace omenx::parallel

@@ -1,0 +1,138 @@
+// Emulated accelerator ("GPU") devices.
+//
+// The paper runs SplitSolve on NVIDIA K20X GPUs, one in-order stream per
+// device, with explicit host<->device transfers whose cost overlaps with
+// compute.  Here a Device is a dedicated worker thread with:
+//   * an in-order kernel queue (like a CUDA stream),
+//   * a device-memory allocator with a hard capacity (K20X: 6 GB),
+//   * transfer accounting (H2D / D2H / D2D bytes),
+//   * per-kernel trace events feeding the Fig. 12(b) timeline.
+// Numeric kernels executed on a device run single-threaded, so p emulated
+// devices genuinely run p-way parallel on the host.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace omenx::parallel {
+
+class Device;
+
+/// RAII device-memory reservation.  Releases its bytes on destruction.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  DeviceBuffer(Device* device, std::uint64_t bytes);
+  ~DeviceBuffer();
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  Device* device_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// One emulated accelerator.
+class Device {
+ public:
+  /// `memory_bytes` is the device memory capacity (default: K20X 6 GB).
+  explicit Device(int id, std::uint64_t memory_bytes = 6ull << 30);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const noexcept { return id_; }
+
+  /// Enqueue a kernel on the device stream; kernels execute in order.
+  /// The label is recorded in the global tracer.
+  std::future<void> enqueue(std::string label, std::function<void()> kernel);
+
+  /// Enqueue and wait.
+  void run(std::string label, std::function<void()> kernel) {
+    enqueue(std::move(label), std::move(kernel)).get();
+  }
+
+  /// Block until all enqueued kernels have completed.
+  void synchronize();
+
+  /// Reserve device memory; throws std::runtime_error on exhaustion
+  /// (the paper's strategy: use the minimum GPU count that fits the device).
+  DeviceBuffer allocate(std::uint64_t bytes);
+
+  std::uint64_t memory_capacity() const noexcept { return capacity_; }
+  std::uint64_t memory_used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+
+  /// Transfer accounting (bytes).  These only count traffic; the actual data
+  /// lives in host memory throughout the emulation.
+  void record_h2d(std::uint64_t bytes) { h2d_bytes_ += bytes; }
+  void record_d2h(std::uint64_t bytes) { d2h_bytes_ += bytes; }
+  void record_d2d(std::uint64_t bytes) { d2d_bytes_ += bytes; }
+  std::uint64_t h2d_bytes() const noexcept { return h2d_bytes_.load(); }
+  std::uint64_t d2h_bytes() const noexcept { return d2h_bytes_.load(); }
+  std::uint64_t d2d_bytes() const noexcept { return d2d_bytes_.load(); }
+
+  /// Total busy seconds accumulated by executed kernels.
+  double busy_seconds() const noexcept { return busy_seconds_.load(); }
+
+ private:
+  friend class DeviceBuffer;
+  void release(std::uint64_t bytes) noexcept {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  void worker_loop();
+
+  int id_;
+  std::uint64_t capacity_;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> h2d_bytes_{0};
+  std::atomic<std::uint64_t> d2h_bytes_{0};
+  std::atomic<std::uint64_t> d2d_bytes_{0};
+  std::atomic<double> busy_seconds_{0.0};
+
+  struct Kernel {
+    std::string label;
+    std::packaged_task<void()> task;
+  };
+  std::deque<Kernel> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::size_t inflight_ = 0;
+  std::condition_variable idle_cv_;
+  std::thread worker_;
+};
+
+/// A pool of p emulated accelerators, as attached to one or more hybrid
+/// nodes.  SplitSolve partitions work across all devices of a pool.
+class DevicePool {
+ public:
+  explicit DevicePool(int num_devices, std::uint64_t memory_bytes = 6ull << 30);
+
+  int size() const noexcept { return static_cast<int>(devices_.size()); }
+  Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+
+  void synchronize_all();
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace omenx::parallel

@@ -1,0 +1,81 @@
+// Lightweight event tracing, standing in for nvprof/CUPTI timelines.
+//
+// Devices and solvers record named phases (P1..P4, H-to-D transfers, ...)
+// so that bench/fig12_power can print the GPU-activity timeline of Fig. 12(b)
+// from a real scaled-down run.
+#pragma once
+
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace omenx::parallel {
+
+struct TraceEvent {
+  std::string name;     ///< Phase label, e.g. "P1", "H-to-D".
+  int device_id;        ///< Emulated accelerator index, -1 for host.
+  double start_s;       ///< Seconds since tracer epoch.
+  double end_s;
+};
+
+/// Thread-safe append-only event log.
+class Tracer {
+ public:
+  Tracer() : epoch_(clock::now()) {}
+
+  /// Record an event that ran from `start` to now.
+  void record(std::string name, int device_id,
+              std::chrono::steady_clock::time_point start) {
+    const auto now = clock::now();
+    std::lock_guard lock(mutex_);
+    events_.push_back({std::move(name), device_id, seconds_since(start),
+                       seconds_since(now)});
+  }
+
+  std::vector<TraceEvent> events() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+  }
+
+  void clear() {
+    std::lock_guard lock(mutex_);
+    events_.clear();
+    epoch_ = clock::now();
+  }
+
+  /// Process-wide tracer used by the emulated devices.
+  static Tracer& global();
+
+ private:
+  using clock = std::chrono::steady_clock;
+  double seconds_since(clock::time_point t) const {
+    return std::chrono::duration<double>(t - epoch_).count();
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  clock::time_point epoch_;
+};
+
+/// RAII helper: records an event over its lifetime.
+class TraceScope {
+ public:
+  TraceScope(std::string name, int device_id, Tracer& tracer = Tracer::global())
+      : name_(std::move(name)),
+        device_id_(device_id),
+        tracer_(tracer),
+        start_(std::chrono::steady_clock::now()) {}
+  ~TraceScope() { tracer_.record(std::move(name_), device_id_, start_); }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::string name_;
+  int device_id_;
+  Tracer& tracer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace omenx::parallel

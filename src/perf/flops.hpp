@@ -1,0 +1,51 @@
+// Deterministic FLOP counts for the transport kernels.
+//
+// "The number of floating point operations involved in SplitSolve is
+// deterministic and can be accurately estimated" (Section 5B).  These
+// analytic counts are validated against the instrumented kernels
+// (numeric::FlopCounter) in the tests, then reused at paper scale where
+// direct measurement is impossible.
+#pragma once
+
+#include <cstdint>
+
+#include "numeric/types.hpp"
+
+namespace omenx::perf {
+
+using numeric::idx;
+
+/// Complex GEMM: 8*m*n*k real flops.
+std::uint64_t gemm_flops(idx m, idx n, idx k);
+
+/// Complex LU factorization: (8/3) n^3.
+std::uint64_t lu_flops(idx n);
+
+/// Complex LU triangular solve with nrhs columns: 8 n^2 nrhs.
+std::uint64_t lu_solve_flops(idx n, idx nrhs);
+
+/// Algorithm 1 (both block columns of A^{-1}): per block row, two GEMMs,
+/// one LU factorization, one back substitution, for each of the two sweeps.
+std::uint64_t splitsolve_preprocess_flops(idx nb, idx s);
+
+/// Spike overhead on top of preprocessing for p partitions: the extra
+/// V/W products and the reduced interface solve.
+std::uint64_t splitsolve_spike_flops(idx nb, idx s, int partitions);
+
+/// Steps 2-4 (SMW postprocessing) with nrhs right-hand-side columns.
+std::uint64_t splitsolve_postprocess_flops(idx nb, idx s, idx nrhs);
+
+/// Block-tridiagonal direct LU (the MUMPS stand-in): factorization plus a
+/// full solve for nrhs columns.
+std::uint64_t block_lu_flops(idx nb, idx s, idx nrhs);
+
+/// FEAST OBC cost: np contour points, each one s-sized polynomial LU solve
+/// with `subspace` columns, plus the Rayleigh-Ritz reduction.
+std::uint64_t feast_flops(idx s, idx degree, idx np, idx subspace,
+                          idx iterations);
+
+/// Shift-and-invert baseline on the N_BC companion pencil: one LU of N_BC
+/// plus a dense QR eigensolve (~25 n^3 with our Hessenberg-QR iteration).
+std::uint64_t shift_invert_flops(idx nbc);
+
+}  // namespace omenx::perf

@@ -1,0 +1,43 @@
+#include "perf/machine.hpp"
+
+namespace omenx::perf {
+
+MachineSpec MachineSpec::titan() {
+  MachineSpec m;
+  m.name = "Cray-XK7 Titan";
+  m.hybrid_nodes = 18688;
+  m.gpus = 18688;
+  m.cpu_gflops = 134.4;   // Opteron 6274 node (Table I)
+  m.gpu_gflops = 1311.0;  // Tesla K20X
+  m.gpu_memory_gb = 6.0;
+  m.cpu_cores_per_node = 16;
+  // Calibrated to the Fig. 12 measurements: 7.6 MW average at 15 PFlop/s
+  // with 146 W per GPU, peak 8.8 MW.
+  m.idle_power_mw = 3.0;       // pumps, blowers, line losses, idle silicon
+  m.gpu_active_watts = 160.0;
+  m.gpu_idle_watts = 25.0;
+  m.gpu_transfer_watts = 80.0;
+  m.cpu_active_watts = 95.0;
+  m.facility_overhead = 1.08;
+  return m;
+}
+
+MachineSpec MachineSpec::piz_daint() {
+  MachineSpec m;
+  m.name = "Cray-XC30 Piz Daint";
+  m.hybrid_nodes = 5272;
+  m.gpus = 5272;
+  m.cpu_gflops = 166.4;  // Xeon E5-2670 node (Table I)
+  m.gpu_gflops = 1311.0;
+  m.gpu_memory_gb = 6.0;
+  m.cpu_cores_per_node = 8;
+  m.idle_power_mw = 0.9;
+  m.gpu_active_watts = 180.0;
+  m.gpu_idle_watts = 25.0;
+  m.gpu_transfer_watts = 90.0;
+  m.cpu_active_watts = 90.0;
+  m.facility_overhead = 1.06;
+  return m;
+}
+
+}  // namespace omenx::perf

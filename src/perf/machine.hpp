@@ -1,0 +1,42 @@
+// Machine models for the two systems of Table I.
+//
+// These constants parameterize the full-scale scheduling, performance, and
+// power models that regenerate Tables II/III and Figs. 7/11/12.  Measured
+// laptop-scale runs exercise the same algorithms; the machine model is the
+// documented substitution for Titan / Piz Daint access (see DESIGN.md).
+#pragma once
+
+#include <string>
+
+namespace omenx::perf {
+
+struct MachineSpec {
+  std::string name;
+  int hybrid_nodes;        ///< total nodes, each with 1 GPU
+  int gpus;
+  double cpu_gflops;       ///< per-node CPU peak (DP GFlop/s)
+  double gpu_gflops;       ///< per-node GPU peak (DP GFlop/s), K20X = 1311
+  double gpu_memory_gb;    ///< K20X: 6 GB
+  int cpu_cores_per_node;
+
+  // Power model parameters (machine level).
+  double idle_power_mw;        ///< baseline draw incl. cooling/line losses
+  double gpu_active_watts;     ///< per-GPU draw when computing
+  double gpu_idle_watts;       ///< per-GPU draw when idle
+  double gpu_transfer_watts;   ///< per-GPU draw during H2D/D2H phases
+  double cpu_active_watts;     ///< per-node CPU draw during FEAST
+  double facility_overhead;    ///< multiplier for XDP pumps, blowers, losses
+
+  /// Cray-XK7 Titan (ORNL): 18688 nodes, AMD Opteron 6274 + Tesla K20X.
+  static MachineSpec titan();
+
+  /// Cray-XC30 Piz Daint (CSCS): 5272 nodes, Xeon E5-2670 + Tesla K20X.
+  static MachineSpec piz_daint();
+
+  /// Total DP peak in PFlop/s over `nodes` nodes.
+  double peak_pflops(int nodes) const {
+    return static_cast<double>(nodes) * (cpu_gflops + gpu_gflops) * 1e-6;
+  }
+};
+
+}  // namespace omenx::perf

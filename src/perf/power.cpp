@@ -1,0 +1,72 @@
+#include "perf/power.hpp"
+
+#include <cmath>
+
+namespace omenx::perf {
+
+std::vector<PhaseSlice> splitsolve_phase_slices() {
+  // Proportions follow the nvprof trace of Fig. 12(b): the RGF sweeps
+  // dominate; transfers overlap partially with compute; a short window
+  // waits on the boundary conditions before the SMW postprocessing.
+  return {
+      {"H-to-D", 0.05, 0.45},
+      {"P1-P2", 0.42, 1.00},
+      {"P3-P4", 0.34, 0.97},
+      {"OBC-wait", 0.04, 0.15},
+      {"SMW-post", 0.10, 0.85},
+      {"D-to-H", 0.05, 0.50},
+  };
+}
+
+PowerProfile model_power_profile(const PowerModelConfig& config) {
+  const MachineSpec& m = config.machine;
+  const auto slices = splitsolve_phase_slices();
+  const double point_time =
+      config.run_time_s / static_cast<double>(config.energy_points_per_group);
+
+  PowerProfile out;
+  double sum_machine = 0.0, sum_gpu = 0.0;
+  std::size_t n = 0;
+  for (double t = 0.0; t < config.run_time_s; t += config.sample_interval_s) {
+    // Locate the phase within the current energy point.
+    const double local = std::fmod(t, point_time) / point_time;
+    double acc = 0.0;
+    const PhaseSlice* phase = &slices.back();
+    for (const auto& sl : slices) {
+      acc += sl.fraction;
+      if (local < acc) {
+        phase = &sl;
+        break;
+      }
+    }
+    const double gpu_w =
+        phase->name == "H-to-D" || phase->name == "D-to-H"
+            ? m.gpu_transfer_watts +
+                  phase->gpu_utilization * (m.gpu_active_watts -
+                                            m.gpu_transfer_watts)
+            : m.gpu_idle_watts +
+                  phase->gpu_utilization * (m.gpu_active_watts -
+                                            m.gpu_idle_watts);
+    const double nodes = static_cast<double>(config.active_nodes);
+    const double machine_w =
+        (m.idle_power_mw * 1e6 + nodes * gpu_w +
+         nodes * m.cpu_active_watts * (phase->name == "OBC-wait" ? 1.0 : 0.75)) *
+        m.facility_overhead;
+    out.samples.push_back({t, machine_w * 1e-6, gpu_w, phase->name});
+    sum_machine += machine_w * 1e-6;
+    sum_gpu += gpu_w;
+    out.peak_machine_mw = std::max(out.peak_machine_mw, machine_w * 1e-6);
+    ++n;
+  }
+  out.avg_machine_mw = sum_machine / static_cast<double>(n);
+  out.avg_gpu_watts = sum_gpu / static_cast<double>(n);
+  const double avg_flops = config.total_pflops * 1e15;
+  out.machine_mflops_per_watt = avg_flops / (out.avg_machine_mw * 1e6) / 1e6;
+  out.gpu_mflops_per_watt =
+      avg_flops / (static_cast<double>(config.active_nodes) *
+                   out.avg_gpu_watts) /
+      1e6;
+  return out;
+}
+
+}  // namespace omenx::perf

@@ -1,0 +1,57 @@
+// Power-profile model for Fig. 12.
+//
+// Reconstructs the machine-level and GPU-level power traces of the
+// 15 PFlop/s production run: per energy point the GPU walks through the
+// SplitSolve phases (H-to-D, P1-P2, P3-P4, idle-while-OBC-finishes, SMW
+// postprocess, D-to-H), each with its own draw; the machine level adds CPUs,
+// cooling (XDP pumps, cabinet blowers) and line losses.  Averages are
+// calibrated against the paper: 7.6 MW machine / 146 W GPU / 1975 and 5396
+// MFLOPS/W.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/machine.hpp"
+
+namespace omenx::perf {
+
+struct PowerSample {
+  double time_s;
+  double machine_mw;
+  double gpu_watts;     ///< per-GPU draw
+  std::string phase;
+};
+
+struct PowerProfile {
+  std::vector<PowerSample> samples;
+  double avg_machine_mw = 0.0;
+  double peak_machine_mw = 0.0;
+  double avg_gpu_watts = 0.0;
+  double machine_mflops_per_watt = 0.0;
+  double gpu_mflops_per_watt = 0.0;
+};
+
+struct PowerModelConfig {
+  MachineSpec machine = MachineSpec::titan();
+  int active_nodes = 18564;
+  double run_time_s = 912.5;
+  int energy_points_per_group = 13;
+  double total_pflops = 15.01;      ///< sustained rate of the modeled run
+  double sample_interval_s = 1.0;
+};
+
+/// Generate the Fig. 12(a) traces.
+PowerProfile model_power_profile(const PowerModelConfig& config = {});
+
+/// Phase fractions within one energy point (used for the Fig. 12(b)
+/// activity timeline): name + fraction of the per-point time + relative GPU
+/// utilization in [0, 1].
+struct PhaseSlice {
+  std::string name;
+  double fraction;
+  double gpu_utilization;
+};
+std::vector<PhaseSlice> splitsolve_phase_slices();
+
+}  // namespace omenx::perf

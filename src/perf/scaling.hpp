@@ -1,0 +1,94 @@
+// Full-machine scheduling / performance models regenerating the paper's
+// evaluation figures at Titan and Piz Daint scale.
+//
+// Calibration constants come from quantities the paper reports directly:
+//   * 241 TFLOPs per energy point (228 after the zhesv tuning), Section 5E;
+//   * ~85 s per energy point per 4-node group (Tables II/III);
+//   * 30 s SplitSolve base time on 2 GPUs, +10 s per recursive spike step
+//     (Section 3C / Fig. 7);
+//   * FEAST+MUMPS ~30 min per energy point on 16 nodes (Section 5C).
+// Everything else (allocation, makespans, efficiencies, PFlop/s) is derived
+// through the same scheduler logic the live code uses.
+#pragma once
+
+#include <vector>
+
+#include "numeric/types.hpp"
+#include "perf/machine.hpp"
+
+namespace omenx::perf {
+
+using numeric::idx;
+
+// ---------------------------------------------------------------- Fig. 7 --
+struct SplitSolveScalingModel {
+  double base_time_s = 30.0;       ///< 2-GPU (1 partition) time, weak scaling
+  double spike_step_time_s = 10.0; ///< per recursive merge step
+  int gpus_per_partition = 2;
+
+  /// Weak scaling: time on `gpus` with constant atoms/GPU.
+  double weak_time(int gpus) const;
+  double weak_efficiency(int gpus) const { return base_time_s / weak_time(gpus); }
+
+  /// Strong scaling: fixed problem that saturates 2 GPUs.
+  double strong_time(int gpus, double two_gpu_time_s = 120.0) const;
+  double strong_efficiency(int gpus, double two_gpu_time_s = 120.0) const;
+};
+
+// ---------------------------------------------------------------- Fig. 8 --
+/// Model times (seconds) for the three OBC+solver combinations at one
+/// energy point of a paper-scale structure on `nodes` hybrid nodes.
+struct SolverComparisonModel {
+  MachineSpec machine = MachineSpec::titan();
+  double cpu_efficiency = 0.55;  ///< fraction of peak for dense CPU kernels
+  double gpu_efficiency = 0.60;  ///< fraction of peak for zgemm/zgesv chains
+  double mumps_efficiency = 0.08;///< sparse multifrontal on DFT-dense blocks
+
+  struct Times {
+    double obc_s;
+    double solve_s;
+    double total() const { return obc_s + solve_s; }
+  };
+
+  /// nb: folded supercell count; s: supercell size; NBW enters via degree.
+  Times shift_invert_mumps(idx nb, idx s, idx degree, int nodes) const;
+  Times feast_mumps(idx nb, idx s, idx degree, int nodes) const;
+  Times feast_splitsolve(idx nb, idx s, idx degree, int nodes) const;
+};
+
+// ------------------------------------------------- Fig. 11 / Tables II-III --
+struct OmenRunModel {
+  MachineSpec machine = MachineSpec::titan();
+  int nodes_per_group = 4;          ///< spatial domain decomposition width
+  double time_per_energy_s = 85.0;  ///< per group, UTBFET 23040 atoms
+  double setup_time_s = 25.0;       ///< broadcast + assembly overhead
+  double tflops_per_energy = 241.0; ///< 228 after the zhesv tuning
+  int num_k = 21;
+
+  struct StrongPoint {
+    int nodes;
+    double time_s;
+    double efficiency;    ///< vs. the smallest-node run
+    double pflops;
+  };
+
+  /// Energy counts per k point summing to ~59908, matching Section 5D
+  /// ("varies from 2650 up to 3050").
+  std::vector<idx> energies_per_k(idx total = 59908) const;
+
+  /// Strong scaling over the node counts of Table III.
+  std::vector<StrongPoint> strong_scaling(const std::vector<int>& nodes) const;
+
+  struct WeakPoint {
+    int nodes;
+    double avg_e_per_group;
+    double time_s;
+    double time_per_energy;
+  };
+
+  /// Weak scaling (Table II): the energy grid is auto-generated, so the
+  /// per-group energy count jitters between ~12.9 and ~14.1.
+  std::vector<WeakPoint> weak_scaling(const std::vector<int>& nodes) const;
+};
+
+}  // namespace omenx::perf

@@ -1,0 +1,82 @@
+#include "poisson/poisson1d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace omenx::poisson {
+
+std::vector<double> thomas_solve(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const std::vector<double>& c,
+                                 std::vector<double> d) {
+  const std::size_t n = b.size();
+  if (a.size() != n || c.size() != n || d.size() != n)
+    throw std::invalid_argument("thomas_solve: size mismatch");
+  std::vector<double> cp(n), bp(n);
+  bp[0] = b[0];
+  if (bp[0] == 0.0) throw std::runtime_error("thomas_solve: zero pivot");
+  cp[0] = c[0] / bp[0];
+  d[0] /= bp[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    bp[i] = b[i] - a[i] * cp[i - 1];
+    if (bp[i] == 0.0) throw std::runtime_error("thomas_solve: zero pivot");
+    cp[i] = c[i] / bp[i];
+    d[i] = (d[i] - a[i] * d[i - 1]) / bp[i];
+  }
+  for (std::size_t i = n - 1; i-- > 0;) d[i] -= cp[i] * d[i + 1];
+  return d;
+}
+
+std::vector<double> solve_device_potential(const lattice::DeviceRegions& regions,
+                                           double vgs, double vds,
+                                           const std::vector<double>& rho,
+                                           const PoissonOptions& options) {
+  const idx n = regions.total();
+  if (n < 3) throw std::invalid_argument("solve_device_potential: too short");
+  if (!rho.empty() && static_cast<idx>(rho.size()) != n)
+    throw std::invalid_argument("solve_device_potential: rho size mismatch");
+  const double lam = options.screening_length_cells;
+  if (lam <= 0.0)
+    throw std::invalid_argument("solve_device_potential: bad lambda");
+  const double inv_l2 = 1.0 / (lam * lam);
+
+  // External (imposed) potential-energy targets: contacts pin source/drain,
+  // the gate pins the channel.  Electron energy = -q*V, so a positive Vgs
+  // *lowers* the channel barrier and positive Vds lowers the drain.
+  std::vector<double> v_ext(static_cast<std::size_t>(n), 0.0);
+  for (idx i = 0; i < n; ++i) {
+    if (i < regions.source_cells) {
+      v_ext[static_cast<std::size_t>(i)] = 0.0;
+    } else if (i < regions.source_cells + regions.gate_cells) {
+      v_ext[static_cast<std::size_t>(i)] = -vgs;
+    } else {
+      v_ext[static_cast<std::size_t>(i)] = -vds;
+    }
+  }
+
+  // (V_{i-1} - 2 V_i + V_{i+1}) - (V_i - V_ext_i)/lam^2 = c_q rho_i
+  // with h = 1 cell.  Dirichlet: V_0 = 0, V_{n-1} = -vds.
+  std::vector<double> a(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> c(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  b[0] = 1.0;
+  d[0] = 0.0;
+  b[static_cast<std::size_t>(n - 1)] = 1.0;
+  d[static_cast<std::size_t>(n - 1)] = -vds;
+  for (idx i = 1; i + 1 < n; ++i) {
+    a[static_cast<std::size_t>(i)] = 1.0;
+    b[static_cast<std::size_t>(i)] = -2.0 - inv_l2;
+    c[static_cast<std::size_t>(i)] = 1.0;
+    // Electron density raises the local electron potential energy, so the
+    // charge term enters with a negative sign on this (negative-definite)
+    // operator's right-hand side.
+    d[static_cast<std::size_t>(i)] =
+        -v_ext[static_cast<std::size_t>(i)] * inv_l2 -
+        (rho.empty() ? 0.0
+                     : options.charge_coupling * rho[static_cast<std::size_t>(i)]);
+  }
+  return thomas_solve(a, b, c, d);
+}
+
+}  // namespace omenx::poisson

@@ -1,0 +1,42 @@
+// 1-D electrostatics along the transport axis.
+//
+// OMEN self-consistently couples the Schroedinger and Poisson equations
+// (Fig. 2).  For the FET structures the essential electrostatics is captured
+// by the standard quasi-1D MOS model: the gate imposes its potential on the
+// channel within a characteristic screening length lambda,
+//     d^2 V/dx^2 - (V - V_ext(x))/lambda^2 = c_q * rho(x),
+// with Dirichlet contacts (source grounded, drain at -Vds in electron energy
+// units) and V_ext = -Vgs under the gate.  Discretized per transport cell
+// and solved with a real tridiagonal (Thomas) solve.
+#pragma once
+
+#include <vector>
+
+#include "lattice/structure.hpp"
+#include "numeric/types.hpp"
+
+namespace omenx::poisson {
+
+using numeric::idx;
+
+struct PoissonOptions {
+  double screening_length_cells = 3.0;  ///< lambda in units of cell length
+  double charge_coupling = 0.0;         ///< c_q: eV per (charge unit/cell)
+};
+
+/// Potential-energy profile (eV per cell) for a FET at gate bias `vgs` and
+/// drain bias `vds` given the per-cell electron charge `rho` (may be empty
+/// for the charge-free Laplace solution).
+std::vector<double> solve_device_potential(const lattice::DeviceRegions& regions,
+                                           double vgs, double vds,
+                                           const std::vector<double>& rho,
+                                           const PoissonOptions& options = {});
+
+/// Solve the tridiagonal system  a_i x_{i-1} + b_i x_i + c_i x_{i+1} = d_i
+/// (Thomas algorithm).  Exposed for reuse and testing.
+std::vector<double> thomas_solve(const std::vector<double>& a,
+                                 const std::vector<double>& b,
+                                 const std::vector<double>& c,
+                                 std::vector<double> d);
+
+}  // namespace omenx::poisson

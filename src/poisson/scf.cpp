@@ -1,0 +1,34 @@
+#include "poisson/scf.hpp"
+
+#include <cmath>
+
+namespace omenx::poisson {
+
+ScfResult self_consistent_potential(const lattice::DeviceRegions& regions,
+                                    double vgs, double vds,
+                                    const ChargeModel& charge,
+                                    const ScfOptions& options) {
+  ScfResult out;
+  out.potential = solve_device_potential(regions, vgs, vds, {},
+                                         options.poisson);
+  for (out.iterations = 1; out.iterations <= options.max_iter;
+       ++out.iterations) {
+    out.charge = charge(out.potential);
+    const std::vector<double> v_new = solve_device_potential(
+        regions, vgs, vds, out.charge, options.poisson);
+    out.residual = 0.0;
+    for (std::size_t i = 0; i < v_new.size(); ++i)
+      out.residual =
+          std::max(out.residual, std::abs(v_new[i] - out.potential[i]));
+    for (std::size_t i = 0; i < v_new.size(); ++i)
+      out.potential[i] = (1.0 - options.mixing) * out.potential[i] +
+                         options.mixing * v_new[i];
+    if (out.residual < options.tol) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace omenx::poisson

@@ -1,0 +1,45 @@
+// Self-consistent Schroedinger-Poisson iteration (the loop of Fig. 2 that
+// consumes 99% of the simulation time, iterated 40-50 times per bias point
+// in production).
+//
+// The charge model is injected as a callback so that the loop itself stays
+// independent of the transport backend: the OMEN simulator supplies a
+// ballistic wave-function charge; tests supply analytic models.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lattice/structure.hpp"
+#include "poisson/poisson1d.hpp"
+
+namespace omenx::poisson {
+
+struct ScfOptions {
+  int max_iter = 40;
+  double tol = 1e-4;      ///< max |V_new - V_old| (eV)
+  double mixing = 0.4;    ///< linear potential mixing factor
+  PoissonOptions poisson;
+};
+
+/// charge(V) -> per-cell electron density for the current potential.
+using ChargeModel =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+struct ScfResult {
+  std::vector<double> potential;  ///< converged per-cell potential (eV)
+  std::vector<double> charge;     ///< final per-cell charge
+  int iterations = 0;
+  double residual = 0.0;
+  bool converged = false;
+};
+
+/// Run the damped fixed-point iteration
+///   V_{n+1} = (1-m) V_n + m Poisson(rho(V_n))
+/// starting from the charge-free (Laplace) potential.
+ScfResult self_consistent_potential(const lattice::DeviceRegions& regions,
+                                    double vgs, double vds,
+                                    const ChargeModel& charge,
+                                    const ScfOptions& options = {});
+
+}  // namespace omenx::poisson

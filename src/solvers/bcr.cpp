@@ -1,0 +1,167 @@
+#include "solvers/bcr.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+
+namespace omenx::solvers {
+
+namespace {
+
+using numeric::cplx;
+using numeric::idx;
+
+struct Level {
+  std::vector<CMatrix> diag, upper, lower;
+  std::vector<CMatrix> rhs;
+};
+
+}  // namespace
+
+CMatrix bcr_solve(const BlockTridiag& a, const CMatrix& b) {
+  const idx nb = a.num_blocks();
+  const idx s = a.block_size();
+  if (b.rows() != a.dim())
+    throw std::invalid_argument("bcr_solve: dimension mismatch");
+  const idx m = b.cols();
+
+  // Load level 0.
+  Level cur;
+  cur.diag.reserve(static_cast<std::size_t>(nb));
+  for (idx i = 0; i < nb; ++i) {
+    cur.diag.push_back(a.diag(i));
+    cur.rhs.push_back(b.block(i * s, 0, s, m));
+    if (i + 1 < nb) {
+      cur.upper.push_back(a.upper(i));
+      cur.lower.push_back(a.lower(i));
+    }
+  }
+
+  // Reduction: repeatedly eliminate odd-indexed rows.  Keep the elimination
+  // data to back-substitute afterwards.
+  struct Eliminated {
+    std::vector<idx> kept_of;           // kept index list at this level
+    Level level;                        // the level *before* reduction
+  };
+  std::vector<Eliminated> history;
+
+  while (static_cast<idx>(cur.diag.size()) > 1) {
+    const idx n = static_cast<idx>(cur.diag.size());
+    Eliminated rec;
+    rec.level = cur;
+
+    Level next;
+    std::vector<idx> kept;
+    for (idx i = 0; i < n; i += 2) kept.push_back(i);
+    rec.kept_of = kept;
+
+    // For each even row i, eliminate its odd neighbours i-1 and i+1:
+    //   D'_i = D_i - L_{i-1->i} Dinv_{i-1} U_{i-1->i... }
+    // with the tridiagonal convention upper[j] couples j -> j+1.
+    const idx nn = static_cast<idx>(kept.size());
+    next.diag.resize(static_cast<std::size_t>(nn));
+    next.rhs.resize(static_cast<std::size_t>(nn));
+    if (nn > 1) {
+      next.upper.resize(static_cast<std::size_t>(nn - 1));
+      next.lower.resize(static_cast<std::size_t>(nn - 1));
+    }
+
+    for (idx kidx = 0; kidx < nn; ++kidx) {
+      const idx i = kept[static_cast<std::size_t>(kidx)];
+      CMatrix d = cur.diag[static_cast<std::size_t>(i)];
+      CMatrix r = cur.rhs[static_cast<std::size_t>(i)];
+      // Left odd neighbour i-1.
+      if (i - 1 >= 0) {
+        const numeric::LUFactor lu(cur.diag[static_cast<std::size_t>(i - 1)]);
+        // Coupling i -> i-1 is lower[i-1]^T position: A_{i,i-1} = lower[i-1].
+        const CMatrix g_up = lu.solve(cur.upper[static_cast<std::size_t>(i - 1)]);
+        const CMatrix g_r = lu.solve(cur.rhs[static_cast<std::size_t>(i - 1)]);
+        CMatrix t;
+        numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_up, t);
+        d -= t;
+        numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_r, t);
+        r -= t;
+        // New coupling to the even row i-2 (goes into next-level lower).
+        if (i - 2 >= 0 && kidx > 0) {
+          const CMatrix g_low =
+              lu.solve(cur.lower[static_cast<std::size_t>(i - 2)]);
+          CMatrix nl;
+          numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_low, nl);
+          nl *= cplx{-1.0};
+          next.lower[static_cast<std::size_t>(kidx - 1)] = std::move(nl);
+        }
+      }
+      // Right odd neighbour i+1.
+      if (i + 1 < n) {
+        const numeric::LUFactor lu(cur.diag[static_cast<std::size_t>(i + 1)]);
+        const CMatrix g_low = lu.solve(cur.lower[static_cast<std::size_t>(i)]);
+        const CMatrix g_r = lu.solve(cur.rhs[static_cast<std::size_t>(i + 1)]);
+        CMatrix t;
+        numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_low, t);
+        d -= t;
+        numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_r, t);
+        r -= t;
+        if (i + 2 < n && kidx + 1 < nn) {
+          const CMatrix g_up =
+              lu.solve(cur.upper[static_cast<std::size_t>(i + 1)]);
+          CMatrix nu;
+          numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_up, nu);
+          nu *= cplx{-1.0};
+          next.upper[static_cast<std::size_t>(kidx)] = std::move(nu);
+        }
+      }
+      next.diag[static_cast<std::size_t>(kidx)] = std::move(d);
+      next.rhs[static_cast<std::size_t>(kidx)] = std::move(r);
+    }
+    // Fill any couplings not set (when an odd neighbour did not exist, the
+    // original even-even coupling is zero in a tridiagonal matrix).
+    for (auto& u : next.upper)
+      if (u.rows() == 0) u = CMatrix(s, s);
+    for (auto& l : next.lower)
+      if (l.rows() == 0) l = CMatrix(s, s);
+
+    history.push_back(std::move(rec));
+    cur = std::move(next);
+  }
+
+  // Solve the final 1-block system.
+  std::vector<CMatrix> x_level;
+  x_level.push_back(numeric::solve(cur.diag[0], cur.rhs[0]));
+
+  // Back substitution through the recorded levels.
+  for (idx h = static_cast<idx>(history.size()) - 1; h >= 0; --h) {
+    const auto& rec = history[static_cast<std::size_t>(h)];
+    const Level& lev = rec.level;
+    const idx n = static_cast<idx>(lev.diag.size());
+    std::vector<CMatrix> x(static_cast<std::size_t>(n));
+    // Place even solutions.
+    for (idx kidx = 0; kidx < static_cast<idx>(rec.kept_of.size()); ++kidx)
+      x[static_cast<std::size_t>(rec.kept_of[static_cast<std::size_t>(kidx)])] =
+          x_level[static_cast<std::size_t>(kidx)];
+    // Recover odd rows: D_i x_i = r_i - L x_{i-1} - U x_{i+1}.
+    for (idx i = 1; i < n; i += 2) {
+      CMatrix rhs = lev.rhs[static_cast<std::size_t>(i)];
+      CMatrix t;
+      numeric::gemm(lev.lower[static_cast<std::size_t>(i - 1)],
+                    x[static_cast<std::size_t>(i - 1)], t);
+      rhs -= t;
+      if (i + 1 < n) {
+        numeric::gemm(lev.upper[static_cast<std::size_t>(i)],
+                      x[static_cast<std::size_t>(i + 1)], t);
+        rhs -= t;
+      }
+      x[static_cast<std::size_t>(i)] =
+          numeric::solve(lev.diag[static_cast<std::size_t>(i)], rhs);
+    }
+    x_level = std::move(x);
+  }
+
+  CMatrix out(a.dim(), m);
+  for (idx i = 0; i < nb; ++i)
+    out.set_block(i * s, 0, x_level[static_cast<std::size_t>(i)]);
+  return out;
+}
+
+}  // namespace omenx::solvers

@@ -1,0 +1,21 @@
+// Block cyclic reduction — OMEN's custom tight-binding solver (Ref. [33]).
+//
+// Eliminates odd-indexed block rows level by level (log2(nb) levels), each
+// level halving the system.  The paper notes BCR "relies on the sparsity
+// provided by a tight-binding basis [and] does not work with DFT" — in this
+// repository that manifests as cost: BCR fill-in on the dense DFT blocks
+// makes it no cheaper than direct LU, which the fig08 bench quantifies.
+#pragma once
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/matrix.hpp"
+
+namespace omenx::solvers {
+
+using blockmat::BlockTridiag;
+using numeric::CMatrix;
+
+/// Solve A X = B by block cyclic reduction (any nb >= 1).
+CMatrix bcr_solve(const BlockTridiag& a, const CMatrix& b);
+
+}  // namespace omenx::solvers

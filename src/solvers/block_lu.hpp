@@ -1,0 +1,44 @@
+// Block-tridiagonal direct LU (block Thomas algorithm).
+//
+// This is the repository's stand-in for MUMPS in Fig. 8: a general sparse
+// direct solver that factors the whole matrix and solves for every
+// right-hand side column, without exploiting that only the first/last block
+// columns of T^{-1} are needed.  Complexity: O(nb * s^3) factor +
+// O(nb * s^2 * nrhs) solve.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/lu.hpp"
+
+namespace omenx::solvers {
+
+using blockmat::BlockTridiag;
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+class BlockTridiagLU {
+ public:
+  /// Factor the block-tridiagonal matrix.  Throws on singular pivot blocks.
+  explicit BlockTridiagLU(const BlockTridiag& a);
+
+  /// Solve A X = B for dense multi-column B (dim() rows).
+  CMatrix solve(const CMatrix& b) const;
+
+  idx dim() const noexcept { return nb_ * s_; }
+
+ private:
+  idx nb_ = 0;
+  idx s_ = 0;
+  std::vector<numeric::LUFactor> dtilde_;  ///< factored pivot blocks
+  std::vector<CMatrix> l_;                 ///< L_i = A_{i,i-1} Dt_{i-1}^{-1}
+  std::vector<CMatrix> u_;                 ///< copies of A_{i,i+1}
+};
+
+/// One-shot convenience.
+CMatrix block_lu_solve(const BlockTridiag& a, const CMatrix& b);
+
+}  // namespace omenx::solvers

@@ -1,0 +1,116 @@
+#include "solvers/rgf.hpp"
+
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+
+namespace omenx::solvers {
+
+using numeric::cplx;
+
+CMatrix rgf_first_block_column(const BlockTridiag& a) {
+  const idx nb = a.num_blocks();
+  const idx s = a.block_size();
+  CMatrix q(a.dim(), s);
+  if (nb == 1) {
+    q.set_block(0, 0, numeric::inverse(a.diag(0)));
+    return q;
+  }
+  // Downward fold (phases P1/P2 in Fig. 6):
+  //   X_nb-1 = A_{nb-1,nb-1}^{-1} A_{nb-1,nb-2}
+  //   X_i    = (A_ii - A_{i,i+1} X_{i+1})^{-1} A_{i,i-1},  i = nb-2..1
+  //   X_0    = (A_00 - A_{0,1} X_1)^{-1}            (A_{0,-1} := identity)
+  std::vector<CMatrix> x(static_cast<std::size_t>(nb));
+  for (idx i = nb - 1; i >= 0; --i) {
+    CMatrix m = a.diag(i);
+    if (i + 1 < nb) {
+      CMatrix t;
+      numeric::gemm(a.upper(i), x[static_cast<std::size_t>(i + 1)], t);
+      m -= t;
+    }
+    const numeric::LUFactor lu(m);
+    x[static_cast<std::size_t>(i)] =
+        i > 0 ? lu.solve(a.lower(i - 1)) : lu.inverse();
+  }
+  // Accumulate (phases P3/P4): G_{0,0} = X_0; G_{i,0} = -X_i G_{i-1,0}.
+  CMatrix gi = x[0];
+  q.set_block(0, 0, gi);
+  for (idx i = 1; i < nb; ++i) {
+    CMatrix next;
+    numeric::gemm(x[static_cast<std::size_t>(i)], gi, next, cplx{-1.0});
+    gi = std::move(next);
+    q.set_block(i * s, 0, gi);
+  }
+  return q;
+}
+
+CMatrix rgf_last_block_column(const BlockTridiag& a) {
+  const idx nb = a.num_blocks();
+  const idx s = a.block_size();
+  CMatrix q(a.dim(), s);
+  if (nb == 1) {
+    q.set_block(0, 0, numeric::inverse(a.diag(0)));
+    return q;
+  }
+  // Mirror of the first-column sweep: fold upward from the top.
+  std::vector<CMatrix> y(static_cast<std::size_t>(nb));
+  for (idx i = 0; i < nb; ++i) {
+    CMatrix m = a.diag(i);
+    if (i > 0) {
+      CMatrix t;
+      numeric::gemm(a.lower(i - 1), y[static_cast<std::size_t>(i - 1)], t);
+      m -= t;
+    }
+    const numeric::LUFactor lu(m);
+    y[static_cast<std::size_t>(i)] =
+        i + 1 < nb ? lu.solve(a.upper(i)) : lu.inverse();
+  }
+  CMatrix gi = y[static_cast<std::size_t>(nb - 1)];
+  q.set_block((nb - 1) * s, 0, gi);
+  for (idx i = nb - 2; i >= 0; --i) {
+    CMatrix next;
+    numeric::gemm(y[static_cast<std::size_t>(i)], gi, next, cplx{-1.0});
+    gi = std::move(next);
+    q.set_block(i * s, 0, gi);
+  }
+  return q;
+}
+
+CMatrix rgf_block_columns(const BlockTridiag& a) {
+  const idx s = a.block_size();
+  CMatrix q(a.dim(), 2 * s);
+  q.set_block(0, 0, rgf_first_block_column(a));
+  q.set_block(0, s, rgf_last_block_column(a));
+  return q;
+}
+
+std::vector<CMatrix> rgf_diagonal_blocks(const BlockTridiag& a) {
+  const idx nb = a.num_blocks();
+  // Backward sweep: gR_i = (A_ii - A_{i,i+1} gR_{i+1} A_{i+1,i})^{-1}.
+  std::vector<CMatrix> gr(static_cast<std::size_t>(nb));
+  for (idx i = nb - 1; i >= 0; --i) {
+    CMatrix m = a.diag(i);
+    if (i + 1 < nb) {
+      CMatrix t = numeric::matmul(
+          a.upper(i),
+          numeric::matmul(gr[static_cast<std::size_t>(i + 1)], a.lower(i)));
+      m -= t;
+    }
+    gr[static_cast<std::size_t>(i)] = numeric::inverse(m);
+  }
+  // Forward sweep: G_00 = gR_0;
+  // G_ii = gR_i + gR_i A_{i,i-1} G_{i-1,i-1} A_{i-1,i} gR_i.
+  std::vector<CMatrix> g(static_cast<std::size_t>(nb));
+  g[0] = gr[0];
+  for (idx i = 1; i < nb; ++i) {
+    const CMatrix& gri = gr[static_cast<std::size_t>(i)];
+    const CMatrix t = numeric::matmul(
+        gri, numeric::matmul(
+                 a.lower(i - 1),
+                 numeric::matmul(g[static_cast<std::size_t>(i - 1)],
+                                 numeric::matmul(a.upper(i - 1), gri))));
+    g[static_cast<std::size_t>(i)] = gri + t;
+  }
+  return g;
+}
+
+}  // namespace omenx::solvers

@@ -1,0 +1,205 @@
+#include "solvers/spike.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/blas.hpp"
+#include "solvers/block_lu.hpp"
+#include "solvers/rgf.hpp"
+
+namespace omenx::solvers {
+
+using numeric::cplx;
+
+bool spike_partitioning_valid(idx num_blocks, int partitions) {
+  if (partitions < 1) return false;
+  if ((partitions & (partitions - 1)) != 0) return false;  // power of two
+  return static_cast<idx>(partitions) <= num_blocks;
+}
+
+namespace {
+
+BlockTridiag extract_partition(const BlockTridiag& a, idx lo, idx hi) {
+  BlockTridiag part(hi - lo, a.block_size());
+  for (idx i = lo; i < hi; ++i) {
+    part.diag(i - lo) = a.diag(i);
+    if (i + 1 < hi) {
+      part.upper(i - lo) = a.upper(i);
+      part.lower(i - lo) = a.lower(i);
+    }
+  }
+  return part;
+}
+
+struct PartitionData {
+  idx lo = 0, hi = 0;
+  CMatrix first_col;  ///< local A_j^{-1} first block column (n_j*s x s)
+  CMatrix last_col;   ///< local A_j^{-1} last block column
+  CMatrix v;          ///< spike V_j = last_col * upper(hi-1)     (0 for last)
+  CMatrix w;          ///< spike W_j = first_col * lower(lo-1)    (0 for first)
+  parallel::DeviceBuffer storage;  ///< device-memory reservation
+};
+
+}  // namespace
+
+CMatrix spike_block_columns(const BlockTridiag& a, parallel::DevicePool& pool,
+                            const SpikeOptions& options) {
+  const idx nb = a.num_blocks();
+  const idx s = a.block_size();
+  const int p = options.partitions;
+  if (!spike_partitioning_valid(nb, p))
+    throw std::invalid_argument(
+        "spike_block_columns: partitions must be a power of two and <= nb");
+
+  if (p == 1) {
+    CMatrix q;
+    pool.device(0)
+        .enqueue("P1-P4",
+                 [&] {
+                   auto buf = pool.device(0).allocate(
+                       static_cast<std::uint64_t>(a.nnz(0.0)) * 16u);
+                   pool.device(0).record_h2d(
+                       static_cast<std::uint64_t>(a.dim()) * s * 16u);
+                   q = rgf_block_columns(a);
+                   pool.device(0).record_d2h(
+                       static_cast<std::uint64_t>(q.size()) * 16u);
+                 })
+        .get();
+    return q;
+  }
+
+  // Partition bounds: as even as possible.
+  std::vector<PartitionData> parts(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    parts[static_cast<std::size_t>(j)].lo = nb * j / p;
+    parts[static_cast<std::size_t>(j)].hi = nb * (j + 1) / p;
+  }
+
+  // Phase P1..P4 per partition: local RGF sweeps on the partition's device.
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    auto& pd = parts[static_cast<std::size_t>(j)];
+    auto& dev = pool.device(j % pool.size());
+    futs.push_back(dev.enqueue(
+        "P1-P2", [&a, &pd, &dev, s, j, nb] {
+          const BlockTridiag local = extract_partition(a, pd.lo, pd.hi);
+          // Device memory: partition blocks + two block columns.
+          const std::uint64_t bytes =
+              static_cast<std::uint64_t>(local.nnz(0.0)) * 16u +
+              static_cast<std::uint64_t>(2 * local.dim() * s) * 16u;
+          pd.storage = dev.allocate(bytes);
+          dev.record_h2d(static_cast<std::uint64_t>(local.nnz(0.0)) * 16u);
+          pd.first_col = rgf_first_block_column(local);
+          pd.last_col = rgf_last_block_column(local);
+          // Spikes toward the neighbours.
+          if (pd.hi < nb) {
+            numeric::gemm(pd.last_col, a.upper(pd.hi - 1), pd.v);
+          }
+          if (pd.lo > 0) {
+            numeric::gemm(pd.first_col, a.lower(pd.lo - 1), pd.w);
+          }
+          (void)j;
+        }));
+  }
+  for (auto& f : futs) f.get();
+
+  // Reduced interface system ("spike merge"): unknowns per interface i are
+  // u_i = [x_i^{bot}; x_{i+1}^{top}] where x_j^{top/bot} are the first/last
+  // s rows of partition j's solution.
+  const idx ni = p - 1;
+  const idx m = 2 * s;  // RHS columns: global e_first and e_last blocks
+  BlockTridiag reduced(ni, 2 * s);
+  CMatrix rhs(ni * 2 * s, m);
+
+  auto top_rows = [&](const CMatrix& mat) {
+    return mat.rows() == 0 ? CMatrix(s, mat.cols()) : mat.block(0, 0, s, mat.cols());
+  };
+  auto bot_rows = [&](const CMatrix& mat) {
+    return mat.rows() == 0 ? CMatrix(s, mat.cols())
+                           : mat.block(mat.rows() - s, 0, s, mat.cols());
+  };
+  // y_j is nonzero only for the first partition (columns 0..s-1 equal its
+  // local first column) and the last partition (columns s..2s-1, local last
+  // column).
+  auto y_top = [&](int j) {
+    CMatrix y(s, m);
+    if (j == 0) y.set_block(0, 0, top_rows(parts[0].first_col));
+    if (j == p - 1)
+      y.set_block(0, s, top_rows(parts[static_cast<std::size_t>(j)].last_col));
+    return y;
+  };
+  auto y_bot = [&](int j) {
+    CMatrix y(s, m);
+    if (j == 0) y.set_block(0, 0, bot_rows(parts[0].first_col));
+    if (j == p - 1)
+      y.set_block(0, s, bot_rows(parts[static_cast<std::size_t>(j)].last_col));
+    return y;
+  };
+
+  for (idx i = 0; i < ni; ++i) {
+    const auto& pj = parts[static_cast<std::size_t>(i)];
+    const auto& pj1 = parts[static_cast<std::size_t>(i + 1)];
+    CMatrix& d = reduced.diag(i);
+    d.set_block(0, 0, CMatrix::identity(s));
+    d.set_block(s, s, CMatrix::identity(s));
+    if (pj.v.rows() > 0) d.set_block(0, s, bot_rows(pj.v));
+    if (pj1.w.rows() > 0) d.set_block(s, 0, top_rows(pj1.w));
+    if (i > 0) {
+      // Coupling to u_{i-1}: x_i^{bot} depends on x_{i-1}^{bot} via W_i.
+      CMatrix& lo = reduced.lower(i - 1);
+      if (pj.w.rows() > 0) lo.set_block(0, 0, bot_rows(pj.w));
+    }
+    if (i + 1 < ni) {
+      // Coupling to u_{i+1}: x_{i+1}^{top} depends on x_{i+2}^{top} via V.
+      CMatrix& up = reduced.upper(i);
+      if (pj1.v.rows() > 0) up.set_block(s, s, top_rows(pj1.v));
+    }
+    rhs.set_block(i * 2 * s, 0, y_bot(static_cast<int>(i)));
+    rhs.set_block(i * 2 * s + s, 0, y_top(static_cast<int>(i + 1)));
+  }
+
+  // The reduced solve is the recursive merge step of Fig. 6; executed on the
+  // device holding the first partition.
+  CMatrix u;
+  pool.device(0)
+      .enqueue("spike-merge",
+               [&] { u = BlockTridiagLU(reduced).solve(rhs); })
+      .get();
+
+  // Final correction per partition: x_j = y_j - V_j t_{j+1} - W_j b_{j-1}.
+  CMatrix q(a.dim(), m);
+  std::vector<std::future<void>> post;
+  post.reserve(static_cast<std::size_t>(p));
+  for (int j = 0; j < p; ++j) {
+    auto& pd = parts[static_cast<std::size_t>(j)];
+    auto& dev = pool.device(j % pool.size());
+    post.push_back(dev.enqueue("P3-P4", [&, j] {
+      const idx nloc = (pd.hi - pd.lo) * s;
+      CMatrix xj(nloc, m);
+      if (j == 0) xj.set_block(0, 0, pd.first_col);
+      if (j == p - 1) xj.set_block(0, s, pd.last_col);
+      if (j < p - 1 && pd.v.rows() > 0) {
+        // t_{j+1} lives in u_j rows [s, 2s).
+        const CMatrix t_next = u.block(j * 2 * s + s, 0, s, m);
+        CMatrix corr;
+        numeric::gemm(pd.v, t_next, corr);
+        xj -= corr;
+      }
+      if (j > 0 && pd.w.rows() > 0) {
+        // b_{j-1} lives in u_{j-1} rows [0, s).
+        const CMatrix b_prev = u.block((j - 1) * 2 * s, 0, s, m);
+        CMatrix corr;
+        numeric::gemm(pd.w, b_prev, corr);
+        xj -= corr;
+      }
+      dev.record_d2h(static_cast<std::uint64_t>(xj.size()) * 16u);
+      q.set_block(pd.lo * s, 0, xj);
+    }));
+  }
+  for (auto& f : post) f.get();
+  return q;
+}
+
+}  // namespace omenx::solvers

@@ -1,0 +1,41 @@
+// SPIKE-partitioned computation of the first and last block columns of
+// A^{-1} on a pool of emulated accelerators (Fig. 6).
+//
+// The block-tridiagonal matrix is split into `partitions` contiguous
+// partitions (a power of two, as in the paper).  Each partition computes the
+// first/last block columns of its *local* inverse with the RGF sweeps of
+// Algorithm 1 (phases P1..P4), entirely on its device.  Partitions are then
+// coupled through the spikes V_j = A_j^{-1} C_j^{up}, W_j = A_j^{-1}
+// C_j^{down}; the resulting reduced interface system (block tridiagonal,
+// 2s-sized blocks, p-1 interfaces) is solved and the corrections are applied
+// device-side.  The paper merges partitions pairwise and recursively; the
+// reduced-system formulation used here is algebraically equivalent (same
+// spikes, same interface unknowns) and the per-step merge cost shows up as
+// the reduced solve, which the fig07 bench measures as the spike overhead.
+#pragma once
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/matrix.hpp"
+#include "parallel/device.hpp"
+
+namespace omenx::solvers {
+
+using blockmat::BlockTridiag;
+using numeric::CMatrix;
+using numeric::idx;
+
+struct SpikeOptions {
+  int partitions = 2;  ///< power of two, <= number of blocks
+};
+
+/// Global [A^{-1}_{:,first}, A^{-1}_{:,last}] (dim x 2s) computed with
+/// `options.partitions` partitions on `pool`'s devices (partition j runs on
+/// device j % pool.size()).
+CMatrix spike_block_columns(const BlockTridiag& a, parallel::DevicePool& pool,
+                            const SpikeOptions& options = {});
+
+/// Validity check used by callers: partitions must be a power of two and
+/// leave at least one block per partition.
+bool spike_partitioning_valid(idx num_blocks, int partitions);
+
+}  // namespace omenx::solvers

@@ -1,0 +1,93 @@
+#include "solvers/splitsolve.hpp"
+
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "parallel/tracer.hpp"
+
+namespace omenx::solvers {
+
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+SplitSolve::SplitSolve(const BlockTridiag& a, parallel::DevicePool& pool,
+                       SplitSolveOptions options)
+    : dim_(a.dim()), s_(a.block_size()) {
+  if (!spike_partitioning_valid(a.num_blocks(), options.partitions))
+    throw std::invalid_argument("SplitSolve: invalid partition count");
+  SpikeOptions so;
+  so.partitions = options.partitions;
+  // Step 1 runs asynchronously; the caller computes Sigma/Inj meanwhile.
+  q_future_ = std::async(std::launch::async, [&a, &pool, so] {
+                return spike_block_columns(a, pool, so);
+              }).share();
+}
+
+const CMatrix& SplitSolve::preprocessed_q() {
+  if (!q_ready_) {
+    q_ = q_future_.get();
+    q_ready_ = true;
+  }
+  return q_;
+}
+
+CMatrix SplitSolve::solve(const CMatrix& sigma_l, const CMatrix& sigma_r,
+                          const CMatrix& b_top, const CMatrix& b_bottom) {
+  const CMatrix& q = preprocessed_q();
+  if (sigma_l.rows() != s_ || sigma_r.rows() != s_)
+    throw std::invalid_argument("SplitSolve::solve: sigma size mismatch");
+  if (b_top.rows() != s_ || b_bottom.rows() != s_ ||
+      b_top.cols() != b_bottom.cols())
+    throw std::invalid_argument("SplitSolve::solve: RHS size mismatch");
+  const idx m = b_top.cols();
+  parallel::TraceScope trace("postprocess", /*device_id=*/-1);
+
+  // b' = stacked non-zero rows of b.
+  CMatrix bprime(2 * s_, m);
+  bprime.set_block(0, 0, b_top);
+  bprime.set_block(s_, 0, b_bottom);
+
+  // Step 2: y = Q b'.
+  const CMatrix y = numeric::matmul(q, bprime);
+
+  // Step 3: R = 1 - C Q (2s x 2s) and z = R^{-1} C y.
+  // C has Sigma_L in its top-left and Sigma_R in its bottom-right corner, so
+  // C M = [Sigma_L * M_toprows; Sigma_R * M_botrows] for any M.
+  const CMatrix q_top = q.block(0, 0, s_, 2 * s_);
+  const CMatrix q_bot = q.block(dim_ - s_, 0, s_, 2 * s_);
+  CMatrix cq(2 * s_, 2 * s_);
+  cq.set_block(0, 0, numeric::matmul(sigma_l, q_top));
+  cq.set_block(s_, 0, numeric::matmul(sigma_r, q_bot));
+  CMatrix r = CMatrix::identity(2 * s_);
+  r -= cq;
+
+  CMatrix cy(2 * s_, m);
+  cy.set_block(0, 0, numeric::matmul(sigma_l, y.block(0, 0, s_, m)));
+  cy.set_block(s_, 0, numeric::matmul(sigma_r, y.block(dim_ - s_, 0, s_, m)));
+  const CMatrix z = numeric::solve(r, cy);
+
+  // Step 4: x = Q (b' + z).
+  CMatrix bz = bprime;
+  bz += z;
+  return numeric::matmul(q, bz);
+}
+
+BlockTridiag apply_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
+                            const CMatrix& sigma_r) {
+  BlockTridiag t = a;
+  t.diag(0).add_block(0, 0, sigma_l, cplx{-1.0});
+  t.diag(t.num_blocks() - 1).add_block(0, 0, sigma_r, cplx{-1.0});
+  return t;
+}
+
+CMatrix expand_boundary_rhs(idx dim, const CMatrix& b_top,
+                            const CMatrix& b_bottom) {
+  CMatrix b(dim, b_top.cols());
+  b.set_block(0, 0, b_top);
+  b.set_block(dim - b_bottom.rows(), 0, b_bottom);
+  return b;
+}
+
+}  // namespace omenx::solvers

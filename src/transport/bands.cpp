@@ -1,0 +1,73 @@
+#include "transport/bands.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "numeric/cholesky.hpp"
+#include "numeric/eig.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/types.hpp"
+
+namespace omenx::transport {
+
+using numeric::CMatrix;
+using numeric::cplx;
+
+BandStructure lead_band_structure(const dft::FoldedLead& lead, idx nk) {
+  if (nk < 2) throw std::invalid_argument("lead_band_structure: nk >= 2");
+  BandStructure out;
+  out.k.reserve(static_cast<std::size_t>(nk));
+  out.bands.reserve(static_cast<std::size_t>(nk));
+  for (idx ik = 0; ik < nk; ++ik) {
+    const double k =
+        numeric::kPi * static_cast<double>(ik) / static_cast<double>(nk - 1);
+    const cplx phase = std::exp(cplx{0.0, k});
+    CMatrix hk = lead.h00;
+    hk.add_block(0, 0, lead.h01, phase);
+    hk.add_block(0, 0, numeric::dagger(lead.h01), std::conj(phase));
+    CMatrix sk = lead.s00;
+    sk.add_block(0, 0, lead.s01, phase);
+    sk.add_block(0, 0, numeric::dagger(lead.s01), std::conj(phase));
+
+    // Cholesky reduction: S = L L^H, solve L^{-1} H L^{-H}.
+    const CMatrix l = numeric::cholesky(sk);
+    const numeric::LUFactor llu(l);
+    const CMatrix tmp = llu.solve(hk);                    // L^{-1} H
+    const CMatrix reduced =
+        numeric::dagger(llu.solve(numeric::dagger(tmp)));  // L^{-1} H L^{-H}
+    const auto he = numeric::hermitian_eig(reduced);
+    out.k.push_back(k);
+    out.bands.push_back(he.values);
+  }
+  return out;
+}
+
+BandWindow band_window(const BandStructure& bs) {
+  if (bs.bands.empty() || bs.bands.front().empty())
+    throw std::invalid_argument("band_window: empty band structure");
+  double emin = bs.bands[0][0], emax = bs.bands[0][0];
+  for (const auto& bands : bs.bands) {
+    for (const double e : bands) {
+      emin = std::min(emin, e);
+      emax = std::max(emax, e);
+    }
+  }
+  return {emin, emax};
+}
+
+double lowest_band_above(const BandStructure& bs, double reference) {
+  double best = reference;
+  bool found = false;
+  for (const auto& bands : bs.bands) {
+    for (const double e : bands) {
+      if (e > reference && (!found || e < best)) {
+        best = e;
+        found = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace omenx::transport

@@ -1,0 +1,64 @@
+#include "transport/energy_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omenx::transport {
+
+std::vector<double> make_energy_grid(double emin, double emax,
+                                     const EnergyGridOptions& options) {
+  if (emax <= emin)
+    throw std::invalid_argument("make_energy_grid: emax must exceed emin");
+  if (options.min_spacing <= 0.0 || options.max_spacing < options.min_spacing)
+    throw std::invalid_argument("make_energy_grid: bad spacing bounds");
+  const double span = emax - emin;
+  idx n = static_cast<idx>(std::ceil(span / options.max_spacing));
+  n = std::max<idx>(n, 1);
+  double spacing = span / static_cast<double>(n);
+  if (spacing < options.min_spacing) {
+    n = std::max<idx>(1, static_cast<idx>(std::floor(span / options.min_spacing)));
+    spacing = span / static_cast<double>(n);
+  }
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(n + 1));
+  for (idx i = 0; i <= n; ++i)
+    grid.push_back(emin + spacing * static_cast<double>(i));
+  return grid;
+}
+
+std::vector<double> refine_energy_grid(std::vector<double> grid,
+                                       const std::function<double(double)>& f,
+                                       double tol,
+                                       const EnergyGridOptions& options) {
+  if (grid.size() < 2) return grid;
+  std::sort(grid.begin(), grid.end());
+  std::vector<double> fv;
+  fv.reserve(grid.size());
+  for (const double e : grid) fv.push_back(f(e));
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<double> next_grid;
+    std::vector<double> next_fv;
+    next_grid.push_back(grid[0]);
+    next_fv.push_back(fv[0]);
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      const double de = grid[i] - grid[i - 1];
+      if (std::abs(fv[i] - fv[i - 1]) > tol && de > 2.0 * options.min_spacing) {
+        const double mid = 0.5 * (grid[i] + grid[i - 1]);
+        next_grid.push_back(mid);
+        next_fv.push_back(f(mid));
+        changed = true;
+      }
+      next_grid.push_back(grid[i]);
+      next_fv.push_back(fv[i]);
+    }
+    grid = std::move(next_grid);
+    fv = std::move(next_fv);
+  }
+  return grid;
+}
+
+}  // namespace omenx::transport

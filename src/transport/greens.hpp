@@ -1,0 +1,31 @@
+// NEGF observables from the retarded Green's function (Eq. 4 route).
+//
+// The paper works in the wave-function formalism for efficiency, but the
+// Green's-function route remains the reference: this module computes the
+// diagonal of G^R = (E S - H - Sigma^RB)^{-1} with the RGF recursion and
+// derives the spectral function / density of states from it.  Used by the
+// Fig. 10 maps as an independent cross-check on the WF densities.
+#pragma once
+
+#include <vector>
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/matrix.hpp"
+
+namespace omenx::transport {
+
+using blockmat::BlockTridiag;
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+/// Orbital-resolved local density of states at one energy:
+/// LDOS_i = -Im(G^R_ii) / pi, from the RGF diagonal of the open system.
+/// `t` must already contain the boundary self-energies.
+std::vector<double> local_density_of_states(const BlockTridiag& t);
+
+/// Total DOS(E) = sum_i LDOS_i, optionally weighted by the overlap matrix
+/// (non-orthogonal basis: DOS = -Im Tr[G S] / pi).
+double density_of_states(const BlockTridiag& t, const BlockTridiag* overlap);
+
+}  // namespace omenx::transport

@@ -1,0 +1,234 @@
+#include "transport/transmission.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "obc/decimation.hpp"
+#include "obc/shift_invert.hpp"
+#include "solvers/bcr.hpp"
+#include "solvers/block_lu.hpp"
+#include "solvers/splitsolve.hpp"
+
+namespace omenx::transport {
+
+namespace {
+
+// Trace of GammaL * G * GammaR * G^H  (Caroli/Meir-Wingreen ballistic form).
+double caroli_transmission(const CMatrix& sigma_l, const CMatrix& sigma_r,
+                           const CMatrix& g_first_last) {
+  auto gamma = [](const CMatrix& s) {
+    CMatrix g = s - numeric::dagger(s);
+    g *= cplx{0.0, 1.0};
+    return g;
+  };
+  const CMatrix gl = gamma(sigma_l);
+  const CMatrix gr = gamma(sigma_r);
+  const CMatrix m = numeric::matmul(
+      gl, numeric::matmul(g_first_last,
+                          numeric::matmul(gr, numeric::dagger(g_first_last))));
+  cplx tr{0.0};
+  for (idx i = 0; i < m.rows(); ++i) tr += m(i, i);
+  return tr.real();
+}
+
+}  // namespace
+
+EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
+                                     const dft::LeadBlocks& lead,
+                                     const dft::FoldedLead& folded,
+                                     double energy,
+                                     const EnergyPointOptions& options,
+                                     parallel::DevicePool* pool) {
+  EnergyPointResult out;
+  out.energy = energy;
+  const cplx e{energy, 0.0};
+  const BlockTridiag a = BlockTridiag::es_minus_h(e, dm.s, dm.h);
+  const idx sf = a.block_size();
+
+  // --- SplitSolve Step 1 can start before the boundary conditions exist ---
+  std::unique_ptr<solvers::SplitSolve> split;
+  if (options.solver == SolverAlgorithm::kSplitSolve) {
+    if (pool == nullptr)
+      throw std::invalid_argument(
+          "solve_energy_point: SplitSolve backend requires a device pool");
+    split = std::make_unique<solvers::SplitSolve>(
+        a, *pool, solvers::SplitSolveOptions{options.partitions});
+  }
+
+  // --- Open boundary conditions (CPU side, overlapping with Step 1) ---
+  const obc::LeadOperators ops = obc::lead_operators(folded, e);
+  obc::Boundary bnd;
+  bool have_injection = true;
+  switch (options.obc) {
+    case ObcAlgorithm::kShiftInvert: {
+      const auto modes = obc::compute_modes_shift_invert(lead, e);
+      bnd = obc::build_boundary(modes, ops);
+      break;
+    }
+    case ObcAlgorithm::kFeast: {
+      const auto modes = obc::compute_modes_feast(lead, e, options.feast);
+      bnd = obc::build_boundary(modes, ops);
+      break;
+    }
+    case ObcAlgorithm::kDecimation: {
+      obc::DecimationOptions dopt;
+      dopt.eta = options.decimation_eta;
+      bnd.sigma_l = obc::sigma_left_decimation(ops, dopt);
+      bnd.sigma_r = obc::sigma_right_decimation(ops, dopt);
+      bnd.num_incident = 0;
+      have_injection = false;  // decimation yields Sigma only
+      break;
+    }
+  }
+  out.num_propagating = bnd.num_incident;
+
+  // --- Solve: Green's-function columns (for Caroli) + injected waves ---
+  // RHS layout: [e_first I (s), e_last I (s), Inj (n_inc)] so one solve
+  // covers both formalisms.
+  const idx n_inc = have_injection ? bnd.num_incident : 0;
+  const bool want_caroli = options.want_caroli || !have_injection;
+  const idx gcols = want_caroli ? 2 * sf : 0;
+  const idx m = gcols + n_inc;
+  if (m == 0) return out;
+
+  CMatrix b_top(sf, m);
+  CMatrix b_bot(sf, m);
+  if (want_caroli) {
+    b_top.set_block(0, 0, CMatrix::identity(sf));
+    b_bot.set_block(0, sf, CMatrix::identity(sf));
+  }
+  for (idx j = 0; j < n_inc; ++j)
+    for (idx i = 0; i < sf; ++i) b_top(i, gcols + j) = bnd.inj(i, j);
+
+  CMatrix x;
+  if (options.solver == SolverAlgorithm::kSplitSolve) {
+    x = split->solve(bnd.sigma_l, bnd.sigma_r, b_top, b_bot);
+  } else {
+    const BlockTridiag t = solvers::apply_boundary(a, bnd.sigma_l, bnd.sigma_r);
+    const CMatrix b = solvers::expand_boundary_rhs(a.dim(), b_top, b_bot);
+    x = options.solver == SolverAlgorithm::kBlockLU
+            ? solvers::block_lu_solve(t, b)
+            : solvers::bcr_solve(t, b);
+  }
+
+  // --- Caroli transmission from G_{first,last} ---
+  if (want_caroli) {
+    const CMatrix g_first_last = x.block(0, sf, sf, sf);
+    out.transmission_caroli =
+        caroli_transmission(bnd.sigma_l, bnd.sigma_r, g_first_last);
+  }
+
+  // --- Wave-function observables ---
+  if (have_injection && n_inc > 0) {
+    // Transmission: project the last supercell onto the right-bounded mode
+    // basis; flux-normalized propagating amplitudes give T.
+    const CMatrix psi_last = x.block(a.dim() - sf, gcols, sf, n_inc);
+    const CMatrix uplus = obc::pseudo_inverse(bnd.right_basis, 1e-12);
+    const CMatrix amps = numeric::matmul(uplus, psi_last);
+    double total = 0.0;
+    for (idx p = 0; p < n_inc; ++p) {
+      const double vp = std::max(bnd.inj_velocity[static_cast<std::size_t>(p)],
+                                 1e-12);
+      for (idx n = 0; n < amps.rows(); ++n) {
+        if (!bnd.right_propagating[static_cast<std::size_t>(n)]) continue;
+        const double vn =
+            std::abs(bnd.right_velocity[static_cast<std::size_t>(n)]);
+        total += std::norm(amps(n, p)) * vn / vp;
+      }
+    }
+    out.transmission = total;
+
+    if (options.want_density) {
+      out.orbital_density.assign(static_cast<std::size_t>(a.dim()), 0.0);
+      for (idx p = 0; p < n_inc; ++p) {
+        const double w =
+            1.0 / std::max(bnd.inj_velocity[static_cast<std::size_t>(p)],
+                           1e-12);
+        for (idx i = 0; i < a.dim(); ++i)
+          out.orbital_density[static_cast<std::size_t>(i)] +=
+              w * std::norm(x(i, gcols + p));
+      }
+    }
+    if (options.want_current) {
+      const idx nb = a.num_blocks();
+      out.interface_current.assign(static_cast<std::size_t>(nb - 1), 0.0);
+      for (idx iface = 0; iface + 1 < nb; ++iface) {
+        const CMatrix& tc = a.upper(iface);
+        for (idx p = 0; p < n_inc; ++p) {
+          const double w =
+              1.0 / std::max(bnd.inj_velocity[static_cast<std::size_t>(p)],
+                             1e-12);
+          cplx acc{0.0};
+          for (idx i = 0; i < sf; ++i) {
+            const cplx psi_i = x(iface * sf + i, gcols + p);
+            for (idx j = 0; j < sf; ++j)
+              acc += std::conj(psi_i) * tc(i, j) *
+                     x((iface + 1) * sf + j, gcols + p);
+          }
+          out.interface_current[static_cast<std::size_t>(iface)] +=
+              w * 2.0 * acc.imag();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double fermi(double e, double mu, double kt) {
+  if (kt <= 0.0) return e <= mu ? 1.0 : 0.0;
+  const double arg = (e - mu) / kt;
+  if (arg > 40.0) return 0.0;
+  if (arg < -40.0) return 1.0;
+  return 1.0 / (1.0 + std::exp(arg));
+}
+
+double landauer_current(const std::vector<double>& energies,
+                        const std::vector<double>& transmission, double mu_l,
+                        double mu_r, double kt) {
+  if (energies.size() != transmission.size() || energies.size() < 2)
+    throw std::invalid_argument("landauer_current: bad table");
+  double current = 0.0;
+  for (std::size_t i = 1; i < energies.size(); ++i) {
+    const double de = energies[i] - energies[i - 1];
+    const double f0 = transmission[i - 1] * (fermi(energies[i - 1], mu_l, kt) -
+                                             fermi(energies[i - 1], mu_r, kt));
+    const double f1 = transmission[i] *
+                      (fermi(energies[i], mu_l, kt) - fermi(energies[i], mu_r, kt));
+    current += 0.5 * (f0 + f1) * de;
+  }
+  return current;
+}
+
+std::vector<double> density_per_cell(const std::vector<double>& orbital_density,
+                                     idx orbitals_per_cell, idx cells) {
+  if (static_cast<idx>(orbital_density.size()) != orbitals_per_cell * cells)
+    throw std::invalid_argument("density_per_cell: size mismatch");
+  std::vector<double> out(static_cast<std::size_t>(cells), 0.0);
+  for (idx c = 0; c < cells; ++c)
+    for (idx o = 0; o < orbitals_per_cell; ++o)
+      out[static_cast<std::size_t>(c)] +=
+          orbital_density[static_cast<std::size_t>(c * orbitals_per_cell + o)];
+  return out;
+}
+
+std::vector<double> density_per_atom(const std::vector<double>& orbital_density,
+                                     const std::vector<idx>& orbital_atom,
+                                     idx atoms_per_cell, idx cells, idx fold) {
+  const idx orb_cell = static_cast<idx>(orbital_atom.size());
+  if (static_cast<idx>(orbital_density.size()) != orb_cell * cells * fold)
+    throw std::invalid_argument("density_per_atom: size mismatch");
+  std::vector<double> out(
+      static_cast<std::size_t>(atoms_per_cell * cells * fold), 0.0);
+  for (idx g = 0; g < cells * fold; ++g) {
+    for (idx o = 0; o < orb_cell; ++o) {
+      const idx atom = g * atoms_per_cell + orbital_atom[static_cast<std::size_t>(o)];
+      out[static_cast<std::size_t>(atom)] +=
+          orbital_density[static_cast<std::size_t>(g * orb_cell + o)];
+    }
+  }
+  return out;
+}
+
+}  // namespace omenx::transport

@@ -1,0 +1,79 @@
+// Per-energy-point quantum transport solution (the work unit of Fig. 9's
+// two outer parallel levels).
+//
+// For one (E, k) the pipeline is:
+//   1. assemble A = E*S - H (block tridiagonal, folded supercells),
+//   2. lead modes -> Sigma^RB and Inj (FEAST / shift-and-invert /
+//      decimation), overlapped with
+//   3. Step 1 of SplitSolve on the accelerators (or a direct baseline),
+//   4. wave-function observables: transmission (flux-normalized amplitudes
+//      in the right lead), orbital-resolved density, interface currents —
+//      cross-checked against the Green's-function (Caroli) transmission.
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "obc/feast.hpp"
+#include "obc/self_energy.hpp"
+#include "parallel/device.hpp"
+
+namespace omenx::transport {
+
+using blockmat::BlockTridiag;
+using numeric::CMatrix;
+using numeric::cplx;
+using numeric::idx;
+
+enum class ObcAlgorithm { kShiftInvert, kFeast, kDecimation };
+enum class SolverAlgorithm { kSplitSolve, kBlockLU, kBcr };
+
+struct EnergyPointOptions {
+  ObcAlgorithm obc = ObcAlgorithm::kFeast;
+  SolverAlgorithm solver = SolverAlgorithm::kSplitSolve;
+  int partitions = 1;              ///< SplitSolve/SPIKE partitions
+  obc::FeastOptions feast;
+  double decimation_eta = 1e-7;
+  bool want_density = true;
+  bool want_current = true;
+  bool want_caroli = true;         ///< also compute Tr[GL G GR G^H]
+};
+
+struct EnergyPointResult {
+  double energy = 0.0;
+  double transmission = 0.0;         ///< wave-function formalism (0 if no inj)
+  double transmission_caroli = 0.0;  ///< Green's-function cross-check
+  idx num_propagating = 0;           ///< incident channels at this energy
+  std::vector<double> orbital_density;    ///< |psi|^2 / v summed over modes
+  std::vector<double> interface_current;  ///< bond current per interface
+};
+
+/// Solve one energy point for the device `dm` with leads `lead`/`folded`.
+/// `pool` is required for the SplitSolve backend (ignored otherwise).
+EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
+                                     const dft::LeadBlocks& lead,
+                                     const dft::FoldedLead& folded,
+                                     double energy,
+                                     const EnergyPointOptions& options = {},
+                                     parallel::DevicePool* pool = nullptr);
+
+/// Fermi-Dirac occupation.
+double fermi(double e, double mu, double kt);
+
+/// Landauer ballistic current (in units of 2e/h * eV) from a transmission
+/// table: I = integral T(E) [f(E, mu_l) - f(E, mu_r)] dE (trapezoid).
+double landauer_current(const std::vector<double>& energies,
+                        const std::vector<double>& transmission, double mu_l,
+                        double mu_r, double kt);
+
+/// Sum orbital density onto physical cells (fold * cells entries).
+std::vector<double> density_per_cell(const std::vector<double>& orbital_density,
+                                     idx orbitals_per_cell, idx cells);
+
+/// Sum orbital density onto atoms of each cell using the orbital->atom map
+/// (Fig. 10(a)-style atom-resolved charge).
+std::vector<double> density_per_atom(const std::vector<double>& orbital_density,
+                                     const std::vector<idx>& orbital_atom,
+                                     idx atoms_per_cell, idx cells, idx fold);
+
+}  // namespace omenx::transport

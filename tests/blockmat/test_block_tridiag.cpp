@@ -1,0 +1,104 @@
+#include "blockmat/block_tridiag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/blas.hpp"
+
+namespace bm = omenx::blockmat;
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+bm::BlockTridiag random_tridiag(idx nb, idx s, unsigned seed) {
+  bm::BlockTridiag t(nb, s);
+  for (idx i = 0; i < nb; ++i) {
+    t.diag(i) = nm::random_cmatrix(s, s, seed + static_cast<unsigned>(i));
+    for (idx d = 0; d < s; ++d) t.diag(i)(d, d) += cplx{4.0};
+    if (i + 1 < nb) {
+      t.upper(i) = nm::random_cmatrix(s, s, seed + 100 + static_cast<unsigned>(i));
+      t.lower(i) = nm::random_cmatrix(s, s, seed + 200 + static_cast<unsigned>(i));
+    }
+  }
+  return t;
+}
+}  // namespace
+
+TEST(BlockTridiag, DimensionsAndZeroInit) {
+  bm::BlockTridiag t(5, 3);
+  EXPECT_EQ(t.num_blocks(), 5);
+  EXPECT_EQ(t.block_size(), 3);
+  EXPECT_EQ(t.dim(), 15);
+  EXPECT_EQ(t.nnz(0.0), 0);
+}
+
+TEST(BlockTridiag, InvalidConstructionThrows) {
+  EXPECT_THROW(bm::BlockTridiag(0, 3), std::invalid_argument);
+  EXPECT_THROW(bm::BlockTridiag(3, 0), std::invalid_argument);
+}
+
+TEST(BlockTridiag, ToDensePlacesBlocks) {
+  bm::BlockTridiag t(3, 2);
+  t.diag(1)(0, 0) = cplx{5.0};
+  t.upper(0)(1, 1) = cplx{7.0};
+  t.lower(1)(0, 1) = cplx{9.0};
+  CMatrix d = t.to_dense();
+  EXPECT_EQ(d(2, 2), cplx{5.0});
+  EXPECT_EQ(d(1, 3), cplx{7.0});
+  EXPECT_EQ(d(4, 3), cplx{9.0});
+  EXPECT_EQ(d(0, 5), cplx{0.0});  // outside the band
+}
+
+TEST(BlockTridiag, MultiplyMatchesDense) {
+  const auto t = random_tridiag(4, 3, 1);
+  const CMatrix x = nm::random_cmatrix(12, 2, 50);
+  const CMatrix y1 = t.multiply(x);
+  const CMatrix y2 = nm::matmul(t.to_dense(), x);
+  EXPECT_LT(nm::max_abs_diff(y1, y2), 1e-12);
+}
+
+TEST(BlockTridiag, NnzThreshold) {
+  bm::BlockTridiag t(2, 2);
+  t.diag(0)(0, 0) = cplx{1.0};
+  t.diag(0)(1, 1) = cplx{1e-12};
+  EXPECT_EQ(t.nnz(1e-10), 1);
+  EXPECT_EQ(t.nnz(0.0), 2);
+}
+
+TEST(BlockTridiag, HermitianDetection) {
+  bm::BlockTridiag t(3, 2);
+  for (idx i = 0; i < 3; ++i) {
+    CMatrix a = nm::random_cmatrix(2, 2, 60 + static_cast<unsigned>(i));
+    t.diag(i) = a + nm::dagger(a);
+  }
+  for (idx i = 0; i < 2; ++i) {
+    t.upper(i) = nm::random_cmatrix(2, 2, 70 + static_cast<unsigned>(i));
+    t.lower(i) = nm::dagger(t.upper(i));
+  }
+  EXPECT_TRUE(t.is_hermitian());
+  t.lower(0)(0, 0) += cplx{0.0, 0.5};
+  EXPECT_FALSE(t.is_hermitian());
+}
+
+TEST(BlockTridiag, EsMinusH) {
+  const auto h = random_tridiag(3, 2, 80);
+  const auto s = random_tridiag(3, 2, 90);
+  const cplx e{1.5, 0.1};
+  const auto t = bm::BlockTridiag::es_minus_h(e, s, h);
+  const CMatrix expected = s.to_dense() * e - h.to_dense();
+  EXPECT_LT(nm::max_abs_diff(t.to_dense(), expected), 1e-12);
+}
+
+TEST(BlockTridiag, AxpyStructureMismatchThrows) {
+  bm::BlockTridiag a(3, 2), b(4, 2);
+  EXPECT_THROW(a.axpy(cplx{1.0}, b, cplx{1.0}), std::invalid_argument);
+}
+
+TEST(BlockTridiag, CountNnzDense) {
+  CMatrix m(2, 3);
+  m(0, 0) = cplx{0.5};
+  m(1, 2) = cplx{0.0, 2.0};
+  EXPECT_EQ(bm::count_nnz(m, 0.1), 2);
+  EXPECT_EQ(bm::count_nnz(m, 1.0), 1);
+}

@@ -1,0 +1,118 @@
+#include "lattice/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace lt = omenx::lattice;
+using lt::idx;
+
+TEST(Structure, NanowireAtomsInsideCircle) {
+  const auto s = lt::make_nanowire(2.2, 10);
+  EXPECT_GT(s.atoms_per_cell(), 0);
+  EXPECT_EQ(s.num_cells, 10);
+  EXPECT_EQ(s.periodicity, lt::Periodicity::kNone);
+  const double r = 1.1;
+  for (const auto& a : s.cell_atoms) {
+    EXPECT_EQ(a.species, lt::Species::kSi);
+    EXPECT_LE(a.position[1] * a.position[1] + a.position[2] * a.position[2],
+              r * r + 1e-12);
+    EXPECT_GE(a.position[0], 0.0);
+    EXPECT_LT(a.position[0], s.cell_length);
+  }
+}
+
+TEST(Structure, NanowireAtomCountScalesWithArea) {
+  const auto small = lt::make_nanowire(1.2, 2);
+  const auto large = lt::make_nanowire(2.4, 2);
+  // 2x diameter => ~4x cross-section atoms.
+  const double ratio = static_cast<double>(large.atoms_per_cell()) /
+                       static_cast<double>(small.atoms_per_cell());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Structure, NanowireDiameterFromPaperHasAtoms) {
+  // The 55488-atom NWFET has d=3.2 nm; per-cell count x cells should be in
+  // the right ballpark (paper: 55488 atoms over ~192 cells of 0.5431 nm
+  // => ~289 atoms/cell).
+  const auto s = lt::make_nanowire(3.2, 4);
+  EXPECT_GT(s.atoms_per_cell(), 200);
+  EXPECT_LT(s.atoms_per_cell(), 400);
+}
+
+TEST(Structure, OrbitalCounting) {
+  EXPECT_EQ(lt::orbitals_per_atom(lt::Species::kSi), 12);
+  const auto s = lt::make_nanowire(1.0, 3);
+  EXPECT_EQ(s.orbitals_per_cell(), 12 * s.atoms_per_cell());
+  EXPECT_EQ(s.total_orbitals(), s.orbitals_per_cell() * 3);
+  EXPECT_EQ(s.total_atoms(), s.atoms_per_cell() * 3);
+}
+
+TEST(Structure, UtbConfinedInYPeriodicInZ) {
+  const auto s = lt::make_utb(2.0, 6);
+  EXPECT_EQ(s.periodicity, lt::Periodicity::kZ);
+  EXPECT_DOUBLE_EQ(s.z_period, lt::kSiLatticeConstant);
+  for (const auto& a : s.cell_atoms) {
+    EXPECT_GE(a.position[1], -1.0);
+    EXPECT_LT(a.position[1], 1.0);
+    EXPECT_GE(a.position[2], 0.0);
+    EXPECT_LT(a.position[2], s.z_period + 1e-12);
+  }
+}
+
+TEST(Structure, UtbThicknessScaling) {
+  const auto thin = lt::make_utb(1.0, 2);
+  const auto thick = lt::make_utb(3.0, 2);
+  EXPECT_GT(thick.atoms_per_cell(), 2 * thin.atoms_per_cell());
+}
+
+TEST(Structure, InvalidGeometryThrows) {
+  EXPECT_THROW(lt::make_nanowire(-1.0, 4), std::invalid_argument);
+  EXPECT_THROW(lt::make_nanowire(2.0, 0), std::invalid_argument);
+  EXPECT_THROW(lt::make_utb(0.0, 4), std::invalid_argument);
+}
+
+TEST(Structure, VolumeExpansionMonotoneAndCalibrated) {
+  EXPECT_DOUBLE_EQ(lt::volume_expansion(0.0), 0.0);
+  double prev = -1.0;
+  for (double c = 0.0; c <= 1000.0; c += 50.0) {
+    const double v = lt::volume_expansion(c);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+  // Paper Fig. 1(e): roughly +130-150% at C = 1000 mAh/g.
+  EXPECT_NEAR(lt::volume_expansion(1000.0), 1.4, 0.2);
+  EXPECT_THROW(lt::volume_expansion(-5.0), std::invalid_argument);
+}
+
+TEST(Structure, SnoAnodeSpecies) {
+  const auto s = lt::make_sno_anode(8, 2, 1000.0);
+  EXPECT_EQ(s.num_cells, 8);
+  bool has_sn = false, has_o = false, has_li = false;
+  for (const auto& a : s.cell_atoms) {
+    has_sn |= a.species == lt::Species::kSn;
+    has_o |= a.species == lt::Species::kO;
+    has_li |= a.species == lt::Species::kLi;
+  }
+  EXPECT_TRUE(has_sn);
+  EXPECT_TRUE(has_o);
+  EXPECT_TRUE(has_li);
+  // Unlithiated anode has no Li.
+  const auto dry = lt::make_sno_anode(8, 0, 0.0);
+  for (const auto& a : dry.cell_atoms) EXPECT_NE(a.species, lt::Species::kLi);
+}
+
+TEST(Structure, SnoLatticeExpandsWithCapacity) {
+  const auto a = lt::make_sno_anode(4, 2, 0.0);
+  const auto b = lt::make_sno_anode(4, 2, 1000.0);
+  EXPECT_GT(b.cell_length, a.cell_length * 1.2);
+}
+
+TEST(Structure, RegionsFromNanometers) {
+  const auto r = lt::make_regions(20.0, 10.0, 20.0, lt::kSiLatticeConstant);
+  EXPECT_EQ(r.source_cells, 37);  // 20 / 0.5431 rounded
+  EXPECT_EQ(r.gate_cells, 18);
+  EXPECT_EQ(r.total(), 37 + 18 + 37);
+  EXPECT_THROW(lt::make_regions(1.0, 1.0, 1.0, 0.0), std::invalid_argument);
+}

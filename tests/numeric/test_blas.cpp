@@ -1,0 +1,111 @@
+#include "numeric/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/flops.hpp"
+#include "numeric/matrix.hpp"
+
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+// Naive reference multiply for validation.
+CMatrix ref_matmul(const CMatrix& a, const CMatrix& b) {
+  CMatrix c(a.rows(), b.cols());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx k = 0; k < a.cols(); ++k)
+      for (idx j = 0; j < b.cols(); ++j) c(i, j) += a(i, k) * b(k, j);
+  return c;
+}
+}  // namespace
+
+TEST(Blas, GemmMatchesReference) {
+  const CMatrix a = nm::random_cmatrix(37, 23, 1);
+  const CMatrix b = nm::random_cmatrix(23, 41, 2);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(a, b), ref_matmul(a, b)), 1e-12);
+}
+
+TEST(Blas, GemmLargeBlockedPath) {
+  const CMatrix a = nm::random_cmatrix(130, 140, 3);
+  const CMatrix b = nm::random_cmatrix(140, 150, 4);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(a, b), ref_matmul(a, b)), 1e-11);
+}
+
+TEST(Blas, GemmAlphaBeta) {
+  const CMatrix a = nm::random_cmatrix(8, 8, 5);
+  const CMatrix b = nm::random_cmatrix(8, 8, 6);
+  CMatrix c = nm::random_cmatrix(8, 8, 7);
+  const CMatrix c0 = c;
+  const cplx alpha{2.0, 1.0}, beta{0.5, -0.5};
+  nm::gemm(a, b, c, alpha, beta);
+  CMatrix expected = ref_matmul(a, b) * alpha + c0 * beta;
+  EXPECT_LT(nm::max_abs_diff(c, expected), 1e-12);
+}
+
+TEST(Blas, GemmTransposeOps) {
+  const CMatrix a = nm::random_cmatrix(9, 12, 8);
+  const CMatrix b = nm::random_cmatrix(9, 7, 9);
+  // C = A^T B
+  CMatrix c = nm::matmul(a, b, 'T', 'N');
+  EXPECT_LT(nm::max_abs_diff(c, ref_matmul(a.transpose(), b)), 1e-12);
+  // C = A^H B
+  c = nm::matmul(a, b, 'C', 'N');
+  EXPECT_LT(nm::max_abs_diff(c, ref_matmul(nm::dagger(a), b)), 1e-12);
+}
+
+TEST(Blas, GemmInnerDimMismatchThrows) {
+  const CMatrix a = nm::random_cmatrix(3, 4, 10);
+  const CMatrix b = nm::random_cmatrix(5, 3, 11);
+  CMatrix c;
+  EXPECT_THROW(nm::gemm(a, b, c), std::invalid_argument);
+}
+
+TEST(Blas, Gemv) {
+  const CMatrix a = nm::random_cmatrix(6, 4, 12);
+  std::vector<cplx> x(4, cplx{1.0, -1.0});
+  std::vector<cplx> y;
+  nm::gemv(a, x, y);
+  for (idx i = 0; i < 6; ++i) {
+    cplx acc{0.0};
+    for (idx j = 0; j < 4; ++j) acc += a(i, j) * x[j];
+    EXPECT_LT(std::abs(y[i] - acc), 1e-13);
+  }
+}
+
+TEST(Blas, FrobNorm) {
+  CMatrix a(2, 2);
+  a(0, 0) = cplx{3.0};
+  a(1, 1) = cplx{0.0, 4.0};
+  EXPECT_NEAR(nm::frob_norm(a), 5.0, 1e-14);
+}
+
+TEST(Blas, IsHermitian) {
+  CMatrix a = nm::random_cmatrix(10, 10, 13);
+  CMatrix h = a + nm::dagger(a);
+  EXPECT_TRUE(nm::is_hermitian(h));
+  h(3, 7) += cplx{0.0, 0.1};
+  EXPECT_FALSE(nm::is_hermitian(h));
+}
+
+TEST(Blas, FlopCountingGemm) {
+  nm::FlopCounter::reset();
+  const CMatrix a = nm::random_cmatrix(10, 20, 14);
+  const CMatrix b = nm::random_cmatrix(20, 30, 15);
+  nm::FlopCounter::reset();
+  nm::matmul(a, b);
+  EXPECT_EQ(nm::FlopCounter::total(), 10u * 20u * 30u * 8u);
+}
+
+TEST(Blas, ThreadParallelismToggle) {
+  nm::set_thread_parallelism(false);
+  EXPECT_FALSE(nm::thread_parallelism());
+  const CMatrix a = nm::random_cmatrix(70, 70, 16);
+  const CMatrix b = nm::random_cmatrix(70, 70, 17);
+  CMatrix serial = nm::matmul(a, b);
+  nm::set_thread_parallelism(true);
+  EXPECT_TRUE(nm::thread_parallelism());
+  CMatrix parallel = nm::matmul(a, b);
+  EXPECT_LT(nm::max_abs_diff(serial, parallel), 1e-13);
+}

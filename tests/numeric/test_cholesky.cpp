@@ -1,0 +1,49 @@
+#include "numeric/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/blas.hpp"
+#include "numeric/matrix.hpp"
+
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+CMatrix random_hpd(idx n, unsigned seed) {
+  const CMatrix a = nm::random_cmatrix(n, n, seed);
+  CMatrix h = nm::matmul(a, a, 'N', 'C');
+  for (idx i = 0; i < n; ++i) h(i, i) += cplx{0.5};
+  return h;
+}
+}  // namespace
+
+TEST(Cholesky, Reconstructs) {
+  const CMatrix a = random_hpd(14, 1);
+  const CMatrix l = nm::cholesky(a);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(l, l, 'N', 'C'), a), 1e-10);
+}
+
+TEST(Cholesky, LIsLowerTriangular) {
+  const CMatrix l = nm::cholesky(random_hpd(8, 2));
+  for (idx i = 0; i < 8; ++i)
+    for (idx j = i + 1; j < 8; ++j) EXPECT_EQ(l(i, j), cplx{0.0});
+}
+
+TEST(Cholesky, IndefiniteThrows) {
+  CMatrix a = CMatrix::identity(3);
+  a(2, 2) = cplx{-1.0};
+  EXPECT_THROW(nm::cholesky(a), std::runtime_error);
+}
+
+TEST(Cholesky, IsHpdPredicate) {
+  EXPECT_TRUE(nm::is_hpd(random_hpd(6, 3)));
+  CMatrix bad = CMatrix::identity(4);
+  bad(0, 0) = cplx{-2.0};
+  EXPECT_FALSE(nm::is_hpd(bad));
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(nm::cholesky(CMatrix(3, 4)), std::invalid_argument);
+}

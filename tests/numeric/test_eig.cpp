@@ -1,0 +1,162 @@
+#include "numeric/eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+
+#include "numeric/blas.hpp"
+#include "numeric/matrix.hpp"
+
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+// Sort eigenvalues lexicographically (re, im) for comparison.
+std::vector<cplx> sorted(std::vector<cplx> v) {
+  std::sort(v.begin(), v.end(), [](cplx a, cplx b) {
+    if (a.real() != b.real()) return a.real() < b.real();
+    return a.imag() < b.imag();
+  });
+  return v;
+}
+
+double residual(const CMatrix& a, const cplx lambda,
+                const CMatrix& vecs, idx col) {
+  const idx n = a.rows();
+  double num = 0.0, den = 0.0;
+  for (idx i = 0; i < n; ++i) {
+    cplx av{0.0};
+    for (idx j = 0; j < n; ++j) av += a(i, j) * vecs(j, col);
+    num += std::norm(av - lambda * vecs(i, col));
+    den += std::norm(vecs(i, col));
+  }
+  return std::sqrt(num / std::max(den, 1e-300));
+}
+}  // namespace
+
+TEST(Eig, DiagonalMatrix) {
+  CMatrix a(3, 3);
+  a(0, 0) = cplx{1.0};
+  a(1, 1) = cplx{2.0, 1.0};
+  a(2, 2) = cplx{-3.0};
+  auto r = nm::eig(a);
+  auto vals = sorted(r.values);
+  EXPECT_LT(std::abs(vals[0] - cplx{-3.0}), 1e-12);
+  EXPECT_LT(std::abs(vals[1] - cplx{1.0}), 1e-12);
+  EXPECT_LT(std::abs(vals[2] - cplx(2.0, 1.0)), 1e-12);
+}
+
+TEST(Eig, KnownTwoByTwo) {
+  // [[0, 1], [-1, 0]] has eigenvalues +-i.
+  CMatrix a{{cplx{0.0}, cplx{1.0}}, {cplx{-1.0}, cplx{0.0}}};
+  auto r = nm::eig(a, false);
+  auto vals = sorted(r.values);
+  EXPECT_LT(std::abs(vals[0] - cplx(0.0, -1.0)), 1e-12);
+  EXPECT_LT(std::abs(vals[1] - cplx(0.0, 1.0)), 1e-12);
+}
+
+TEST(Eig, TraceAndDetInvariants) {
+  const idx n = 24;
+  const CMatrix a = nm::random_cmatrix(n, n, 11);
+  auto r = nm::eig(a, false);
+  cplx tr_eig{0.0};
+  for (auto v : r.values) tr_eig += v;
+  cplx tr{0.0};
+  for (idx i = 0; i < n; ++i) tr += a(i, i);
+  EXPECT_LT(std::abs(tr - tr_eig), 1e-8 * n);
+}
+
+TEST(Eig, ResidualsSmall) {
+  const idx n = 20;
+  const CMatrix a = nm::random_cmatrix(n, n, 12);
+  auto r = nm::eig(a);
+  ASSERT_EQ(static_cast<idx>(r.values.size()), n);
+  for (idx k = 0; k < n; ++k)
+    EXPECT_LT(residual(a, r.values[static_cast<std::size_t>(k)], r.vectors, k),
+              1e-8)
+        << "eigenpair " << k;
+}
+
+TEST(Eig, HermitianInputGivesRealValues) {
+  CMatrix a = nm::random_cmatrix(15, 15, 13);
+  a = a + nm::dagger(a);
+  auto r = nm::eig(a, false);
+  for (auto v : r.values) EXPECT_LT(std::abs(v.imag()), 1e-8);
+}
+
+TEST(Eig, GeneralizedMatchesDirectConstruction) {
+  // Pick B invertible, A = B * D with D diagonal: eigenvalues are D.
+  const idx n = 10;
+  CMatrix b = nm::random_cmatrix(n, n, 14);
+  for (idx i = 0; i < n; ++i) b(i, i) += cplx{5.0};
+  CMatrix d(n, n);
+  for (idx i = 0; i < n; ++i) d(i, i) = cplx(double(i + 1), 0.5 * double(i));
+  const CMatrix a = nm::matmul(b, d);
+  auto r = nm::generalized_eig(a, b, false);
+  auto vals = sorted(r.values);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(vals[static_cast<std::size_t>(i)] -
+                       cplx(double(i + 1), 0.5 * double(i))),
+              1e-7);
+}
+
+TEST(Eig, ShiftInvertRecoversFiniteEigenvalues) {
+  const idx n = 8;
+  CMatrix b = CMatrix::identity(n);
+  CMatrix a(n, n);
+  for (idx i = 0; i < n; ++i) a(i, i) = cplx(double(i), 0.0);
+  auto r = nm::shift_invert_eig(a, b, cplx{-0.7, 0.3}, false);
+  auto vals = sorted(r.values);
+  ASSERT_EQ(vals.size(), static_cast<std::size_t>(n));
+  for (idx i = 0; i < n; ++i)
+    EXPECT_LT(std::abs(vals[static_cast<std::size_t>(i)] - cplx(double(i))),
+              1e-9);
+}
+
+TEST(Eig, ShiftInvertDropsInfiniteEigenvalues) {
+  // Singular B: pencil has infinite eigenvalues that must be discarded.
+  CMatrix a{{cplx{2.0}, cplx{0.0}}, {cplx{0.0}, cplx{1.0}}};
+  CMatrix b{{cplx{1.0}, cplx{0.0}}, {cplx{0.0}, cplx{0.0}}};
+  auto r = nm::shift_invert_eig(a, b, cplx{0.1, 0.1}, false);
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_LT(std::abs(r.values[0] - cplx{2.0}), 1e-9);
+}
+
+TEST(Eig, HermitianJacobi) {
+  const idx n = 12;
+  CMatrix a = nm::random_cmatrix(n, n, 15);
+  a = a + nm::dagger(a);
+  auto r = nm::hermitian_eig(a);
+  ASSERT_EQ(static_cast<idx>(r.values.size()), n);
+  // Values ascending.
+  for (idx i = 1; i < n; ++i)
+    EXPECT_LE(r.values[static_cast<std::size_t>(i - 1)],
+              r.values[static_cast<std::size_t>(i)]);
+  // A v = lambda v.
+  for (idx k = 0; k < n; ++k)
+    EXPECT_LT(residual(a, cplx{r.values[static_cast<std::size_t>(k)]},
+                       r.vectors, k),
+              1e-9);
+  // Orthonormal vectors.
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(r.vectors, r.vectors, 'C', 'N'),
+                             CMatrix::identity(n)),
+            1e-9);
+}
+
+// Property sweep over sizes: eigen-residuals stay small.
+class EigSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigSizes, ResidualsAcrossSizes) {
+  const idx n = GetParam();
+  const CMatrix a = nm::random_cmatrix(n, n, 300 + static_cast<unsigned>(n));
+  auto r = nm::eig(a);
+  for (idx k = 0; k < n; ++k)
+    EXPECT_LT(residual(a, r.values[static_cast<std::size_t>(k)], r.vectors, k),
+              1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSizes,
+                         ::testing::Values(2, 3, 4, 6, 10, 16, 25, 40));

@@ -1,0 +1,101 @@
+#include "numeric/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/blas.hpp"
+#include "numeric/matrix.hpp"
+
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+CMatrix well_conditioned(idx n, unsigned seed) {
+  CMatrix a = nm::random_cmatrix(n, n, seed);
+  for (idx i = 0; i < n; ++i) a(i, i) += cplx{double(n), 0.0};
+  return a;
+}
+}  // namespace
+
+TEST(LU, SolveSingleRhs) {
+  const CMatrix a = well_conditioned(12, 1);
+  const CMatrix x_true = nm::random_cmatrix(12, 1, 2);
+  const CMatrix b = nm::matmul(a, x_true);
+  const CMatrix x = nm::solve(a, b);
+  EXPECT_LT(nm::max_abs_diff(x, x_true), 1e-11);
+}
+
+TEST(LU, SolveMultiRhs) {
+  const CMatrix a = well_conditioned(20, 3);
+  const CMatrix x_true = nm::random_cmatrix(20, 7, 4);
+  const CMatrix b = nm::matmul(a, x_true);
+  const CMatrix x = nm::LUFactor(a).solve(b);
+  EXPECT_LT(nm::max_abs_diff(x, x_true), 1e-10);
+}
+
+TEST(LU, NoPivotVariantOnDiagonallyDominant) {
+  const CMatrix a = well_conditioned(15, 5);
+  const CMatrix x_true = nm::random_cmatrix(15, 3, 6);
+  const CMatrix b = nm::matmul(a, x_true);
+  const CMatrix x = nm::solve(a, b, nm::Pivoting::kNone);
+  EXPECT_LT(nm::max_abs_diff(x, x_true), 1e-9);
+}
+
+TEST(LU, Inverse) {
+  const CMatrix a = well_conditioned(10, 7);
+  const CMatrix ainv = nm::inverse(a);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(a, ainv), CMatrix::identity(10)),
+            1e-11);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(ainv, a), CMatrix::identity(10)),
+            1e-11);
+}
+
+TEST(LU, SolveLeft) {
+  const CMatrix a = well_conditioned(9, 8);
+  const CMatrix x_true = nm::random_cmatrix(4, 9, 9);
+  const CMatrix b = nm::matmul(x_true, a);
+  const CMatrix x = nm::LUFactor(a).solve_left(b);
+  EXPECT_LT(nm::max_abs_diff(x, x_true), 1e-10);
+}
+
+TEST(LU, SingularThrows) {
+  CMatrix a(3, 3);  // all zeros
+  EXPECT_THROW(nm::LUFactor{a}, std::runtime_error);
+}
+
+TEST(LU, NonSquareThrows) {
+  CMatrix a(3, 4);
+  EXPECT_THROW(nm::LUFactor{a}, std::invalid_argument);
+}
+
+TEST(LU, PivotingHandlesZeroDiagonal) {
+  // Permutation-like matrix with zero on the diagonal requires pivoting.
+  CMatrix a{{cplx{0.0}, cplx{1.0}}, {cplx{1.0}, cplx{0.0}}};
+  const CMatrix b{{cplx{2.0}}, {cplx{3.0}}};
+  const CMatrix x = nm::solve(a, b);
+  EXPECT_LT(std::abs(x(0, 0) - cplx{3.0}), 1e-14);
+  EXPECT_LT(std::abs(x(1, 0) - cplx{2.0}), 1e-14);
+}
+
+TEST(LU, LogAbsDet) {
+  CMatrix a(2, 2);
+  a(0, 0) = cplx{2.0};
+  a(1, 1) = cplx{3.0};
+  nm::LUFactor lu(a);
+  EXPECT_NEAR(lu.log_abs_det(), std::log(6.0), 1e-12);
+}
+
+// Property sweep: random systems of several sizes round-trip.
+class LURoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LURoundTrip, SolveRecoversSolution) {
+  const idx n = GetParam();
+  const CMatrix a = well_conditioned(n, 100 + static_cast<unsigned>(n));
+  const CMatrix x_true = nm::random_cmatrix(n, 5, 200 + static_cast<unsigned>(n));
+  const CMatrix b = nm::matmul(a, x_true);
+  EXPECT_LT(nm::max_abs_diff(nm::solve(a, b), x_true), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LURoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 17, 33, 64, 100));

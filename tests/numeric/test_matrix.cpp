@@ -1,0 +1,100 @@
+#include "numeric/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/blas.hpp"
+
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+using nm::RMatrix;
+
+TEST(Matrix, DefaultIsEmpty) {
+  CMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructAndIndex) {
+  CMatrix m(3, 4, cplx{1.5, -0.5});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m(2, 3), cplx(1.5, -0.5));
+  m(1, 2) = cplx{2.0, 3.0};
+  EXPECT_EQ(m(1, 2), cplx(2.0, 3.0));
+}
+
+TEST(Matrix, InitializerList) {
+  RMatrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((RMatrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  CMatrix i = CMatrix::identity(4);
+  for (idx r = 0; r < 4; ++r)
+    for (idx c = 0; c < 4; ++c)
+      EXPECT_EQ(i(r, c), r == c ? cplx{1.0} : cplx{0.0});
+}
+
+TEST(Matrix, BlockExtractAndSet) {
+  CMatrix m(4, 4);
+  for (idx r = 0; r < 4; ++r)
+    for (idx c = 0; c < 4; ++c) m(r, c) = cplx(double(r), double(c));
+  CMatrix b = m.block(1, 2, 2, 2);
+  EXPECT_EQ(b(0, 0), cplx(1.0, 2.0));
+  EXPECT_EQ(b(1, 1), cplx(2.0, 3.0));
+
+  CMatrix z(4, 4);
+  z.set_block(2, 2, b);
+  EXPECT_EQ(z(2, 2), cplx(1.0, 2.0));
+  EXPECT_EQ(z(0, 0), cplx{0.0});
+}
+
+TEST(Matrix, AddBlockWithScale) {
+  CMatrix m(2, 2, cplx{1.0});
+  CMatrix b(2, 2, cplx{2.0});
+  m.add_block(0, 0, b, cplx{0.0, 1.0});
+  EXPECT_EQ(m(0, 0), cplx(1.0, 2.0));
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  CMatrix a(2, 2, cplx{1.0});
+  CMatrix b(2, 2, cplx{2.0});
+  CMatrix c = a + b;
+  EXPECT_EQ(c(1, 1), cplx{3.0});
+  c = c - a;
+  EXPECT_EQ(c(0, 0), cplx{2.0});
+  c = c * cplx{2.0};
+  EXPECT_EQ(c(0, 1), cplx{4.0});
+}
+
+TEST(Matrix, TransposeAndDagger) {
+  CMatrix m{{cplx{1, 2}, cplx{3, 4}}, {cplx{5, 6}, cplx{7, 8}}};
+  CMatrix t = m.transpose();
+  EXPECT_EQ(t(0, 1), cplx(5, 6));
+  CMatrix d = nm::dagger(m);
+  EXPECT_EQ(d(0, 1), cplx(5, -6));
+  EXPECT_EQ(d(1, 0), cplx(3, -4));
+}
+
+TEST(Matrix, RandomIsDeterministic) {
+  CMatrix a = nm::random_cmatrix(5, 5, 42);
+  CMatrix b = nm::random_cmatrix(5, 5, 42);
+  EXPECT_EQ(nm::max_abs_diff(a, b), 0.0);
+  CMatrix c = nm::random_cmatrix(5, 5, 43);
+  EXPECT_GT(nm::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Matrix, ToComplex) {
+  RMatrix r{{1.0, 2.0}, {3.0, 4.0}};
+  CMatrix c = nm::to_complex(r);
+  EXPECT_EQ(c(1, 0), cplx(3.0, 0.0));
+}

@@ -1,0 +1,68 @@
+#include "numeric/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "numeric/blas.hpp"
+#include "numeric/matrix.hpp"
+
+namespace nm = omenx::numeric;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+TEST(QR, ReconstructsInput) {
+  const CMatrix a = nm::random_cmatrix(12, 7, 1);
+  const auto [q, r] = nm::qr_decompose(a);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(q, r), a), 1e-12);
+}
+
+TEST(QR, QHasOrthonormalColumns) {
+  const CMatrix a = nm::random_cmatrix(15, 6, 2);
+  const auto [q, r] = nm::qr_decompose(a);
+  const CMatrix qhq = nm::matmul(q, q, 'C', 'N');
+  EXPECT_LT(nm::max_abs_diff(qhq, CMatrix::identity(6)), 1e-12);
+}
+
+TEST(QR, RIsUpperTriangular) {
+  const CMatrix a = nm::random_cmatrix(10, 10, 3);
+  const auto [q, r] = nm::qr_decompose(a);
+  for (idx i = 0; i < r.rows(); ++i)
+    for (idx j = 0; j < i; ++j) EXPECT_EQ(r(i, j), cplx{0.0});
+}
+
+TEST(QR, WideMatrixThrows) {
+  EXPECT_THROW(nm::qr_decompose(nm::random_cmatrix(3, 5, 4)),
+               std::invalid_argument);
+}
+
+TEST(QR, OrthonormalizeFullRank) {
+  const CMatrix a = nm::random_cmatrix(20, 5, 5);
+  const CMatrix q = nm::orthonormalize(a);
+  EXPECT_EQ(q.cols(), 5);
+  EXPECT_LT(nm::max_abs_diff(nm::matmul(q, q, 'C', 'N'), CMatrix::identity(5)),
+            1e-12);
+}
+
+TEST(QR, OrthonormalizeDetectsRankDeficiency) {
+  CMatrix a = nm::random_cmatrix(20, 3, 6);
+  // Append a duplicate column: rank stays 3 of 4.
+  CMatrix aug(20, 4);
+  aug.set_block(0, 0, a);
+  for (idx i = 0; i < 20; ++i) aug(i, 3) = a(i, 0);
+  const CMatrix q = nm::orthonormalize(aug);
+  EXPECT_EQ(q.cols(), 3);
+}
+
+TEST(QR, OrthonormalizeZeroMatrix) {
+  const CMatrix q = nm::orthonormalize(CMatrix(8, 3));
+  EXPECT_EQ(q.cols(), 0);
+}
+
+TEST(QR, SpanIsPreserved) {
+  // Columns of orthonormalize(a) must span col(a): projecting a onto the
+  // basis reproduces a.
+  const CMatrix a = nm::random_cmatrix(16, 4, 7);
+  const CMatrix q = nm::orthonormalize(a);
+  const CMatrix proj = nm::matmul(q, nm::matmul(q, a, 'C', 'N'));
+  EXPECT_LT(nm::max_abs_diff(proj, a), 1e-11);
+}

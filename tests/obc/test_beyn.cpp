@@ -1,0 +1,143 @@
+// Beyn contour-integral OBC solver tests: cross-validated against the
+// shift-and-invert reference and the analytic 1-D chain self-energy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/blas.hpp"
+#include "obc/beyn.hpp"
+#include "obc/decimation.hpp"
+#include "obc/self_energy.hpp"
+#include "obc/shift_invert.hpp"
+
+namespace df = omenx::dft;
+namespace nm = omenx::numeric;
+namespace ob = omenx::obc;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+df::LeadBlocks chain_lead(double t = -1.0) {
+  df::LeadBlocks lead;
+  lead.h.resize(2);
+  lead.s.resize(2);
+  lead.h[0] = CMatrix(1, 1);
+  lead.h[1] = CMatrix{{cplx{t}}};
+  lead.s[0] = CMatrix::identity(1);
+  lead.s[1] = CMatrix(1, 1);
+  return lead;
+}
+
+df::LeadBlocks random_lead(idx s, unsigned seed) {
+  df::LeadBlocks lead;
+  lead.h.resize(2);
+  lead.s.resize(2);
+  CMatrix a = nm::random_cmatrix(s, s, seed);
+  lead.h[0] = a + nm::dagger(a);
+  lead.h[1] = nm::random_cmatrix(s, s, seed + 1);
+  for (idx i = 0; i < s; ++i) lead.h[1](i, i) += cplx{2.0};
+  lead.s[0] = CMatrix::identity(s);
+  lead.s[1] = CMatrix(s, s);
+  return lead;
+}
+
+}  // namespace
+
+
+TEST(Beyn, OutOfBandUnitCirclePair) {
+  // random_lead at E = 6 (mostly evanescent): the thin annulus encloses two
+  // |lambda| ~ 1 modes with independent eigenvectors — within method A's
+  // rank-s capacity.
+  const auto lead = random_lead(3, 33);
+  ob::BeynOptions opt;
+  opt.annulus_r = 1.5;
+  const auto modes = ob::compute_modes_beyn(lead, cplx{6.0}, opt);
+  ASSERT_EQ(modes.lambda.size(), 2u);
+  for (const auto lam : modes.lambda) EXPECT_NEAR(std::abs(lam), 1.0, 1e-6);
+}
+
+TEST(Beyn, MatchesShiftInvertInsideAnnulus) {
+  const auto lead = random_lead(3, 33);
+  const cplx e{6.0};
+  const auto all = ob::compute_modes_shift_invert(lead, e);
+  ob::BeynOptions opt;
+  opt.annulus_r = 1.5;
+  ob::BeynStats stats;
+  const auto beyn = ob::compute_modes_beyn(lead, e, opt, &stats);
+  idx inside = 0;
+  for (const auto lam : all.lambda) {
+    const double m = std::abs(lam);
+    if (m >= 1.0 / opt.annulus_r && m <= opt.annulus_r) ++inside;
+  }
+  EXPECT_EQ(static_cast<idx>(beyn.lambda.size()), inside);
+  EXPECT_LT(stats.max_residual, 1e-6);
+  for (const auto lam : beyn.lambda) {
+    double best = 1e9;
+    for (const auto ref : all.lambda)
+      best = std::min(best, std::abs(lam - ref));
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+TEST(Beyn, MethodACapacityIsBlockSize) {
+  // The single-orbital chain carries a reciprocal mode pair (lambda and
+  // 1/lambda): two modes in any symmetric annulus, above method A's rank-s
+  // capacity (s = 1).  Beyn must not return spurious pairs.
+  const auto lead = chain_lead();
+  ob::BeynOptions opt;
+  opt.annulus_r = 10.0;
+  opt.probe_columns = 1;
+  const auto modes = ob::compute_modes_beyn(lead, cplx{-1.0}, opt);
+  EXPECT_LE(modes.lambda.size(), 1u);
+}
+
+TEST(Beyn, SelfEnergyMatchesAnnulusTruncatedShiftInvert) {
+  // Beyn (method A) resolves at most s modes inside the contour; compare
+  // against shift-and-invert restricted to the same annulus, which is the
+  // apples-to-apples truncated-Sigma reference.
+  const auto lead = random_lead(3, 33);
+  // Outside the band most modes are evanescent; a thin annulus encloses two
+  // propagating-like modes (<= s, within method A's reach).
+  const cplx e{6.0};
+  const double r = 1.5;
+  ob::BeynOptions opt;
+  opt.annulus_r = r;
+  const auto beyn_modes = ob::compute_modes_beyn(lead, e, opt);
+  auto si_modes = ob::compute_modes_shift_invert(lead, e);
+  // Drop shift-invert modes outside the annulus.
+  ob::LeadModes truncated;
+  truncated.vectors = CMatrix(si_modes.vectors.rows(),
+                              static_cast<idx>(si_modes.lambda.size()));
+  idx kept = 0;
+  for (idx c = 0; c < static_cast<idx>(si_modes.lambda.size()); ++c) {
+    const double m = std::abs(si_modes.lambda[static_cast<std::size_t>(c)]);
+    if (m < 1.0 / r || m > r) continue;
+    truncated.lambda.push_back(si_modes.lambda[static_cast<std::size_t>(c)]);
+    truncated.velocity.push_back(
+        si_modes.velocity[static_cast<std::size_t>(c)]);
+    truncated.kind.push_back(si_modes.kind[static_cast<std::size_t>(c)]);
+    for (idx i = 0; i < si_modes.vectors.rows(); ++i)
+      truncated.vectors(i, kept) = si_modes.vectors(i, c);
+    ++kept;
+  }
+  truncated.vectors = truncated.vectors.block(0, 0, truncated.vectors.rows(),
+                                              kept);
+  ASSERT_EQ(beyn_modes.lambda.size(), truncated.lambda.size());
+  const auto ops = ob::lead_operators(df::fold_lead(lead), e);
+  const auto bnd_beyn = ob::build_boundary(beyn_modes, ops);
+  const auto bnd_ref = ob::build_boundary(truncated, ops);
+  EXPECT_LT(nm::max_abs_diff(bnd_beyn.sigma_l, bnd_ref.sigma_l), 1e-5);
+  EXPECT_LT(nm::max_abs_diff(bnd_beyn.sigma_r, bnd_ref.sigma_r), 1e-5);
+}
+
+TEST(Beyn, EmptyAnnulusGivesNoModes) {
+  // Far outside the band, a razor-thin annulus holds no modes.
+  const auto lead = chain_lead();
+  ob::BeynOptions opt;
+  opt.annulus_r = 1.0001;
+  const auto modes = ob::compute_modes_beyn(lead, cplx{5.0}, opt);
+  EXPECT_EQ(modes.lambda.size(), 0u);
+}

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "numeric/blas.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/device.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/tracer.hpp"
+
+namespace pp = omenx::parallel;
+namespace nm = omenx::numeric;
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  pp::ThreadPool pool(4);
+  auto fut = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  pp::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty) {
+  pp::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  pp::ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(Device, KernelsExecuteInOrder) {
+  pp::Device dev(0);
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i)
+    dev.enqueue("k", [&order, i] { order.push_back(i); });
+  dev.synchronize();
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Device, MemoryAccountingAndExhaustion) {
+  pp::Device dev(1, /*memory_bytes=*/1000);
+  {
+    auto buf = dev.allocate(600);
+    EXPECT_EQ(dev.memory_used(), 600u);
+    EXPECT_THROW(dev.allocate(500), std::runtime_error);
+    auto buf2 = dev.allocate(400);
+    EXPECT_EQ(dev.memory_used(), 1000u);
+  }
+  EXPECT_EQ(dev.memory_used(), 0u);  // RAII released
+}
+
+TEST(Device, MoveSemanticsOfBuffer) {
+  pp::Device dev(2, 100);
+  pp::DeviceBuffer a = dev.allocate(60);
+  pp::DeviceBuffer b = std::move(a);
+  EXPECT_EQ(b.bytes(), 60u);
+  EXPECT_EQ(dev.memory_used(), 60u);
+  b = pp::DeviceBuffer{};
+  EXPECT_EQ(dev.memory_used(), 0u);
+}
+
+TEST(Device, TransferAccounting) {
+  pp::Device dev(3);
+  dev.record_h2d(100);
+  dev.record_h2d(50);
+  dev.record_d2h(30);
+  dev.record_d2d(7);
+  EXPECT_EQ(dev.h2d_bytes(), 150u);
+  EXPECT_EQ(dev.d2h_bytes(), 30u);
+  EXPECT_EQ(dev.d2d_bytes(), 7u);
+}
+
+TEST(Device, TracerRecordsKernels) {
+  pp::Tracer::global().clear();
+  pp::Device dev(4);
+  dev.run("P1", [] {});
+  dev.run("P2", [] {});
+  auto events = pp::Tracer::global().events();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "P1");
+  EXPECT_EQ(events[1].name, "P2");
+  EXPECT_EQ(events[0].device_id, 4);
+  EXPECT_LE(events[0].start_s, events[0].end_s);
+}
+
+TEST(DevicePool, ParallelDevicesActuallyOverlap) {
+  pp::DevicePool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int d = 0; d < 4; ++d) {
+    pool.device(d).enqueue("busy", [&] {
+      const int now = ++concurrent;
+      int expect = peak.load();
+      while (expect < now && !peak.compare_exchange_weak(expect, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      --concurrent;
+    });
+  }
+  pool.synchronize_all();
+  EXPECT_GE(peak.load(), 2);  // devices run concurrently, not serialized
+}
+
+TEST(Comm, RankAndSize) {
+  pp::CommWorld world(5);
+  std::vector<std::atomic<int>> seen(5);
+  world.run([&](pp::Comm& comm) {
+    EXPECT_EQ(comm.size(), 5);
+    seen[static_cast<std::size_t>(comm.rank())]++;
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  pp::CommWorld world(4);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  world.run([&](pp::Comm& comm) {
+    phase1++;
+    comm.barrier();
+    if (phase1.load() != 4) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Comm, BcastVector) {
+  pp::CommWorld world(4);
+  world.run([&](pp::Comm& comm) {
+    std::vector<double> data;
+    if (comm.rank() == 2) data = {1.0, 2.0, 3.0};
+    comm.bcast(data, 2);
+    ASSERT_EQ(data.size(), 3u);
+    EXPECT_DOUBLE_EQ(data[1], 2.0);
+  });
+}
+
+TEST(Comm, BcastMatrix) {
+  pp::CommWorld world(3);
+  world.run([&](pp::Comm& comm) {
+    nm::CMatrix m;
+    if (comm.rank() == 0) m = nm::random_cmatrix(6, 4, 99);
+    comm.bcast(m, 0);
+    const nm::CMatrix expected = nm::random_cmatrix(6, 4, 99);
+    EXPECT_LT(nm::max_abs_diff(m, expected), 1e-15);
+  });
+}
+
+TEST(Comm, AllreduceSumAndMax) {
+  pp::CommWorld world(6);
+  world.run([&](pp::Comm& comm) {
+    const double r = static_cast<double>(comm.rank());
+    EXPECT_DOUBLE_EQ(comm.allreduce(r, pp::Comm::ReduceOp::kSum), 15.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(r, pp::Comm::ReduceOp::kMax), 5.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce(r, pp::Comm::ReduceOp::kMin), 0.0);
+  });
+}
+
+TEST(Comm, SendRecvRoundTrip) {
+  pp::CommWorld world(2);
+  world.run([&](pp::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send({3.14, 2.71}, 1, 7);
+      auto back = comm.recv(1, 8);
+      ASSERT_EQ(back.size(), 1u);
+      EXPECT_DOUBLE_EQ(back[0], 6.28);
+    } else {
+      auto data = comm.recv(0, 7);
+      comm.send({data[0] * 2.0}, 0, 8);
+    }
+  });
+}
+
+TEST(Comm, SplitByParity) {
+  pp::CommWorld world(6);
+  world.run([&](pp::Comm& comm) {
+    pp::Comm sub = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(sub.size(), 3);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // The sub-communicator must be functional.
+    const double total =
+        sub.allreduce(static_cast<double>(comm.rank()),
+                      pp::Comm::ReduceOp::kSum);
+    if (comm.rank() % 2 == 0)
+      EXPECT_DOUBLE_EQ(total, 0.0 + 2.0 + 4.0);
+    else
+      EXPECT_DOUBLE_EQ(total, 1.0 + 3.0 + 5.0);
+  });
+}
+
+TEST(Comm, RepeatedCollectivesStaySequenced) {
+  pp::CommWorld world(4);
+  world.run([&](pp::Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<double> v{static_cast<double>(round)};
+      comm.bcast(v, round % comm.size());
+      EXPECT_DOUBLE_EQ(v[0], static_cast<double>(round));
+      const double s = comm.allreduce(1.0, pp::Comm::ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(s, 4.0);
+    }
+  });
+}
+
+TEST(Comm, ErrorsPropagateToCaller) {
+  pp::CommWorld world(2);
+  EXPECT_THROW(world.run([&](pp::Comm& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank error");
+               }),
+               std::runtime_error);
+}
+
+TEST(Comm, HierarchicalSplitTwoLevels) {
+  // Mimic OMEN: 8 ranks -> 2 momentum groups of 4 -> 2 energy groups of 2.
+  pp::CommWorld world(8);
+  world.run([&](pp::Comm& comm) {
+    pp::Comm momentum = comm.split(comm.rank() / 4, comm.rank());
+    EXPECT_EQ(momentum.size(), 4);
+    pp::Comm energy = momentum.split(momentum.rank() / 2, momentum.rank());
+    EXPECT_EQ(energy.size(), 2);
+    const double s = energy.allreduce(1.0, pp::Comm::ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(s, 2.0);
+  });
+}

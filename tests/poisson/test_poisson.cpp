@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poisson/poisson1d.hpp"
+#include "poisson/scf.hpp"
+
+namespace ps = omenx::poisson;
+namespace lt = omenx::lattice;
+
+TEST(Thomas, SolvesKnownTridiagonal) {
+  // -2x_i + x_{i-1} + x_{i+1} = d, 3x3 with known answer.
+  std::vector<double> a{0.0, 1.0, 1.0};
+  std::vector<double> b{-2.0, -2.0, -2.0};
+  std::vector<double> c{1.0, 1.0, 0.0};
+  // Pick x = (1, 2, 3): d = (-2+2, 1-4+3, 2-6) = (0, 0, -4).
+  std::vector<double> d{0.0, 0.0, -4.0};
+  const auto x = ps::thomas_solve(a, b, c, d);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Thomas, SizeMismatchThrows) {
+  EXPECT_THROW(ps::thomas_solve({0.0}, {1.0, 1.0}, {0.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Poisson, LaplaceRespectsBoundaryConditions) {
+  const lt::DeviceRegions regions{10, 8, 10};
+  const auto v = ps::solve_device_potential(regions, 0.5, 0.3, {});
+  ASSERT_EQ(static_cast<int>(v.size()), regions.total());
+  EXPECT_NEAR(v.front(), 0.0, 1e-12);
+  EXPECT_NEAR(v.back(), -0.3, 1e-12);
+}
+
+TEST(Poisson, GateLowersChannelBarrier) {
+  const lt::DeviceRegions regions{12, 10, 12};
+  const auto v_off = ps::solve_device_potential(regions, 0.0, 0.1, {});
+  const auto v_on = ps::solve_device_potential(regions, 0.6, 0.1, {});
+  // Mid-gate potential energy drops as Vgs increases (barrier lowering).
+  const std::size_t mid = 12 + 5;
+  EXPECT_LT(v_on[mid], v_off[mid] - 0.3);
+}
+
+TEST(Poisson, ScreeningLengthControlsSharpness) {
+  const lt::DeviceRegions regions{15, 10, 15};
+  ps::PoissonOptions tight;
+  tight.screening_length_cells = 1.0;
+  ps::PoissonOptions loose;
+  loose.screening_length_cells = 8.0;
+  const auto vt = ps::solve_device_potential(regions, 0.5, 0.0, {}, tight);
+  const auto vl = ps::solve_device_potential(regions, 0.5, 0.0, {}, loose);
+  // With tight screening the mid-gate potential pins closer to -Vgs.
+  const std::size_t mid = 15 + 5;
+  EXPECT_LT(std::abs(vt[mid] + 0.5), std::abs(vl[mid] + 0.5));
+}
+
+TEST(Poisson, ChargeShiftsPotential) {
+  const lt::DeviceRegions regions{8, 6, 8};
+  ps::PoissonOptions opt;
+  opt.charge_coupling = 0.5;
+  std::vector<double> rho(static_cast<std::size_t>(regions.total()), 0.0);
+  rho[11] = 1.0;  // electron charge in the channel
+  const auto v0 = ps::solve_device_potential(regions, 0.2, 0.0, {}, opt);
+  const auto v1 = ps::solve_device_potential(regions, 0.2, 0.0, rho, opt);
+  // Electron charge raises the local potential energy (repulsion).
+  EXPECT_GT(v1[11], v0[11]);
+}
+
+TEST(Poisson, InvalidInputsThrow) {
+  const lt::DeviceRegions regions{1, 1, 0};
+  EXPECT_THROW(ps::solve_device_potential(regions, 0.0, 0.0, {}),
+               std::invalid_argument);
+  const lt::DeviceRegions ok{4, 4, 4};
+  EXPECT_THROW(
+      ps::solve_device_potential(ok, 0.0, 0.0, std::vector<double>(3, 0.0)),
+      std::invalid_argument);
+  ps::PoissonOptions bad;
+  bad.screening_length_cells = 0.0;
+  EXPECT_THROW(ps::solve_device_potential(ok, 0.0, 0.0, {}, bad),
+               std::invalid_argument);
+}
+
+TEST(Scf, ConvergesWithLinearChargeModel) {
+  const lt::DeviceRegions regions{8, 6, 8};
+  ps::ScfOptions opt;
+  opt.poisson.charge_coupling = 0.2;
+  opt.tol = 1e-8;
+  opt.max_iter = 200;
+  // Charge responds linearly (and weakly) to the local potential.
+  auto charge = [](const std::vector<double>& v) {
+    std::vector<double> rho(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) rho[i] = -0.3 * v[i];
+    return rho;
+  };
+  const auto res =
+      ps::self_consistent_potential(regions, 0.4, 0.2, charge, opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.residual, 1e-8);
+  EXPECT_GT(res.iterations, 1);
+  // Converged state is a fixed point: one more Poisson solve changes nothing.
+  const auto v_again = ps::solve_device_potential(regions, 0.4, 0.2,
+                                                  charge(res.potential),
+                                                  opt.poisson);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < v_again.size(); ++i)
+    diff = std::max(diff, std::abs(v_again[i] - res.potential[i]));
+  EXPECT_LT(diff, 1e-6);
+}
+
+TEST(Scf, ZeroChargeModelConvergesImmediately) {
+  const lt::DeviceRegions regions{6, 4, 6};
+  auto charge = [](const std::vector<double>& v) {
+    return std::vector<double>(v.size(), 0.0);
+  };
+  const auto res = ps::self_consistent_potential(regions, 0.3, 0.1, charge);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 1);
+}

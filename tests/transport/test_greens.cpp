@@ -1,0 +1,105 @@
+// NEGF Green's-function observable tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blockmat/block_tridiag.hpp"
+#include "blockmat/csr.hpp"
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "transport/greens.hpp"
+
+namespace bm = omenx::blockmat;
+namespace nm = omenx::numeric;
+namespace tr = omenx::transport;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+bm::BlockTridiag open_chain(idx nb, double e, double eta) {
+  // (E + i*eta) - H for a 1-D chain with hopping -1.
+  bm::BlockTridiag t(nb, 1);
+  for (idx i = 0; i < nb; ++i) {
+    t.diag(i)(0, 0) = cplx{e, eta};
+    if (i + 1 < nb) {
+      t.upper(i)(0, 0) = cplx{1.0};   // E*S01 - H01 = -(-1)
+      t.lower(i)(0, 0) = cplx{1.0};
+    }
+  }
+  return t;
+}
+}  // namespace
+
+TEST(Greens, LdosMatchesDenseInverse) {
+  const auto t = open_chain(6, 0.3, 0.05);
+  const auto ldos = tr::local_density_of_states(t);
+  const CMatrix ginv = nm::inverse(t.to_dense());
+  ASSERT_EQ(static_cast<idx>(ldos.size()), 6);
+  for (idx i = 0; i < 6; ++i)
+    EXPECT_NEAR(ldos[static_cast<std::size_t>(i)],
+                -ginv(i, i).imag() / omenx::numeric::kPi, 1e-10);
+}
+
+TEST(Greens, LdosIsNonNegativeWithBroadening) {
+  const auto t = open_chain(10, -0.4, 0.02);
+  for (const double v : tr::local_density_of_states(t)) EXPECT_GE(v, 0.0);
+}
+
+TEST(Greens, DosSumsLdos) {
+  const auto t = open_chain(8, 0.1, 0.03);
+  const auto ldos = tr::local_density_of_states(t);
+  double sum = 0.0;
+  for (const double v : ldos) sum += v;
+  EXPECT_NEAR(tr::density_of_states(t, nullptr), sum, 1e-12);
+}
+
+TEST(Greens, OverlapWeightedDosIdentityBasis) {
+  // With S = I the weighted and unweighted DOS agree.
+  const auto t = open_chain(5, 0.2, 0.04);
+  bm::BlockTridiag s(5, 1);
+  for (idx i = 0; i < 5; ++i) s.diag(i)(0, 0) = cplx{1.0};
+  EXPECT_NEAR(tr::density_of_states(t, &s), tr::density_of_states(t, nullptr),
+              1e-12);
+}
+
+TEST(Csr, RoundTripMatchesDense) {
+  bm::BlockTridiag t(4, 3);
+  for (idx i = 0; i < 4; ++i) {
+    t.diag(i) = nm::random_cmatrix(3, 3, 1 + (unsigned)i);
+    if (i + 1 < 4) {
+      t.upper(i) = nm::random_cmatrix(3, 3, 11 + (unsigned)i);
+      t.lower(i) = nm::random_cmatrix(3, 3, 21 + (unsigned)i);
+    }
+  }
+  const auto csr = bm::to_csr(t);
+  EXPECT_EQ(csr.rows, 12);
+  EXPECT_EQ(csr.nnz(), t.nnz(0.0));
+  // SpMV against the block multiply.
+  std::vector<cplx> x(12);
+  for (idx i = 0; i < 12; ++i) x[static_cast<std::size_t>(i)] = cplx(i * 0.5, -1.0);
+  CMatrix xm(12, 1);
+  for (idx i = 0; i < 12; ++i) xm(i, 0) = x[static_cast<std::size_t>(i)];
+  const auto y = bm::csr_matvec(csr, x);
+  const CMatrix ym = t.multiply(xm);
+  for (idx i = 0; i < 12; ++i)
+    EXPECT_LT(std::abs(y[static_cast<std::size_t>(i)] - ym(i, 0)), 1e-12);
+}
+
+TEST(Csr, DropTolSparsifies) {
+  bm::BlockTridiag t(2, 2);
+  t.diag(0)(0, 0) = cplx{1.0};
+  t.diag(0)(1, 1) = cplx{1e-12};
+  t.diag(1)(0, 0) = cplx{2.0};
+  const auto full = bm::to_csr(t, 0.0);
+  const auto dropped = bm::to_csr(t, 1e-9);
+  EXPECT_EQ(full.nnz(), 3);
+  EXPECT_EQ(dropped.nnz(), 2);
+}
+
+TEST(Csr, MatvecDimensionMismatchThrows) {
+  bm::BlockTridiag t(2, 2);
+  const auto csr = bm::to_csr(t);
+  EXPECT_THROW(bm::csr_matvec(csr, std::vector<cplx>(3)),
+               std::invalid_argument);
+}

@@ -1,0 +1,267 @@
+// Transport-level integration tests.
+//
+// The 1-D single-orbital chain gives exact references: T(E) = 1 inside the
+// band, 0 outside; with a potential barrier the WF and Caroli transmissions
+// must still agree and current must be conserved along the device.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/blas.hpp"
+#include "parallel/device.hpp"
+#include "transport/energy_grid.hpp"
+#include "transport/transmission.hpp"
+
+namespace df = omenx::dft;
+namespace nm = omenx::numeric;
+namespace pp = omenx::parallel;
+namespace tr = omenx::transport;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+df::LeadBlocks chain_lead(double t = -1.0) {
+  df::LeadBlocks lead;
+  lead.h.resize(2);
+  lead.s.resize(2);
+  lead.h[0] = CMatrix(1, 1);
+  lead.h[1] = CMatrix{{cplx{t}}};
+  lead.s[0] = CMatrix::identity(1);
+  lead.s[1] = CMatrix(1, 1);
+  return lead;
+}
+
+// Chain device with an optional on-site barrier in the middle cells.
+df::DeviceMatrices chain_device(idx cells, double barrier = 0.0,
+                                idx barrier_lo = 0, idx barrier_hi = 0) {
+  std::vector<double> pot(static_cast<std::size_t>(cells), 0.0);
+  for (idx i = barrier_lo; i < barrier_hi; ++i)
+    pot[static_cast<std::size_t>(i)] = barrier;
+  return df::assemble_device(chain_lead(), cells, pot);
+}
+
+}  // namespace
+
+TEST(EnergyGrid, UniformRespectsBounds) {
+  tr::EnergyGridOptions opt;
+  opt.min_spacing = 0.01;
+  opt.max_spacing = 0.1;
+  const auto grid = tr::make_energy_grid(-1.0, 1.0, opt);
+  ASSERT_GE(grid.size(), 2u);
+  EXPECT_DOUBLE_EQ(grid.front(), -1.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    const double de = grid[i] - grid[i - 1];
+    EXPECT_GE(de, opt.min_spacing - 1e-12);
+    EXPECT_LE(de, opt.max_spacing + 1e-12);
+  }
+}
+
+TEST(EnergyGrid, CountDependsOnSpacingNotInput) {
+  // The grid size is a derived quantity (Fig. 11 caption).
+  tr::EnergyGridOptions a;
+  a.max_spacing = 0.1;
+  tr::EnergyGridOptions b;
+  b.max_spacing = 0.05;
+  EXPECT_GT(tr::make_energy_grid(0.0, 1.0, b).size(),
+            tr::make_energy_grid(0.0, 1.0, a).size());
+}
+
+TEST(EnergyGrid, RefinementAddsPointsAtSteps) {
+  tr::EnergyGridOptions opt;
+  opt.min_spacing = 1e-3;
+  opt.max_spacing = 0.2;
+  auto grid = tr::make_energy_grid(-1.0, 1.0, opt);
+  const std::size_t before = grid.size();
+  auto step = [](double e) { return e < 0.0 ? 0.0 : 1.0; };
+  grid = tr::refine_energy_grid(grid, step, 0.5, opt);
+  EXPECT_GT(grid.size(), before);
+  // Refined points cluster near the step at 0.
+  double closest = 1e9;
+  for (double e : grid) closest = std::min(closest, std::abs(e));
+  EXPECT_LT(closest, 2e-3);
+}
+
+TEST(EnergyGrid, InvalidArgumentsThrow) {
+  EXPECT_THROW(tr::make_energy_grid(1.0, 0.0), std::invalid_argument);
+  tr::EnergyGridOptions bad;
+  bad.min_spacing = 0.2;
+  bad.max_spacing = 0.1;
+  EXPECT_THROW(tr::make_energy_grid(0.0, 1.0, bad), std::invalid_argument);
+}
+
+TEST(Transport, PristineChainHasUnitTransmission) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(8);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  for (const double e : {-1.5, -0.5, 0.3, 1.2}) {
+    const auto res = tr::solve_energy_point(dm, lead, folded, e, opt);
+    EXPECT_NEAR(res.transmission, 1.0, 1e-6) << "E=" << e;
+    EXPECT_NEAR(res.transmission_caroli, 1.0, 1e-6) << "E=" << e;
+    EXPECT_EQ(res.num_propagating, 1);
+  }
+}
+
+TEST(Transport, OutsideBandZeroTransmission) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(6);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  const auto res = tr::solve_energy_point(dm, lead, folded, 2.5, opt);
+  EXPECT_EQ(res.num_propagating, 0);
+  EXPECT_NEAR(res.transmission, 0.0, 1e-10);
+  EXPECT_NEAR(res.transmission_caroli, 0.0, 1e-8);
+}
+
+TEST(Transport, BarrierSuppressesTransmissionAndFormalismsAgree) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(10, /*barrier=*/1.5, 4, 6);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  const auto res = tr::solve_energy_point(dm, lead, folded, -0.5, opt);
+  EXPECT_GT(res.transmission, 0.0);
+  EXPECT_LT(res.transmission, 0.9);
+  EXPECT_NEAR(res.transmission, res.transmission_caroli, 1e-6);
+}
+
+TEST(Transport, CurrentIsConservedAlongDevice) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(12, 0.8, 5, 7);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  const auto res = tr::solve_energy_point(dm, lead, folded, -0.4, opt);
+  ASSERT_GE(res.interface_current.size(), 2u);
+  for (std::size_t i = 1; i < res.interface_current.size(); ++i)
+    EXPECT_NEAR(res.interface_current[i], res.interface_current[0], 1e-8);
+  // Bond current equals the transmission for flux-normalized injection.
+  EXPECT_NEAR(res.interface_current[0], res.transmission, 1e-6);
+}
+
+TEST(Transport, SplitSolveBackendMatchesDirect) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(8, 0.6, 3, 5);
+  tr::EnergyPointOptions direct;
+  direct.obc = tr::ObcAlgorithm::kShiftInvert;
+  direct.solver = tr::SolverAlgorithm::kBlockLU;
+  tr::EnergyPointOptions split;
+  split.obc = tr::ObcAlgorithm::kShiftInvert;
+  split.solver = tr::SolverAlgorithm::kSplitSolve;
+  split.partitions = 2;
+  pp::DevicePool pool(2);
+  const auto rd = tr::solve_energy_point(dm, lead, folded, -0.7, direct);
+  const auto rs = tr::solve_energy_point(dm, lead, folded, -0.7, split, &pool);
+  EXPECT_NEAR(rd.transmission, rs.transmission, 1e-8);
+  EXPECT_NEAR(rd.transmission_caroli, rs.transmission_caroli, 1e-8);
+}
+
+TEST(Transport, FeastObcMatchesShiftInvert) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(6);
+  tr::EnergyPointOptions si;
+  si.obc = tr::ObcAlgorithm::kShiftInvert;
+  si.solver = tr::SolverAlgorithm::kBlockLU;
+  tr::EnergyPointOptions fe;
+  fe.obc = tr::ObcAlgorithm::kFeast;
+  fe.solver = tr::SolverAlgorithm::kBlockLU;
+  fe.feast.annulus_r = 50.0;
+  const auto a = tr::solve_energy_point(dm, lead, folded, -0.8, si);
+  const auto b = tr::solve_energy_point(dm, lead, folded, -0.8, fe);
+  EXPECT_NEAR(a.transmission, b.transmission, 1e-5);
+}
+
+TEST(Transport, DecimationGivesCaroliOnly) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(6);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kDecimation;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  const auto res = tr::solve_energy_point(dm, lead, folded, -0.5, opt);
+  EXPECT_NEAR(res.transmission_caroli, 1.0, 1e-4);
+  EXPECT_EQ(res.num_propagating, 0);  // no injection data from decimation
+}
+
+TEST(Transport, DensityDecaysInsideBarrier) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const idx cells = 16;
+  const auto dm = chain_device(cells, 2.5, 6, 10);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  const auto res = tr::solve_energy_point(dm, lead, folded, -1.0, opt);
+  const auto per_cell = tr::density_per_cell(res.orbital_density, 1, cells);
+  // Density in the middle of the barrier is far below the source side.
+  EXPECT_LT(per_cell[8], 0.2 * per_cell[1]);
+}
+
+TEST(Transport, FermiFunctionLimits) {
+  EXPECT_DOUBLE_EQ(tr::fermi(0.0, 1.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(tr::fermi(2.0, 1.0, 0.0), 0.0);
+  EXPECT_NEAR(tr::fermi(1.0, 1.0, 0.025), 0.5, 1e-12);
+  EXPECT_GT(tr::fermi(0.9, 1.0, 0.025), 0.5);
+}
+
+TEST(Transport, LandauerCurrentSignAndMagnitude) {
+  std::vector<double> e, t;
+  for (double x = -2.0; x <= 2.001; x += 0.01) {
+    e.push_back(x);
+    t.push_back(1.0);
+  }
+  // T == 1, windows [mu_r, mu_l]: current = mu_l - mu_r at kT -> 0.
+  const double i1 = tr::landauer_current(e, t, 0.5, -0.5, 1e-4);
+  EXPECT_NEAR(i1, 1.0, 1e-2);
+  const double i2 = tr::landauer_current(e, t, -0.5, 0.5, 1e-4);
+  EXPECT_NEAR(i2, -1.0, 1e-2);
+}
+
+TEST(Transport, DensityAggregationHelpers) {
+  std::vector<double> orb{1.0, 2.0, 3.0, 4.0};
+  const auto per_cell = tr::density_per_cell(orb, 2, 2);
+  EXPECT_DOUBLE_EQ(per_cell[0], 3.0);
+  EXPECT_DOUBLE_EQ(per_cell[1], 7.0);
+  const std::vector<idx> orbital_atom{0, 0};
+  const auto per_atom = tr::density_per_atom(orb, orbital_atom, 1, 2, 1);
+  ASSERT_EQ(per_atom.size(), 2u);
+  EXPECT_DOUBLE_EQ(per_atom[0], 3.0);
+  EXPECT_DOUBLE_EQ(per_atom[1], 7.0);
+}
+
+// Transmission staircase: a two-orbital chain has T = number of bands
+// crossing E; sweep energies and verify integer plateaus.
+TEST(Transport, TwoOrbitalChainStaircase) {
+  df::LeadBlocks lead;
+  lead.h.resize(2);
+  lead.s.resize(2);
+  lead.h[0] = CMatrix{{cplx{0.0}, cplx{0.0}}, {cplx{0.0}, cplx{1.0}}};
+  lead.h[1] = CMatrix{{cplx{-1.0}, cplx{0.0}}, {cplx{0.0}, cplx{-0.6}}};
+  lead.s[0] = CMatrix::identity(2);
+  lead.s[1] = CMatrix(2, 2);
+  const auto folded = df::fold_lead(lead);
+  const std::vector<double> pot(6, 0.0);
+  const auto dm = df::assemble_device(lead, 6, pot);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  // Band 1: [-2, 2]; band 2: 1 + [-1.2, 1.2] = [-0.2, 2.2].
+  const auto r1 = tr::solve_energy_point(dm, lead, folded, -1.0, opt);
+  EXPECT_NEAR(r1.transmission, 1.0, 1e-6);
+  const auto r2 = tr::solve_energy_point(dm, lead, folded, 0.5, opt);
+  EXPECT_NEAR(r2.transmission, 2.0, 1e-6);
+  const auto r3 = tr::solve_energy_point(dm, lead, folded, 2.1, opt);
+  EXPECT_NEAR(r3.transmission, 1.0, 1e-6);
+}
