@@ -21,6 +21,12 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Keep the optimizer from discarding a benchmark result.
+template <typename T>
+inline void consume(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
+
 inline void header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }

@@ -29,23 +29,20 @@ CMatrix BlockTridiag::to_dense() const {
 CMatrix BlockTridiag::multiply(const CMatrix& x) const {
   if (x.rows() != dim())
     throw std::invalid_argument("BlockTridiag::multiply: dimension mismatch");
-  CMatrix y(dim(), x.cols());
+  const idx m = x.cols();
+  CMatrix y(dim(), m);
+  // Strided GEMM views on the stacked operand: no block copies.
   for (idx i = 0; i < nb_; ++i) {
-    CMatrix xi = x.block(i * s_, 0, s_, x.cols());
-    CMatrix yi = numeric::matmul(diag(i), xi);
-    if (i > 0) {
-      CMatrix xm = x.block((i - 1) * s_, 0, s_, x.cols());
-      CMatrix t;
-      numeric::gemm(lower(i - 1), xm, t);
-      yi += t;
-    }
-    if (i + 1 < nb_) {
-      CMatrix xp = x.block((i + 1) * s_, 0, s_, x.cols());
-      CMatrix t;
-      numeric::gemm(upper(i), xp, t);
-      yi += t;
-    }
-    y.set_block(i * s_, 0, yi);
+    numeric::gemm_view('N', diag(i).data(), s_, 'N', x.row_ptr(i * s_), m, s_,
+                       m, s_, cplx{1.0}, cplx{0.0}, y.row_ptr(i * s_), m);
+    if (i > 0)
+      numeric::gemm_view('N', lower(i - 1).data(), s_, 'N',
+                         x.row_ptr((i - 1) * s_), m, s_, m, s_, cplx{1.0},
+                         cplx{1.0}, y.row_ptr(i * s_), m);
+    if (i + 1 < nb_)
+      numeric::gemm_view('N', upper(i).data(), s_, 'N',
+                         x.row_ptr((i + 1) * s_), m, s_, m, s_, cplx{1.0},
+                         cplx{1.0}, y.row_ptr(i * s_), m);
   }
   return y;
 }
@@ -87,11 +84,35 @@ void BlockTridiag::axpy(cplx alpha, const BlockTridiag& other, cplx beta) {
 
 BlockTridiag BlockTridiag::es_minus_h(cplx e, const BlockTridiag& s,
                                       const BlockTridiag& h) {
+  BlockTridiag out;
+  out.assign_es_minus_h(e, s, h);
+  return out;
+}
+
+void BlockTridiag::assign_es_minus_h(cplx e, const BlockTridiag& s,
+                                     const BlockTridiag& h) {
   if (s.nb_ != h.nb_ || s.s_ != h.s_)
     throw std::invalid_argument("es_minus_h: structure mismatch");
-  BlockTridiag out = s;
-  out.axpy(e, h, cplx{-1.0});
-  return out;
+  nb_ = s.nb_;
+  s_ = s.s_;
+  const auto write = [e](std::vector<CMatrix>& dst,
+                         const std::vector<CMatrix>& sv,
+                         const std::vector<CMatrix>& hv) {
+    dst.resize(sv.size());
+    for (std::size_t b = 0; b < sv.size(); ++b) {
+      CMatrix& d = dst[b];
+      const CMatrix& sb = sv[b];
+      const CMatrix& hb = hv[b];
+      d.resize_uninit(sb.rows(), sb.cols());
+      const cplx* sp = sb.data();
+      const cplx* hp = hb.data();
+      cplx* dp = d.data();
+      for (idx i = 0; i < sb.size(); ++i) dp[i] = e * sp[i] - hp[i];
+    }
+  };
+  write(diag_, s.diag_, h.diag_);
+  write(upper_, s.upper_, h.upper_);
+  write(lower_, s.lower_, h.lower_);
 }
 
 idx count_nnz(const CMatrix& m, double threshold) {

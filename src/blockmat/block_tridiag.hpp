@@ -65,6 +65,11 @@ class BlockTridiag {
   static BlockTridiag es_minus_h(cplx e, const BlockTridiag& s,
                                  const BlockTridiag& h);
 
+  /// Rebuild this matrix as E*S - H in place.  Existing block storage is
+  /// reused whenever the structure matches, so the per-energy-point
+  /// assembly of T = E*S - H is allocation-free in steady state.
+  void assign_es_minus_h(cplx e, const BlockTridiag& s, const BlockTridiag& h);
+
  private:
   idx nb_ = 0;
   idx s_ = 0;

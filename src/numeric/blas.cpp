@@ -14,66 +14,199 @@ namespace omenx::numeric {
 namespace {
 thread_local bool g_parallel = true;
 
-// Resolve op(A) into an explicit copy when needed.  GEMM inner loops then
-// always run on plain row-major operands, which keeps the kernel simple and
-// cache-friendly.
-CMatrix apply_op(const CMatrix& a, char op) {
+// Tile geometry.  The micro-kernel computes a kMR x kNR complex tile with
+// split real/imaginary accumulators held in registers (4 x 24 doubles x 2 =
+// 24 AVX-512 zmm accumulators, leaving headroom for the B loads and the A
+// broadcasts); panel sizes keep the packed A panel in L2 and each packed B
+// micro-panel in L1 while it is swept over the A panel.
+constexpr idx kMR = 4;
+constexpr idx kNR = 24;
+constexpr idx kMC = 96;    // multiple of kMR
+constexpr idx kKC = 192;
+constexpr idx kNC = 1008;  // multiple of kNR
+
+// Persistent per-thread packing scratch: grows to the high-water mark once,
+// then every later GEMM is allocation-free.
+struct PackBuffers {
+  std::vector<double> a_re, a_im;  // kMC x kKC, padded to kMR rows
+  std::vector<double> b_re, b_im;  // kKC x kNC, padded to kNR cols
+};
+
+PackBuffers& tls_pack() {
+  static thread_local PackBuffers buf;
+  return buf;
+}
+
+inline idx round_up(idx v, idx m) { return (v + m - 1) / m * m; }
+
+// op(A)[r][c] for a row-major source with leading dimension lda.
+inline cplx op_elem(const cplx* a, idx lda, char op, idx r, idx c) {
   switch (op) {
     case 'N':
-      return a;
+      return a[r * lda + c];
     case 'T':
-      return a.transpose();
-    case 'C':
-      return dagger(a);
-    default:
-      throw std::invalid_argument("gemm: op must be one of N/T/C");
+      return a[c * lda + r];
+    default:  // 'C'
+      return std::conj(a[c * lda + r]);
   }
 }
 
-constexpr idx kBlock = 64;
+// Pack rows [i0, i0+mc) x depth [p0, p0+kc) of alpha*op(A) into split
+// re/im panels laid out as [mc/kMR micro-panels][kc][kMR], zero-padded to a
+// kMR multiple so the micro-kernel never branches on the row edge.
+void pack_a(char op, const cplx* a, idx lda, idx i0, idx mc, idx p0, idx kc,
+            cplx alpha, double* re, double* im) {
+  for (idx ib = 0; ib < mc; ib += kMR) {
+    double* pre = re + (ib / kMR) * kc * kMR;
+    double* pim = im + (ib / kMR) * kc * kMR;
+    for (idx p = 0; p < kc; ++p) {
+      for (idx i = 0; i < kMR; ++i) {
+        cplx v{0.0, 0.0};
+        if (ib + i < mc) v = alpha * op_elem(a, lda, op, i0 + ib + i, p0 + p);
+        pre[p * kMR + i] = v.real();
+        pim[p * kMR + i] = v.imag();
+      }
+    }
+  }
+}
+
+// Pack depth [p0, p0+kc) x cols [j0, j0+nc) of op(B) into split re/im
+// panels laid out as [nc/kNR micro-panels][kc][kNR], zero-padded to kNR.
+void pack_b(char op, const cplx* b, idx ldb, idx p0, idx kc, idx j0, idx nc,
+            double* re, double* im) {
+  for (idx jb = 0; jb < nc; jb += kNR) {
+    double* pre = re + (jb / kNR) * kc * kNR;
+    double* pim = im + (jb / kNR) * kc * kNR;
+    for (idx p = 0; p < kc; ++p) {
+      for (idx j = 0; j < kNR; ++j) {
+        cplx v{0.0, 0.0};
+        if (jb + j < nc) v = op_elem(b, ldb, op, p0 + p, j0 + jb + j);
+        pre[p * kNR + j] = v.real();
+        pim[p * kNR + j] = v.imag();
+      }
+    }
+  }
+}
+
+// C tile += packed-A micro-panel * packed-B micro-panel.  Split-complex
+// accumulation: 8 real flops per (i, j, p) as four FMA streams that
+// auto-vectorize over the kNR doubles of each B row.
+void micro_kernel(idx kc, const double* __restrict a_re,
+                  const double* __restrict a_im, const double* __restrict b_re,
+                  const double* __restrict b_im, cplx* c, idx ldc,
+                  idx m_valid, idx n_valid) {
+  double acc_re[kMR][kNR] = {};
+  double acc_im[kMR][kNR] = {};
+  for (idx p = 0; p < kc; ++p) {
+    const double* br = b_re + p * kNR;
+    const double* bi = b_im + p * kNR;
+    for (idx i = 0; i < kMR; ++i) {
+      const double ar = a_re[p * kMR + i];
+      const double ai = a_im[p * kMR + i];
+      for (idx j = 0; j < kNR; ++j) {
+        acc_re[i][j] += ar * br[j] - ai * bi[j];
+        acc_im[i][j] += ar * bi[j] + ai * br[j];
+      }
+    }
+  }
+  for (idx i = 0; i < m_valid; ++i) {
+    cplx* crow = c + i * ldc;
+    for (idx j = 0; j < n_valid; ++j)
+      crow[j] += cplx(acc_re[i][j], acc_im[i][j]);
+  }
+}
+
 }  // namespace
 
 void set_thread_parallelism(bool enabled) noexcept { g_parallel = enabled; }
 bool thread_parallelism() noexcept { return g_parallel; }
 
-void gemm(const CMatrix& a_in, const CMatrix& b_in, CMatrix& c, cplx alpha,
-          cplx beta, char op_a, char op_b) {
-  const CMatrix a = apply_op(a_in, op_a);
-  const CMatrix b = apply_op(b_in, op_b);
-  const idx m = a.rows(), k = a.cols(), n = b.cols();
-  if (b.rows() != k) throw std::invalid_argument("gemm: inner dim mismatch");
-  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+void gemm_view(char op_a, const cplx* a, idx lda, char op_b, const cplx* b,
+               idx ldb, idx m, idx n, idx k, cplx alpha, cplx beta, cplx* c,
+               idx ldc, bool count_flops) {
+  if ((op_a != 'N' && op_a != 'T' && op_a != 'C') ||
+      (op_b != 'N' && op_b != 'T' && op_b != 'C'))
+    throw std::invalid_argument("gemm: op must be one of N/T/C");
 
   if (beta == cplx{0.0}) {
-    c.fill(cplx{0.0});
+    for (idx i = 0; i < m; ++i)
+      std::fill_n(c + i * ldc, n, cplx{0.0});
   } else if (beta != cplx{1.0}) {
-    c *= beta;
+    for (idx i = 0; i < m; ++i) {
+      cplx* crow = c + i * ldc;
+      for (idx j = 0; j < n; ++j) crow[j] *= beta;
+    }
   }
+  if (m == 0 || n == 0 || k == 0 || alpha == cplx{0.0}) return;
 
-  // 8 real flops per complex multiply-add.
-  FlopCounter::add(static_cast<std::uint64_t>(m) * n * k * 8u);
+  if (count_flops)
+    FlopCounter::add(static_cast<std::uint64_t>(m) * n * k * 8u);
 
-  const bool par = g_parallel && m * n * k > 64 * 64 * 64;
+  PackBuffers& master = tls_pack();
+  master.b_re.resize(static_cast<std::size_t>(kKC * kNC));
+  master.b_im.resize(static_cast<std::size_t>(kKC * kNC));
+
+  const bool par = g_parallel && static_cast<std::uint64_t>(m) * n * k >
+                                     64ull * 64ull * 64ull;
+  (void)par;
+
+  for (idx jc = 0; jc < n; jc += kNC) {
+    const idx nc = std::min(kNC, n - jc);
+    const idx nc_pad = round_up(nc, kNR);
+    for (idx pc = 0; pc < k; pc += kKC) {
+      const idx kc = std::min(kKC, k - pc);
+      pack_b(op_b, b, ldb, pc, kc, jc, nc, master.b_re.data(),
+             master.b_im.data());
+      const double* b_re = master.b_re.data();
+      const double* b_im = master.b_im.data();
+      const idx num_ic = (m + kMC - 1) / kMC;
 #ifdef _OPENMP
 #pragma omp parallel for schedule(static) if (par)
 #endif
-  for (idx i0 = 0; i0 < m; i0 += kBlock) {
-    const idx i1 = std::min(i0 + kBlock, m);
-    for (idx k0 = 0; k0 < k; k0 += kBlock) {
-      const idx k1 = std::min(k0 + kBlock, k);
-      for (idx i = i0; i < i1; ++i) {
-        cplx* crow = c.row_ptr(i);
-        const cplx* arow = a.row_ptr(i);
-        for (idx kk = k0; kk < k1; ++kk) {
-          const cplx av = alpha * arow[kk];
-          if (av == cplx{0.0}) continue;
-          const cplx* brow = b.row_ptr(kk);
-          for (idx j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (idx ic_idx = 0; ic_idx < num_ic; ++ic_idx) {
+        const idx ic = ic_idx * kMC;
+        const idx mc = std::min(kMC, m - ic);
+        const idx mc_pad = round_up(mc, kMR);
+        PackBuffers& local = tls_pack();
+        local.a_re.resize(static_cast<std::size_t>(kMC * kKC));
+        local.a_im.resize(static_cast<std::size_t>(kMC * kKC));
+        pack_a(op_a, a, lda, ic, mc, pc, kc, alpha, local.a_re.data(),
+               local.a_im.data());
+        for (idx jr = 0; jr < nc_pad; jr += kNR) {
+          const double* bp_re = b_re + (jr / kNR) * kc * kNR;
+          const double* bp_im = b_im + (jr / kNR) * kc * kNR;
+          const idx n_valid = std::min(kNR, nc - jr);
+          for (idx ir = 0; ir < mc_pad; ir += kMR) {
+            const double* ap_re = local.a_re.data() + (ir / kMR) * kc * kMR;
+            const double* ap_im = local.a_im.data() + (ir / kMR) * kc * kMR;
+            const idx m_valid = std::min(kMR, mc - ir);
+            micro_kernel(kc, ap_re, ap_im, bp_re, bp_im,
+                         c + (ic + ir) * ldc + jc + jr, ldc, m_valid,
+                         n_valid);
+          }
         }
       }
     }
   }
-  (void)par;
+}
+
+void gemm(const CMatrix& a_in, const CMatrix& b_in, CMatrix& c, cplx alpha,
+          cplx beta, char op_a, char op_b) {
+  const idx m = op_a == 'N' ? a_in.rows() : a_in.cols();
+  const idx k = op_a == 'N' ? a_in.cols() : a_in.rows();
+  const idx kb = op_b == 'N' ? b_in.rows() : b_in.cols();
+  const idx n = op_b == 'N' ? b_in.cols() : b_in.rows();
+  if (kb != k) throw std::invalid_argument("gemm: inner dim mismatch");
+  // The packed kernel reads the operands while writing C (the seed copied
+  // both operands, so gemm(a, b, a) used to be legal).  Check before the
+  // resize can invalidate the aliased buffer.
+  if (&c == &a_in || &c == &b_in ||
+      (!c.empty() && (c.data() == a_in.data() || c.data() == b_in.data())))
+    throw std::invalid_argument("gemm: C must not alias A or B");
+  if (c.rows() != m || c.cols() != n) c.resize(m, n);
+
+  gemm_view(op_a, a_in.data(), a_in.cols(), op_b, b_in.data(), b_in.cols(), m,
+            n, k, alpha, beta, c.data(), c.cols());
 }
 
 CMatrix matmul(const CMatrix& a, const CMatrix& b, char op_a, char op_b) {

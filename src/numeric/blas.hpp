@@ -1,7 +1,10 @@
 // Dense BLAS-like kernels (GEMM, GEMV, norms) for the Matrix container.
 //
 // The paper's hot loops are zgemm on the emulated accelerators; here GEMM is
-// a cache-blocked, optionally OpenMP-parallel kernel.  Device workers run
+// a packed, tiled kernel in the GotoBLAS mold: operands are repacked into
+// contiguous split real/imaginary panels (transpose and conjugation are
+// applied during packing, never by materializing op(A)), and an FMA-friendly
+// register-tile micro-kernel runs on the packed panels.  Device workers run
 // with parallelism disabled (see parallel/device.hpp) so that emulated GPUs
 // do not oversubscribe the host.
 #pragma once
@@ -19,9 +22,23 @@ bool thread_parallelism() noexcept;
 
 /// C = alpha*op(A)*op(B) + beta*C.  Op is 'N' (none), 'T' (transpose) or
 /// 'C' (conjugate transpose).  Counted in the global FlopCounter.
+/// C must not alias A or B.  Performs no operand copies: transposition is
+/// folded into panel packing, and the packing buffers are persistent
+/// per-thread scratch, so a call with a right-sized C does no allocation.
 void gemm(const CMatrix& a, const CMatrix& b, CMatrix& c,
           cplx alpha = cplx{1.0}, cplx beta = cplx{0.0}, char op_a = 'N',
           char op_b = 'N');
+
+/// Strided-view GEMM core: C(m x n, row stride ldc) +=
+/// alpha * op(A) * op(B) + (beta-1)*C, where op(A) is m x k read from `a`
+/// with row stride lda ('N' reads a[i*lda+p], 'T'/'C' read a[p*lda+i]) and
+/// op(B) is k x n likewise.  This is what the blocked LU and the
+/// block-tridiagonal solvers call on sub-blocks without copying them out.
+/// `count_flops=false` lets callers that account analytically (LU) avoid
+/// double counting.  C must not overlap A or B.
+void gemm_view(char op_a, const cplx* a, idx lda, char op_b, const cplx* b,
+               idx ldb, idx m, idx n, idx k, cplx alpha, cplx beta, cplx* c,
+               idx ldc, bool count_flops = true);
 
 /// Convenience: returns op(A)*op(B).
 CMatrix matmul(const CMatrix& a, const CMatrix& b, char op_a = 'N',

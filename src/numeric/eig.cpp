@@ -203,13 +203,28 @@ void hessenberg_schur(CMatrix& h, CMatrix& z) {
       continue;
     }
     if (++iter_guard > max_iter) {
-      // Stalled (nearly defective cluster).  If the offending subdiagonal is
-      // already tiny relative to the matrix scale, force the deflation: the
-      // perturbation is far below the accuracy of the downstream physics.
-      const double sub = std::abs(h(hi, hi - 1));
-      if (sub < 1e-8 * std::max(hnorm, 1e-300)) {
-        h(hi, hi - 1) = cplx{0.0};
-        --hi;
+      // Stalled (nearly defective cluster).  Force the smallest relative
+      // subdiagonal of the active window to zero: convergence here is
+      // rounding-fragile (it can flip with code-layout-level FP
+      // differences), and a <= 1e-6-relative perturbation is far below the
+      // accuracy of the downstream physics — FEAST additionally drops any
+      // mode whose true residual ends up large.
+      idx worst = hi;
+      double worst_sub = std::abs(h(hi, hi - 1));
+      for (idx k = lo + 1; k <= hi; ++k) {
+        const double sub = std::abs(h(k, k - 1));
+        if (sub < worst_sub) {
+          worst_sub = sub;
+          worst = k;
+        }
+      }
+      // Accept up to a 1e-6-relative perturbation (the historical bound was
+      // 1e-8 and only looked at the last row): this branch is only reached
+      // after 120n+400 stalled sweeps, where the alternative is failing
+      // outright, and FEAST re-checks every mode's true residual afterwards.
+      if (worst_sub < 1e-6 * std::max(hnorm, 1e-300)) {
+        h(worst, worst - 1) = cplx{0.0};
+        if (worst == hi) --hi;
         iter_guard = 0;
         continue;
       }
@@ -218,7 +233,7 @@ void hessenberg_schur(CMatrix& h, CMatrix& z) {
     // Occasional randomized exceptional shift to break limit cycles (the
     // deterministic pattern depends only on the iteration counter).
     cplx shift;
-    if (iter_guard % 20 == 0) {
+    if (iter_guard % 10 == 0) {
       const double mag =
           std::abs(h(hi, hi - 1)) + std::abs(h(hi, hi)) +
           (hi >= 2 ? std::abs(h(hi - 1, hi - 2)) : 0.0);

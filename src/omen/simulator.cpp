@@ -79,16 +79,18 @@ Spectrum Simulator::transmission_spectrum(
     dms.push_back(dft::assemble_device(lead_[static_cast<std::size_t>(ik)],
                                        cells, pot));
 
-  // The (k, E) loop: embarrassingly parallel (Fig. 9 levels 1-2).
+  // The (k, E) loop: embarrassingly parallel (Fig. 9 levels 1-2).  Each
+  // pool worker solves its points through its own thread-local
+  // EnergyPointContext, so after warm-up the sweep runs allocation-free.
+  transport::EnergyPointOptions opts = config_.point;
+  opts.want_density = false;
+  opts.want_current = false;
   std::vector<double> t_acc(static_cast<std::size_t>(nk * ne), 0.0);
   std::vector<idx> p_acc(static_cast<std::size_t>(nk * ne), 0);
   parallel::ThreadPool::global().parallel_for(
       static_cast<std::size_t>(nk * ne), [&](std::size_t idx_flat) {
         const idx ik = static_cast<idx>(idx_flat) / ne;
         const idx ie = static_cast<idx>(idx_flat) % ne;
-        transport::EnergyPointOptions opts = config_.point;
-        opts.want_density = false;
-        opts.want_current = false;
         const auto res = transport::solve_energy_point(
             dms[static_cast<std::size_t>(ik)],
             lead_[static_cast<std::size_t>(ik)],
@@ -132,14 +134,14 @@ std::vector<double> Simulator::charge_density(
   const auto dm = dft::assemble_device(lead_.front(), cells, pot);
   const idx orb_cell = config_.structure.orbitals_per_cell();
 
+  transport::EnergyPointOptions opts = config_.point;
+  opts.want_density = true;
+  opts.want_current = false;
+  opts.want_caroli = false;
   std::vector<double> charge(static_cast<std::size_t>(cells), 0.0);
   std::mutex merge;
   parallel::ThreadPool::global().parallel_for(
       energies.size(), [&](std::size_t ie) {
-        transport::EnergyPointOptions opts = config_.point;
-        opts.want_density = true;
-        opts.want_current = false;
-        opts.want_caroli = false;
         const auto res = transport::solve_energy_point(
             dm, lead_.front(), folded_.front(), energies[ie], opts,
             pool_.get());

@@ -13,29 +13,13 @@ constexpr std::int64_t kReduceTagBase = 2'000'000'000'000LL;
 constexpr std::int64_t kReduceResultTagBase = 3'000'000'000'000LL;
 }  // namespace
 
-namespace detail {
-// Per-communicator, per-rank collective sequence numbers.  Each rank only
-// touches its own slot, so no locking is required.  Stored out-of-line to
-// keep CommState copy-free.
-struct CollectiveSeq {
-  std::mutex mutex;
-  std::map<const CommState*, std::vector<std::uint64_t>> seq;
-
-  std::uint64_t next(const CommState* state, int rank, int size) {
-    std::lock_guard lock(mutex);
-    auto& v = seq[state];
-    if (v.empty()) v.assign(static_cast<std::size_t>(size), 0);
-    return v[static_cast<std::size_t>(rank)]++;
-  }
-
-  static CollectiveSeq& instance() {
-    static CollectiveSeq s;
-    return s;
-  }
-};
-}  // namespace detail
-
 namespace {
+
+// Per-communicator, per-rank collective sequence number.  Each rank only
+// touches its own slot, so no locking is required.
+std::uint64_t next_collective_seq(detail::CommState& st, int rank) {
+  return st.collective_seq[static_cast<std::size_t>(rank)]++;
+}
 
 void mail_send(detail::CommState& st, int src, int dst, std::int64_t tag,
                std::vector<double> data) {
@@ -94,7 +78,7 @@ void Comm::bcast(std::vector<double>& data, int root) {
     throw std::invalid_argument("bcast: root out of range");
   if (st.size == 1) return;
   const std::uint64_t seq =
-      detail::CollectiveSeq::instance().next(&st, rank_, st.size);
+      next_collective_seq(st, rank_);
   const std::int64_t tag = fold_collective_tag(kBcastTagBase, seq);
   if (rank_ == root) {
     for (int dst = 0; dst < st.size; ++dst)
@@ -130,7 +114,7 @@ void Comm::allreduce(std::vector<double>& data, ReduceOp op) {
   auto& st = *state_;
   if (st.size == 1) return;
   const std::uint64_t seq =
-      detail::CollectiveSeq::instance().next(&st, rank_, st.size);
+      next_collective_seq(st, rank_);
   const std::int64_t up_tag = fold_collective_tag(kReduceTagBase, seq);
   const std::int64_t down_tag = fold_collective_tag(kReduceResultTagBase, seq);
   if (rank_ == 0) {

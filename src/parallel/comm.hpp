@@ -27,9 +27,19 @@ namespace detail {
 
 /// Shared state for one communicator instance.
 struct CommState {
-  explicit CommState(int size) : size(size), bcast_buffers(1) {}
+  explicit CommState(int size)
+      : size(size), bcast_buffers(1),
+        collective_seq(static_cast<std::size_t>(size), 0) {}
 
   int size;
+
+  // Per-rank collective sequence numbers used to derive matching tags.
+  // Lives inside the communicator state so a new communicator always starts
+  // from zero (a process-global map keyed by CommState* would see stale
+  // counters when the allocator reuses a freed state's address, making the
+  // ranks disagree on tags and deadlocking the collective).  Each rank only
+  // touches its own slot.
+  std::vector<std::uint64_t> collective_seq;
 
   // Barrier (sense-reversing).
   std::mutex barrier_mutex;

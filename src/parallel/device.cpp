@@ -50,8 +50,8 @@ Device::~Device() {
 
 std::future<void> Device::enqueue(std::string label,
                                   std::function<void()> kernel) {
-  Kernel k{std::move(label), std::packaged_task<void()>(std::move(kernel))};
-  std::future<void> fut = k.task.get_future();
+  Kernel k{std::move(label), std::move(kernel), std::promise<void>{}};
+  std::future<void> fut = k.done.get_future();
   {
     std::lock_guard lock(mutex_);
     if (stopping_) throw std::runtime_error("Device: enqueue after shutdown");
@@ -96,9 +96,20 @@ void Device::worker_loop() {
       queue_.pop_front();
     }
     const auto start = std::chrono::steady_clock::now();
-    k.task();
+    std::exception_ptr error;
+    try {
+      k.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
     const auto end = std::chrono::steady_clock::now();
+    // Trace before completing the future: a caller that waited on run()
+    // must observe its kernel's event.
     Tracer::global().record(k.label, id_, start);
+    if (error)
+      k.done.set_exception(error);
+    else
+      k.done.set_value();
     const double secs = std::chrono::duration<double>(end - start).count();
     double prev = busy_seconds_.load(std::memory_order_relaxed);
     while (!busy_seconds_.compare_exchange_weak(prev, prev + secs,

@@ -109,7 +109,8 @@ class Device {
 
   struct Kernel {
     std::string label;
-    std::packaged_task<void()> task;
+    std::function<void()> fn;
+    std::promise<void> done;  ///< fulfilled only after the trace is recorded
   };
   std::deque<Kernel> queue_;
   std::mutex mutex_;

@@ -78,11 +78,10 @@ CMatrix bcr_solve(const BlockTridiag& a, const CMatrix& b) {
         // Coupling i -> i-1 is lower[i-1]^T position: A_{i,i-1} = lower[i-1].
         const CMatrix g_up = lu.solve(cur.upper[static_cast<std::size_t>(i - 1)]);
         const CMatrix g_r = lu.solve(cur.rhs[static_cast<std::size_t>(i - 1)]);
-        CMatrix t;
-        numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_up, t);
-        d -= t;
-        numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_r, t);
-        r -= t;
+        numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_up, d,
+                      cplx{-1.0}, cplx{1.0});
+        numeric::gemm(cur.lower[static_cast<std::size_t>(i - 1)], g_r, r,
+                      cplx{-1.0}, cplx{1.0});
         // New coupling to the even row i-2 (goes into next-level lower).
         if (i - 2 >= 0 && kidx > 0) {
           const CMatrix g_low =
@@ -98,11 +97,10 @@ CMatrix bcr_solve(const BlockTridiag& a, const CMatrix& b) {
         const numeric::LUFactor lu(cur.diag[static_cast<std::size_t>(i + 1)]);
         const CMatrix g_low = lu.solve(cur.lower[static_cast<std::size_t>(i)]);
         const CMatrix g_r = lu.solve(cur.rhs[static_cast<std::size_t>(i + 1)]);
-        CMatrix t;
-        numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_low, t);
-        d -= t;
-        numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_r, t);
-        r -= t;
+        numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_low, d,
+                      cplx{-1.0}, cplx{1.0});
+        numeric::gemm(cur.upper[static_cast<std::size_t>(i)], g_r, r,
+                      cplx{-1.0}, cplx{1.0});
         if (i + 2 < n && kidx + 1 < nn) {
           const CMatrix g_up =
               lu.solve(cur.upper[static_cast<std::size_t>(i + 1)]);
@@ -143,14 +141,13 @@ CMatrix bcr_solve(const BlockTridiag& a, const CMatrix& b) {
     // Recover odd rows: D_i x_i = r_i - L x_{i-1} - U x_{i+1}.
     for (idx i = 1; i < n; i += 2) {
       CMatrix rhs = lev.rhs[static_cast<std::size_t>(i)];
-      CMatrix t;
       numeric::gemm(lev.lower[static_cast<std::size_t>(i - 1)],
-                    x[static_cast<std::size_t>(i - 1)], t);
-      rhs -= t;
+                    x[static_cast<std::size_t>(i - 1)], rhs, cplx{-1.0},
+                    cplx{1.0});
       if (i + 1 < n) {
         numeric::gemm(lev.upper[static_cast<std::size_t>(i)],
-                      x[static_cast<std::size_t>(i + 1)], t);
-        rhs -= t;
+                      x[static_cast<std::size_t>(i + 1)], rhs, cplx{-1.0},
+                      cplx{1.0});
       }
       x[static_cast<std::size_t>(i)] =
           numeric::solve(lev.diag[static_cast<std::size_t>(i)], rhs);

@@ -6,8 +6,12 @@
 
 namespace omenx::solvers {
 
-BlockTridiagLU::BlockTridiagLU(const BlockTridiag& a)
-    : nb_(a.num_blocks()), s_(a.block_size()) {
+void BlockTridiagLU::factor(const BlockTridiag& a) {
+  nb_ = a.num_blocks();
+  s_ = a.block_size();
+  dtilde_.clear();
+  l_.clear();
+  u_.clear();
   dtilde_.reserve(static_cast<std::size_t>(nb_));
   l_.reserve(static_cast<std::size_t>(nb_));
   u_.reserve(static_cast<std::size_t>(nb_));
@@ -16,12 +20,10 @@ BlockTridiagLU::BlockTridiagLU(const BlockTridiag& a)
   l_.emplace_back();  // unused slot for i = 0
   for (idx i = 1; i < nb_; ++i) {
     // L_i = A_{i,i-1} * Dt_{i-1}^{-1}  (solved as  L_i Dt_{i-1} = A_{i,i-1}).
-    const CMatrix li = dtilde_.back().solve_left(a.lower(i - 1));
+    CMatrix li = dtilde_.back().solve_left(a.lower(i - 1));
     CMatrix di = a.diag(i);
-    CMatrix correction;
-    numeric::gemm(li, a.upper(i - 1), correction);
-    di -= correction;
-    l_.push_back(li);
+    numeric::gemm(li, a.upper(i - 1), di, cplx{-1.0}, cplx{1.0});
+    l_.push_back(std::move(li));
     dtilde_.emplace_back(std::move(di));
   }
   for (idx i = 0; i + 1 < nb_; ++i) u_.push_back(a.upper(i));
@@ -31,24 +33,24 @@ CMatrix BlockTridiagLU::solve(const CMatrix& b) const {
   if (b.rows() != dim())
     throw std::invalid_argument("BlockTridiagLU::solve: dimension mismatch");
   const idx m = b.cols();
-  // Forward: y_i = b_i - L_i y_{i-1}.
+  // Forward: y_i = b_i - L_i y_{i-1}, updated in place on the stacked RHS
+  // through the strided GEMM view (no block copies).
   CMatrix y = b;
   for (idx i = 1; i < nb_; ++i) {
-    const CMatrix ym = y.block((i - 1) * s_, 0, s_, m);
-    CMatrix corr;
-    numeric::gemm(l_[static_cast<std::size_t>(i)], ym, corr);
-    for (idx r = 0; r < s_; ++r)
-      for (idx c = 0; c < m; ++c) y(i * s_ + r, c) -= corr(r, c);
+    const CMatrix& li = l_[static_cast<std::size_t>(i)];
+    numeric::gemm_view('N', li.data(), li.cols(), 'N',
+                       y.row_ptr((i - 1) * s_), m, s_, m, s_, cplx{-1.0},
+                       cplx{1.0}, y.row_ptr(i * s_), m);
   }
   // Backward: x_n = Dt_n^{-1} y_n; x_i = Dt_i^{-1} (y_i - U_i x_{i+1}).
   CMatrix x(dim(), m);
+  CMatrix rhs;
   CMatrix xi = dtilde_.back().solve(y.block((nb_ - 1) * s_, 0, s_, m));
   x.set_block((nb_ - 1) * s_, 0, xi);
   for (idx i = nb_ - 2; i >= 0; --i) {
-    CMatrix rhs = y.block(i * s_, 0, s_, m);
-    CMatrix corr;
-    numeric::gemm(u_[static_cast<std::size_t>(i)], xi, corr);
-    rhs -= corr;
+    y.block_into(i * s_, 0, s_, m, rhs);
+    numeric::gemm(u_[static_cast<std::size_t>(i)], xi, rhs, cplx{-1.0},
+                  cplx{1.0});
     xi = dtilde_[static_cast<std::size_t>(i)].solve(rhs);
     x.set_block(i * s_, 0, xi);
   }

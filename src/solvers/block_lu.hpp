@@ -5,6 +5,11 @@
 // right-hand side column, without exploiting that only the first/last block
 // columns of T^{-1} are needed.  Complexity: O(nb * s^3) factor +
 // O(nb * s^2 * nrhs) solve.
+//
+// A default-constructed instance can be re-factored with factor() point
+// after point: the per-block containers keep their capacity, so steady-
+// state refactorization performs no heap allocation (the energy sweep's
+// per-thread context relies on this).
 #pragma once
 
 #include <memory>
@@ -22,8 +27,14 @@ using numeric::idx;
 
 class BlockTridiagLU {
  public:
+  /// Empty factorization; call factor() before solve().
+  BlockTridiagLU() = default;
+
   /// Factor the block-tridiagonal matrix.  Throws on singular pivot blocks.
-  explicit BlockTridiagLU(const BlockTridiag& a);
+  explicit BlockTridiagLU(const BlockTridiag& a) { factor(a); }
+
+  /// (Re-)factor `a`, reusing the containers of any previous factorization.
+  void factor(const BlockTridiag& a);
 
   /// Solve A X = B for dense multi-column B (dim() rows).
   CMatrix solve(const CMatrix& b) const;

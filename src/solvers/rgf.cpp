@@ -22,12 +22,10 @@ CMatrix rgf_first_block_column(const BlockTridiag& a) {
   std::vector<CMatrix> x(static_cast<std::size_t>(nb));
   for (idx i = nb - 1; i >= 0; --i) {
     CMatrix m = a.diag(i);
-    if (i + 1 < nb) {
-      CMatrix t;
-      numeric::gemm(a.upper(i), x[static_cast<std::size_t>(i + 1)], t);
-      m -= t;
-    }
-    const numeric::LUFactor lu(m);
+    if (i + 1 < nb)
+      numeric::gemm(a.upper(i), x[static_cast<std::size_t>(i + 1)], m,
+                    cplx{-1.0}, cplx{1.0});
+    const numeric::LUFactor lu(std::move(m));
     x[static_cast<std::size_t>(i)] =
         i > 0 ? lu.solve(a.lower(i - 1)) : lu.inverse();
   }
@@ -55,12 +53,10 @@ CMatrix rgf_last_block_column(const BlockTridiag& a) {
   std::vector<CMatrix> y(static_cast<std::size_t>(nb));
   for (idx i = 0; i < nb; ++i) {
     CMatrix m = a.diag(i);
-    if (i > 0) {
-      CMatrix t;
-      numeric::gemm(a.lower(i - 1), y[static_cast<std::size_t>(i - 1)], t);
-      m -= t;
-    }
-    const numeric::LUFactor lu(m);
+    if (i > 0)
+      numeric::gemm(a.lower(i - 1), y[static_cast<std::size_t>(i - 1)], m,
+                    cplx{-1.0}, cplx{1.0});
+    const numeric::LUFactor lu(std::move(m));
     y[static_cast<std::size_t>(i)] =
         i + 1 < nb ? lu.solve(a.upper(i)) : lu.inverse();
   }
@@ -87,13 +83,12 @@ std::vector<CMatrix> rgf_diagonal_blocks(const BlockTridiag& a) {
   const idx nb = a.num_blocks();
   // Backward sweep: gR_i = (A_ii - A_{i,i+1} gR_{i+1} A_{i+1,i})^{-1}.
   std::vector<CMatrix> gr(static_cast<std::size_t>(nb));
+  CMatrix t, m;
   for (idx i = nb - 1; i >= 0; --i) {
-    CMatrix m = a.diag(i);
+    m = a.diag(i);
     if (i + 1 < nb) {
-      CMatrix t = numeric::matmul(
-          a.upper(i),
-          numeric::matmul(gr[static_cast<std::size_t>(i + 1)], a.lower(i)));
-      m -= t;
+      numeric::gemm(gr[static_cast<std::size_t>(i + 1)], a.lower(i), t);
+      numeric::gemm(a.upper(i), t, m, cplx{-1.0}, cplx{1.0});
     }
     gr[static_cast<std::size_t>(i)] = numeric::inverse(m);
   }
@@ -101,14 +96,15 @@ std::vector<CMatrix> rgf_diagonal_blocks(const BlockTridiag& a) {
   // G_ii = gR_i + gR_i A_{i,i-1} G_{i-1,i-1} A_{i-1,i} gR_i.
   std::vector<CMatrix> g(static_cast<std::size_t>(nb));
   g[0] = gr[0];
+  CMatrix u;
   for (idx i = 1; i < nb; ++i) {
     const CMatrix& gri = gr[static_cast<std::size_t>(i)];
-    const CMatrix t = numeric::matmul(
-        gri, numeric::matmul(
-                 a.lower(i - 1),
-                 numeric::matmul(g[static_cast<std::size_t>(i - 1)],
-                                 numeric::matmul(a.upper(i - 1), gri))));
-    g[static_cast<std::size_t>(i)] = gri + t;
+    numeric::gemm(a.upper(i - 1), gri, t);
+    numeric::gemm(g[static_cast<std::size_t>(i - 1)], t, u);
+    numeric::gemm(a.lower(i - 1), u, t);
+    CMatrix gii = gri;
+    numeric::gemm(gri, t, gii, cplx{1.0}, cplx{1.0});
+    g[static_cast<std::size_t>(i)] = std::move(gii);
   }
   return g;
 }

@@ -183,16 +183,12 @@ CMatrix spike_block_columns(const BlockTridiag& a, parallel::DevicePool& pool,
       if (j < p - 1 && pd.v.rows() > 0) {
         // t_{j+1} lives in u_j rows [s, 2s).
         const CMatrix t_next = u.block(j * 2 * s + s, 0, s, m);
-        CMatrix corr;
-        numeric::gemm(pd.v, t_next, corr);
-        xj -= corr;
+        numeric::gemm(pd.v, t_next, xj, cplx{-1.0}, cplx{1.0});
       }
       if (j > 0 && pd.w.rows() > 0) {
         // b_{j-1} lives in u_{j-1} rows [0, s).
         const CMatrix b_prev = u.block((j - 1) * 2 * s, 0, s, m);
-        CMatrix corr;
-        numeric::gemm(pd.w, b_prev, corr);
-        xj -= corr;
+        numeric::gemm(pd.w, b_prev, xj, cplx{-1.0}, cplx{1.0});
       }
       dev.record_d2h(static_cast<std::uint64_t>(xj.size()) * 16u);
       q.set_block(pd.lo * s, 0, xj);

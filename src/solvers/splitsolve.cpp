@@ -76,18 +76,30 @@ CMatrix SplitSolve::solve(const CMatrix& sigma_l, const CMatrix& sigma_r,
 
 BlockTridiag apply_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
                             const CMatrix& sigma_r) {
-  BlockTridiag t = a;
+  BlockTridiag t;
+  apply_boundary_into(t, a, sigma_l, sigma_r);
+  return t;
+}
+
+void apply_boundary_into(BlockTridiag& t, const BlockTridiag& a,
+                         const CMatrix& sigma_l, const CMatrix& sigma_r) {
+  t = a;
   t.diag(0).add_block(0, 0, sigma_l, cplx{-1.0});
   t.diag(t.num_blocks() - 1).add_block(0, 0, sigma_r, cplx{-1.0});
-  return t;
 }
 
 CMatrix expand_boundary_rhs(idx dim, const CMatrix& b_top,
                             const CMatrix& b_bottom) {
-  CMatrix b(dim, b_top.cols());
+  CMatrix b;
+  expand_boundary_rhs_into(b, dim, b_top, b_bottom);
+  return b;
+}
+
+void expand_boundary_rhs_into(CMatrix& b, idx dim, const CMatrix& b_top,
+                              const CMatrix& b_bottom) {
+  b.resize(dim, b_top.cols());
   b.set_block(0, 0, b_top);
   b.set_block(dim - b_bottom.rows(), 0, b_bottom);
-  return b;
 }
 
 }  // namespace omenx::solvers

@@ -62,9 +62,20 @@ BlockTridiag apply_boundary(const BlockTridiag& a,
                             const numeric::CMatrix& sigma_l,
                             const numeric::CMatrix& sigma_r);
 
+/// In-place variant: rebuild `t` as `a` with the self-energies applied,
+/// reusing t's block storage (the allocation-free energy-point path).
+void apply_boundary_into(BlockTridiag& t, const BlockTridiag& a,
+                         const numeric::CMatrix& sigma_l,
+                         const numeric::CMatrix& sigma_r);
+
 /// Expand sparse boundary RHS (top/bottom blocks) to a dense column set.
 numeric::CMatrix expand_boundary_rhs(numeric::idx dim,
                                      const numeric::CMatrix& b_top,
                                      const numeric::CMatrix& b_bottom);
+
+/// In-place variant of expand_boundary_rhs, reusing b's storage.
+void expand_boundary_rhs_into(numeric::CMatrix& b, numeric::idx dim,
+                              const numeric::CMatrix& b_top,
+                              const numeric::CMatrix& b_bottom);
 
 }  // namespace omenx::solvers

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace omenx::transport {
 
 std::vector<double> make_energy_grid(double emin, double emax,
@@ -30,27 +32,50 @@ std::vector<double> make_energy_grid(double emin, double emax,
 std::vector<double> refine_energy_grid(std::vector<double> grid,
                                        const std::function<double(double)>& f,
                                        double tol,
-                                       const EnergyGridOptions& options) {
+                                       const EnergyGridOptions& options,
+                                       parallel::ThreadPool* threads) {
   if (grid.size() < 2) return grid;
   std::sort(grid.begin(), grid.end());
-  std::vector<double> fv;
-  fv.reserve(grid.size());
-  for (const double e : grid) fv.push_back(f(e));
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    std::vector<double> next_grid;
-    std::vector<double> next_fv;
-    next_grid.push_back(grid[0]);
-    next_fv.push_back(fv[0]);
+  // Each pass evaluates a whole batch of points at once — the initial grid
+  // first, then every pass's midpoints — so the expensive f(E) solves can
+  // run concurrently instead of one at a time.
+  const auto evaluate = [&](const std::vector<double>& points) {
+    std::vector<double> values(points.size());
+    if (threads != nullptr && points.size() > 1) {
+      threads->parallel_for(points.size(),
+                            [&](std::size_t i) { values[i] = f(points[i]); });
+    } else {
+      for (std::size_t i = 0; i < points.size(); ++i) values[i] = f(points[i]);
+    }
+    return values;
+  };
+
+  std::vector<double> fv = evaluate(grid);
+  for (;;) {
+    // Collect every interval that needs a midpoint.
+    std::vector<double> mids;
+    std::vector<std::size_t> mid_after;  // index i: insert before grid[i]
     for (std::size_t i = 1; i < grid.size(); ++i) {
       const double de = grid[i] - grid[i - 1];
       if (std::abs(fv[i] - fv[i - 1]) > tol && de > 2.0 * options.min_spacing) {
-        const double mid = 0.5 * (grid[i] + grid[i - 1]);
-        next_grid.push_back(mid);
-        next_fv.push_back(f(mid));
-        changed = true;
+        mids.push_back(0.5 * (grid[i] + grid[i - 1]));
+        mid_after.push_back(i);
+      }
+    }
+    if (mids.empty()) break;
+    const std::vector<double> mid_values = evaluate(mids);
+
+    std::vector<double> next_grid;
+    std::vector<double> next_fv;
+    next_grid.reserve(grid.size() + mids.size());
+    next_fv.reserve(grid.size() + mids.size());
+    std::size_t m = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (m < mid_after.size() && mid_after[m] == i) {
+        next_grid.push_back(mids[m]);
+        next_fv.push_back(mid_values[m]);
+        ++m;
       }
       next_grid.push_back(grid[i]);
       next_fv.push_back(fv[i]);

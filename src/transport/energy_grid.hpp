@@ -13,6 +13,10 @@
 
 #include "numeric/types.hpp"
 
+namespace omenx::parallel {
+class ThreadPool;
+}
+
 namespace omenx::transport {
 
 using numeric::idx;
@@ -30,9 +34,16 @@ std::vector<double> make_energy_grid(double emin, double emax,
 /// Adaptive grid: start from the uniform grid and bisect intervals where
 /// |f(e_i+1) - f(e_i)| > tol until min_spacing is reached.  `f` is any
 /// cheap feature indicator (e.g. number of propagating modes).
+///
+/// Refinement proceeds in batched passes: all midpoints of a pass are
+/// collected first and then evaluated together — concurrently on `threads`
+/// when given (`f` must then be thread-safe), serially otherwise.  Energy
+/// points are the expensive unit of work, so evaluating a whole pass at
+/// once is what keeps the sweep pipeline busy.
 std::vector<double> refine_energy_grid(std::vector<double> grid,
                                        const std::function<double(double)>& f,
                                        double tol,
-                                       const EnergyGridOptions& options = {});
+                                       const EnergyGridOptions& options = {},
+                                       parallel::ThreadPool* threads = nullptr);
 
 }  // namespace omenx::transport

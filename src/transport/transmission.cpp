@@ -7,8 +7,8 @@
 #include "numeric/lu.hpp"
 #include "obc/decimation.hpp"
 #include "obc/shift_invert.hpp"
+#include "parallel/thread_pool.hpp"
 #include "solvers/bcr.hpp"
-#include "solvers/block_lu.hpp"
 #include "solvers/splitsolve.hpp"
 
 namespace omenx::transport {
@@ -41,10 +41,25 @@ EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
                                      double energy,
                                      const EnergyPointOptions& options,
                                      parallel::DevicePool* pool) {
+  // Thread-local context: every pool worker that sweeps energies keeps its
+  // own warm workspace, so steady-state points are allocation-free.
+  static thread_local EnergyPointContext ctx;
+  return solve_energy_point(ctx, dm, lead, folded, energy, options, pool);
+}
+
+EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
+                                     const dft::DeviceMatrices& dm,
+                                     const dft::LeadBlocks& lead,
+                                     const dft::FoldedLead& folded,
+                                     double energy,
+                                     const EnergyPointOptions& options,
+                                     parallel::DevicePool* pool) {
+  const numeric::WorkspaceScope scope(ctx.workspace);
   EnergyPointResult out;
   out.energy = energy;
   const cplx e{energy, 0.0};
-  const BlockTridiag a = BlockTridiag::es_minus_h(e, dm.s, dm.h);
+  ctx.a.assign_es_minus_h(e, dm.s, dm.h);
+  const BlockTridiag& a = ctx.a;
   const idx sf = a.block_size();
 
   // --- SplitSolve Step 1 can start before the boundary conditions exist ---
@@ -93,24 +108,32 @@ EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
   const idx m = gcols + n_inc;
   if (m == 0) return out;
 
-  CMatrix b_top(sf, m);
-  CMatrix b_bot(sf, m);
+  CMatrix& b_top = ctx.b_top;
+  CMatrix& b_bot = ctx.b_bot;
+  b_top.resize(sf, m);
+  b_bot.resize(sf, m);
   if (want_caroli) {
-    b_top.set_block(0, 0, CMatrix::identity(sf));
-    b_bot.set_block(0, sf, CMatrix::identity(sf));
+    for (idx i = 0; i < sf; ++i) {
+      b_top(i, i) = cplx{1.0};
+      b_bot(i, sf + i) = cplx{1.0};
+    }
   }
   for (idx j = 0; j < n_inc; ++j)
     for (idx i = 0; i < sf; ++i) b_top(i, gcols + j) = bnd.inj(i, j);
 
-  CMatrix x;
+  CMatrix& x = ctx.x;
   if (options.solver == SolverAlgorithm::kSplitSolve) {
     x = split->solve(bnd.sigma_l, bnd.sigma_r, b_top, b_bot);
   } else {
-    const BlockTridiag t = solvers::apply_boundary(a, bnd.sigma_l, bnd.sigma_r);
-    const CMatrix b = solvers::expand_boundary_rhs(a.dim(), b_top, b_bot);
-    x = options.solver == SolverAlgorithm::kBlockLU
-            ? solvers::block_lu_solve(t, b)
-            : solvers::bcr_solve(t, b);
+    solvers::apply_boundary_into(ctx.t, a, bnd.sigma_l, bnd.sigma_r);
+    CMatrix& b = ctx.b;
+    solvers::expand_boundary_rhs_into(b, a.dim(), b_top, b_bot);
+    if (options.solver == SolverAlgorithm::kBlockLU) {
+      ctx.block_lu.factor(ctx.t);
+      x = ctx.block_lu.solve(b);
+    } else {
+      x = solvers::bcr_solve(ctx.t, b);
+    }
   }
 
   // --- Caroli transmission from G_{first,last} ---
@@ -172,6 +195,23 @@ EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
         }
       }
     }
+  }
+  return out;
+}
+
+std::vector<EnergyPointResult> sweep_energy_points(
+    const dft::DeviceMatrices& dm, const dft::LeadBlocks& lead,
+    const dft::FoldedLead& folded, const std::vector<double>& energies,
+    const EnergyPointOptions& options, parallel::DevicePool* pool,
+    parallel::ThreadPool* threads) {
+  std::vector<EnergyPointResult> out(energies.size());
+  if (threads != nullptr) {
+    threads->parallel_for(energies.size(), [&](std::size_t i) {
+      out[i] = solve_energy_point(dm, lead, folded, energies[i], options, pool);
+    });
+  } else {
+    for (std::size_t i = 0; i < energies.size(); ++i)
+      out[i] = solve_energy_point(dm, lead, folded, energies[i], options, pool);
   }
   return out;
 }

@@ -17,6 +17,11 @@
 #include "obc/feast.hpp"
 #include "obc/self_energy.hpp"
 #include "parallel/device.hpp"
+#include "solvers/block_lu.hpp"
+
+namespace omenx::parallel {
+class ThreadPool;
+}
 
 namespace omenx::transport {
 
@@ -48,14 +53,52 @@ struct EnergyPointResult {
   std::vector<double> interface_current;  ///< bond current per interface
 };
 
+/// Reusable per-thread state for repeated energy-point solves.  The
+/// workspace pools every matrix buffer allocated while a point is being
+/// solved, and the members cache the large recurring operands (T = E*S - H,
+/// the boundary-applied system, the stacked RHS, the block-LU factors), so
+/// after the first point at a given device shape a solve performs no heap
+/// allocations of numeric buffers (see numeric::matrix_heap_allocations).
+/// The pool keys buffers by exact size and keeps the high-water population
+/// of every size it has seen; call workspace.clear() between devices of
+/// very different shapes to bound the footprint.
+struct EnergyPointContext {
+  numeric::Workspace workspace;
+  blockmat::BlockTridiag a;   ///< E*S - H, rebuilt in place per point
+  blockmat::BlockTridiag t;   ///< A with boundary self-energies applied
+  solvers::BlockTridiagLU block_lu;  ///< reusable block-LU factorization
+  CMatrix b_top, b_bot, b, x;
+};
+
 /// Solve one energy point for the device `dm` with leads `lead`/`folded`.
 /// `pool` is required for the SplitSolve backend (ignored otherwise).
+/// Uses a thread-local EnergyPointContext, so sweeping many energies on a
+/// thread pool automatically gives every worker its own warm workspace.
 EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
                                      const dft::LeadBlocks& lead,
                                      const dft::FoldedLead& folded,
                                      double energy,
                                      const EnergyPointOptions& options = {},
                                      parallel::DevicePool* pool = nullptr);
+
+/// Same, with an explicit context (testing and custom schedulers).
+EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
+                                     const dft::DeviceMatrices& dm,
+                                     const dft::LeadBlocks& lead,
+                                     const dft::FoldedLead& folded,
+                                     double energy,
+                                     const EnergyPointOptions& options = {},
+                                     parallel::DevicePool* pool = nullptr);
+
+/// Sweep many energies.  With `threads`, the sweep is parallelized over the
+/// pool's workers, each reusing its own thread-local context; serial
+/// otherwise.  Results are returned in energy order.
+std::vector<EnergyPointResult> sweep_energy_points(
+    const dft::DeviceMatrices& dm, const dft::LeadBlocks& lead,
+    const dft::FoldedLead& folded, const std::vector<double>& energies,
+    const EnergyPointOptions& options = {},
+    parallel::DevicePool* pool = nullptr,
+    parallel::ThreadPool* threads = nullptr);
 
 /// Fermi-Dirac occupation.
 double fermi(double e, double mu, double kt);

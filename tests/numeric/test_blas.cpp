@@ -109,3 +109,75 @@ TEST(Blas, ThreadParallelismToggle) {
   CMatrix parallel = nm::matmul(a, b);
   EXPECT_LT(nm::max_abs_diff(serial, parallel), 1e-13);
 }
+
+namespace {
+// op(M) materialized for the reference path.
+CMatrix ref_op(const CMatrix& m, char op) {
+  if (op == 'N') return m;
+  if (op == 'T') return m.transpose();
+  return nm::dagger(m);
+}
+}  // namespace
+
+// All nine op_a x op_b combinations on non-square operands against the
+// naive triple loop: transposition/conjugation folded into packing must
+// match the materialized reference exactly.
+TEST(Blas, GemmAllOpCombinations) {
+  // op(A) must be 11x6, op(B) 6x9.
+  const CMatrix a_n = nm::random_cmatrix(11, 6, 31);
+  const CMatrix a_t = nm::random_cmatrix(6, 11, 32);
+  const CMatrix b_n = nm::random_cmatrix(6, 9, 33);
+  const CMatrix b_t = nm::random_cmatrix(9, 6, 34);
+  const char ops[] = {'N', 'T', 'C'};
+  for (char op_a : ops) {
+    for (char op_b : ops) {
+      const CMatrix& a = op_a == 'N' ? a_n : a_t;
+      const CMatrix& b = op_b == 'N' ? b_n : b_t;
+      const CMatrix expect = ref_matmul(ref_op(a, op_a), ref_op(b, op_b));
+      const CMatrix got = nm::matmul(a, b, op_a, op_b);
+      EXPECT_LT(nm::max_abs_diff(got, expect), 1e-12)
+          << "op_a=" << op_a << " op_b=" << op_b;
+    }
+  }
+}
+
+// Ops combined with alpha/beta accumulation into an existing C.
+TEST(Blas, GemmOpsWithAlphaBeta) {
+  const CMatrix a = nm::random_cmatrix(13, 8, 35);   // used as A^C: 8x13
+  const CMatrix b = nm::random_cmatrix(7, 13, 36);   // used as B^T: 13x7
+  CMatrix c = nm::random_cmatrix(8, 7, 37);
+  const CMatrix c0 = c;
+  const cplx alpha{1.5, -0.5}, beta{-0.25, 2.0};
+  nm::gemm(a, b, c, alpha, beta, 'C', 'T');
+  const CMatrix expect =
+      ref_matmul(nm::dagger(a), b.transpose()) * alpha + c0 * beta;
+  EXPECT_LT(nm::max_abs_diff(c, expect), 1e-12);
+}
+
+// Sizes straddling every packing boundary (micro-tile, panel, slab edges).
+TEST(Blas, GemmPackingEdgeSizes) {
+  for (idx m : {1, 3, 4, 5, 95, 97}) {
+    for (idx n : {1, 23, 24, 25}) {
+      const idx k = 7;
+      const CMatrix a = nm::random_cmatrix(m, k, 40 + unsigned(m));
+      const CMatrix b = nm::random_cmatrix(k, n, 50 + unsigned(n));
+      EXPECT_LT(nm::max_abs_diff(nm::matmul(a, b), ref_matmul(a, b)), 1e-12)
+          << m << "x" << k << "x" << n;
+    }
+  }
+}
+
+// Regression for the seed's apply_op bug (it copied the full operand even
+// for op 'N').  The packed kernel must do zero operand copies and zero
+// buffer allocations once the output is right-sized and the per-thread
+// packing scratch is warm.
+TEST(Blas, GemmSteadyStateDoesNotAllocate) {
+  const CMatrix a = nm::random_cmatrix(96, 96, 60);
+  const CMatrix b = nm::random_cmatrix(96, 96, 61);
+  CMatrix c(96, 96);
+  nm::gemm(a, b, c);  // warm up packing scratch
+  const std::uint64_t before = nm::matrix_heap_allocations();
+  nm::gemm(a, b, c);
+  nm::gemm(a, b, c, cplx{2.0}, cplx{1.0}, 'T', 'C');
+  EXPECT_EQ(nm::matrix_heap_allocations(), before);
+}

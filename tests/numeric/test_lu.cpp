@@ -99,3 +99,41 @@ TEST_P(LURoundTrip, SolveRecoversSolution) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, LURoundTrip,
                          ::testing::Values(1, 2, 3, 5, 8, 17, 33, 64, 100));
+
+// The blocked right-looking factorization must reproduce the unblocked
+// reference (panel = 1): identical pivot sequence, matching factors and
+// solutions up to GEMM-reordering roundoff.
+TEST(LU, BlockedMatchesUnblockedReference) {
+  for (idx n : {64, 150, 257}) {
+    const CMatrix a = well_conditioned(n, 300 + unsigned(n));
+    const nm::LUFactor blocked(a, nm::Pivoting::kPartial);
+    const nm::LUFactor unblocked(a, nm::Pivoting::kPartial, /*panel=*/1);
+    ASSERT_EQ(blocked.pivots().size(), unblocked.pivots().size());
+    for (std::size_t k = 0; k < blocked.pivots().size(); ++k)
+      EXPECT_EQ(blocked.pivots()[k], unblocked.pivots()[k]) << "k=" << k;
+    EXPECT_NEAR(blocked.log_abs_det(), unblocked.log_abs_det(),
+                1e-9 * std::abs(unblocked.log_abs_det()) + 1e-9);
+    const CMatrix rhs = nm::random_cmatrix(n, 4, 400 + unsigned(n));
+    EXPECT_LT(nm::max_abs_diff(blocked.solve(rhs), unblocked.solve(rhs)),
+              1e-9);
+  }
+}
+
+TEST(LU, BlockedNoPivotMatchesUnblocked) {
+  const idx n = 130;
+  const CMatrix a = well_conditioned(n, 77);
+  const nm::LUFactor blocked(a, nm::Pivoting::kNone);
+  const nm::LUFactor unblocked(a, nm::Pivoting::kNone, /*panel=*/1);
+  const CMatrix rhs = nm::random_cmatrix(n, 3, 78);
+  EXPECT_LT(nm::max_abs_diff(blocked.solve(rhs), unblocked.solve(rhs)), 1e-9);
+}
+
+// A panel-crossing solve still satisfies A x = b directly.
+TEST(LU, BlockedSolveResidualLarge) {
+  const idx n = 200;
+  const CMatrix a = well_conditioned(n, 88);
+  const CMatrix x_true = nm::random_cmatrix(n, 6, 89);
+  const CMatrix b = nm::matmul(a, x_true);
+  const CMatrix x = nm::LUFactor(a).solve(b);
+  EXPECT_LT(nm::max_abs_diff(x, x_true), 1e-9);
+}

@@ -98,3 +98,54 @@ TEST(Matrix, ToComplex) {
   CMatrix c = nm::to_complex(r);
   EXPECT_EQ(c(1, 0), cplx(3.0, 0.0));
 }
+
+// --- Workspace arena ---------------------------------------------------
+
+TEST(Workspace, ReusesFreedBuffersWhileActive) {
+  nm::Workspace ws;
+  nm::WorkspaceScope scope(ws);
+  { CMatrix warm(33, 17); }  // allocate then park the buffer in the pool
+  const std::uint64_t heap_before = nm::matrix_heap_allocations();
+  const std::uint64_t hits_before = nm::workspace_pool_hits();
+  { CMatrix again(33, 17); }  // same byte size -> pool hit
+  EXPECT_EQ(nm::matrix_heap_allocations(), heap_before);
+  EXPECT_EQ(nm::workspace_pool_hits(), hits_before + 1);
+}
+
+TEST(Workspace, ScopesNestAndRestore) {
+  nm::Workspace outer;
+  EXPECT_EQ(nm::Workspace::current(), nullptr);
+  {
+    nm::WorkspaceScope a(outer);
+    EXPECT_EQ(nm::Workspace::current(), &outer);
+    nm::Workspace inner;
+    {
+      nm::WorkspaceScope b(inner);
+      EXPECT_EQ(nm::Workspace::current(), &inner);
+    }
+    EXPECT_EQ(nm::Workspace::current(), &outer);
+  }
+  EXPECT_EQ(nm::Workspace::current(), nullptr);
+}
+
+TEST(Workspace, BuffersSurviveWorkspaceDestruction) {
+  // A matrix allocated inside a scope may legally outlive the workspace;
+  // its buffer must stay valid and be freed to the heap afterwards.
+  CMatrix survivor;
+  {
+    nm::Workspace ws;
+    nm::WorkspaceScope scope(ws);
+    survivor = CMatrix(20, 20, cplx{1.0, 2.0});
+  }
+  EXPECT_EQ(survivor(19, 19), cplx(1.0, 2.0));
+  survivor = CMatrix();  // releases a pooled chunk whose pool is gone
+}
+
+TEST(Workspace, PooledBytesReported) {
+  nm::Workspace ws;
+  {
+    nm::WorkspaceScope scope(ws);
+    { CMatrix m(10, 10); }
+  }
+  EXPECT_GE(ws.pooled_bytes(), 100u * sizeof(cplx));
+}

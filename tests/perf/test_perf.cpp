@@ -218,3 +218,20 @@ TEST(PowerFig12, PhaseSlicesSumToOne) {
   }
   EXPECT_NEAR(total, 1.0, 1e-12);
 }
+
+// The blocked LU's trailing updates run through the GEMM kernel but must
+// not double count: the factorization reports exactly the analytic
+// (8/3) n^3 and the blocked solve exactly 8 n^2 nrhs, for sizes that cross
+// several panels.
+TEST(Flops, BlockedLUCountsStayAnalytic) {
+  const idx n = 200;
+  CMatrix a = nm::random_cmatrix(n, n, 7);
+  for (idx i = 0; i < n; ++i) a(i, i) += cplx{double(n)};
+  nm::FlopCounter::reset();
+  const nm::LUFactor lu(a);
+  EXPECT_EQ(nm::FlopCounter::total(), pf::lu_flops(n));
+  const CMatrix rhs = nm::random_cmatrix(n, 9, 8);
+  nm::FlopCounter::reset();
+  lu.solve(rhs);
+  EXPECT_EQ(nm::FlopCounter::total(), pf::lu_solve_flops(n, 9));
+}

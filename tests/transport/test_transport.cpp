@@ -10,6 +10,7 @@
 #include "dft/hamiltonian.hpp"
 #include "numeric/blas.hpp"
 #include "parallel/device.hpp"
+#include "parallel/thread_pool.hpp"
 #include "transport/energy_grid.hpp"
 #include "transport/transmission.hpp"
 
@@ -264,4 +265,96 @@ TEST(Transport, TwoOrbitalChainStaircase) {
   EXPECT_NEAR(r2.transmission, 2.0, 1e-6);
   const auto r3 = tr::solve_energy_point(dm, lead, folded, 2.1, opt);
   EXPECT_NEAR(r3.transmission, 1.0, 1e-6);
+}
+
+// --- Allocation-free steady state --------------------------------------
+
+// After the first two points warm the context's workspace, a solve performs
+// zero heap allocations of numeric buffers: the arena recycles every matrix
+// (T = E*S - H assembly, decimation iterates, block-LU factors, RHS,
+// solution) from the previous points.
+TEST(Transport, EnergyPointSteadyStateIsAllocationFree) {
+  const idx cells = 12;
+  const auto dm = chain_device(cells, 0.5, 5, 7);
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  tr::EnergyPointOptions opts;
+  opts.obc = tr::ObcAlgorithm::kDecimation;
+  opts.solver = tr::SolverAlgorithm::kBlockLU;
+  opts.want_density = false;
+  opts.want_current = false;
+
+  tr::EnergyPointContext ctx;
+  tr::solve_energy_point(ctx, dm, lead, folded, -0.8, opts);
+  tr::solve_energy_point(ctx, dm, lead, folded, -0.3, opts);
+
+  const std::uint64_t before = nm::matrix_heap_allocations();
+  double acc = 0.0;
+  for (double e : {-0.9, -0.5, -0.1, 0.2, 0.7}) {
+    const auto res = tr::solve_energy_point(ctx, dm, lead, folded, e, opts);
+    acc += res.transmission_caroli;
+  }
+  EXPECT_EQ(nm::matrix_heap_allocations(), before) << acc;
+}
+
+// The BCR backend goes through the same context plumbing.
+TEST(Transport, EnergyPointBcrSteadyStateIsAllocationFree) {
+  const auto dm = chain_device(9);
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  tr::EnergyPointOptions opts;
+  opts.obc = tr::ObcAlgorithm::kDecimation;
+  opts.solver = tr::SolverAlgorithm::kBcr;
+  opts.want_density = false;
+  opts.want_current = false;
+
+  tr::EnergyPointContext ctx;
+  tr::solve_energy_point(ctx, dm, lead, folded, -0.6, opts);
+  tr::solve_energy_point(ctx, dm, lead, folded, -0.2, opts);
+  const std::uint64_t before = nm::matrix_heap_allocations();
+  tr::solve_energy_point(ctx, dm, lead, folded, 0.1, opts);
+  tr::solve_energy_point(ctx, dm, lead, folded, 0.4, opts);
+  EXPECT_EQ(nm::matrix_heap_allocations(), before);
+}
+
+// The batched refinement must produce the same grid as the seed's
+// point-at-a-time loop and actually add the midpoints near a step.
+TEST(EnergyGrid, BatchedRefinementMatchesSerialSemantics) {
+  tr::EnergyGridOptions opt;
+  opt.min_spacing = 1e-3;
+  opt.max_spacing = 0.25;
+  const auto base = tr::make_energy_grid(0.0, 1.0, opt);
+  const auto f = [](double e) { return e > 0.5 ? 1.0 : 0.0; };
+  const auto serial = tr::refine_energy_grid(base, f, 0.5, opt);
+  const auto batched = tr::refine_energy_grid(
+      base, f, 0.5, opt, &omenx::parallel::ThreadPool::global());
+  ASSERT_EQ(serial.size(), batched.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial[i], batched[i]);
+  EXPECT_GT(serial.size(), base.size());
+}
+
+// sweep_energy_points returns per-point results in order and the pooled
+// sweep agrees with the serial one.
+TEST(Transport, SweepMatchesPointwiseSolves) {
+  const auto dm = chain_device(8);
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  tr::EnergyPointOptions opts;
+  opts.obc = tr::ObcAlgorithm::kDecimation;
+  opts.solver = tr::SolverAlgorithm::kBlockLU;
+  opts.want_density = false;
+  opts.want_current = false;
+  std::vector<double> energies{-1.2, -0.4, 0.0, 0.8, 1.5};
+  const auto serial = tr::sweep_energy_points(dm, lead, folded, energies, opts);
+  const auto pooled = tr::sweep_energy_points(
+      dm, lead, folded, energies, opts, nullptr,
+      &omenx::parallel::ThreadPool::global());
+  ASSERT_EQ(serial.size(), energies.size());
+  ASSERT_EQ(pooled.size(), energies.size());
+  for (std::size_t i = 0; i < energies.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].energy, energies[i]);
+    EXPECT_NEAR(serial[i].transmission_caroli, pooled[i].transmission_caroli,
+                1e-10);
+  }
 }
