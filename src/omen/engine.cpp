@@ -1,0 +1,631 @@
+#include "omen/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "omen/scheduler.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace omenx::omen {
+
+namespace {
+
+using parallel::Comm;
+
+// Engine protocol tags (user tag space).  All queue traffic converges on
+// the coordinator through kTagRequest with an any-source recv; requesters
+// are identified by Comm::Status, not by per-rank magic tags.
+constexpr int kTagRequest = 901;  ///< {kind, arg}: kind 0 = task (arg =
+                                  ///< color), kind 1 = fetch (arg = k)
+constexpr int kTagAssign = 902;   ///< {ik, ie, stolen}; ik < 0 means done
+constexpr int kTagBlocks = 903;   ///< lead-block streams (init + fetch)
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Momentum-level rank layout, computed identically on every rank: which
+/// world ranks form which k group, and which k points each group owns.
+struct Layout {
+  int world = 1;
+  int width = 1;  ///< energy-group width (ranks per energy group)
+  int num_groups = 1;
+  int num_leaders = 0;
+  std::vector<int> color_of_rank;
+  std::vector<int> group_first_rank;
+  std::vector<int> group_size;
+  std::vector<std::vector<idx>> owned;  ///< k points per color
+  std::vector<idx> e_prefix;            ///< flat-task-index base per k
+  idx total_tasks = 0;
+
+  Layout(const SweepRequest& req, int world_size, int width_in)
+      : world(world_size), width(std::max(1, width_in)) {
+    const int nk = static_cast<int>(req.energies.size());
+    e_prefix.assign(static_cast<std::size_t>(nk) + 1, 0);
+    std::vector<idx> counts(static_cast<std::size_t>(nk), 0);
+    for (int k = 0; k < nk; ++k) {
+      counts[static_cast<std::size_t>(k)] =
+          static_cast<idx>(req.energies[static_cast<std::size_t>(k)].size());
+      e_prefix[static_cast<std::size_t>(k) + 1] =
+          e_prefix[static_cast<std::size_t>(k)] +
+          counts[static_cast<std::size_t>(k)];
+    }
+    total_tasks = e_prefix.back();
+
+    color_of_rank.assign(static_cast<std::size_t>(world), 0);
+    if (world >= nk) {
+      // One momentum group per k point, sized by the dynamic allocation.
+      num_groups = nk;
+      const auto per_k = allocate_groups(counts, world);
+      owned.resize(static_cast<std::size_t>(nk));
+      int r = 0;
+      for (int c = 0; c < nk; ++c) {
+        group_first_rank.push_back(r);
+        group_size.push_back(per_k[static_cast<std::size_t>(c)]);
+        owned[static_cast<std::size_t>(c)] = {static_cast<idx>(c)};
+        for (int i = 0; i < per_k[static_cast<std::size_t>(c)]; ++i)
+          color_of_rank[static_cast<std::size_t>(r++)] = c;
+      }
+    } else {
+      // Fewer ranks than k points: every rank is a group owning a round-
+      // robin share of the momenta.
+      num_groups = world;
+      owned.resize(static_cast<std::size_t>(world));
+      for (int r = 0; r < world; ++r) {
+        color_of_rank[static_cast<std::size_t>(r)] = r;
+        group_first_rank.push_back(r);
+        group_size.push_back(1);
+      }
+      for (int k = 0; k < nk; ++k)
+        owned[static_cast<std::size_t>(k % world)].push_back(
+            static_cast<idx>(k));
+    }
+    for (int c = 0; c < num_groups; ++c)
+      num_leaders += leaders_in_group(c);
+  }
+
+  int color(int rank) const {
+    return color_of_rank[static_cast<std::size_t>(rank)];
+  }
+  int leaders_in_group(int c) const {
+    return (group_size[static_cast<std::size_t>(c)] + width - 1) / width;
+  }
+  /// Global index of energy group `egroup` of color `c` (device slicing).
+  int leader_index(int c, int egroup) const {
+    int base = 0;
+    for (int i = 0; i < c; ++i) base += leaders_in_group(i);
+    return base + egroup;
+  }
+  /// Map a flat task index back to (ik, ie).
+  std::pair<idx, idx> unflatten(idx flat) const {
+    const auto it =
+        std::upper_bound(e_prefix.begin(), e_prefix.end(), flat) - 1;
+    const idx ik = static_cast<idx>(it - e_prefix.begin());
+    return {ik, flat - *it};
+  }
+};
+
+/// The shared work queue (coordinator side): per-k deques drained by the
+/// energy-group leaders' pull requests, with stealing from the most-loaded
+/// k once a group's own momenta run dry.
+struct Coordinator {
+  const Layout& lay;
+  bool stealing;
+  std::vector<std::deque<idx>> queue;  ///< remaining ie per k
+  idx stolen = 0;
+
+  Coordinator(const Layout& layout, const SweepRequest& req, bool steal)
+      : lay(layout), stealing(steal) {
+    queue.resize(req.energies.size());
+    for (std::size_t k = 0; k < req.energies.size(); ++k)
+      for (idx ie = 0; ie < static_cast<idx>(req.energies[k].size()); ++ie)
+        queue[k].push_back(ie);
+  }
+
+  bool pick(int color, idx& ik, idx& ie, bool& was_stolen) {
+    for (const idx k : lay.owned[static_cast<std::size_t>(color)]) {
+      auto& q = queue[static_cast<std::size_t>(k)];
+      if (!q.empty()) {
+        ik = k;
+        ie = q.front();
+        q.pop_front();
+        was_stolen = false;
+        return true;
+      }
+    }
+    if (!stealing) return false;
+    int best = -1;
+    std::size_t most = 0;
+    for (std::size_t k = 0; k < queue.size(); ++k)
+      if (queue[k].size() > most) {
+        most = queue[k].size();
+        best = static_cast<int>(k);
+      }
+    if (best < 0) return false;
+    auto& q = queue[static_cast<std::size_t>(best)];
+    ik = static_cast<idx>(best);
+    ie = q.back();  // steal from the tail: the owner keeps draining the head
+    q.pop_back();
+    was_stolen = true;
+    return true;
+  }
+};
+
+void send_lead_blocks(Comm& comm, int dst, const dft::LeadBlocks& lead) {
+  comm.send({static_cast<double>(lead.h.size())}, dst, kTagBlocks);
+  for (std::size_t i = 0; i < lead.h.size(); ++i) {
+    comm.send_matrix(lead.h[i], dst, kTagBlocks);
+    comm.send_matrix(lead.s[i], dst, kTagBlocks);
+  }
+}
+
+dft::LeadBlocks recv_lead_blocks(Comm& comm, int src) {
+  const auto meta = comm.recv(src, kTagBlocks);
+  const auto n = static_cast<std::size_t>(meta.at(0));
+  dft::LeadBlocks lead;
+  lead.h.resize(n);
+  lead.s.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lead.h[i] = comm.recv_matrix(src, kTagBlocks);
+    lead.s[i] = comm.recv_matrix(src, kTagBlocks);
+  }
+  return lead;
+}
+
+/// Coordinator service loop: runs on a helper thread next to rank 0's own
+/// worker (point-to-point only — collectives stay on the rank thread).  On
+/// an internal error every leader gets a done marker so the world drains
+/// and rethrows instead of hanging in recv.
+void serve_queue(Comm comm, Coordinator& co, const SweepRequest& req,
+                 std::exception_ptr& error) {
+  const Layout& lay = co.lay;
+  int done_sent = 0;
+  try {
+    while (done_sent < lay.num_leaders) {
+      Comm::Status status;
+      const auto msg = comm.recv(Comm::kAnySource, kTagRequest, status);
+      const int kind = static_cast<int>(msg.at(0));
+      if (kind == 1) {  // a thief fetching the blocks of a k it never owned
+        const auto k = static_cast<std::size_t>(msg.at(1));
+        send_lead_blocks(comm, status.source, (*req.leads)[k]);
+        continue;
+      }
+      const int color = static_cast<int>(msg.at(1));
+      idx ik = 0, ie = 0;
+      bool was_stolen = false;
+      if (co.pick(color, ik, ie, was_stolen)) {
+        if (was_stolen) ++co.stolen;
+        comm.send({static_cast<double>(ik), static_cast<double>(ie),
+                   was_stolen ? 1.0 : 0.0},
+                  status.source, kTagAssign);
+      } else {
+        comm.send({-1.0, -1.0, 0.0}, status.source, kTagAssign);
+        ++done_sent;
+      }
+    }
+  } catch (...) {
+    error = std::current_exception();
+    // Sends are buffered, so unsolicited markers are safe: a leader that
+    // already finished simply never consumes its extra messages.
+    for (int r = 0; r < lay.world; ++r) {
+      const int c = lay.color(r);
+      const int in_group =
+          r - lay.group_first_rank[static_cast<std::size_t>(c)];
+      if (in_group % lay.width != 0) continue;
+      comm.send({-1.0, -1.0, 0.0}, r, kTagAssign);
+      // A thief mid-fetch waits on kTagBlocks, not kTagAssign: an
+      // empty-lead poison wakes it, its KData build fails on the empty
+      // lead, and the leader's stage handler degrades to the drain path.
+      // (A stream truncated mid-matrix still surfaces as an unpack error
+      // rather than a hang for the same reason.)
+      comm.send({0.0}, r, kTagBlocks);
+    }
+  }
+}
+
+/// Everything one rank caches for a k point it solves: the lead blocks it
+/// received, the folded/assembled device built from them, and the sweep
+/// worker bound to the rank's warm context.
+struct KData {
+  dft::LeadBlocks lead;
+  dft::FoldedLead folded;
+  dft::DeviceMatrices dm;
+  std::unique_ptr<transport::EnergySweepWorker> worker;
+
+  KData(dft::LeadBlocks l, const SweepRequest& req,
+        transport::EnergyPointContext& ctx, parallel::DevicePool* pool,
+        const dft::FoldedLead* pre_folded = nullptr)
+      : lead(std::move(l)),
+        folded(pre_folded != nullptr ? *pre_folded : dft::fold_lead(lead)),
+        dm(dft::assemble_device(lead, req.cells, req.potential)) {
+    worker = std::make_unique<transport::EnergySweepWorker>(
+        ctx, dm, lead, folded, req.point, pool);
+  }
+};
+
+struct RankLocal {
+  std::vector<double> samples;  ///< {flat, T, T_caroli, propagating} each
+  /// {flat, weighted per-cell density...} per charge-carrying task.  Kept
+  /// per task (not accumulated per rank) so the root can sum contributions
+  /// in flat task order — work stealing moves tasks between ranks run to
+  /// run, and a rank-order reduce would make the charge rounding depend on
+  /// the race.
+  std::vector<double> charge_samples;
+  double busy_seconds = 0.0;
+  idx tasks = 0;
+};
+
+void record_sample(RankLocal& local, const Layout& lay, idx ik, idx ie,
+                   const transport::EnergyPointResult& res) {
+  local.samples.push_back(
+      static_cast<double>(lay.e_prefix[static_cast<std::size_t>(ik)] + ie));
+  local.samples.push_back(res.transmission);
+  local.samples.push_back(res.transmission_caroli);
+  local.samples.push_back(static_cast<double>(res.num_propagating));
+}
+
+void accumulate_charge(RankLocal& local, const SweepRequest& req,
+                       const Layout& lay, const KData& kd, idx ik, idx ie,
+                       const transport::EnergyPointResult& res) {
+  if (req.density_weight.empty() || res.orbital_density.empty()) return;
+  const double w =
+      req.density_weight[static_cast<std::size_t>(ik)]
+                        [static_cast<std::size_t>(ie)];
+  const auto per_cell = transport::density_per_cell(
+      res.orbital_density, kd.lead.block_dim(), req.cells);
+  local.charge_samples.push_back(
+      static_cast<double>(lay.e_prefix[static_cast<std::size_t>(ik)] + ie));
+  for (idx c = 0; c < req.cells; ++c)
+    local.charge_samples.push_back(w *
+                                   per_cell[static_cast<std::size_t>(c)]);
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config, parallel::DevicePool* pool)
+    : config_(std::move(config)), pool_(pool) {
+  if (config_.num_ranks < 1)
+    throw std::invalid_argument("Engine: num_ranks must be >= 1");
+  if (config_.ranks_per_energy_group < 1)
+    throw std::invalid_argument(
+        "Engine: ranks_per_energy_group must be >= 1");
+}
+
+namespace {
+
+void validate_request(const SweepRequest& req) {
+  if (req.leads == nullptr)
+    throw std::invalid_argument("Engine: request.leads is null");
+  if (req.energies.empty())
+    throw std::invalid_argument("Engine: request has no k points");
+  if (req.leads->size() < req.energies.size())
+    throw std::invalid_argument("Engine: fewer lead blocks than k grids");
+  if (req.folded != nullptr && req.folded->size() < req.energies.size())
+    throw std::invalid_argument("Engine: fewer folded leads than k grids");
+  if (!req.density_weight.empty()) {
+    if (req.density_weight.size() != req.energies.size())
+      throw std::invalid_argument("Engine: density_weight k-shape mismatch");
+    for (std::size_t k = 0; k < req.energies.size(); ++k)
+      if (req.density_weight[k].size() != req.energies[k].size())
+        throw std::invalid_argument(
+            "Engine: density_weight E-shape mismatch");
+  }
+}
+
+SweepResult shaped_result(const SweepRequest& req) {
+  SweepResult out;
+  const std::size_t nk = req.energies.size();
+  out.transmission.resize(nk);
+  out.caroli.resize(nk);
+  out.propagating.resize(nk);
+  for (std::size_t k = 0; k < nk; ++k) {
+    out.transmission[k].assign(req.energies[k].size(), 0.0);
+    out.caroli[k].assign(req.energies[k].size(), 0.0);
+    out.propagating[k].assign(req.energies[k].size(), 0);
+  }
+  if (!req.density_weight.empty())
+    out.charge.assign(static_cast<std::size_t>(req.cells), 0.0);
+  return out;
+}
+
+}  // namespace
+
+SweepResult Engine::run(const SweepRequest& request) {
+  validate_request(request);
+  std::size_t total = 0;
+  for (const auto& grid : request.energies) total += grid.size();
+  if (total == 0) return shaped_result(request);
+  if (config_.num_ranks == 1 && config_.flat_single_rank)
+    return run_flat(request);
+  return run_distributed(request);
+}
+
+SweepResult Engine::run_flat(const SweepRequest& request) {
+  const double t_start = now_seconds();
+  SweepResult out = shaped_result(request);
+  const Layout lay(request, 1, 1);
+  const std::size_t n = static_cast<std::size_t>(lay.total_tasks);
+  const std::size_t nk = request.energies.size();
+
+  // Root-local device assembly, one per k (shared across its energies).
+  // Pre-folded leads from the request are reused as-is.
+  std::vector<dft::FoldedLead> folded_local;
+  const std::vector<dft::FoldedLead>* folded = request.folded;
+  if (folded == nullptr) {
+    folded_local.resize(nk);
+    for (std::size_t k = 0; k < nk; ++k)
+      folded_local[k] = dft::fold_lead((*request.leads)[k]);
+    folded = &folded_local;
+  }
+  std::vector<dft::DeviceMatrices> dms(nk);
+  for (std::size_t k = 0; k < nk; ++k)
+    dms[k] = dft::assemble_device((*request.leads)[k], request.cells,
+                                  request.potential);
+
+  // The degenerate single-rank case: the flat (k, E) thread-pool loop the
+  // simulator always ran, with per-worker warm contexts.
+  const bool want_charge = !request.density_weight.empty();
+  std::vector<std::vector<double>> point_charge;
+  if (want_charge) point_charge.resize(n);
+  std::vector<double> busy(n, 0.0);
+  parallel::ThreadPool::global().parallel_for(n, [&](std::size_t flat) {
+    const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
+    const auto sk = static_cast<std::size_t>(ik);
+    const auto se = static_cast<std::size_t>(ie);
+    const double t0 = now_seconds();
+    const auto res = transport::solve_energy_point(
+        dms[sk], (*request.leads)[sk], (*folded)[sk],
+        request.energies[sk][se],
+        request.point, pool_);
+    busy[flat] = now_seconds() - t0;
+    out.transmission[sk][se] = res.transmission;
+    out.caroli[sk][se] = res.transmission_caroli;
+    out.propagating[sk][se] = res.num_propagating;
+    if (want_charge && !res.orbital_density.empty()) {
+      auto per_cell = transport::density_per_cell(
+          res.orbital_density, (*request.leads)[sk].block_dim(),
+          request.cells);
+      const double w = request.density_weight[sk][se];
+      for (auto& v : per_cell) v *= w;
+      point_charge[flat] = std::move(per_cell);
+    }
+  });
+  // Deterministic charge assembly: sum in flat task order.
+  for (std::size_t flat = 0; flat < point_charge.size(); ++flat)
+    for (std::size_t c = 0; c < point_charge[flat].size(); ++c)
+      out.charge[c] += point_charge[flat][c];
+
+  out.stats.ranks = 1;
+  out.stats.energy_groups = 1;
+  out.stats.tasks_total = lay.total_tasks;
+  out.stats.tasks_per_rank = {lay.total_tasks};
+  out.stats.busy_seconds_per_rank = {
+      std::accumulate(busy.begin(), busy.end(), 0.0)};
+  out.stats.wall_seconds = now_seconds() - t_start;
+  return out;
+}
+
+SweepResult Engine::run_distributed(const SweepRequest& request) {
+  const double t_start = now_seconds();
+  SweepResult out = shaped_result(request);
+  const Layout lay(request, config_.num_ranks,
+                   config_.ranks_per_energy_group);
+  Coordinator co(lay, request, config_.work_stealing);
+
+  parallel::CommWorld world(config_.num_ranks);
+  std::exception_ptr service_error;
+  world.run([&](Comm& comm) {
+    const int wr = comm.rank();
+    const int my_color = lay.color(wr);
+    // A failing rank must not abandon the protocol: it records the error,
+    // keeps draining queue traffic and the assembly collectives so no peer
+    // blocks forever, and rethrows once the world has quiesced (CommWorld
+    // then surfaces the first rank's exception on the caller thread).
+    std::exception_ptr rank_error;
+    // Leader-ness comes from the layout, not from the splits, so the
+    // recovery drain below works even when an exception escapes before the
+    // energy-level communicators exist.  (comm.split orders same-color
+    // ranks by world rank, so k_comm.rank() == wr - group_first_rank.)
+    const int in_group =
+        wr - lay.group_first_rank[static_cast<std::size_t>(my_color)];
+    const bool leader = in_group % lay.width == 0;
+    bool protocol_done = !leader;  ///< non-leaders owe the coordinator nothing
+
+    // --- input distribution (momentum level) ---------------------------
+    // The root pushes each momentum-group leader the blocks of its owned
+    // k points; sends are buffered, so this cannot deadlock with the
+    // coordinator service started right after.
+    std::thread service;
+    if (wr == 0) {
+      for (int c = 0; c < lay.num_groups; ++c) {
+        const int lr = lay.group_first_rank[static_cast<std::size_t>(c)];
+        if (lr == 0) continue;
+        for (const idx k : lay.owned[static_cast<std::size_t>(c)])
+          send_lead_blocks(comm, lr,
+                           (*request.leads)[static_cast<std::size_t>(k)]);
+      }
+      Comm service_comm = comm;  // same rank, shared mailboxes
+      service = std::thread(
+          [&co, &request, &service_error, service_comm]() mutable {
+            serve_queue(service_comm, co, request, service_error);
+          });
+    }
+
+    // The guarded section spans everything between the service spawn and
+    // the join.  The per-stage handlers inside degrade a failed stage to
+    // the drain path; this outer catch covers the rest (OOM-class throws
+    // from splits, broadcasts, or queue traffic) — without it an exception
+    // unwinding past the joinable service thread would std::terminate.
+    RankLocal local;
+    try {
+      Comm k_comm = comm.split(my_color, wr);
+      Comm e_comm = k_comm.split(k_comm.rank() / lay.width, k_comm.rank());
+      const int egroup = k_comm.rank() / lay.width;
+
+      // --- spatial level: this energy group's accelerator share --------
+      std::optional<parallel::DevicePool> slice_storage;
+      parallel::DevicePool* my_pool = nullptr;
+      if (pool_ != nullptr) {
+        slice_storage.emplace(pool_->slice(lay.leader_index(my_color, egroup),
+                                           lay.num_leaders));
+        my_pool = &*slice_storage;
+      }
+
+      // Every group member receives the owned blocks once via the group
+      // broadcast; only energy-group leaders fold/assemble them — members
+      // idle at the spatial level and never call solve.
+      transport::EnergyPointContext ctx;
+      std::map<idx, std::unique_ptr<KData>> cache;
+      for (const idx k : lay.owned[static_cast<std::size_t>(my_color)]) {
+        dft::LeadBlocks lead;
+        if (k_comm.rank() == 0 && rank_error == nullptr) {
+          try {
+            lead = wr == 0 ? (*request.leads)[static_cast<std::size_t>(k)]
+                           : recv_lead_blocks(comm, 0);
+          } catch (...) {
+            rank_error = std::current_exception();
+            lead = dft::LeadBlocks{};
+          }
+        }
+        // Collective over the momentum group — always runs, so members
+        // never stall on a group whose inputs failed to arrive.
+        broadcast_lead_blocks(k_comm, lead);
+        if (!leader || rank_error != nullptr) continue;
+        try {
+          // The root folded its leads when the simulator was built (and
+          // the SCF loop sweeps the same ones dozens of times); its leader
+          // reuses them instead of re-folding per run.
+          const dft::FoldedLead* pre =
+              wr == 0 && request.folded != nullptr
+                  ? &(*request.folded)[static_cast<std::size_t>(k)]
+                  : nullptr;
+          cache.emplace(k, std::make_unique<KData>(std::move(lead), request,
+                                                   ctx, my_pool, pre));
+        } catch (...) {
+          rank_error = std::current_exception();
+        }
+      }
+
+      // --- energy level: pull tasks until the coordinator says done ----
+      if (leader) {
+        for (;;) {
+          comm.send({0.0, static_cast<double>(my_color)}, 0, kTagRequest);
+          const auto assign = comm.recv(0, kTagAssign);
+          const auto ik = static_cast<idx>(assign.at(0));
+          if (ik < 0) break;
+          if (rank_error != nullptr) continue;  // drain, don't solve
+          try {
+            const auto ie = static_cast<idx>(assign.at(1));
+            auto it = cache.find(ik);
+            if (it == cache.end()) {
+              // Stolen k: fetch its blocks from the coordinator, once.
+              comm.send({1.0, static_cast<double>(ik)}, 0, kTagRequest);
+              const dft::FoldedLead* pre =
+                  wr == 0 && request.folded != nullptr
+                      ? &(*request.folded)[static_cast<std::size_t>(ik)]
+                      : nullptr;
+              it = cache
+                       .emplace(ik, std::make_unique<KData>(
+                                        recv_lead_blocks(comm, 0), request,
+                                        ctx, my_pool, pre))
+                       .first;
+            }
+            const double energy =
+                request.energies[static_cast<std::size_t>(ik)]
+                                [static_cast<std::size_t>(ie)];
+            const double t0 = now_seconds();
+            const auto res = it->second->worker->solve(energy);
+            local.busy_seconds += now_seconds() - t0;
+            ++local.tasks;
+            record_sample(local, lay, ik, ie, res);
+            accumulate_charge(local, request, lay, *it->second, ik, ie, res);
+          } catch (...) {
+            rank_error = std::current_exception();
+          }
+        }
+        protocol_done = true;
+      }
+    } catch (...) {
+      rank_error = std::current_exception();
+    }
+    if (leader && !protocol_done) {
+      // The exception escaped before (or inside) the pull loop: count this
+      // leader out with the coordinator so rank 0 can join the service
+      // thread.  Best effort — the drain messages are tiny.
+      try {
+        for (;;) {
+          comm.send({0.0, static_cast<double>(my_color)}, 0, kTagRequest);
+          if (static_cast<idx>(comm.recv(0, kTagAssign).at(0)) < 0) break;
+        }
+      } catch (...) {
+      }
+    }
+    if (wr == 0) service.join();
+
+    // --- assembly: rooted collectives ----------------------------------
+    const auto gathered = comm.gatherv(local.samples, 0);
+    std::vector<double> charge_gathered;
+    if (!request.density_weight.empty())
+      charge_gathered = comm.gatherv(local.charge_samples, 0);
+    const auto rank_stats = comm.gatherv(
+        {local.busy_seconds, static_cast<double>(local.tasks)}, 0);
+
+    if (wr == 0) {
+      for (std::size_t i = 0; i + 3 < gathered.size(); i += 4) {
+        const auto [ik, ie] = lay.unflatten(static_cast<idx>(gathered[i]));
+        const auto sk = static_cast<std::size_t>(ik);
+        const auto se = static_cast<std::size_t>(ie);
+        out.transmission[sk][se] = gathered[i + 1];
+        out.caroli[sk][se] = gathered[i + 2];
+        out.propagating[sk][se] = static_cast<idx>(gathered[i + 3]);
+      }
+      if (!request.density_weight.empty()) {
+        // Deterministic charge: per-task contributions summed in flat task
+        // order, independent of which rank solved what (work stealing
+        // moves tasks between ranks run to run; mirrors run_flat).
+        const std::size_t rec = 1 + static_cast<std::size_t>(request.cells);
+        std::vector<std::vector<double>> per_task(
+            static_cast<std::size_t>(lay.total_tasks));
+        for (std::size_t i = 0; i + rec <= charge_gathered.size(); i += rec)
+          per_task[static_cast<std::size_t>(charge_gathered[i])].assign(
+              charge_gathered.begin() + static_cast<std::ptrdiff_t>(i + 1),
+              charge_gathered.begin() + static_cast<std::ptrdiff_t>(i + rec));
+        for (const auto& pc : per_task)
+          for (std::size_t c = 0; c < pc.size(); ++c) out.charge[c] += pc[c];
+      }
+      out.stats.ranks = lay.world;
+      out.stats.energy_groups = lay.num_leaders;
+      out.stats.tasks_total = lay.total_tasks;
+      out.stats.tasks_stolen = co.stolen;
+      out.stats.tasks_per_rank.clear();
+      out.stats.busy_seconds_per_rank.clear();
+      for (std::size_t r = 0; 2 * r + 1 < rank_stats.size(); ++r) {
+        out.stats.busy_seconds_per_rank.push_back(rank_stats[2 * r]);
+        out.stats.tasks_per_rank.push_back(
+            static_cast<idx>(rank_stats[2 * r + 1]));
+      }
+    }
+
+    // The protocol is drained and every collective matched; now the error
+    // may surface.
+    if (rank_error == nullptr && wr == 0 && service_error != nullptr)
+      rank_error = service_error;
+    if (rank_error != nullptr) std::rethrow_exception(rank_error);
+  });
+  out.stats.wall_seconds = now_seconds() - t_start;
+  return out;
+}
+
+}  // namespace omenx::omen

@@ -1,0 +1,106 @@
+// Distributed execution engine for the (k, E) transport workload — the
+// Fig. 9 hierarchy wired end-to-end over CommWorld ranks.
+//
+// The engine maps the paper's three-level communicator hierarchy onto a
+// rank world:
+//   momentum level: the world splits into one group per k point, sized by
+//     allocate_groups (the dynamic node-group allocation of Ref. [45]);
+//     with fewer ranks than k points every rank becomes a group that owns
+//     several k.
+//   energy level:   each momentum group splits into energy groups whose
+//     leaders pull (k, E) tasks from the coordinator's queue; when a
+//     group's own k runs dry it is handed points of the most-loaded other
+//     k (work stealing between groups).
+//   spatial level:  each energy group receives a slice of the node's
+//     emulated accelerators (DevicePool::slice) — the plug-in point for
+//     rank-level spatial domain decomposition.
+// Inputs travel once: the root sends each momentum-group leader its lead
+// blocks, the leader rebroadcasts inside the group (broadcast_lead_blocks);
+// a stolen k's blocks are fetched from the coordinator on first use and
+// cached.  Results return through the rooted collectives (gatherv /
+// reduce), assembled deterministically by flat task index, so the spectrum
+// is identical for any world size.
+#pragma once
+
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/types.hpp"
+#include "parallel/device.hpp"
+#include "transport/transmission.hpp"
+
+namespace omenx::omen {
+
+using numeric::idx;
+
+struct EngineConfig {
+  int num_ranks = 1;               ///< world size (momentum x energy ranks)
+  int ranks_per_energy_group = 1;  ///< energy-group width (spatial level)
+  bool work_stealing = true;       ///< hand idle groups other k's points
+  /// Size-1 worlds default to the flat thread-pool loop (the degenerate
+  /// case preserves the single-process behavior and its intra-process
+  /// parallelism).  Benchmarks force the rank protocol to get an honest
+  /// serial baseline.
+  bool flat_single_rank = true;
+};
+
+/// Inputs of one distributed (k, E) sweep.  Only the root reads the lead
+/// matrices; every other rank sees grid shapes and scalar options and
+/// receives matrices through the communicator.
+struct SweepRequest {
+  const std::vector<dft::LeadBlocks>* leads = nullptr;  ///< per k, root only
+  /// Optional pre-folded leads (same indexing as `leads`, root only): ranks
+  /// holding the originals reuse them instead of re-folding every run —
+  /// the SCF loop sweeps the same leads dozens of times.
+  const std::vector<dft::FoldedLead>* folded = nullptr;
+  std::vector<std::vector<double>> energies;            ///< per-k grids
+  std::vector<double> potential;                        ///< per physical cell
+  idx cells = 0;
+  transport::EnergyPointOptions point;
+  /// When non-empty (same shape as `energies`), each task also folds
+  /// weight[ik][ie] * density_per_cell into a per-cell charge accumulator
+  /// that is reduce()d to the root.
+  std::vector<std::vector<double>> density_weight;
+};
+
+struct EngineStats {
+  int ranks = 1;
+  int energy_groups = 1;
+  idx tasks_total = 0;
+  idx tasks_stolen = 0;              ///< served outside the group's own k
+  std::vector<idx> tasks_per_rank;
+  std::vector<double> busy_seconds_per_rank;  ///< time inside solves
+  double wall_seconds = 0.0;
+};
+
+/// Sweep outputs, valid on the calling (root) thread.
+struct SweepResult {
+  std::vector<std::vector<double>> transmission;  ///< [ik][ie] wave-function
+  std::vector<std::vector<double>> caroli;        ///< [ik][ie] Green's-fn
+  std::vector<std::vector<idx>> propagating;      ///< [ik][ie] channels
+  std::vector<double> charge;                     ///< per cell, if requested
+  EngineStats stats;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config, parallel::DevicePool* pool = nullptr);
+
+  const EngineConfig& config() const noexcept { return config_; }
+
+  /// Run the full sweep over a fresh CommWorld of config().num_ranks ranks
+  /// (or the flat in-process loop for the degenerate single-rank case).
+  /// A throwing solve or transfer on any rank drains the queue protocol and
+  /// the assembly collectives before surfacing here as an exception — the
+  /// world never deadlocks on a failed rank.
+  SweepResult run(const SweepRequest& request);
+
+ private:
+  SweepResult run_flat(const SweepRequest& request);
+  SweepResult run_distributed(const SweepRequest& request);
+
+  EngineConfig config_;
+  parallel::DevicePool* pool_;
+};
+
+}  // namespace omenx::omen

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <queue>
 #include <stdexcept>
 
 namespace omenx::omen {
@@ -33,28 +34,40 @@ std::vector<int> allocate_groups(const std::vector<idx>& energies_per_k,
     remaining -= granted;
     remainders.push_back({ideal - std::floor(ideal), k});
   }
-  std::sort(remainders.begin(), remainders.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+  // Stable sort: equal fractions keep ascending-k order, so allocations are
+  // deterministic under remainder ties (std::sort leaves tie order
+  // unspecified, which made repeat runs disagree on the layout).
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
   for (const auto& [frac, k] : remainders) {
     if (remaining == 0) break;
     ++alloc[static_cast<std::size_t>(k)];
     --remaining;
   }
-  // Any leftovers go to the most loaded k points.
-  while (remaining > 0) {
-    int busiest = 0;
-    double worst = -1.0;
-    for (int k = 0; k < nk; ++k) {
-      const double load =
-          static_cast<double>(energies_per_k[static_cast<std::size_t>(k)]) /
-          static_cast<double>(alloc[static_cast<std::size_t>(k)]);
-      if (load > worst) {
-        worst = load;
-        busiest = k;
-      }
+  // Any leftovers go to the most loaded k points.  A max-heap on load makes
+  // this O(remaining log nk) instead of the old O(remaining * nk) rescan;
+  // ties break toward the smaller k index for determinism.
+  if (remaining > 0) {
+    const auto load = [&](int k) {
+      return static_cast<double>(energies_per_k[static_cast<std::size_t>(k)]) /
+             static_cast<double>(alloc[static_cast<std::size_t>(k)]);
+    };
+    const auto lighter = [](const std::pair<double, int>& a,
+                            const std::pair<double, int>& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    };
+    std::priority_queue<std::pair<double, int>,
+                        std::vector<std::pair<double, int>>, decltype(lighter)>
+        heap(lighter);
+    for (int k = 0; k < nk; ++k) heap.push({load(k), k});
+    while (remaining > 0) {
+      const int k = heap.top().second;
+      heap.pop();
+      ++alloc[static_cast<std::size_t>(k)];
+      --remaining;
+      heap.push({load(k), k});
     }
-    ++alloc[static_cast<std::size_t>(busiest)];
-    --remaining;
   }
   return alloc;
 }

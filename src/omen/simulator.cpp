@@ -1,11 +1,9 @@
 #include "omen/simulator.hpp"
 
 #include <cmath>
-#include <mutex>
 #include <stdexcept>
 
 #include "numeric/types.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace omenx::omen {
 
@@ -28,6 +26,12 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
   }
   pool_ = std::make_unique<parallel::DevicePool>(
       std::max(1, config_.num_devices));
+  EngineConfig engine_cfg;
+  engine_cfg.num_ranks = std::max(1, config_.num_ranks);
+  engine_cfg.ranks_per_energy_group =
+      std::max(1, config_.ranks_per_energy_group);
+  engine_cfg.work_stealing = config_.work_stealing;
+  engine_ = std::make_unique<Engine>(engine_cfg, pool_.get());
   kt_ = 8.617e-5 * config_.temperature_k;
 }
 
@@ -63,55 +67,40 @@ Spectrum Simulator::transmission_spectrum(
     const std::vector<double>& energies,
     const std::vector<double>* cell_potential) {
   const idx cells = config_.structure.num_cells;
-  const std::vector<double> pot = flat_or(cell_potential, cells);
   const idx nk = static_cast<idx>(lead_.size());
   const idx ne = static_cast<idx>(energies.size());
+
+  // The (k, E) sweep runs on the distribution engine (Fig. 9 levels 1-2):
+  // momentum groups sized by allocate_groups, energy groups pulling points
+  // from the shared queue.  With num_ranks = 1 this degenerates to the
+  // flat in-process thread-pool loop.
+  SweepRequest req;
+  req.leads = &lead_;
+  req.folded = &folded_;
+  req.energies.assign(static_cast<std::size_t>(nk), energies);
+  req.potential = flat_or(cell_potential, cells);
+  req.cells = cells;
+  req.point = config_.point;
+  req.point.want_density = false;
+  req.point.want_current = false;
+  const SweepResult res = engine_->run(req);
+  stats_ = res.stats;
 
   Spectrum out;
   out.energies = energies;
   out.transmission.assign(static_cast<std::size_t>(ne), 0.0);
   out.propagating.assign(static_cast<std::size_t>(ne), 0);
-
-  // Assemble one device per k (shared across its energies).
-  std::vector<dft::DeviceMatrices> dms;
-  dms.reserve(static_cast<std::size_t>(nk));
-  for (idx ik = 0; ik < nk; ++ik)
-    dms.push_back(dft::assemble_device(lead_[static_cast<std::size_t>(ik)],
-                                       cells, pot));
-
-  // The (k, E) loop: embarrassingly parallel (Fig. 9 levels 1-2).  Each
-  // pool worker solves its points through its own thread-local
-  // EnergyPointContext, so after warm-up the sweep runs allocation-free.
-  transport::EnergyPointOptions opts = config_.point;
-  opts.want_density = false;
-  opts.want_current = false;
-  std::vector<double> t_acc(static_cast<std::size_t>(nk * ne), 0.0);
-  std::vector<idx> p_acc(static_cast<std::size_t>(nk * ne), 0);
-  parallel::ThreadPool::global().parallel_for(
-      static_cast<std::size_t>(nk * ne), [&](std::size_t idx_flat) {
-        const idx ik = static_cast<idx>(idx_flat) / ne;
-        const idx ie = static_cast<idx>(idx_flat) % ne;
-        const auto res = transport::solve_energy_point(
-            dms[static_cast<std::size_t>(ik)],
-            lead_[static_cast<std::size_t>(ik)],
-            folded_[static_cast<std::size_t>(ik)],
-            energies[static_cast<std::size_t>(ie)], opts, pool_.get());
-        const double t = res.num_propagating > 0 || opts.obc ==
-                                 transport::ObcAlgorithm::kDecimation
-                             ? (res.num_propagating > 0 ? res.transmission
-                                                        : res.transmission_caroli)
-                             : 0.0;
-        t_acc[idx_flat] = t;
-        p_acc[idx_flat] = res.num_propagating;
-      });
-
   for (idx ik = 0; ik < nk; ++ik) {
     for (idx ie = 0; ie < ne; ++ie) {
-      out.transmission[static_cast<std::size_t>(ie)] +=
-          t_acc[static_cast<std::size_t>(ik * ne + ie)] /
-          static_cast<double>(nk);
-      out.propagating[static_cast<std::size_t>(ie)] +=
-          p_acc[static_cast<std::size_t>(ik * ne + ie)];
+      const auto sk = static_cast<std::size_t>(ik);
+      const auto se = static_cast<std::size_t>(ie);
+      const idx prop = res.propagating[sk][se];
+      const double t =
+          prop > 0 || req.point.obc == transport::ObcAlgorithm::kDecimation
+              ? (prop > 0 ? res.transmission[sk][se] : res.caroli[sk][se])
+              : 0.0;
+      out.transmission[se] += t / static_cast<double>(nk);
+      out.propagating[se] += prop;
     }
   }
   return out;
@@ -130,39 +119,36 @@ std::vector<double> Simulator::charge_density(
     const std::vector<double>& energies, double mu_l, double mu_r,
     const std::vector<double>* potential) {
   const idx cells = config_.structure.num_cells;
-  const std::vector<double> pot = flat_or(potential, cells);
-  const auto dm = dft::assemble_device(lead_.front(), cells, pot);
-  const idx orb_cell = config_.structure.orbitals_per_cell();
 
-  transport::EnergyPointOptions opts = config_.point;
-  opts.want_density = true;
-  opts.want_current = false;
-  opts.want_caroli = false;
-  std::vector<double> charge(static_cast<std::size_t>(cells), 0.0);
-  std::mutex merge;
-  parallel::ThreadPool::global().parallel_for(
-      energies.size(), [&](std::size_t ie) {
-        const auto res = transport::solve_energy_point(
-            dm, lead_.front(), folded_.front(), energies[ie], opts,
-            pool_.get());
-        if (res.orbital_density.empty()) return;
-        // Trapezoid-ish energy weight, left-contact occupation (ballistic
-        // left-injected states).
-        const double de =
-            ie + 1 < energies.size()
-                ? energies[ie + 1] - energies[ie]
-                : energies[ie] - energies[ie - 1];
-        const double w =
-            de * transport::fermi(energies[ie], mu_l, kt_);
-        const auto per_cell =
-            transport::density_per_cell(res.orbital_density, orb_cell, cells);
-        std::lock_guard lock(merge);
-        for (idx c = 0; c < cells; ++c)
-          charge[static_cast<std::size_t>(c)] +=
-              w * per_cell[static_cast<std::size_t>(c)];
-        (void)mu_r;
-      });
-  return charge;
+  // Single-k energy sweep on the engine: every task folds its weighted
+  // per-cell density into the rank-local accumulator, which the assembly
+  // stage reduce()s to the root.  Trapezoid-ish energy weight with the
+  // left-contact occupation (ballistic left-injected states).
+  SweepRequest req;
+  req.leads = &lead_;
+  req.folded = &folded_;
+  req.energies = {energies};
+  req.potential = flat_or(potential, cells);
+  req.cells = cells;
+  req.point = config_.point;
+  req.point.want_density = true;
+  req.point.want_current = false;
+  req.point.want_caroli = false;
+  req.density_weight.resize(1);
+  req.density_weight[0].reserve(energies.size());
+  for (std::size_t ie = 0; ie < energies.size(); ++ie) {
+    const double de = energies.size() == 1
+                          ? 1.0
+                          : (ie + 1 < energies.size()
+                                 ? energies[ie + 1] - energies[ie]
+                                 : energies[ie] - energies[ie - 1]);
+    req.density_weight[0].push_back(de *
+                                    transport::fermi(energies[ie], mu_l, kt_));
+  }
+  const SweepResult res = engine_->run(req);
+  stats_ = res.stats;
+  (void)mu_r;
+  return res.charge;
 }
 
 double Simulator::current(const std::vector<double>& energies, double mu_l,
@@ -184,7 +170,9 @@ std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
   std::vector<IvPoint> out;
   out.reserve(vgs_values.size());
   for (const double vgs : vgs_values) {
-    // Ballistic charge model: electrons injected from both contacts.
+    // Ballistic charge model: electrons injected from both contacts.  Both
+    // the charge evaluations inside the SCF loop and the final current
+    // integral run on the distribution engine.
     poisson::ChargeModel charge = [&](const std::vector<double>& v) {
       return charge_density(energies, mu_source, mu_drain, &v);
     };

@@ -3,9 +3,12 @@
 //
 // A Simulator owns one device (structure + basis + Hamiltonian blocks) and
 // runs transport over energies and transverse momenta with the configured
-// OBC and linear-solver algorithms, in parallel over (k, E) on the host
-// threads with SplitSolve work placed on emulated accelerators — the
-// three-level parallelism of Fig. 9 mapped onto one process.
+// OBC and linear-solver algorithms.  All (k, E) sweeps — transmission,
+// charge, current, and the SCF loop — route through the distributed
+// execution engine (omen/engine.hpp): momentum groups sized by the dynamic
+// allocation, energy groups pulling from the shared work queue, SplitSolve
+// work placed on emulated accelerators — the three-level parallelism of
+// Fig. 9.  num_ranks = 1 is the degenerate single-process case.
 #pragma once
 
 #include <memory>
@@ -14,6 +17,7 @@
 
 #include "dft/hamiltonian.hpp"
 #include "lattice/structure.hpp"
+#include "omen/engine.hpp"
 #include "parallel/device.hpp"
 #include "poisson/scf.hpp"
 #include "transport/bands.hpp"
@@ -31,6 +35,12 @@ struct SimulationConfig {
   idx num_k = 1;          ///< transverse momentum points (z-periodic only)
   int num_devices = 2;    ///< emulated accelerators
   double temperature_k = 300.0;
+  /// Distribution (Fig. 9): communicator ranks for the momentum/energy
+  /// hierarchy.  1 = the degenerate single-process case (flat thread-pool
+  /// loop, the pre-engine behavior).
+  int num_ranks = 1;
+  int ranks_per_energy_group = 1;  ///< energy-group width (spatial level)
+  bool work_stealing = true;       ///< dynamic balancing between k groups
 };
 
 struct Spectrum {
@@ -90,12 +100,18 @@ class Simulator {
       const std::vector<double>& energies, double mu_source,
       const poisson::ScfOptions& scf = {});
 
+  /// Execution statistics of the most recent engine sweep (task counts,
+  /// stolen tasks, per-rank busy time).
+  const EngineStats& last_sweep_stats() const noexcept { return stats_; }
+
  private:
   SimulationConfig config_;
   std::vector<dft::LeadBlocks> lead_;    ///< one per k point
   std::vector<dft::FoldedLead> folded_;  ///< one per k point
   std::vector<double> k_values_;
   std::unique_ptr<parallel::DevicePool> pool_;
+  std::unique_ptr<Engine> engine_;       ///< all sweeps route through this
+  EngineStats stats_;
   double kt_ = 0.0259;
 };
 

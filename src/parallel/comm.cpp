@@ -11,6 +11,7 @@ namespace {
 constexpr std::int64_t kBcastTagBase = 1'000'000'000'000LL;
 constexpr std::int64_t kReduceTagBase = 2'000'000'000'000LL;
 constexpr std::int64_t kReduceResultTagBase = 3'000'000'000'000LL;
+constexpr std::int64_t kGatherTagBase = 4'000'000'000'000LL;
 }  // namespace
 
 namespace {
@@ -19,6 +20,33 @@ namespace {
 // touches its own slot, so no locking is required.
 std::uint64_t next_collective_seq(detail::CommState& st, int rank) {
   return st.collective_seq[static_cast<std::size_t>(rank)]++;
+}
+
+// One wire format for every CMatrix transfer (bcast, send_matrix,
+// recv_matrix): {rows, cols, re0, im0, re1, im1, ...}.
+std::vector<double> pack_matrix(const numeric::CMatrix& m) {
+  std::vector<double> buf;
+  buf.reserve(static_cast<std::size_t>(2 + 2 * m.size()));
+  buf.push_back(static_cast<double>(m.rows()));
+  buf.push_back(static_cast<double>(m.cols()));
+  for (numeric::idx i = 0; i < m.size(); ++i) {
+    buf.push_back(m.data()[i].real());
+    buf.push_back(m.data()[i].imag());
+  }
+  return buf;
+}
+
+void unpack_matrix(const std::vector<double>& buf, numeric::CMatrix& m) {
+  if (buf.size() < 2)
+    throw std::runtime_error("matrix transfer: truncated payload");
+  const auto rows = static_cast<numeric::idx>(buf[0]);
+  const auto cols = static_cast<numeric::idx>(buf[1]);
+  m.resize_uninit(rows, cols);
+  if (buf.size() != static_cast<std::size_t>(2 + 2 * m.size()))
+    throw std::runtime_error("matrix transfer: payload/shape mismatch");
+  for (numeric::idx i = 0; i < m.size(); ++i)
+    m.data()[i] = numeric::cplx(buf[static_cast<std::size_t>(2 + 2 * i)],
+                                buf[static_cast<std::size_t>(3 + 2 * i)]);
 }
 
 void mail_send(detail::CommState& st, int src, int dst, std::int64_t tag,
@@ -44,6 +72,37 @@ std::vector<double> mail_recv(detail::CommState& st, int src, int dst,
     return it != st.mail.end() && !it->second.empty();
   });
   auto it = st.mail.find(key);
+  std::vector<double> out = std::move(it->second.front());
+  it->second.erase(it->second.begin());
+  if (it->second.empty()) st.mail.erase(it);
+  return out;
+}
+
+// Locate a pending message matching (src | any, dst, tag).  The mail map is
+// ordered by (src, dst, tag), so the first hit is the lowest sending rank.
+// Caller holds mail_mutex.
+auto mail_find(detail::CommState& st, int src, int dst, int folded_tag)
+    -> decltype(st.mail.begin()) {
+  if (src != Comm::kAnySource)
+    return st.mail.find({src, dst, folded_tag});
+  for (auto it = st.mail.begin(); it != st.mail.end(); ++it) {
+    const auto& [s, d, t] = it->first;
+    if (d == dst && t == folded_tag && !it->second.empty()) return it;
+  }
+  return st.mail.end();
+}
+
+std::vector<double> mail_recv_status(detail::CommState& st, int src, int dst,
+                                     int tag, Comm::Status& status) {
+  std::unique_lock lock(st.mail_mutex);
+  auto it = st.mail.end();
+  st.mail_cv.wait(lock, [&] {
+    it = mail_find(st, src, dst, tag);
+    return it != st.mail.end() && !it->second.empty();
+  });
+  status.source = std::get<0>(it->first);
+  status.tag = std::get<2>(it->first);
+  status.count = it->second.front().size();
   std::vector<double> out = std::move(it->second.front());
   it->second.erase(it->second.begin());
   if (it->second.empty()) st.mail.erase(it);
@@ -90,24 +149,9 @@ void Comm::bcast(std::vector<double>& data, int root) {
 
 void Comm::bcast(numeric::CMatrix& m, int root) {
   std::vector<double> buf;
-  if (rank_ == root) {
-    buf.reserve(static_cast<std::size_t>(2 + 2 * m.size()));
-    buf.push_back(static_cast<double>(m.rows()));
-    buf.push_back(static_cast<double>(m.cols()));
-    for (numeric::idx i = 0; i < m.size(); ++i) {
-      buf.push_back(m.data()[i].real());
-      buf.push_back(m.data()[i].imag());
-    }
-  }
+  if (rank_ == root) buf = pack_matrix(m);
   bcast(buf, root);
-  if (rank_ != root) {
-    const auto rows = static_cast<numeric::idx>(buf.at(0));
-    const auto cols = static_cast<numeric::idx>(buf.at(1));
-    m.resize(rows, cols);
-    for (numeric::idx i = 0; i < m.size(); ++i)
-      m.data()[i] = numeric::cplx(buf[static_cast<std::size_t>(2 + 2 * i)],
-                                  buf[static_cast<std::size_t>(3 + 2 * i)]);
-  }
+  if (rank_ != root) unpack_matrix(buf, m);
 }
 
 void Comm::allreduce(std::vector<double>& data, ReduceOp op) {
@@ -165,6 +209,126 @@ std::vector<double> Comm::recv(int src, int tag) {
   if (src < 0 || src >= state_->size)
     throw std::invalid_argument("recv: source out of range");
   return mail_recv(*state_, src, rank_, tag);
+}
+
+namespace {
+
+void check_recv_args(int src, int tag, int size, const char* who) {
+  if (tag < 0 || tag >= 1'000'000)
+    throw std::invalid_argument(std::string(who) +
+                                ": user tags must be in [0, 1e6)");
+  if (src != Comm::kAnySource && (src < 0 || src >= size))
+    throw std::invalid_argument(std::string(who) + ": source out of range");
+}
+
+}  // namespace
+
+std::vector<double> Comm::recv(int src, int tag, Status& status) {
+  check_recv_args(src, tag, state_->size, "recv");
+  return mail_recv_status(*state_, src, rank_, tag, status);
+}
+
+Comm::Status Comm::probe(int src, int tag) {
+  check_recv_args(src, tag, state_->size, "probe");
+  auto& st = *state_;
+  std::unique_lock lock(st.mail_mutex);
+  auto it = st.mail.end();
+  st.mail_cv.wait(lock, [&] {
+    it = mail_find(st, src, rank_, tag);
+    return it != st.mail.end() && !it->second.empty();
+  });
+  Status out;
+  out.source = std::get<0>(it->first);
+  out.tag = std::get<2>(it->first);
+  out.count = it->second.front().size();
+  return out;
+}
+
+std::optional<Comm::Status> Comm::iprobe(int src, int tag) {
+  check_recv_args(src, tag, state_->size, "iprobe");
+  auto& st = *state_;
+  std::lock_guard lock(st.mail_mutex);
+  auto it = mail_find(st, src, rank_, tag);
+  if (it == st.mail.end() || it->second.empty()) return std::nullopt;
+  Status out;
+  out.source = std::get<0>(it->first);
+  out.tag = std::get<2>(it->first);
+  out.count = it->second.front().size();
+  return out;
+}
+
+void Comm::reduce(std::vector<double>& data, ReduceOp op, int root) {
+  auto& st = *state_;
+  if (root < 0 || root >= st.size)
+    throw std::invalid_argument("reduce: root out of range");
+  if (st.size == 1) return;
+  const std::uint64_t seq = next_collective_seq(st, rank_);
+  const std::int64_t tag = fold_collective_tag(kReduceTagBase, seq);
+  if (rank_ != root) {
+    mail_send(st, rank_, root, tag, data);
+    return;
+  }
+  std::vector<double> acc;
+  for (int r = 0; r < st.size; ++r) {
+    std::vector<double> part =
+        r == root ? data : mail_recv(st, r, root, tag);
+    if (acc.empty() && r == 0) {
+      acc = std::move(part);
+      continue;
+    }
+    if (part.size() != acc.size())
+      throw std::runtime_error("reduce: mismatched buffer sizes");
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum:
+          acc[i] += part[i];
+          break;
+        case ReduceOp::kMax:
+          acc[i] = std::max(acc[i], part[i]);
+          break;
+        case ReduceOp::kMin:
+          acc[i] = std::min(acc[i], part[i]);
+          break;
+      }
+    }
+  }
+  data = std::move(acc);
+}
+
+std::vector<double> Comm::gatherv(const std::vector<double>& local, int root,
+                                  std::vector<std::size_t>* counts) {
+  auto& st = *state_;
+  if (root < 0 || root >= st.size)
+    throw std::invalid_argument("gatherv: root out of range");
+  const std::uint64_t seq = next_collective_seq(st, rank_);
+  const std::int64_t tag = fold_collective_tag(kGatherTagBase, seq);
+  if (rank_ != root) {
+    mail_send(st, rank_, root, tag, local);
+    return {};
+  }
+  std::vector<double> out;
+  if (counts != nullptr) counts->assign(static_cast<std::size_t>(st.size), 0);
+  for (int r = 0; r < st.size; ++r) {
+    const std::vector<double>& part =
+        r == root ? local : mail_recv(st, r, root, tag);
+    if (counts != nullptr)
+      (*counts)[static_cast<std::size_t>(r)] = part.size();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+void Comm::send_matrix(const numeric::CMatrix& m, int dst, int tag) {
+  send(pack_matrix(m), dst, tag);
+}
+
+numeric::CMatrix Comm::recv_matrix(int src, int tag, Status* status) {
+  Status st;
+  const std::vector<double> buf = recv(src, tag, st);
+  numeric::CMatrix m;
+  unpack_matrix(buf, m);
+  if (status != nullptr) *status = st;
+  return m;
 }
 
 Comm Comm::split(int color, int key) {

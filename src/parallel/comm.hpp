@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -90,6 +91,16 @@ class Comm {
   int rank() const noexcept { return rank_; }
   int size() const noexcept { return state_->size; }
 
+  /// Wildcard source for recv/probe/iprobe (MPI_ANY_SOURCE).
+  static constexpr int kAnySource = -1;
+
+  /// Delivery metadata of a matched message (MPI_Status).
+  struct Status {
+    int source = -1;
+    int tag = -1;
+    std::size_t count = 0;  ///< payload length in doubles
+  };
+
   void barrier();
 
   /// Broadcast a double buffer from `root` to all ranks (in-place).
@@ -104,9 +115,40 @@ class Comm {
   void allreduce(std::vector<double>& data, ReduceOp op);
   double allreduce(double value, ReduceOp op);
 
+  /// Reduce to `root` only (MPI_Reduce): the combined buffer lands in `data`
+  /// on the root; other ranks' buffers are left untouched.  Contributions
+  /// are combined in rank order, so the result is deterministic.
+  void reduce(std::vector<double>& data, ReduceOp op, int root);
+
+  /// Gather variable-size buffers to `root` (MPI_Gatherv): returns the
+  /// ranks' buffers concatenated in rank order on the root (empty
+  /// elsewhere).  `counts`, when non-null, receives the per-rank element
+  /// counts on the root.
+  std::vector<double> gatherv(const std::vector<double>& local, int root,
+                              std::vector<std::size_t>* counts = nullptr);
+
   /// Blocking tagged point-to-point.
   void send(const std::vector<double>& data, int dst, int tag);
   std::vector<double> recv(int src, int tag);
+
+  /// Receive with delivery metadata; `src` may be kAnySource, in which case
+  /// the lowest sending rank with a matching message is taken and reported
+  /// through `status` — the work-stealing protocol identifies requesters
+  /// this way instead of encoding them in magic tags.
+  std::vector<double> recv(int src, int tag, Status& status);
+
+  /// Blocking probe: wait until a message matching (src, tag) is available
+  /// and return its metadata without consuming it.  `src` may be kAnySource.
+  Status probe(int src, int tag);
+
+  /// Non-blocking probe: metadata of a matching pending message, or nullopt.
+  std::optional<Status> iprobe(int src, int tag);
+
+  /// Point-to-point complex-matrix transfer (shape travels with the data).
+  /// Named distinctly from `send` so brace-initialized buffers stay
+  /// unambiguous.  `src` may be kAnySource.
+  void send_matrix(const numeric::CMatrix& m, int dst, int tag);
+  numeric::CMatrix recv_matrix(int src, int tag, Status* status = nullptr);
 
   /// MPI_Comm_split: ranks with the same color form a new communicator,
   /// ordered by (key, old rank).  Collective over all ranks.

@@ -1,5 +1,6 @@
 #include "parallel/device.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "numeric/blas.hpp"
@@ -129,10 +130,30 @@ DevicePool::DevicePool(int num_devices, std::uint64_t memory_bytes) {
   devices_.reserve(static_cast<std::size_t>(num_devices));
   for (int i = 0; i < num_devices; ++i)
     devices_.push_back(std::make_unique<Device>(i, memory_bytes));
+  view_.reserve(devices_.size());
+  for (auto& d : devices_) view_.push_back(d.get());
+}
+
+DevicePool DevicePool::slice(int part, int parts) const {
+  if (parts <= 0 || part < 0 || part >= parts)
+    throw std::invalid_argument("DevicePool::slice: bad partition index");
+  DevicePool out;
+  const int n = static_cast<int>(view_.size());
+  if (n == 0) throw std::invalid_argument("DevicePool::slice: empty pool");
+  if (parts >= n) {
+    out.view_.push_back(view_[static_cast<std::size_t>(part % n)]);
+    return out;
+  }
+  const int base = n / parts, rem = n % parts;
+  const int begin = part * base + std::min(part, rem);
+  const int count = base + (part < rem ? 1 : 0);
+  for (int i = begin; i < begin + count; ++i)
+    out.view_.push_back(view_[static_cast<std::size_t>(i)]);
+  return out;
 }
 
 void DevicePool::synchronize_all() {
-  for (auto& d : devices_) d->synchronize();
+  for (auto* d : view_) d->synchronize();
 }
 
 }  // namespace omenx::parallel

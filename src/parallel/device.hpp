@@ -123,17 +123,30 @@ class Device {
 
 /// A pool of p emulated accelerators, as attached to one or more hybrid
 /// nodes.  SplitSolve partitions work across all devices of a pool.
+///
+/// A pool can also be a non-owning *slice* of another pool: the execution
+/// engine hands each energy group its share of the node's accelerators
+/// (Fig. 9's spatial level) without duplicating device workers.
 class DevicePool {
  public:
   explicit DevicePool(int num_devices, std::uint64_t memory_bytes = 6ull << 30);
 
-  int size() const noexcept { return static_cast<int>(devices_.size()); }
-  Device& device(int i) { return *devices_.at(static_cast<std::size_t>(i)); }
+  int size() const noexcept { return static_cast<int>(view_.size()); }
+  Device& device(int i) { return *view_.at(static_cast<std::size_t>(i)); }
+
+  /// Non-owning view of this pool's share for group `part` of `parts`
+  /// groups: a contiguous partition when parts <= size (remainder devices
+  /// go to the first groups), a single round-robin device otherwise.  The
+  /// parent pool must outlive the slice.
+  DevicePool slice(int part, int parts) const;
 
   void synchronize_all();
 
  private:
-  std::vector<std::unique_ptr<Device>> devices_;
+  DevicePool() = default;  ///< used by slice()
+
+  std::vector<std::unique_ptr<Device>> devices_;  ///< owned (empty in views)
+  std::vector<Device*> view_;                     ///< devices visible here
 };
 
 }  // namespace omenx::parallel

@@ -100,6 +100,34 @@ std::vector<EnergyPointResult> sweep_energy_points(
     parallel::DevicePool* pool = nullptr,
     parallel::ThreadPool* threads = nullptr);
 
+/// Per-group energy-sweep entry point: binds one device's matrices and the
+/// solve options to a reusable context, so a distribution layer
+/// (omen::Engine) can solve whatever points the work queue hands its rank —
+/// in any order, allocation-free in steady state.  The referenced matrices,
+/// context, and pool must outlive the worker.
+class EnergySweepWorker {
+ public:
+  EnergySweepWorker(EnergyPointContext& ctx, const dft::DeviceMatrices& dm,
+                    const dft::LeadBlocks& lead, const dft::FoldedLead& folded,
+                    const EnergyPointOptions& options,
+                    parallel::DevicePool* pool = nullptr)
+      : ctx_(ctx), dm_(dm), lead_(lead), folded_(folded), options_(options),
+        pool_(pool) {}
+
+  EnergyPointResult solve(double energy) {
+    return solve_energy_point(ctx_, dm_, lead_, folded_, energy, options_,
+                              pool_);
+  }
+
+ private:
+  EnergyPointContext& ctx_;
+  const dft::DeviceMatrices& dm_;
+  const dft::LeadBlocks& lead_;
+  const dft::FoldedLead& folded_;
+  EnergyPointOptions options_;
+  parallel::DevicePool* pool_;
+};
+
 /// Fermi-Dirac occupation.
 double fermi(double e, double mu, double kt);
 

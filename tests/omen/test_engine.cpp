@@ -1,0 +1,350 @@
+// Tests for the distributed execution engine: the Fig. 9 rank hierarchy
+// (momentum -> energy -> spatial), the shared work queue with stealing,
+// and the collective result assembly.  Sweeps are checked bit-identical
+// across CommWorld sizes {1, 2, 7} — the sizes the CI matrix runs under
+// ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/blas.hpp"
+#include "omen/engine.hpp"
+#include "omen/simulator.hpp"
+#include "transport/bands.hpp"
+
+namespace df = omenx::dft;
+namespace lt = omenx::lattice;
+namespace nm = omenx::numeric;
+namespace om = omenx::omen;
+namespace tr = omenx::transport;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+// A synthetic 1-orbital chain, z-periodic so the simulator builds a real
+// multi-k momentum level.
+lt::Structure chain_structure(idx cells, bool periodic = false) {
+  lt::Structure s;
+  s.cell_atoms = {{lt::Species::kLi, {0.0, 0.0, 0.0}}};
+  s.cell_length = 0.5;
+  s.num_cells = cells;
+  s.name = "engine test chain";
+  if (periodic) s.periodicity = lt::Periodicity::kZ;
+  return s;
+}
+
+om::SimulationConfig chain_config(idx cells, idx nk) {
+  om::SimulationConfig cfg;
+  cfg.structure = chain_structure(cells, nk > 1);
+  cfg.build.cutoff_nm = 1.0;  // NBW = 2: exercises supercell folding
+  cfg.point.obc = tr::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = tr::SolverAlgorithm::kBlockLU;
+  cfg.num_k = nk;
+  cfg.num_devices = 2;
+  return cfg;
+}
+
+// Random-Hermitian lead blocks for driving the Engine API directly.
+df::LeadBlocks synthetic_lead(idx s, unsigned seed) {
+  df::LeadBlocks lead;
+  lead.h.resize(2);
+  lead.s.resize(2);
+  CMatrix h0 = nm::random_cmatrix(s, s, seed);
+  lead.h[0] = (h0 + nm::dagger(h0)) * cplx{0.25};
+  lead.h[1] = nm::random_cmatrix(s, s, seed + 1) * cplx{0.4};
+  lead.s[0] = CMatrix::identity(s);
+  lead.s[1] = CMatrix(s, s);
+  return lead;
+}
+
+tr::EnergyPointOptions cheap_options() {
+  tr::EnergyPointOptions opts;
+  opts.obc = tr::ObcAlgorithm::kDecimation;
+  opts.solver = tr::SolverAlgorithm::kBlockLU;
+  opts.want_density = false;
+  opts.want_current = false;
+  return opts;
+}
+
+}  // namespace
+
+TEST(Engine, SpectrumIdenticalAcrossWorldSizes) {
+  // The acceptance bar: T(E) from the quickstart-style device must be
+  // bit-identical for CommWorld sizes 1 (flat degenerate loop), 2, and 7.
+  const idx nk = 3;
+  om::SimulationConfig cfg = chain_config(8, nk);
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  std::vector<double> grid;
+  for (double e = window.emin + 0.05; e < window.emax; e += 0.21)
+    grid.push_back(e);
+  ASSERT_GE(grid.size(), 4u);
+  const auto base = reference.transmission_spectrum(grid);
+  EXPECT_EQ(reference.last_sweep_stats().ranks, 1);
+
+  for (const int ranks : {2, 7}) {
+    om::SimulationConfig dcfg = chain_config(8, nk);
+    dcfg.num_ranks = ranks;
+    om::Simulator sim(dcfg);
+    const auto sp = sim.transmission_spectrum(grid);
+    EXPECT_EQ(sim.last_sweep_stats().ranks, ranks);
+    EXPECT_EQ(sim.last_sweep_stats().tasks_total,
+              static_cast<idx>(grid.size()) * nk);
+    ASSERT_EQ(sp.transmission.size(), base.transmission.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sp.transmission[i], base.transmission[i])
+          << "ranks=" << ranks << " point " << i;
+      EXPECT_EQ(sp.propagating[i], base.propagating[i])
+          << "ranks=" << ranks << " point " << i;
+    }
+  }
+}
+
+TEST(Engine, MoreMomentaThanRanks) {
+  // 5 k points on 2 ranks: each rank's group owns several momenta and the
+  // queue must still drain every (k, E) exactly once.
+  const idx nk = 5;
+  om::SimulationConfig cfg = chain_config(6, nk);
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  const double mid = 0.5 * (window.emin + window.emax);
+  const std::vector<double> grid{mid - 0.2, mid, mid + 0.2};
+  const auto base = reference.transmission_spectrum(grid);
+
+  om::SimulationConfig dcfg = chain_config(6, nk);
+  dcfg.num_ranks = 2;
+  om::Simulator sim(dcfg);
+  const auto sp = sim.transmission_spectrum(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(sp.transmission[i], base.transmission[i]);
+}
+
+TEST(Engine, WorkStealingBalancesImbalancedGrids) {
+  // One hot k with 10x the energy points of the others: with stealing the
+  // idle groups must take over a share of the hot k's tail (and fetch its
+  // lead blocks, which they never owned); statically they may not.
+  const idx s = 6, cells = 12;
+  std::vector<df::LeadBlocks> leads;
+  for (unsigned k = 0; k < 4; ++k) leads.push_back(synthetic_lead(s, 31 + 7 * k));
+
+  om::SweepRequest req;
+  req.leads = &leads;
+  req.cells = cells;
+  req.potential.assign(static_cast<std::size_t>(cells), 0.0);
+  req.point = cheap_options();
+  req.energies.resize(4);
+  for (int ie = 0; ie < 40; ++ie)
+    req.energies[0].push_back(-2.0 + 0.1 * ie);
+  for (std::size_t k = 1; k < 4; ++k)
+    for (int ie = 0; ie < 4; ++ie)
+      req.energies[k].push_back(-1.0 + 0.5 * ie);
+
+  om::EngineConfig scfg;
+  scfg.num_ranks = 4;
+  scfg.work_stealing = false;
+  om::Engine static_engine(scfg);
+  const auto st = static_engine.run(req);
+  EXPECT_EQ(st.stats.tasks_stolen, 0);
+  ASSERT_EQ(st.stats.tasks_per_rank.size(), 4u);
+  // Without stealing the hot k's single group does all 40 of its points.
+  EXPECT_EQ(*std::max_element(st.stats.tasks_per_rank.begin(),
+                              st.stats.tasks_per_rank.end()),
+            40);
+
+  om::EngineConfig wcfg;
+  wcfg.num_ranks = 4;
+  om::Engine stealing_engine(wcfg);
+  const auto dy = stealing_engine.run(req);
+  EXPECT_GT(dy.stats.tasks_stolen, 0);
+  EXPECT_LT(*std::max_element(dy.stats.tasks_per_rank.begin(),
+                              dy.stats.tasks_per_rank.end()),
+            40);
+  EXPECT_EQ(std::accumulate(dy.stats.tasks_per_rank.begin(),
+                            dy.stats.tasks_per_rank.end(), idx{0}),
+            52);
+
+  // Same numbers either way — scheduling must not change physics.
+  for (std::size_t k = 0; k < 4; ++k)
+    for (std::size_t ie = 0; ie < req.energies[k].size(); ++ie)
+      EXPECT_DOUBLE_EQ(dy.caroli[k][ie], st.caroli[k][ie]);
+}
+
+TEST(Engine, ForcedProtocolMatchesFlatLoop) {
+  // flat_single_rank = false runs the full request/assign protocol on one
+  // rank (coordinator + worker on the same thread pair) — the benchmark's
+  // serial baseline.  It must agree bit-for-bit with the flat loop.
+  std::vector<df::LeadBlocks> leads{synthetic_lead(5, 77)};
+  om::SweepRequest req;
+  req.leads = &leads;
+  req.cells = 10;
+  req.potential.assign(10, 0.0);
+  req.point = cheap_options();
+  req.energies = {{-1.5, -0.5, 0.0, 0.5, 1.5}};
+
+  om::Engine flat(om::EngineConfig{});
+  om::EngineConfig pcfg;
+  pcfg.flat_single_rank = false;
+  om::Engine protocol(pcfg);
+  const auto a = flat.run(req);
+  const auto b = protocol.run(req);
+  ASSERT_EQ(a.caroli[0].size(), b.caroli[0].size());
+  for (std::size_t i = 0; i < a.caroli[0].size(); ++i)
+    EXPECT_DOUBLE_EQ(a.caroli[0][i], b.caroli[0][i]);
+}
+
+TEST(Engine, ChargeDensityConsistentAcrossWorldSizes) {
+  om::SimulationConfig cfg = chain_config(10, 1);
+  cfg.point.obc = tr::ObcAlgorithm::kShiftInvert;
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  std::vector<double> grid;
+  for (double e = window.emin + 0.02; e < window.emax; e += 0.3)
+    grid.push_back(e);
+  const double mu = 0.5 * (window.emin + window.emax);
+  const auto base = reference.charge_density(grid, mu, mu, nullptr);
+
+  for (const int ranks : {2, 7}) {
+    om::SimulationConfig dcfg = cfg;
+    dcfg.num_ranks = ranks;
+    om::Simulator sim(dcfg);
+    const auto charge = sim.charge_density(grid, mu, mu, nullptr);
+    ASSERT_EQ(charge.size(), base.size());
+    // Bit-identical, not merely close: per-task contributions are summed
+    // in flat task order at the root, so work stealing moving tasks
+    // between ranks must not change the rounding.
+    for (std::size_t c = 0; c < charge.size(); ++c)
+      EXPECT_DOUBLE_EQ(charge[c], base[c])
+          << "ranks=" << ranks << " cell " << c;
+  }
+}
+
+TEST(Engine, EnergyGroupWidthAndDeviceSlices) {
+  // Width-2 energy groups: only group leaders pull tasks; members idle at
+  // the spatial level but still hold the broadcast inputs and join the
+  // assembly collectives.
+  const idx nk = 2;
+  om::SimulationConfig cfg = chain_config(8, nk);
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  const double mid = 0.5 * (window.emin + window.emax);
+  const std::vector<double> grid{mid - 0.1, mid, mid + 0.1, mid + 0.2};
+  const auto base = reference.transmission_spectrum(grid);
+
+  om::SimulationConfig dcfg = chain_config(8, nk);
+  dcfg.num_ranks = 6;
+  dcfg.ranks_per_energy_group = 2;
+  om::Simulator sim(dcfg);
+  const auto sp = sim.transmission_spectrum(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(sp.transmission[i], base.transmission[i]);
+  // 6 ranks over 2 momentum groups, width 2 -> at most 3-4 leaders total;
+  // at least one rank per group must have pulled nothing.
+  const auto& tpr = sim.last_sweep_stats().tasks_per_rank;
+  ASSERT_EQ(tpr.size(), 6u);
+  EXPECT_EQ(std::accumulate(tpr.begin(), tpr.end(), idx{0}),
+            static_cast<idx>(grid.size()) * nk);
+}
+
+TEST(Engine, SplitSolveBackendRunsDistributed) {
+  // The SplitSolve path exercises the accelerator slices (spatial level).
+  om::SimulationConfig cfg = chain_config(8, 1);
+  cfg.point.obc = tr::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = tr::SolverAlgorithm::kSplitSolve;
+  cfg.point.partitions = 2;
+  cfg.num_devices = 2;
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  const double mid = 0.5 * (window.emin + window.emax);
+  const std::vector<double> grid{mid - 0.15, mid, mid + 0.15};
+  const auto base = reference.transmission_spectrum(grid);
+
+  om::SimulationConfig dcfg = cfg;
+  dcfg.num_ranks = 2;
+  om::Simulator sim(dcfg);
+  const auto sp = sim.transmission_spectrum(grid);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(sp.transmission[i], base.transmission[i]);
+}
+
+TEST(Engine, TransferCharacteristicsThroughEngine) {
+  // The SCF loop's charge and current evaluations both route through the
+  // engine; a 2-rank run must land on the same I-V point as single-rank.
+  om::SimulationConfig cfg = chain_config(12, 1);
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  const double mu = 0.5 * (window.emin + window.emax);
+  std::vector<double> grid;
+  for (double e = mu - 0.3; e <= mu + 0.3; e += 0.1) grid.push_back(e);
+  lt::DeviceRegions regions{4, 4, 4};
+  omenx::poisson::ScfOptions scf;
+  scf.max_iter = 6;
+
+  const auto base = reference.transfer_characteristics({0.1}, 0.05, regions,
+                                                       grid, mu, scf);
+  om::SimulationConfig dcfg = cfg;
+  dcfg.num_ranks = 2;
+  om::Simulator sim(dcfg);
+  const auto iv =
+      sim.transfer_characteristics({0.1}, 0.05, regions, grid, mu, scf);
+  ASSERT_EQ(iv.size(), 1u);
+  EXPECT_EQ(iv[0].scf_iterations, base[0].scf_iterations);
+  EXPECT_NEAR(iv[0].current, base[0].current,
+              1e-6 * (1.0 + std::abs(base[0].current)));
+}
+
+TEST(Engine, RankErrorsPropagateWithoutDeadlock) {
+  // A throwing stage on a leader rank must drain the queue protocol and
+  // the assembly collectives, then rethrow on the caller — not hang the
+  // coordinator in recv or rank 0 in service.join().  cells = 1 makes
+  // assemble_device ("need at least 2 supercells") throw during every
+  // leader's KData build, the earliest and most deadlock-prone stage.
+  std::vector<df::LeadBlocks> leads{synthetic_lead(4, 11),
+                                    synthetic_lead(4, 12)};
+  om::SweepRequest req;
+  req.leads = &leads;
+  req.cells = 1;
+  req.potential.assign(1, 0.0);
+  req.point = cheap_options();
+  req.energies = {{0.0, 0.5}, {-0.5, 0.0, 0.5}};
+
+  om::Engine flat(om::EngineConfig{});
+  EXPECT_THROW(flat.run(req), std::invalid_argument);
+
+  om::EngineConfig dcfg;
+  dcfg.num_ranks = 4;
+  om::Engine distributed(dcfg);
+  EXPECT_THROW(distributed.run(req), std::invalid_argument);
+
+  // Width-2 groups: non-leaders must also drain cleanly.
+  om::EngineConfig wcfg;
+  wcfg.num_ranks = 4;
+  wcfg.ranks_per_energy_group = 2;
+  om::Engine wide(wcfg);
+  EXPECT_THROW(wide.run(req), std::invalid_argument);
+}
+
+TEST(Engine, RejectsBadRequests) {
+  om::Engine engine(om::EngineConfig{});
+  om::SweepRequest req;
+  EXPECT_THROW(engine.run(req), std::invalid_argument);  // null leads
+  std::vector<df::LeadBlocks> leads{synthetic_lead(4, 3)};
+  req.leads = &leads;
+  EXPECT_THROW(engine.run(req), std::invalid_argument);  // no k grids
+  req.energies = {{0.0}, {0.0}};
+  EXPECT_THROW(engine.run(req), std::invalid_argument);  // fewer leads
+  req.energies = {{0.0, 1.0}};
+  req.density_weight = {{1.0}};
+  EXPECT_THROW(engine.run(req), std::invalid_argument);  // weight shape
+  EXPECT_THROW(om::Engine(om::EngineConfig{0, 1, true, true}),
+               std::invalid_argument);
+}

@@ -111,6 +111,27 @@ TEST(Scheduler, DynamicBeatsUniformOnImbalancedLoads) {
   EXPECT_GT(om::allocation_efficiency(loads, dynamic), 0.9);
 }
 
+TEST(Scheduler, DeterministicUnderRemainderTies) {
+  // Four equal loads over 6 groups: every k has remainder 0.5, so the two
+  // bonus groups must go to the *lowest* k indices (stable ordering), and
+  // every call must agree.
+  const auto first = om::allocate_groups({10, 10, 10, 10}, 6);
+  ASSERT_EQ(first.size(), 4u);
+  EXPECT_EQ(first[0], 2);
+  EXPECT_EQ(first[1], 2);
+  EXPECT_EQ(first[2], 1);
+  EXPECT_EQ(first[3], 1);
+  for (int trial = 0; trial < 50; ++trial)
+    EXPECT_EQ(om::allocate_groups({10, 10, 10, 10}, 6), first);
+  // Ties in the leftover heap break the same way.
+  const auto big = om::allocate_groups({7, 7, 7, 7, 7, 7, 7, 7}, 100);
+  for (int trial = 0; trial < 10; ++trial)
+    EXPECT_EQ(om::allocate_groups({7, 7, 7, 7, 7, 7, 7, 7}, 100), big);
+  int total = 0;
+  for (const int g : big) total += g;
+  EXPECT_EQ(total, 100);
+}
+
 TEST(Scheduler, MakespanValidation) {
   EXPECT_THROW(om::allocation_makespan({10, 10}, {1}), std::invalid_argument);
   EXPECT_THROW(om::allocation_makespan({10}, {0}), std::invalid_argument);

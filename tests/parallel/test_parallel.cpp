@@ -170,7 +170,7 @@ TEST(Comm, SendRecvRoundTrip) {
   pp::CommWorld world(2);
   world.run([&](pp::Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send({3.14, 2.71}, 1, 7);
+      comm.send(std::vector<double>{3.14, 2.71}, 1, 7);
       auto back = comm.recv(1, 8);
       ASSERT_EQ(back.size(), 1u);
       EXPECT_DOUBLE_EQ(back[0], 6.28);
@@ -229,5 +229,160 @@ TEST(Comm, HierarchicalSplitTwoLevels) {
     EXPECT_EQ(energy.size(), 2);
     const double s = energy.allreduce(1.0, pp::Comm::ReduceOp::kSum);
     EXPECT_DOUBLE_EQ(s, 2.0);
+  });
+}
+
+TEST(Comm, GathervNonUniformSizes) {
+  // Rank r contributes r+1 elements of value r; root 2 sees them
+  // concatenated in rank order with the per-rank counts reported.
+  pp::CommWorld world(5);
+  world.run([&](pp::Comm& comm) {
+    const int r = comm.rank();
+    std::vector<double> local(static_cast<std::size_t>(r) + 1,
+                              static_cast<double>(r));
+    std::vector<std::size_t> counts;
+    const auto all = comm.gatherv(local, 2, &counts);
+    if (r != 2) {
+      EXPECT_TRUE(all.empty());
+      return;
+    }
+    ASSERT_EQ(all.size(), 15u);  // 1+2+3+4+5
+    ASSERT_EQ(counts.size(), 5u);
+    std::size_t at = 0;
+    for (int src = 0; src < 5; ++src) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(src)],
+                static_cast<std::size_t>(src) + 1);
+      for (int i = 0; i <= src; ++i)
+        EXPECT_DOUBLE_EQ(all[at++], static_cast<double>(src));
+    }
+  });
+}
+
+TEST(Comm, GathervEmptyContribution) {
+  pp::CommWorld world(3);
+  world.run([&](pp::Comm& comm) {
+    std::vector<double> local;
+    if (comm.rank() == 1) local = {42.0};
+    std::vector<std::size_t> counts;
+    const auto all = comm.gatherv(local, 0, &counts);
+    if (comm.rank() != 0) return;
+    ASSERT_EQ(all.size(), 1u);
+    EXPECT_DOUBLE_EQ(all[0], 42.0);
+    EXPECT_EQ(counts[0], 0u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 0u);
+  });
+}
+
+TEST(Comm, ReduceToRootOnly) {
+  pp::CommWorld world(4);
+  world.run([&](pp::Comm& comm) {
+    const double r = static_cast<double>(comm.rank());
+    std::vector<double> data{r, -r};
+    comm.reduce(data, pp::Comm::ReduceOp::kSum, 2);
+    if (comm.rank() == 2) {
+      EXPECT_DOUBLE_EQ(data[0], 6.0);
+      EXPECT_DOUBLE_EQ(data[1], -6.0);
+    } else {
+      // Non-root buffers are untouched (MPI_Reduce semantics).
+      EXPECT_DOUBLE_EQ(data[0], r);
+      EXPECT_DOUBLE_EQ(data[1], -r);
+    }
+    std::vector<double> mx{r};
+    comm.reduce(mx, pp::Comm::ReduceOp::kMax, 0);
+    if (comm.rank() == 0) EXPECT_DOUBLE_EQ(mx[0], 3.0);
+    std::vector<double> mn{r + 1.0};
+    comm.reduce(mn, pp::Comm::ReduceOp::kMin, 0);
+    if (comm.rank() == 0) EXPECT_DOUBLE_EQ(mn[0], 1.0);
+  });
+}
+
+TEST(Comm, RecvStatusReportsSourceAndCount) {
+  pp::CommWorld world(4);
+  world.run([&](pp::Comm& comm) {
+    if (comm.rank() == 0) {
+      int seen_from[4] = {0, 0, 0, 0};
+      for (int i = 0; i < 3; ++i) {
+        pp::Comm::Status st;
+        const auto msg = comm.recv(pp::Comm::kAnySource, 5, st);
+        ASSERT_GE(st.source, 1);
+        ASSERT_LE(st.source, 3);
+        ++seen_from[st.source];
+        EXPECT_EQ(st.tag, 5);
+        EXPECT_EQ(st.count, static_cast<std::size_t>(st.source));
+        EXPECT_EQ(msg.size(), st.count);
+        EXPECT_DOUBLE_EQ(msg[0], 10.0 * st.source);
+      }
+      for (int s = 1; s < 4; ++s) EXPECT_EQ(seen_from[s], 1);
+    } else {
+      std::vector<double> payload(static_cast<std::size_t>(comm.rank()),
+                                  10.0 * comm.rank());
+      comm.send(payload, 0, 5);
+    }
+  });
+}
+
+TEST(Comm, ProbeAndIprobe) {
+  pp::CommWorld world(2);
+  world.run([&](pp::Comm& comm) {
+    if (comm.rank() == 0) {
+      // Nothing pending yet on tag 9.
+      EXPECT_FALSE(comm.iprobe(pp::Comm::kAnySource, 9).has_value());
+      comm.send(std::vector<double>{1.0}, 1, 8);  // release rank 1
+      const auto st = comm.probe(pp::Comm::kAnySource, 9);  // blocking
+      EXPECT_EQ(st.source, 1);
+      EXPECT_EQ(st.count, 2u);
+      // probe does not consume: the message is still there.
+      const auto again = comm.iprobe(1, 9);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(again->count, 2u);
+      const auto msg = comm.recv(1, 9);
+      EXPECT_DOUBLE_EQ(msg[1], 7.0);
+      EXPECT_FALSE(comm.iprobe(1, 9).has_value());
+    } else {
+      comm.recv(0, 8);
+      comm.send(std::vector<double>{6.0, 7.0}, 0, 9);
+    }
+  });
+}
+
+TEST(Comm, MatrixSendRecvRoundTrip) {
+  pp::CommWorld world(2);
+  world.run([&](pp::Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_matrix(nm::random_cmatrix(5, 3, 7), 1, 11);
+    } else {
+      pp::Comm::Status st;
+      const nm::CMatrix m = comm.recv_matrix(pp::Comm::kAnySource, 11, &st);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.count, 2u + 2u * 15u);
+      const nm::CMatrix expected = nm::random_cmatrix(5, 3, 7);
+      EXPECT_LT(nm::max_abs_diff(m, expected), 1e-15);
+    }
+  });
+}
+
+TEST(Comm, CollectivesInterleaveOnParentAndChild) {
+  // Stress the tag sequencing when collectives alternate between a parent
+  // communicator and its split children (regression for the stale
+  // CollectiveSeq deadlock class fixed in PR 1).
+  pp::CommWorld world(6);
+  world.run([&](pp::Comm& comm) {
+    pp::Comm child = comm.split(comm.rank() % 2, comm.rank());
+    for (int round = 0; round < 25; ++round) {
+      std::vector<double> v{static_cast<double>(round)};
+      comm.bcast(v, round % comm.size());
+      EXPECT_DOUBLE_EQ(v[0], static_cast<double>(round));
+      const double s = child.allreduce(1.0, pp::Comm::ReduceOp::kSum);
+      EXPECT_DOUBLE_EQ(s, 3.0);
+      const auto g =
+          comm.gatherv({static_cast<double>(comm.rank())}, round % 3);
+      if (comm.rank() == round % 3) EXPECT_EQ(g.size(), 6u);
+      std::vector<double> r{1.0};
+      child.reduce(r, pp::Comm::ReduceOp::kSum, 0);
+      if (child.rank() == 0) EXPECT_DOUBLE_EQ(r[0], 3.0);
+      const auto cg = child.gatherv({1.0, 2.0}, round % child.size());
+      if (child.rank() == round % child.size()) EXPECT_EQ(cg.size(), 6u);
+    }
   });
 }
