@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockmat/block_tridiag.cpp" "CMakeFiles/omenx.dir/src/blockmat/block_tridiag.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/blockmat/block_tridiag.cpp.o.d"
+  "/root/repo/src/blockmat/csr.cpp" "CMakeFiles/omenx.dir/src/blockmat/csr.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/blockmat/csr.cpp.o.d"
+  "/root/repo/src/dft/basis.cpp" "CMakeFiles/omenx.dir/src/dft/basis.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/dft/basis.cpp.o.d"
+  "/root/repo/src/dft/gaussian.cpp" "CMakeFiles/omenx.dir/src/dft/gaussian.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/dft/gaussian.cpp.o.d"
+  "/root/repo/src/dft/hamiltonian.cpp" "CMakeFiles/omenx.dir/src/dft/hamiltonian.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/dft/hamiltonian.cpp.o.d"
+  "/root/repo/src/lattice/structure.cpp" "CMakeFiles/omenx.dir/src/lattice/structure.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/lattice/structure.cpp.o.d"
+  "/root/repo/src/numeric/blas.cpp" "CMakeFiles/omenx.dir/src/numeric/blas.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/numeric/blas.cpp.o.d"
+  "/root/repo/src/numeric/cholesky.cpp" "CMakeFiles/omenx.dir/src/numeric/cholesky.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/numeric/cholesky.cpp.o.d"
+  "/root/repo/src/numeric/eig.cpp" "CMakeFiles/omenx.dir/src/numeric/eig.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/numeric/eig.cpp.o.d"
+  "/root/repo/src/numeric/lu.cpp" "CMakeFiles/omenx.dir/src/numeric/lu.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/numeric/lu.cpp.o.d"
+  "/root/repo/src/numeric/qr.cpp" "CMakeFiles/omenx.dir/src/numeric/qr.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/numeric/qr.cpp.o.d"
+  "/root/repo/src/obc/beyn.cpp" "CMakeFiles/omenx.dir/src/obc/beyn.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/beyn.cpp.o.d"
+  "/root/repo/src/obc/companion.cpp" "CMakeFiles/omenx.dir/src/obc/companion.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/companion.cpp.o.d"
+  "/root/repo/src/obc/decimation.cpp" "CMakeFiles/omenx.dir/src/obc/decimation.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/decimation.cpp.o.d"
+  "/root/repo/src/obc/feast.cpp" "CMakeFiles/omenx.dir/src/obc/feast.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/feast.cpp.o.d"
+  "/root/repo/src/obc/modes.cpp" "CMakeFiles/omenx.dir/src/obc/modes.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/modes.cpp.o.d"
+  "/root/repo/src/obc/self_energy.cpp" "CMakeFiles/omenx.dir/src/obc/self_energy.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/self_energy.cpp.o.d"
+  "/root/repo/src/obc/shift_invert.cpp" "CMakeFiles/omenx.dir/src/obc/shift_invert.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/obc/shift_invert.cpp.o.d"
+  "/root/repo/src/omen/engine.cpp" "CMakeFiles/omenx.dir/src/omen/engine.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/omen/engine.cpp.o.d"
+  "/root/repo/src/omen/io.cpp" "CMakeFiles/omenx.dir/src/omen/io.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/omen/io.cpp.o.d"
+  "/root/repo/src/omen/scheduler.cpp" "CMakeFiles/omenx.dir/src/omen/scheduler.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/omen/scheduler.cpp.o.d"
+  "/root/repo/src/omen/simulator.cpp" "CMakeFiles/omenx.dir/src/omen/simulator.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/omen/simulator.cpp.o.d"
+  "/root/repo/src/parallel/comm.cpp" "CMakeFiles/omenx.dir/src/parallel/comm.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/parallel/comm.cpp.o.d"
+  "/root/repo/src/parallel/device.cpp" "CMakeFiles/omenx.dir/src/parallel/device.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/parallel/device.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "CMakeFiles/omenx.dir/src/parallel/thread_pool.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/perf/flops.cpp" "CMakeFiles/omenx.dir/src/perf/flops.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/perf/flops.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "CMakeFiles/omenx.dir/src/perf/machine.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/power.cpp" "CMakeFiles/omenx.dir/src/perf/power.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/perf/power.cpp.o.d"
+  "/root/repo/src/perf/scaling.cpp" "CMakeFiles/omenx.dir/src/perf/scaling.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/perf/scaling.cpp.o.d"
+  "/root/repo/src/poisson/poisson1d.cpp" "CMakeFiles/omenx.dir/src/poisson/poisson1d.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/poisson/poisson1d.cpp.o.d"
+  "/root/repo/src/poisson/scf.cpp" "CMakeFiles/omenx.dir/src/poisson/scf.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/poisson/scf.cpp.o.d"
+  "/root/repo/src/solvers/bcr.cpp" "CMakeFiles/omenx.dir/src/solvers/bcr.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/solvers/bcr.cpp.o.d"
+  "/root/repo/src/solvers/block_lu.cpp" "CMakeFiles/omenx.dir/src/solvers/block_lu.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/solvers/block_lu.cpp.o.d"
+  "/root/repo/src/solvers/rgf.cpp" "CMakeFiles/omenx.dir/src/solvers/rgf.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/solvers/rgf.cpp.o.d"
+  "/root/repo/src/solvers/spike.cpp" "CMakeFiles/omenx.dir/src/solvers/spike.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/solvers/spike.cpp.o.d"
+  "/root/repo/src/solvers/splitsolve.cpp" "CMakeFiles/omenx.dir/src/solvers/splitsolve.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/solvers/splitsolve.cpp.o.d"
+  "/root/repo/src/transport/bands.cpp" "CMakeFiles/omenx.dir/src/transport/bands.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/transport/bands.cpp.o.d"
+  "/root/repo/src/transport/energy_grid.cpp" "CMakeFiles/omenx.dir/src/transport/energy_grid.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/transport/energy_grid.cpp.o.d"
+  "/root/repo/src/transport/greens.cpp" "CMakeFiles/omenx.dir/src/transport/greens.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/transport/greens.cpp.o.d"
+  "/root/repo/src/transport/transmission.cpp" "CMakeFiles/omenx.dir/src/transport/transmission.cpp.o" "gcc" "CMakeFiles/omenx.dir/src/transport/transmission.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_blockmat_test_block_tridiag.dir/tests/blockmat/test_block_tridiag.cpp.o"
+  "CMakeFiles/omenx_blockmat_test_block_tridiag.dir/tests/blockmat/test_block_tridiag.cpp.o.d"
+  "omenx_blockmat_test_block_tridiag"
+  "omenx_blockmat_test_block_tridiag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_blockmat_test_block_tridiag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_blockmat_test_block_tridiag.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_dft_test_dft.dir/tests/dft/test_dft.cpp.o"
+  "CMakeFiles/omenx_dft_test_dft.dir/tests/dft/test_dft.cpp.o.d"
+  "omenx_dft_test_dft"
+  "omenx_dft_test_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_dft_test_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

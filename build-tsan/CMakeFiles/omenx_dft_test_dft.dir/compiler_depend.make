@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_dft_test_dft.
+# This may be replaced when dependencies are built.

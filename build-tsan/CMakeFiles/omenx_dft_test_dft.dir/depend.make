@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_dft_test_dft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_lattice_test_structure.dir/tests/lattice/test_structure.cpp.o"
+  "CMakeFiles/omenx_lattice_test_structure.dir/tests/lattice/test_structure.cpp.o.d"
+  "omenx_lattice_test_structure"
+  "omenx_lattice_test_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_lattice_test_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_lattice_test_structure.
+# This may be replaced when dependencies are built.

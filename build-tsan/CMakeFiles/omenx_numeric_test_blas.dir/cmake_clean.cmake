@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_numeric_test_blas.dir/tests/numeric/test_blas.cpp.o"
+  "CMakeFiles/omenx_numeric_test_blas.dir/tests/numeric/test_blas.cpp.o.d"
+  "omenx_numeric_test_blas"
+  "omenx_numeric_test_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_numeric_test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

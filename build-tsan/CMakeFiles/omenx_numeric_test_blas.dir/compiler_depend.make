@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_numeric_test_blas.
+# This may be replaced when dependencies are built.

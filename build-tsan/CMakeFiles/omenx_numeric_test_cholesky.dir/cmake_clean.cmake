@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_numeric_test_cholesky.dir/tests/numeric/test_cholesky.cpp.o"
+  "CMakeFiles/omenx_numeric_test_cholesky.dir/tests/numeric/test_cholesky.cpp.o.d"
+  "omenx_numeric_test_cholesky"
+  "omenx_numeric_test_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_numeric_test_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

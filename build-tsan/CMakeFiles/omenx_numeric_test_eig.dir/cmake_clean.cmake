@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_numeric_test_eig.dir/tests/numeric/test_eig.cpp.o"
+  "CMakeFiles/omenx_numeric_test_eig.dir/tests/numeric/test_eig.cpp.o.d"
+  "omenx_numeric_test_eig"
+  "omenx_numeric_test_eig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_numeric_test_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

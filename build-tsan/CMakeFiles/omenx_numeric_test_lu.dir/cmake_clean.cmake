@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_numeric_test_lu.dir/tests/numeric/test_lu.cpp.o"
+  "CMakeFiles/omenx_numeric_test_lu.dir/tests/numeric/test_lu.cpp.o.d"
+  "omenx_numeric_test_lu"
+  "omenx_numeric_test_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_numeric_test_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_numeric_test_lu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_numeric_test_matrix.dir/tests/numeric/test_matrix.cpp.o"
+  "CMakeFiles/omenx_numeric_test_matrix.dir/tests/numeric/test_matrix.cpp.o.d"
+  "omenx_numeric_test_matrix"
+  "omenx_numeric_test_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_numeric_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_numeric_test_matrix.
+# This may be replaced when dependencies are built.

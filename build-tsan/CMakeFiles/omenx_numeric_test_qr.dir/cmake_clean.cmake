@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_numeric_test_qr.dir/tests/numeric/test_qr.cpp.o"
+  "CMakeFiles/omenx_numeric_test_qr.dir/tests/numeric/test_qr.cpp.o.d"
+  "omenx_numeric_test_qr"
+  "omenx_numeric_test_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_numeric_test_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_obc_test_beyn.dir/tests/obc/test_beyn.cpp.o"
+  "CMakeFiles/omenx_obc_test_beyn.dir/tests/obc/test_beyn.cpp.o.d"
+  "omenx_obc_test_beyn"
+  "omenx_obc_test_beyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_obc_test_beyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

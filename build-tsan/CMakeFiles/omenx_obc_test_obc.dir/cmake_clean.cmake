@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_obc_test_obc.dir/tests/obc/test_obc.cpp.o"
+  "CMakeFiles/omenx_obc_test_obc.dir/tests/obc/test_obc.cpp.o.d"
+  "omenx_obc_test_obc"
+  "omenx_obc_test_obc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_obc_test_obc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

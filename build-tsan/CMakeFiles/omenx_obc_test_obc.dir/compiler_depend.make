@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_obc_test_obc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_omen_test_engine.dir/tests/omen/test_engine.cpp.o"
+  "CMakeFiles/omenx_omen_test_engine.dir/tests/omen/test_engine.cpp.o.d"
+  "omenx_omen_test_engine"
+  "omenx_omen_test_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_omen_test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_omen_test_omen.dir/tests/omen/test_omen.cpp.o"
+  "CMakeFiles/omenx_omen_test_omen.dir/tests/omen/test_omen.cpp.o.d"
+  "omenx_omen_test_omen"
+  "omenx_omen_test_omen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_omen_test_omen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

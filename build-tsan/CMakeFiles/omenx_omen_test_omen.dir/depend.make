@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_omen_test_omen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_parallel_test_parallel.dir/tests/parallel/test_parallel.cpp.o"
+  "CMakeFiles/omenx_parallel_test_parallel.dir/tests/parallel/test_parallel.cpp.o.d"
+  "omenx_parallel_test_parallel"
+  "omenx_parallel_test_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_parallel_test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_parallel_test_parallel.
+# This may be replaced when dependencies are built.

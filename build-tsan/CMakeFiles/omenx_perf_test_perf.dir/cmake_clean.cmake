@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_perf_test_perf.dir/tests/perf/test_perf.cpp.o"
+  "CMakeFiles/omenx_perf_test_perf.dir/tests/perf/test_perf.cpp.o.d"
+  "omenx_perf_test_perf"
+  "omenx_perf_test_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_perf_test_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_perf_test_perf.
+# This may be replaced when dependencies are built.

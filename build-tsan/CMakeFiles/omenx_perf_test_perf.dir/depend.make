@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_perf_test_perf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_poisson_test_poisson.dir/tests/poisson/test_poisson.cpp.o"
+  "CMakeFiles/omenx_poisson_test_poisson.dir/tests/poisson/test_poisson.cpp.o.d"
+  "omenx_poisson_test_poisson"
+  "omenx_poisson_test_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_poisson_test_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_poisson_test_poisson.
+# This may be replaced when dependencies are built.

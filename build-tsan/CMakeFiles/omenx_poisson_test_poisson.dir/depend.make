@@ -1,0 +1,2 @@
+# Empty dependencies file for omenx_poisson_test_poisson.
+# This may be replaced when dependencies are built.

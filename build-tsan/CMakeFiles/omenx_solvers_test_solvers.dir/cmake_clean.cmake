@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_solvers_test_solvers.dir/tests/solvers/test_solvers.cpp.o"
+  "CMakeFiles/omenx_solvers_test_solvers.dir/tests/solvers/test_solvers.cpp.o.d"
+  "omenx_solvers_test_solvers"
+  "omenx_solvers_test_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_solvers_test_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_solvers_test_solvers.
+# This may be replaced when dependencies are built.

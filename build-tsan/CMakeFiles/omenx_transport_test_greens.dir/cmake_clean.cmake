@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_transport_test_greens.dir/tests/transport/test_greens.cpp.o"
+  "CMakeFiles/omenx_transport_test_greens.dir/tests/transport/test_greens.cpp.o.d"
+  "omenx_transport_test_greens"
+  "omenx_transport_test_greens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_transport_test_greens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

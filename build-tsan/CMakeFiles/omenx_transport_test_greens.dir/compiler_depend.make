@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for omenx_transport_test_greens.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omenx_transport_test_transport.dir/tests/transport/test_transport.cpp.o"
+  "CMakeFiles/omenx_transport_test_transport.dir/tests/transport/test_transport.cpp.o.d"
+  "omenx_transport_test_transport"
+  "omenx_transport_test_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omenx_transport_test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
