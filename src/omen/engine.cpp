@@ -15,6 +15,8 @@
 #include "omen/scheduler.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/thread_pool.hpp"
+#include "solvers/solver.hpp"
+#include "solvers/spike.hpp"
 
 namespace omenx::omen {
 
@@ -240,18 +242,26 @@ void serve_queue(Comm comm, Coordinator& co, const SweepRequest& req,
 /// worker bound to the rank's warm context.
 struct KData {
   dft::LeadBlocks lead;
-  dft::FoldedLead folded;
+  dft::FoldedLead folded;  ///< leaders only; members never run the OBCs
   dft::DeviceMatrices dm;
-  std::unique_ptr<transport::EnergySweepWorker> worker;
+  std::unique_ptr<transport::EnergySweepWorker> worker;  ///< leaders only
 
+  /// `build_worker` = false is the spatial-member variant: members only
+  /// need the assembled device matrices to compute SPIKE partitions of A,
+  /// so the lead folding and the sweep worker are skipped.
   KData(dft::LeadBlocks l, const SweepRequest& req,
+        const transport::EnergyPointOptions& opts,
         transport::EnergyPointContext& ctx, parallel::DevicePool* pool,
-        const dft::FoldedLead* pre_folded = nullptr)
+        const dft::FoldedLead* pre_folded = nullptr, bool build_worker = true)
       : lead(std::move(l)),
-        folded(pre_folded != nullptr ? *pre_folded : dft::fold_lead(lead)),
+        folded(build_worker
+                   ? (pre_folded != nullptr ? *pre_folded
+                                            : dft::fold_lead(lead))
+                   : dft::FoldedLead{}),
         dm(dft::assemble_device(lead, req.cells, req.potential)) {
-    worker = std::make_unique<transport::EnergySweepWorker>(
-        ctx, dm, lead, folded, req.point, pool);
+    if (build_worker)
+      worker = std::make_unique<transport::EnergySweepWorker>(
+          ctx, dm, lead, folded, opts, pool);
   }
 };
 
@@ -359,6 +369,11 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   const std::size_t n = static_cast<std::size_t>(lay.total_tasks);
   const std::size_t nk = request.energies.size();
 
+  // The flat loop has no spatial sub-communicators; scrub any stale handle
+  // a caller may have left in the options.
+  transport::EnergyPointOptions popt = request.point;
+  popt.spatial = nullptr;
+
   // Root-local device assembly, one per k (shared across its energies).
   // Pre-folded leads from the request are reused as-is.
   std::vector<dft::FoldedLead> folded_local;
@@ -388,7 +403,7 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     const auto res = transport::solve_energy_point(
         dms[sk], (*request.leads)[sk], (*folded)[sk],
         request.energies[sk][se],
-        request.point, pool_);
+        popt, pool_);
     busy[flat] = now_seconds() - t0;
     out.transmission[sk][se] = res.transmission;
     out.caroli[sk][se] = res.transmission_caroli;
@@ -469,10 +484,49 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
     // from splits, broadcasts, or queue traffic) — without it an exception
     // unwinding past the joinable service thread would std::terminate.
     RankLocal local;
+    // Spatial-release bookkeeping lives outside the guarded section: if an
+    // exception escapes the pull loop, the leader must still send its
+    // members the done marker or they would wait on the task broadcast
+    // forever.
+    std::optional<Comm> spatial_comm;
+    bool members_released = true;
+    const std::vector<double> kSpatialDone{-1.0, 0.0, 0.0, 0.0, 0.0};
+    // The single release point for the members' service loop — every exit
+    // path (drain, normal completion, escaped exception) goes through it,
+    // so the done marker can never be sent twice or with a stale shape.
+    const auto release_members = [&]() {
+      if (members_released || !spatial_comm.has_value()) return;
+      try {
+        std::vector<double> done = kSpatialDone;
+        spatial_comm->bcast(done, 0);
+      } catch (...) {
+      }
+      members_released = true;
+    };
     try {
       Comm k_comm = comm.split(my_color, wr);
       Comm e_comm = k_comm.split(k_comm.rank() / lay.width, k_comm.rank());
       const int egroup = k_comm.rank() / lay.width;
+
+      // --- spatial level: does this energy group solve cooperatively? ---
+      // Width > 1 makes each (k, E) task a group-wide solve: the leader
+      // runs the OBC + SPIKE merge, the members compute their share of the
+      // SPIKE partitions on their own copy of A (broadcast once at input
+      // distribution).  Backends that can never split (block_lu, bcr, rgf
+      // requested statically) skip the whole member protocol — the extra
+      // ranks idle exactly like the pre-spatial engine; kAuto keeps it on
+      // because its per-task resolution may pick a cooperative backend.
+      const bool may_cooperate =
+          request.point.solver == solvers::SolverAlgorithm::kAuto ||
+          solvers::algorithm_is_cooperative(request.point.solver);
+      const bool spatial_group =
+          lay.width > 1 && e_comm.size() > 1 && may_cooperate;
+      transport::EnergyPointOptions popt = request.point;
+      popt.spatial = spatial_group ? &e_comm : nullptr;
+      if (leader && spatial_group) {
+        spatial_comm = e_comm;
+        members_released = false;
+      }
 
       // --- spatial level: this energy group's accelerator share --------
       std::optional<parallel::DevicePool> slice_storage;
@@ -484,8 +538,9 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       }
 
       // Every group member receives the owned blocks once via the group
-      // broadcast; only energy-group leaders fold/assemble them — members
-      // idle at the spatial level and never call solve.
+      // broadcast.  Energy-group leaders fold/assemble them to solve;
+      // members of a spatial group assemble them too — they need their own
+      // device matrices to compute SPIKE partitions of A per task.
       transport::EnergyPointContext ctx;
       std::map<idx, std::unique_ptr<KData>> cache;
       for (const idx k : lay.owned[static_cast<std::size_t>(my_color)]) {
@@ -502,7 +557,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         // Collective over the momentum group — always runs, so members
         // never stall on a group whose inputs failed to arrive.
         broadcast_lead_blocks(k_comm, lead);
-        if (!leader || rank_error != nullptr) continue;
+        if ((!leader && !spatial_group) || rank_error != nullptr) continue;
         try {
           // The root folded its leads when the simulator was built (and
           // the SCF loop sweeps the same ones dozens of times); its leader
@@ -512,7 +567,8 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
                   ? &(*request.folded)[static_cast<std::size_t>(k)]
                   : nullptr;
           cache.emplace(k, std::make_unique<KData>(std::move(lead), request,
-                                                   ctx, my_pool, pre));
+                                                   popt, ctx, my_pool, pre,
+                                                   /*build_worker=*/leader));
         } catch (...) {
           rank_error = std::current_exception();
         }
@@ -525,10 +581,17 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
           const auto assign = comm.recv(0, kTagAssign);
           const auto ik = static_cast<idx>(assign.at(0));
           if (ik < 0) break;
-          if (rank_error != nullptr) continue;  // drain, don't solve
+          if (rank_error != nullptr) {
+            // Drain, don't solve — and stop announcing tasks so the
+            // members exit their service loop instead of waiting for a
+            // cooperative solve that will never run.
+            release_members();
+            continue;
+          }
           try {
             const auto ie = static_cast<idx>(assign.at(1));
             auto it = cache.find(ik);
+            bool fetched = false;
             if (it == cache.end()) {
               // Stolen k: fetch its blocks from the coordinator, once.
               comm.send({1.0, static_cast<double>(ik)}, 0, kTagRequest);
@@ -539,8 +602,33 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               it = cache
                        .emplace(ik, std::make_unique<KData>(
                                         recv_lead_blocks(comm, 0), request,
-                                        ctx, my_pool, pre))
+                                        popt, ctx, my_pool, pre))
                        .first;
+              fetched = true;
+            }
+            // --- spatial level: announce the task to the group ---------
+            // The resolved backend travels with the task: members follow
+            // the leader's choice (kAuto resolution is pure, but a member
+            // that lost its inputs could not resolve locally — with the
+            // algorithm on the wire it can still honor the protocol by
+            // sending placeholder partitions).
+            if (spatial_group) {
+              solvers::SolverContext binding;
+              binding.pool = my_pool;
+              binding.partitions = popt.partitions;
+              binding.spatial = &e_comm;
+              const idx nbb = it->second->dm.h.num_blocks();
+              const idx sbb = it->second->dm.h.block_size();
+              const auto algo = solvers::resolve_algorithm(
+                  popt.solver, nbb, sbb, 2 * sbb, binding);
+              std::vector<double> task{
+                  1.0, static_cast<double>(ik), static_cast<double>(ie),
+                  fetched ? 1.0 : 0.0,
+                  static_cast<double>(static_cast<int>(algo))};
+              e_comm.bcast(task, 0);
+              // A stolen k's blocks reach the members through the group,
+              // mirroring the owned-k broadcast at input distribution.
+              if (fetched) broadcast_lead_blocks(e_comm, it->second->lead);
             }
             const double energy =
                 request.energies[static_cast<std::size_t>(ik)]
@@ -556,10 +644,61 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
           }
         }
         protocol_done = true;
+        release_members();
+      } else if (spatial_group) {
+        // --- spatial members: serve the group's cooperative solves -----
+        for (;;) {
+          std::vector<double> task;
+          e_comm.bcast(task, 0);
+          if (task.size() < 5 || task[0] < 0.0) break;
+          const auto ik = static_cast<idx>(task[1]);
+          const auto ie = static_cast<idx>(task[2]);
+          const bool fetched = task[3] != 0.0;
+          const auto algo = static_cast<solvers::SolverAlgorithm>(
+              static_cast<int>(task[4]));
+          if (fetched) {
+            dft::LeadBlocks lead;
+            broadcast_lead_blocks(e_comm, lead);
+            if (rank_error == nullptr && cache.find(ik) == cache.end()) {
+              try {
+                cache.emplace(ik, std::make_unique<KData>(
+                                      std::move(lead), request, popt, ctx,
+                                      my_pool, nullptr,
+                                      /*build_worker=*/false));
+              } catch (...) {
+                rank_error = std::current_exception();
+              }
+            }
+          }
+          if (!solvers::algorithm_is_cooperative(algo)) continue;
+          const auto it = cache.find(ik);
+          if (rank_error != nullptr || it == cache.end()) {
+            // No usable inputs: send placeholder partitions so the leader
+            // sees an error, not a hang.
+            solvers::spike_spatial_member_poison(
+                e_comm, popt.partitions,
+                algo == solvers::SolverAlgorithm::kSpike);
+            continue;
+          }
+          try {
+            const double energy =
+                request.energies[static_cast<std::size_t>(ik)]
+                                [static_cast<std::size_t>(ie)];
+            const double t0 = now_seconds();
+            transport::serve_spatial_point(ctx, it->second->dm, energy, algo,
+                                           popt.partitions, e_comm);
+            local.busy_seconds += now_seconds() - t0;
+          } catch (...) {
+            rank_error = std::current_exception();
+          }
+        }
       }
     } catch (...) {
       rank_error = std::current_exception();
     }
+    // The leader may have left the guarded section with its members still
+    // waiting: release them (best effort — the marker is tiny).
+    release_members();
     if (leader && !protocol_done) {
       // The exception escaped before (or inside) the pull loop: count this
       // leader out with the coordinator so rank 0 can join the service

@@ -12,8 +12,12 @@
 //     group's own k runs dry it is handed points of the most-loaded other
 //     k (work stealing between groups).
 //   spatial level:  each energy group receives a slice of the node's
-//     emulated accelerators (DevicePool::slice) — the plug-in point for
-//     rank-level spatial domain decomposition.
+//     emulated accelerators (DevicePool::slice) and, with
+//     ranks_per_energy_group > 1, solves each (k, E) task *cooperatively*:
+//     the group leader runs the OBCs and the SPIKE reduced system while the
+//     members compute their share of the SPIKE partitions on their own copy
+//     of A = E*S - H (solvers::spike_partition_owner) — one task, many
+//     ranks, bit-identical to the width-1 solve for equal partition counts.
 // Inputs travel once: the root sends each momentum-group leader its lead
 // blocks, the leader rebroadcasts inside the group (broadcast_lead_blocks);
 // a stolen k's blocks are fetched from the coordinator on first use and
@@ -35,7 +39,12 @@ using numeric::idx;
 
 struct EngineConfig {
   int num_ranks = 1;               ///< world size (momentum x energy ranks)
-  int ranks_per_energy_group = 1;  ///< energy-group width (spatial level)
+  /// Energy-group width — the spatial level of Fig. 9.  Width w > 1 gives
+  /// each (k, E) task to a whole group: cooperative backends (spike,
+  /// splitsolve) split their `partitions` SPIKE partitions across the w
+  /// ranks; non-cooperative backends leave the extra ranks idle.  Spectra
+  /// are bit-identical across widths for equal partition counts.
+  int ranks_per_energy_group = 1;
   bool work_stealing = true;       ///< hand idle groups other k's points
   /// Size-1 worlds default to the flat thread-pool loop (the degenerate
   /// case preserves the single-process behavior and its intra-process

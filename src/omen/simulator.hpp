@@ -3,12 +3,14 @@
 //
 // A Simulator owns one device (structure + basis + Hamiltonian blocks) and
 // runs transport over energies and transverse momenta with the configured
-// OBC and linear-solver algorithms.  All (k, E) sweeps — transmission,
+// OBC and linear-solver algorithms (any registered solvers::Solver backend,
+// or kAuto for the cost-model choice).  All (k, E) sweeps — transmission,
 // charge, current, and the SCF loop — route through the distributed
 // execution engine (omen/engine.hpp): momentum groups sized by the dynamic
-// allocation, energy groups pulling from the shared work queue, SplitSolve
-// work placed on emulated accelerators — the three-level parallelism of
-// Fig. 9.  num_ranks = 1 is the degenerate single-process case.
+// allocation, energy groups pulling from the shared work queue, and with
+// ranks_per_energy_group > 1 each solve split spatially across the group's
+// ranks — the three-level parallelism of Fig. 9.  num_ranks = 1 is the
+// degenerate single-process case.
 #pragma once
 
 #include <memory>
@@ -39,7 +41,11 @@ struct SimulationConfig {
   /// hierarchy.  1 = the degenerate single-process case (flat thread-pool
   /// loop, the pre-engine behavior).
   int num_ranks = 1;
-  int ranks_per_energy_group = 1;  ///< energy-group width (spatial level)
+  /// Energy-group width (Fig. 9's spatial level): > 1 makes the
+  /// cooperative backends (spike, splitsolve) split each (k, E) solve's
+  /// SPIKE partitions across the group's ranks, bit-identically to the
+  /// width-1 run for equal `point.partitions`.
+  int ranks_per_energy_group = 1;
   bool work_stealing = true;       ///< dynamic balancing between k groups
 };
 

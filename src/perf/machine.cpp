@@ -40,4 +40,22 @@ MachineSpec MachineSpec::piz_daint() {
   return m;
 }
 
+MachineSpec MachineSpec::host() {
+  MachineSpec m;
+  m.name = "emulated host node";
+  m.hybrid_nodes = 1;
+  m.gpus = 2;             // default DevicePool size in the examples
+  m.cpu_gflops = 40.0;    // laptop-scale DP throughput of the packed GEMM
+  m.gpu_gflops = 40.0;    // emulated devices are host threads
+  m.gpu_memory_gb = 6.0;  // K20X-sized capacity kept for the allocator
+  m.cpu_cores_per_node = 8;
+  m.idle_power_mw = 0.0;
+  m.gpu_active_watts = 0.0;
+  m.gpu_idle_watts = 0.0;
+  m.gpu_transfer_watts = 0.0;
+  m.cpu_active_watts = 45.0;
+  m.facility_overhead = 1.0;
+  return m;
+}
+
 }  // namespace omenx::perf

@@ -33,6 +33,13 @@ struct MachineSpec {
   /// Cray-XC30 Piz Daint (CSCS): 5272 nodes, Xeon E5-2670 + Tesla K20X.
   static MachineSpec piz_daint();
 
+  /// The machine this process runs on, as seen by the solver cost model
+  /// (solvers::auto_algorithm): one node whose "accelerators" are the
+  /// emulated in-process devices, so CPU and GPU throughput coincide.
+  /// Constant by design — the kAuto choice must be a pure function of the
+  /// problem shape, never of load or measurement noise.
+  static MachineSpec host();
+
   /// Total DP peak in PFlop/s over `nodes` nodes.
   double peak_pflops(int nodes) const {
     return static_cast<double>(nodes) * (cpu_gflops + gpu_gflops) * 1e-6;

@@ -1,0 +1,441 @@
+#include "solvers/solver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "numeric/blas.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/device.hpp"
+#include "perf/machine.hpp"
+#include "solvers/bcr.hpp"
+#include "solvers/block_lu.hpp"
+#include "solvers/rgf.hpp"
+#include "solvers/spike.hpp"
+#include "solvers/splitsolve.hpp"
+
+namespace omenx::solvers {
+
+using numeric::cplx;
+
+// --- base-class defaults ---------------------------------------------------
+
+void Solver::factor(const BlockTridiag&) {
+  throw std::logic_error(std::string(name()) +
+                         ": factor/solve is not supported by this backend");
+}
+
+CMatrix Solver::solve(const CMatrix&) {
+  throw std::logic_error(std::string(name()) +
+                         ": factor/solve is not supported by this backend");
+}
+
+CMatrix Solver::solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
+                               const CMatrix& sigma_r, const CMatrix& b_top,
+                               const CMatrix& b_bot) {
+  apply_boundary_into(t_, a, sigma_l, sigma_r);
+  factor(t_);
+  expand_boundary_rhs_into(b_, a.dim(), b_top, b_bot);
+  return solve(b_);
+}
+
+std::vector<CMatrix> Solver::diagonal_blocks(const BlockTridiag& t) {
+  if ((capabilities() & kFactorSolve) == 0)
+    throw std::logic_error(std::string(name()) +
+                           ": diagonal_blocks is not supported");
+  factor(t);
+  const idx nb = t.num_blocks();
+  const idx s = t.block_size();
+  std::vector<CMatrix> out;
+  out.reserve(static_cast<std::size_t>(nb));
+  CMatrix e(t.dim(), s);
+  for (idx i = 0; i < nb; ++i) {
+    for (idx d = 0; d < s; ++d) e(i * s + d, d) = cplx{1.0};
+    const CMatrix x = solve(e);
+    out.push_back(x.block(i * s, 0, s, s));
+    for (idx d = 0; d < s; ++d) e(i * s + d, d) = cplx{0.0};
+  }
+  return out;
+}
+
+// --- concrete strategies ---------------------------------------------------
+
+namespace {
+
+/// Block Thomas factorization (the MUMPS stand-in of Fig. 8).  Factor once,
+/// solve any number of dense right-hand sides.
+class BlockLUSolver final : public Solver {
+ public:
+  const char* name() const noexcept override { return "block_lu"; }
+  unsigned capabilities() const noexcept override { return kFactorSolve; }
+  void factor(const BlockTridiag& t) override { lu_.factor(t); }
+  CMatrix solve(const CMatrix& b) override { return lu_.solve(b); }
+
+ private:
+  BlockTridiagLU lu_;
+};
+
+/// Block cyclic reduction (OMEN's tight-binding solver).  BCR has no
+/// persistent factorization: factor() pins the system, solve() reduces it
+/// per right-hand-side set.
+class BcrSolver final : public Solver {
+ public:
+  const char* name() const noexcept override { return "bcr"; }
+  unsigned capabilities() const noexcept override { return kFactorSolve; }
+  void factor(const BlockTridiag& t) override { sys_ = &t; }
+  CMatrix solve(const CMatrix& b) override {
+    if (sys_ == nullptr) throw std::logic_error("bcr: factor() first");
+    return bcr_solve(*sys_, b);
+  }
+
+ private:
+  const BlockTridiag* sys_ = nullptr;  ///< valid until the next factor()
+};
+
+/// Recursive Green's function (Algorithm 1): first/last block columns of
+/// T^{-1} serve the corner-structured boundary RHS exactly; the two-sweep
+/// diagonal recursion serves LDOS/charge natively.
+class RgfSolver final : public Solver {
+ public:
+  const char* name() const noexcept override { return "rgf"; }
+  unsigned capabilities() const noexcept override {
+    return kDiagonalBlocksNative;
+  }
+  CMatrix solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
+                         const CMatrix& sigma_r, const CMatrix& b_top,
+                         const CMatrix& b_bot) override {
+    apply_boundary_into(t_, a, sigma_l, sigma_r);
+    const CMatrix q = rgf_block_columns(t_);
+    return columns_times_rhs(q, a, b_top, b_bot);
+  }
+  std::vector<CMatrix> diagonal_blocks(const BlockTridiag& t) override {
+    return rgf_diagonal_blocks(t);
+  }
+
+  /// x = Q_first b_top + Q_last b_bot — shared with the SPIKE strategy.
+  static CMatrix columns_times_rhs(const CMatrix& q, const BlockTridiag& a,
+                                   const CMatrix& b_top,
+                                   const CMatrix& b_bot) {
+    const idx s = a.block_size();
+    const CMatrix qf = q.block(0, 0, a.dim(), s);
+    const CMatrix ql = q.block(0, s, a.dim(), s);
+    CMatrix x;
+    numeric::gemm(qf, b_top, x);
+    numeric::gemm(ql, b_bot, x, cplx{1.0}, cplx{1.0});
+    return x;
+  }
+};
+
+/// SPIKE partitions of the boundary-applied T: on the accelerator pool when
+/// one is bound, across the spatial communicator's ranks when it has more
+/// than one (the members hold no self-energies, so the end partitions are
+/// pinned to the root — see spike_partition_owner).
+class SpikeSolver final : public Solver {
+ public:
+  explicit SpikeSolver(const SolverContext& ctx) : ctx_(ctx) {}
+  const char* name() const noexcept override { return "spike"; }
+  unsigned capabilities() const noexcept override {
+    return kDiagonalBlocksNative | kSpatialCooperative | kUsesDevicePool;
+  }
+  CMatrix solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
+                         const CMatrix& sigma_r, const CMatrix& b_top,
+                         const CMatrix& b_bot) override {
+    apply_boundary_into(t_, a, sigma_l, sigma_r);
+    SpikeOptions so;
+    so.partitions = ctx_.partitions;
+    CMatrix q;
+    if (ctx_.spatial != nullptr && ctx_.spatial->size() > 1)
+      q = spike_block_columns_spatial_root(t_, *ctx_.spatial, ctx_.partitions,
+                                           /*ends_to_root=*/true);
+    else if (ctx_.pool != nullptr)
+      q = spike_block_columns(t_, *ctx_.pool, so);
+    else
+      q = spike_block_columns(t_, so);
+    return RgfSolver::columns_times_rhs(q, a, b_top, b_bot);
+  }
+  std::vector<CMatrix> diagonal_blocks(const BlockTridiag& t) override {
+    return spike_diagonal_blocks(t, ctx_.partitions);
+  }
+  void discard() override {
+    // A skipped solve leaves the members' partition transfers pending.
+    if (ctx_.spatial != nullptr && ctx_.spatial->size() > 1)
+      spike_spatial_drain(*ctx_.spatial, ctx_.partitions,
+                          /*ends_to_root=*/true);
+  }
+
+ private:
+  SolverContext ctx_;
+};
+
+/// SplitSolve (Section 3B): Step 1 (Q = A^{-1} B) starts in prepare() —
+/// before the boundary self-energies exist — on the accelerators or across
+/// the spatial ranks; solve_boundary runs the cheap SMW steps 2-4.
+class SplitSolveSolver final : public Solver {
+ public:
+  explicit SplitSolveSolver(const SolverContext& ctx) : ctx_(ctx) {}
+  const char* name() const noexcept override { return "splitsolve"; }
+  unsigned capabilities() const noexcept override {
+    return kDiagonalBlocksNative | kOverlapPrepare | kSpatialCooperative |
+           kUsesDevicePool;
+  }
+  void prepare(const BlockTridiag& a) override {
+    const bool spatial = ctx_.spatial != nullptr && ctx_.spatial->size() > 1;
+    if (!spatial && ctx_.pool == nullptr)
+      throw std::invalid_argument(
+          "splitsolve: requires a device pool or a spatial communicator");
+    SplitSolveOptions opts;
+    opts.partitions = ctx_.partitions;
+    opts.spatial = spatial ? ctx_.spatial : nullptr;
+    // Join any previous instance's Step 1 *before* launching the new one:
+    // a skipped solve (no propagating modes at the point) leaves the old
+    // async consumer alive, and two consumers on one spatial communicator
+    // would race for the members' partition messages.
+    split_.reset();
+    split_ = std::make_unique<SplitSolve>(a, ctx_.pool, opts);
+  }
+  CMatrix solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
+                         const CMatrix& sigma_r, const CMatrix& b_top,
+                         const CMatrix& b_bot) override {
+    if (split_ == nullptr) prepare(a);
+    CMatrix x = split_->solve(sigma_l, sigma_r, b_top, b_bot);
+    split_.reset();  // Q is per-system; the next point prepares anew
+    return x;
+  }
+  std::vector<CMatrix> diagonal_blocks(const BlockTridiag& t) override {
+    return spike_diagonal_blocks(t, ctx_.partitions);
+  }
+  void discard() override {
+    // Join Step 1 now: its async consumer drains the spatial members'
+    // transfers even when the solve itself is skipped.
+    split_.reset();
+  }
+
+ private:
+  SolverContext ctx_;
+  std::unique_ptr<SplitSolve> split_;
+};
+
+// --- registry --------------------------------------------------------------
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SolverFactory> factories;
+};
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    reg->factories["rgf"] = [](const SolverContext&) {
+      return std::make_unique<RgfSolver>();
+    };
+    reg->factories["block_lu"] = [](const SolverContext&) {
+      return std::make_unique<BlockLUSolver>();
+    };
+    reg->factories["bcr"] = [](const SolverContext&) {
+      return std::make_unique<BcrSolver>();
+    };
+    reg->factories["spike"] = [](const SolverContext& ctx) {
+      return std::make_unique<SpikeSolver>(ctx);
+    };
+    reg->factories["splitsolve"] = [](const SolverContext& ctx) {
+      return std::make_unique<SplitSolveSolver>(ctx);
+    };
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+void register_solver(const std::string& name, SolverFactory factory) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.factories[name] = std::move(factory);
+}
+
+std::vector<std::string> registered_solvers() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> names;
+  names.reserve(r.factories.size());
+  for (const auto& [name, _] : r.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+std::unique_ptr<Solver> make_solver(const std::string& name,
+                                    const SolverContext& ctx) {
+  Registry& r = registry();
+  SolverFactory factory;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.factories.find(name);
+    if (it == r.factories.end())
+      throw std::invalid_argument("make_solver: unknown backend '" + name +
+                                  "'");
+    factory = it->second;
+  }
+  return factory(ctx);
+}
+
+const char* algorithm_name(SolverAlgorithm algo) noexcept {
+  switch (algo) {
+    case SolverAlgorithm::kSplitSolve:
+      return "splitsolve";
+    case SolverAlgorithm::kBlockLU:
+      return "block_lu";
+    case SolverAlgorithm::kBcr:
+      return "bcr";
+    case SolverAlgorithm::kRgf:
+      return "rgf";
+    case SolverAlgorithm::kSpike:
+      return "spike";
+    case SolverAlgorithm::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
+bool algorithm_is_cooperative(SolverAlgorithm algo) noexcept {
+  return algo == SolverAlgorithm::kSpike ||
+         algo == SolverAlgorithm::kSplitSolve;
+}
+
+// --- cost model ------------------------------------------------------------
+
+namespace {
+
+/// Complex-arithmetic flop estimates per backend for a boundary solve of an
+/// nb-block system (block size s, m RHS columns).  Constants follow the
+/// kernel mix: one s x s complex LU ~ (8/3) s^3 real flops, one s x s
+/// complex GEMM ~ 8 s^3.
+struct CostInputs {
+  double nb, s, m;
+  double executors;  ///< parallel lanes for partitioned work
+  double obc_overlap_seconds;
+  double cpu_flops;  ///< per-second
+};
+
+double lu_seconds(const CostInputs& c) {
+  const double factor = c.nb * (8.0 / 3.0 * c.s * c.s * c.s +
+                                2.0 * 8.0 * c.s * c.s * c.s);
+  // Per block row: two triangular solves (~4 s^2 m each) and two coupling
+  // GEMMs (~8 s^2 m each) across the forward/backward sweeps.
+  const double solve = 24.0 * c.nb * c.s * c.s * c.m;
+  return (factor + solve) / c.cpu_flops;
+}
+
+double bcr_seconds(const CostInputs& c) {
+  // Fill-in on dense DFT blocks: measured ~2.2x the block-LU work (fig08).
+  return 2.2 * lu_seconds(c);
+}
+
+double rgf_seconds(const CostInputs& c) {
+  // Two column sweeps (~19 s^3 per block each) + x = Q * rhs.
+  const double sweeps = 38.0 * c.nb * c.s * c.s * c.s;
+  const double apply = 16.0 * c.nb * c.s * c.s * c.m;
+  return (sweeps + apply) / c.cpu_flops;
+}
+
+double spike_seconds(const CostInputs& c, int partitions) {
+  const double p = static_cast<double>(partitions);
+  const double sweeps =
+      38.0 * c.nb * c.s * c.s * c.s / std::min(c.executors, p);
+  const double reduced =
+      (p - 1.0) * (8.0 / 3.0 + 16.0) * 8.0 * c.s * c.s * c.s;
+  const double correct =
+      32.0 * c.nb * c.s * c.s * c.s / std::min(c.executors, p);
+  const double apply = 16.0 * c.nb * c.s * c.s * c.m;
+  return (sweeps + reduced + correct + apply) / c.cpu_flops;
+}
+
+double splitsolve_seconds(const CostInputs& c, int partitions) {
+  // Step 1 is the spike cost on A, overlapped with the OBC solve; steps 2-4
+  // are O(s^3 + s^2 m).
+  const double step1 = spike_seconds(c, partitions);
+  const double smw = (8.0 * 8.0 * c.s * c.s * c.s +
+                      32.0 * c.s * c.s * c.m + 16.0 * c.nb * c.s * c.s * c.m) /
+                     c.cpu_flops;
+  return std::max(0.25 * step1, step1 - c.obc_overlap_seconds) + smw;
+}
+
+}  // namespace
+
+double estimate_boundary_solve_seconds(SolverAlgorithm algo, idx nb, idx s,
+                                       idx nrhs, int partitions,
+                                       int executors) {
+  const perf::MachineSpec spec = perf::MachineSpec::host();
+  CostInputs c;
+  c.nb = static_cast<double>(nb);
+  c.s = static_cast<double>(s);
+  c.m = static_cast<double>(nrhs);
+  c.executors = static_cast<double>(std::max(1, executors));
+  c.cpu_flops = spec.cpu_gflops * 1e9;
+  // The OBC eigenproblem SplitSolve overlaps with: a handful of dense
+  // s-sized eigensolves (FEAST subspace iterations).
+  c.obc_overlap_seconds = 60.0 * c.s * c.s * c.s / c.cpu_flops;
+  switch (algo) {
+    case SolverAlgorithm::kBlockLU:
+      return lu_seconds(c);
+    case SolverAlgorithm::kBcr:
+      return bcr_seconds(c);
+    case SolverAlgorithm::kRgf:
+      return rgf_seconds(c);
+    case SolverAlgorithm::kSpike:
+      return spike_seconds(c, partitions);
+    case SolverAlgorithm::kSplitSolve:
+      return splitsolve_seconds(c, partitions);
+    case SolverAlgorithm::kAuto:
+      break;
+  }
+  throw std::invalid_argument(
+      "estimate_boundary_solve_seconds: resolve kAuto first");
+}
+
+SolverAlgorithm auto_algorithm(idx nb, idx s, idx nrhs,
+                               const SolverContext& ctx) {
+  const int width = ctx.spatial != nullptr ? ctx.spatial->size() : 1;
+  const int devices = ctx.pool != nullptr ? ctx.pool->size() : 0;
+  const bool partitioned_ok =
+      ctx.partitions > 1 && spike_partitioning_valid(nb, ctx.partitions);
+  const int executors =
+      partitioned_ok ? std::max(width, std::max(1, devices)) : 1;
+
+  auto estimate = [&](SolverAlgorithm algo) {
+    return estimate_boundary_solve_seconds(algo, nb, s, nrhs, ctx.partitions,
+                                           executors);
+  };
+  SolverAlgorithm best = SolverAlgorithm::kBlockLU;
+  double best_seconds = estimate(best);
+  auto consider = [&](SolverAlgorithm algo) {
+    const double seconds = estimate(algo);
+    if (seconds < best_seconds) {
+      best = algo;
+      best_seconds = seconds;
+    }
+  };
+  consider(SolverAlgorithm::kBcr);
+  consider(SolverAlgorithm::kRgf);
+  if (partitioned_ok && (devices > 0 || width > 1)) {
+    consider(SolverAlgorithm::kSpike);
+    consider(SolverAlgorithm::kSplitSolve);
+  }
+  return best;
+}
+
+SolverAlgorithm resolve_algorithm(SolverAlgorithm requested, idx nb, idx s,
+                                  idx nrhs, const SolverContext& ctx) {
+  if (requested != SolverAlgorithm::kAuto) return requested;
+  return auto_algorithm(nb, s, nrhs, ctx);
+}
+
+std::unique_ptr<Solver> make_solver(SolverAlgorithm algo,
+                                    const SolverContext& ctx) {
+  if (algo == SolverAlgorithm::kAuto)
+    throw std::invalid_argument(
+        "make_solver: resolve kAuto through resolve_algorithm first (the "
+        "choice depends on the system shape)");
+  return make_solver(algorithm_name(algo), ctx);
+}
+
+}  // namespace omenx::solvers

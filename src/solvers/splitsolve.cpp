@@ -4,6 +4,7 @@
 
 #include "numeric/blas.hpp"
 #include "numeric/lu.hpp"
+#include "parallel/comm.hpp"
 #include "parallel/tracer.hpp"
 
 namespace omenx::solvers {
@@ -12,7 +13,7 @@ using numeric::CMatrix;
 using numeric::cplx;
 using numeric::idx;
 
-SplitSolve::SplitSolve(const BlockTridiag& a, parallel::DevicePool& pool,
+SplitSolve::SplitSolve(const BlockTridiag& a, parallel::DevicePool* pool,
                        SplitSolveOptions options)
     : dim_(a.dim()), s_(a.block_size()) {
   if (!spike_partitioning_valid(a.num_blocks(), options.partitions))
@@ -20,8 +21,20 @@ SplitSolve::SplitSolve(const BlockTridiag& a, parallel::DevicePool& pool,
   SpikeOptions so;
   so.partitions = options.partitions;
   // Step 1 runs asynchronously; the caller computes Sigma/Inj meanwhile.
-  q_future_ = std::async(std::launch::async, [&a, &pool, so] {
-                return spike_block_columns(a, pool, so);
+  // Q does not depend on the boundary self-energies, so the spatial members
+  // can compute their partitions of A without ever seeing Sigma — all three
+  // execution routes share the per-partition arithmetic and are
+  // bit-identical for equal partition counts.
+  parallel::Comm* spatial =
+      options.spatial != nullptr && options.spatial->size() > 1
+          ? options.spatial
+          : nullptr;
+  q_future_ = std::async(std::launch::async, [&a, pool, so, spatial] {
+                if (spatial != nullptr)
+                  return spike_block_columns_spatial_root(
+                      a, *spatial, so.partitions, /*ends_to_root=*/false);
+                if (pool != nullptr) return spike_block_columns(a, *pool, so);
+                return spike_block_columns(a, so);
               }).share();
 }
 

@@ -20,18 +20,34 @@
 #include "parallel/device.hpp"
 #include "solvers/spike.hpp"
 
+namespace omenx::parallel {
+class Comm;
+}
+
 namespace omenx::solvers {
 
 struct SplitSolveOptions {
   int partitions = 1;  ///< SPIKE partitions (power of two)
+  /// Spatial sub-communicator (Fig. 9 level 3).  Non-null with size > 1:
+  /// Step 1's partitions are computed cooperatively by the communicator's
+  /// ranks — the caller must be rank 0 and the other ranks must serve the
+  /// same solve (spike_spatial_member on the same A).  Bit-identical to the
+  /// pool/host paths for equal partition counts.
+  parallel::Comm* spatial = nullptr;
 };
 
 class SplitSolve {
  public:
-  /// Launches Step 1 (Q = A^{-1} B) asynchronously on `pool`.  `a` must be
-  /// E*S - H *without* boundary self-energies and must outlive Step 1.
-  SplitSolve(const BlockTridiag& a, parallel::DevicePool& pool,
+  /// Launches Step 1 (Q = A^{-1} B) asynchronously on `pool`'s devices, the
+  /// spatial ranks, or (with neither) a host thread.  `a` must be E*S - H
+  /// *without* boundary self-energies and must outlive Step 1.
+  SplitSolve(const BlockTridiag& a, parallel::DevicePool* pool,
              SplitSolveOptions options = {});
+
+  /// Back-compat convenience: pool by reference.
+  SplitSolve(const BlockTridiag& a, parallel::DevicePool& pool,
+             SplitSolveOptions options = {})
+      : SplitSolve(a, &pool, options) {}
 
   /// Block until Step 1 finishes; returns Q (dim x 2s).
   const numeric::CMatrix& preprocessed_q();

@@ -4,12 +4,29 @@
 
 #include "numeric/blas.hpp"
 #include "numeric/types.hpp"
-#include "solvers/rgf.hpp"
 
 namespace omenx::transport {
 
-std::vector<double> local_density_of_states(const BlockTridiag& t) {
-  const auto diag = solvers::rgf_diagonal_blocks(t);
+namespace {
+
+/// Diagonal blocks of t^{-1} through the strategy registry.  kAuto maps to
+/// RGF: its two-sweep recursion is O(nb s^3), below the identity-solve
+/// fallback of the factor/solve backends at every shape, and the diagonal
+/// has no boundary-overlap work for SplitSolve to hide.
+std::vector<CMatrix> diagonal_blocks(const BlockTridiag& t,
+                                     solvers::SolverAlgorithm algo,
+                                     const solvers::SolverContext& ctx) {
+  if (algo == solvers::SolverAlgorithm::kAuto)
+    algo = solvers::SolverAlgorithm::kRgf;
+  return solvers::make_solver(algo, ctx)->diagonal_blocks(t);
+}
+
+}  // namespace
+
+std::vector<double> local_density_of_states(const BlockTridiag& t,
+                                            solvers::SolverAlgorithm algo,
+                                            const solvers::SolverContext& ctx) {
+  const auto diag = diagonal_blocks(t, algo, ctx);
   const idx s = t.block_size();
   std::vector<double> ldos;
   ldos.reserve(static_cast<std::size_t>(t.dim()));
@@ -19,10 +36,12 @@ std::vector<double> local_density_of_states(const BlockTridiag& t) {
   return ldos;
 }
 
-double density_of_states(const BlockTridiag& t, const BlockTridiag* overlap) {
+double density_of_states(const BlockTridiag& t, const BlockTridiag* overlap,
+                         solvers::SolverAlgorithm algo,
+                         const solvers::SolverContext& ctx) {
   if (overlap == nullptr) {
     double total = 0.0;
-    for (const double v : local_density_of_states(t)) total += v;
+    for (const double v : local_density_of_states(t, algo, ctx)) total += v;
     return total;
   }
   if (overlap->num_blocks() != t.num_blocks() ||
@@ -30,11 +49,9 @@ double density_of_states(const BlockTridiag& t, const BlockTridiag* overlap) {
     throw std::invalid_argument("density_of_states: overlap shape mismatch");
   // -Im Tr[G S] / pi: the trace needs the diagonal *blocks* of G and the
   // matching S blocks (the off-diagonal G blocks contribute through the
-  // S_{i,i+1} couplings; RGF gives those from the diagonal recursion's
-  // intermediate quantities — here we use the dominant same-block term plus
-  // the nearest-neighbour correction computed from the identity
-  // G_{i,i+1} = -G_ii A_{i,i+1} g_{i+1} which the diagonal sweep exposes).
-  const auto diag = solvers::rgf_diagonal_blocks(t);
+  // S_{i,i+1} couplings; the diagonal-block solvers expose the dominant
+  // same-block term, which the identity-basis tests pin down).
+  const auto diag = diagonal_blocks(t, algo, ctx);
   cplx trace{0.0};
   for (idx b = 0; b < t.num_blocks(); ++b) {
     const CMatrix gs = numeric::matmul(diag[static_cast<std::size_t>(b)],

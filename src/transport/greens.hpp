@@ -2,15 +2,20 @@
 //
 // The paper works in the wave-function formalism for efficiency, but the
 // Green's-function route remains the reference: this module computes the
-// diagonal of G^R = (E S - H - Sigma^RB)^{-1} with the RGF recursion and
-// derives the spectral function / density of states from it.  Used by the
-// Fig. 10 maps as an independent cross-check on the WF densities.
+// diagonal of G^R = (E S - H - Sigma^RB)^{-1} through the unified solver
+// strategy layer and derives the spectral function / density of states from
+// it.  Used by the Fig. 10 maps as an independent cross-check on the WF
+// densities.  Any registered backend can serve the diagonal: RGF natively
+// (the two-sweep recursion), SPIKE/SplitSolve through the partitioned
+// diagonal with interface corrections, block LU / BCR through the
+// identity-solve fallback.
 #pragma once
 
 #include <vector>
 
 #include "blockmat/block_tridiag.hpp"
 #include "numeric/matrix.hpp"
+#include "solvers/solver.hpp"
 
 namespace omenx::transport {
 
@@ -20,12 +25,20 @@ using numeric::cplx;
 using numeric::idx;
 
 /// Orbital-resolved local density of states at one energy:
-/// LDOS_i = -Im(G^R_ii) / pi, from the RGF diagonal of the open system.
-/// `t` must already contain the boundary self-energies.
-std::vector<double> local_density_of_states(const BlockTridiag& t);
+/// LDOS_i = -Im(G^R_ii) / pi, from the diagonal of the open system's
+/// inverse.  `t` must already contain the boundary self-energies.  kAuto
+/// resolves to the RGF recursion — for the diagonal it dominates every
+/// fallback at every shape.
+std::vector<double> local_density_of_states(
+    const BlockTridiag& t,
+    solvers::SolverAlgorithm algo = solvers::SolverAlgorithm::kAuto,
+    const solvers::SolverContext& ctx = {});
 
 /// Total DOS(E) = sum_i LDOS_i, optionally weighted by the overlap matrix
 /// (non-orthogonal basis: DOS = -Im Tr[G S] / pi).
-double density_of_states(const BlockTridiag& t, const BlockTridiag* overlap);
+double density_of_states(
+    const BlockTridiag& t, const BlockTridiag* overlap,
+    solvers::SolverAlgorithm algo = solvers::SolverAlgorithm::kAuto,
+    const solvers::SolverContext& ctx = {});
 
 }  // namespace omenx::transport

@@ -7,9 +7,9 @@
 #include "numeric/lu.hpp"
 #include "obc/decimation.hpp"
 #include "obc/shift_invert.hpp"
+#include "parallel/comm.hpp"
 #include "parallel/thread_pool.hpp"
-#include "solvers/bcr.hpp"
-#include "solvers/splitsolve.hpp"
+#include "solvers/spike.hpp"
 
 namespace omenx::transport {
 
@@ -34,6 +34,25 @@ double caroli_transmission(const CMatrix& sigma_l, const CMatrix& sigma_r,
 }
 
 }  // namespace
+
+solvers::Solver& EnergyPointContext::solver(
+    solvers::SolverAlgorithm requested, const solvers::SolverContext& binding,
+    idx nb, idx s) {
+  // Resolution uses the representative nrhs = 2s (the Caroli columns): the
+  // actual injected-mode count is energy-dependent and unknown to the
+  // spatial members, and the choice must agree across the group's ranks.
+  const solvers::SolverAlgorithm resolved =
+      solvers::resolve_algorithm(requested, nb, s, 2 * s, binding);
+  const bool same_binding = solver_binding_.pool == binding.pool &&
+                            solver_binding_.partitions == binding.partitions &&
+                            solver_binding_.spatial == binding.spatial;
+  if (solver_ == nullptr || solver_algo_ != resolved || !same_binding) {
+    solver_ = solvers::make_solver(resolved, binding);
+    solver_algo_ = resolved;
+    solver_binding_ = binding;
+  }
+  return *solver_;
+}
 
 EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
                                      const dft::LeadBlocks& lead,
@@ -62,15 +81,20 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   const BlockTridiag& a = ctx.a;
   const idx sf = a.block_size();
 
-  // --- SplitSolve Step 1 can start before the boundary conditions exist ---
-  std::unique_ptr<solvers::SplitSolve> split;
-  if (options.solver == SolverAlgorithm::kSplitSolve) {
-    if (pool == nullptr)
-      throw std::invalid_argument(
-          "solve_energy_point: SplitSolve backend requires a device pool");
-    split = std::make_unique<solvers::SplitSolve>(
-        a, *pool, solvers::SplitSolveOptions{options.partitions});
-  }
+  // --- strategy lookup (registry + deterministic kAuto resolution) --------
+  solvers::SolverContext binding;
+  binding.pool = pool;
+  binding.partitions = options.partitions;
+  binding.spatial =
+      options.spatial != nullptr && options.spatial->size() > 1
+          ? options.spatial
+          : nullptr;
+  solvers::Solver& solver =
+      ctx.solver(options.solver, binding, a.num_blocks(), sf);
+
+  // kOverlapPrepare backends (SplitSolve Step 1) start work here — before
+  // the boundary conditions exist.
+  solver.prepare(a);
 
   // --- Open boundary conditions (CPU side, overlapping with Step 1) ---
   const obc::LeadOperators ops = obc::lead_operators(folded, e);
@@ -106,7 +130,13 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   const bool want_caroli = options.want_caroli || !have_injection;
   const idx gcols = want_caroli ? 2 * sf : 0;
   const idx m = gcols + n_inc;
-  if (m == 0) return out;
+  if (m == 0) {
+    // Nothing to solve at this energy — but cooperative/asynchronous
+    // backends may have outstanding work (spatial members' partitions,
+    // SplitSolve's Step 1) that must be settled before the next point.
+    solver.discard();
+    return out;
+  }
 
   CMatrix& b_top = ctx.b_top;
   CMatrix& b_bot = ctx.b_bot;
@@ -122,19 +152,7 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
     for (idx i = 0; i < sf; ++i) b_top(i, gcols + j) = bnd.inj(i, j);
 
   CMatrix& x = ctx.x;
-  if (options.solver == SolverAlgorithm::kSplitSolve) {
-    x = split->solve(bnd.sigma_l, bnd.sigma_r, b_top, b_bot);
-  } else {
-    solvers::apply_boundary_into(ctx.t, a, bnd.sigma_l, bnd.sigma_r);
-    CMatrix& b = ctx.b;
-    solvers::expand_boundary_rhs_into(b, a.dim(), b_top, b_bot);
-    if (options.solver == SolverAlgorithm::kBlockLU) {
-      ctx.block_lu.factor(ctx.t);
-      x = ctx.block_lu.solve(b);
-    } else {
-      x = solvers::bcr_solve(ctx.t, b);
-    }
-  }
+  x = solver.solve_boundary(a, bnd.sigma_l, bnd.sigma_r, b_top, b_bot);
 
   // --- Caroli transmission from G_{first,last} ---
   if (want_caroli) {
@@ -214,6 +232,32 @@ std::vector<EnergyPointResult> sweep_energy_points(
       out[i] = solve_energy_point(dm, lead, folded, energies[i], options, pool);
   }
   return out;
+}
+
+void serve_spatial_point(EnergyPointContext& ctx,
+                         const dft::DeviceMatrices& dm, double energy,
+                         solvers::SolverAlgorithm algo, int partitions,
+                         parallel::Comm& spatial) {
+  if (!solvers::algorithm_is_cooperative(algo))
+    throw std::invalid_argument(
+        "serve_spatial_point: backend is not spatially cooperative");
+  const numeric::WorkspaceScope scope(ctx.workspace);
+  const bool ends_to_root = algo == solvers::SolverAlgorithm::kSpike;
+  // Members never see the boundary self-energies: spike pins the end
+  // partitions to the leader (the interior ones are identical in A and T),
+  // and splitsolve's Step 1 runs on plain A by construction.  So the member
+  // assembles A locally and computes immediately — overlapping with the
+  // leader's OBC solve, the rank-level version of the paper's CPU/GPU
+  // overlap.  A failure *before* any partition was sent must still emit
+  // the placeholder messages: the leader counts on receiving them
+  // (spike_spatial_member handles mid-stream failures itself).
+  try {
+    ctx.a.assign_es_minus_h(cplx{energy, 0.0}, dm.s, dm.h);
+  } catch (...) {
+    solvers::spike_spatial_member_poison(spatial, partitions, ends_to_root);
+    throw;
+  }
+  solvers::spike_spatial_member(ctx.a, spatial, partitions, ends_to_root);
 }
 
 double fermi(double e, double mu, double kt) {

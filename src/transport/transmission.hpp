@@ -11,17 +11,19 @@
 //      cross-checked against the Green's-function (Caroli) transmission.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "dft/hamiltonian.hpp"
 #include "obc/feast.hpp"
 #include "obc/self_energy.hpp"
 #include "parallel/device.hpp"
-#include "solvers/block_lu.hpp"
+#include "solvers/solver.hpp"
 
 namespace omenx::parallel {
+class Comm;
 class ThreadPool;
-}
+}  // namespace omenx::parallel
 
 namespace omenx::transport {
 
@@ -31,12 +33,21 @@ using numeric::cplx;
 using numeric::idx;
 
 enum class ObcAlgorithm { kShiftInvert, kFeast, kDecimation };
-enum class SolverAlgorithm { kSplitSolve, kBlockLU, kBcr };
+
+/// Linear-solver backends come from the unified strategy layer
+/// (solvers/solver.hpp): rgf, block_lu, bcr, spike, splitsolve, or kAuto
+/// for the deterministic cost-model choice.
+using SolverAlgorithm = solvers::SolverAlgorithm;
 
 struct EnergyPointOptions {
   ObcAlgorithm obc = ObcAlgorithm::kFeast;
   SolverAlgorithm solver = SolverAlgorithm::kSplitSolve;
   int partitions = 1;              ///< SplitSolve/SPIKE partitions
+  /// Spatial sub-communicator (Fig. 9 level 3).  Non-null with size > 1:
+  /// cooperative backends (spike, splitsolve) split each solve's partitions
+  /// across the communicator's ranks.  The caller must be rank 0; every
+  /// other rank serves the same point through serve_spatial_point.
+  parallel::Comm* spatial = nullptr;
   obc::FeastOptions feast;
   double decimation_eta = 1e-7;
   bool want_density = true;
@@ -56,18 +67,29 @@ struct EnergyPointResult {
 /// Reusable per-thread state for repeated energy-point solves.  The
 /// workspace pools every matrix buffer allocated while a point is being
 /// solved, and the members cache the large recurring operands (T = E*S - H,
-/// the boundary-applied system, the stacked RHS, the block-LU factors), so
+/// the stacked RHS, the strategy instance with its internal factors), so
 /// after the first point at a given device shape a solve performs no heap
 /// allocations of numeric buffers (see numeric::matrix_heap_allocations).
 /// The pool keys buffers by exact size and keeps the high-water population
 /// of every size it has seen; call workspace.clear() between devices of
 /// very different shapes to bound the footprint.
 struct EnergyPointContext {
-  numeric::Workspace workspace;
-  blockmat::BlockTridiag a;   ///< E*S - H, rebuilt in place per point
-  blockmat::BlockTridiag t;   ///< A with boundary self-energies applied
-  solvers::BlockTridiagLU block_lu;  ///< reusable block-LU factorization
-  CMatrix b_top, b_bot, b, x;
+  numeric::Workspace workspace;  ///< declared first: outlives the solver
+  blockmat::BlockTridiag a;      ///< E*S - H, rebuilt in place per point
+  CMatrix b_top, b_bot, x;
+
+  /// Cached strategy instance for `requested` under `binding`, resolving
+  /// kAuto deterministically from the system shape.  The instance (and its
+  /// warm factorization buffers) is reused while the resolved algorithm and
+  /// the binding stay the same.
+  solvers::Solver& solver(solvers::SolverAlgorithm requested,
+                          const solvers::SolverContext& binding, idx nb,
+                          idx s);
+
+ private:
+  std::unique_ptr<solvers::Solver> solver_;
+  solvers::SolverAlgorithm solver_algo_ = solvers::SolverAlgorithm::kAuto;
+  solvers::SolverContext solver_binding_;
 };
 
 /// Solve one energy point for the device `dm` with leads `lead`/`folded`.
@@ -127,6 +149,20 @@ class EnergySweepWorker {
   EnergyPointOptions options_;
   parallel::DevicePool* pool_;
 };
+
+/// Member-side counterpart of a cooperative spatial solve: assemble this
+/// rank's copy of A = E*S - H for the point, compute the SPIKE partitions
+/// spike_partition_owner assigns to this rank, and send them to spatial
+/// rank 0 (the group leader running solve_energy_point with
+/// options.spatial).  `algo` must be the leader's *resolved* algorithm
+/// (kSpike or kSplitSolve).  Never blocks on the leader: the partitions a
+/// member owns are computable from A alone, so a failed leader cannot
+/// strand a member (and vice versa — a failed member sends placeholder
+/// partitions that surface as an error on the leader, never a hang).
+void serve_spatial_point(EnergyPointContext& ctx,
+                         const dft::DeviceMatrices& dm, double energy,
+                         solvers::SolverAlgorithm algo, int partitions,
+                         parallel::Comm& spatial);
 
 /// Fermi-Dirac occupation.
 double fermi(double e, double mu, double kt);

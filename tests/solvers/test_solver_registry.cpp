@@ -1,0 +1,229 @@
+// Strategy-layer tests: the registry, per-backend capabilities, the
+// factor/solve and boundary-solve contracts, diagonal blocks from every
+// backend, and the deterministic kAuto cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "parallel/device.hpp"
+#include "perf/machine.hpp"
+#include "solvers/solver.hpp"
+#include "solvers/spike.hpp"
+#include "solvers/splitsolve.hpp"
+
+namespace bm = omenx::blockmat;
+namespace nm = omenx::numeric;
+namespace pp = omenx::parallel;
+namespace sv = omenx::solvers;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+bm::BlockTridiag random_system(idx nb, idx s, unsigned seed) {
+  bm::BlockTridiag t(nb, s);
+  for (idx i = 0; i < nb; ++i) {
+    t.diag(i) = nm::random_cmatrix(s, s, seed + static_cast<unsigned>(i));
+    for (idx d = 0; d < s; ++d) t.diag(i)(d, d) += cplx{6.0, 0.5};
+    if (i + 1 < nb) {
+      t.upper(i) =
+          nm::random_cmatrix(s, s, seed + 1000 + static_cast<unsigned>(i));
+      t.lower(i) =
+          nm::random_cmatrix(s, s, seed + 2000 + static_cast<unsigned>(i));
+    }
+  }
+  return t;
+}
+
+const char* kBackends[] = {"rgf", "block_lu", "bcr", "spike", "splitsolve"};
+
+}  // namespace
+
+TEST(SolverRegistry, BuiltinsAreRegistered) {
+  const auto names = sv::registered_solvers();
+  for (const char* backend : kBackends)
+    EXPECT_NE(std::find(names.begin(), names.end(), backend), names.end())
+        << backend;
+}
+
+TEST(SolverRegistry, MakeByNameAndEnumAgree) {
+  pp::DevicePool pool(2);
+  sv::SolverContext ctx;
+  ctx.pool = &pool;
+  for (const auto algo :
+       {sv::SolverAlgorithm::kRgf, sv::SolverAlgorithm::kBlockLU,
+        sv::SolverAlgorithm::kBcr, sv::SolverAlgorithm::kSpike,
+        sv::SolverAlgorithm::kSplitSolve}) {
+    const auto by_enum = sv::make_solver(algo, ctx);
+    const auto by_name = sv::make_solver(sv::algorithm_name(algo), ctx);
+    EXPECT_STREQ(by_enum->name(), by_name->name());
+    EXPECT_STREQ(by_enum->name(), sv::algorithm_name(algo));
+  }
+  EXPECT_THROW(sv::make_solver("no_such_backend"), std::invalid_argument);
+  EXPECT_THROW(sv::make_solver(sv::SolverAlgorithm::kAuto),
+               std::invalid_argument);
+}
+
+TEST(SolverRegistry, UserBackendsCanRegister) {
+  // A user backend shadows nothing and resolves by name.
+  class Fancy final : public sv::Solver {
+   public:
+    const char* name() const noexcept override { return "fancy"; }
+    unsigned capabilities() const noexcept override {
+      return sv::kFactorSolve;
+    }
+    void factor(const bm::BlockTridiag&) override {}
+    CMatrix solve(const CMatrix& b) override { return b; }
+  };
+  sv::register_solver("fancy", [](const sv::SolverContext&) {
+    return std::make_unique<Fancy>();
+  });
+  const auto names = sv::registered_solvers();
+  EXPECT_NE(std::find(names.begin(), names.end(), "fancy"), names.end());
+  EXPECT_STREQ(sv::make_solver("fancy")->name(), "fancy");
+}
+
+TEST(SolverRegistry, CapabilitiesMatchTheBackendContracts) {
+  pp::DevicePool pool(2);
+  sv::SolverContext ctx;
+  ctx.pool = &pool;
+  const auto caps = [&](const char* name) {
+    return sv::make_solver(name, ctx)->capabilities();
+  };
+  EXPECT_TRUE(caps("block_lu") & sv::kFactorSolve);
+  EXPECT_TRUE(caps("bcr") & sv::kFactorSolve);
+  EXPECT_TRUE(caps("rgf") & sv::kDiagonalBlocksNative);
+  EXPECT_FALSE(caps("rgf") & sv::kFactorSolve);
+  EXPECT_TRUE(caps("spike") & sv::kSpatialCooperative);
+  EXPECT_TRUE(caps("splitsolve") & sv::kOverlapPrepare);
+  EXPECT_TRUE(caps("splitsolve") & sv::kSpatialCooperative);
+  EXPECT_TRUE(sv::algorithm_is_cooperative(sv::SolverAlgorithm::kSpike));
+  EXPECT_TRUE(sv::algorithm_is_cooperative(sv::SolverAlgorithm::kSplitSolve));
+  EXPECT_FALSE(sv::algorithm_is_cooperative(sv::SolverAlgorithm::kBlockLU));
+}
+
+TEST(SolverRegistry, BoundarySolveParityAcrossAllBackends) {
+  // Every backend solves the same boundary problem to the same answer.
+  const idx nb = 8, s = 3;
+  const auto a = random_system(nb, s, 21);
+  CMatrix sigma_l = nm::random_cmatrix(s, s, 30) * cplx{0.3};
+  CMatrix sigma_r = nm::random_cmatrix(s, s, 31) * cplx{0.3};
+  const CMatrix b_top = nm::random_cmatrix(s, 4, 32);
+  const CMatrix b_bot = nm::random_cmatrix(s, 4, 33);
+
+  const auto t = sv::apply_boundary(a, sigma_l, sigma_r);
+  const CMatrix ref =
+      nm::solve(t.to_dense(), sv::expand_boundary_rhs(a.dim(), b_top, b_bot));
+
+  pp::DevicePool pool(2);
+  sv::SolverContext ctx;
+  ctx.pool = &pool;
+  ctx.partitions = 2;
+  for (const char* backend : kBackends) {
+    auto solver = sv::make_solver(backend, ctx);
+    solver->prepare(a);
+    const CMatrix x = solver->solve_boundary(a, sigma_l, sigma_r, b_top, b_bot);
+    EXPECT_LT(nm::max_abs_diff(x, ref), 1e-8) << backend;
+  }
+}
+
+TEST(SolverRegistry, DiagonalBlocksParityAcrossAllBackends) {
+  const idx nb = 8, s = 3;
+  const auto t = random_system(nb, s, 40);
+  const CMatrix ginv = nm::inverse(t.to_dense());
+
+  pp::DevicePool pool(2);
+  sv::SolverContext ctx;
+  ctx.pool = &pool;
+  ctx.partitions = 4;
+  for (const char* backend : kBackends) {
+    auto solver = sv::make_solver(backend, ctx);
+    const auto diag = solver->diagonal_blocks(t);
+    ASSERT_EQ(static_cast<idx>(diag.size()), nb) << backend;
+    for (idx i = 0; i < nb; ++i)
+      EXPECT_LT(nm::max_abs_diff(diag[static_cast<std::size_t>(i)],
+                                 ginv.block(i * s, i * s, s, s)),
+                1e-8)
+          << backend << " block " << i;
+  }
+}
+
+TEST(SolverRegistry, SpikeDiagonalBlocksAcrossPartitionCounts) {
+  const auto t = random_system(13, 2, 50);
+  const auto ref = sv::spike_diagonal_blocks(t, 1);  // plain RGF
+  for (const int p : {2, 4, 8}) {
+    const auto diag = sv::spike_diagonal_blocks(t, p);
+    ASSERT_EQ(diag.size(), ref.size()) << "p=" << p;
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_LT(nm::max_abs_diff(diag[i], ref[i]), 1e-8)
+          << "p=" << p << " block " << i;
+  }
+}
+
+TEST(SolverRegistry, FactorOnceSolveMany) {
+  const auto t = random_system(6, 3, 60);
+  auto solver = sv::make_solver("block_lu");
+  solver->factor(t);
+  for (unsigned seed : {70u, 71u, 72u}) {
+    const CMatrix b = nm::random_cmatrix(t.dim(), 2, seed);
+    EXPECT_LT(nm::max_abs_diff(solver->solve(b), nm::solve(t.to_dense(), b)),
+              1e-9);
+  }
+  // rgf exposes no general factor/solve.
+  EXPECT_THROW(sv::make_solver("rgf")->factor(t), std::logic_error);
+}
+
+TEST(SolverAuto, DeterministicAndConcrete) {
+  pp::DevicePool pool(4);
+  sv::SolverContext ctx;
+  ctx.pool = &pool;
+  ctx.partitions = 4;
+  for (const idx nb : {4, 16, 64, 256}) {
+    for (const idx s : {2, 8, 32}) {
+      const auto first = sv::auto_algorithm(nb, s, 2 * s, ctx);
+      EXPECT_NE(first, sv::SolverAlgorithm::kAuto);
+      for (int rep = 0; rep < 3; ++rep)
+        EXPECT_EQ(sv::auto_algorithm(nb, s, 2 * s, ctx), first)
+            << "nb=" << nb << " s=" << s;
+    }
+  }
+}
+
+TEST(SolverAuto, RespectsResourceEligibility) {
+  // No pool, no spatial communicator: the partitioned backends are out.
+  sv::SolverContext serial;
+  serial.partitions = 4;
+  const auto pick = sv::auto_algorithm(64, 16, 32, serial);
+  EXPECT_TRUE(pick == sv::SolverAlgorithm::kBlockLU ||
+              pick == sv::SolverAlgorithm::kBcr ||
+              pick == sv::SolverAlgorithm::kRgf);
+
+  // Large partitioned system with accelerators: the overlap-friendly
+  // partitioned backends win.
+  pp::DevicePool pool(4);
+  sv::SolverContext parallel;
+  parallel.pool = &pool;
+  parallel.partitions = 4;
+  const auto big = sv::auto_algorithm(512, 32, 64, parallel);
+  EXPECT_TRUE(big == sv::SolverAlgorithm::kSplitSolve ||
+              big == sv::SolverAlgorithm::kSpike);
+
+  // resolve_algorithm is the identity on concrete requests.
+  EXPECT_EQ(sv::resolve_algorithm(sv::SolverAlgorithm::kBcr, 64, 16, 32,
+                                  parallel),
+            sv::SolverAlgorithm::kBcr);
+}
+
+TEST(SolverAuto, CostModelReadsTheHostMachine) {
+  // The model must be fed by perf/machine's host spec, which is constant.
+  const auto a = omenx::perf::MachineSpec::host();
+  const auto b = omenx::perf::MachineSpec::host();
+  EXPECT_EQ(a.cpu_gflops, b.cpu_gflops);
+  EXPECT_GT(a.cpu_gflops, 0.0);
+  EXPECT_EQ(a.name, b.name);
+}
