@@ -1,0 +1,174 @@
+// SCF convergence bench: the Fig. 2 Schroedinger-Poisson loop on the
+// chain-FET transfer-characteristics fixture (tests/omen), comparing the
+// seed's cold-started linear fixed-point iteration against the accelerated
+// subsystem along its three axes:
+//   * mixing:     linear (anderson_depth = 0) vs Anderson(3),
+//   * start:      Laplace cold start vs warm start from the previous Vgs,
+//   * energy grid: fixed fine grid vs per-iteration adaptive refinement.
+// Every configuration must land on the same converged potential (max |dV|
+// against the seed loop is recorded); what changes is how many SCF
+// iterations — i.e. how many full (k, E) charge sweeps — it takes to get
+// there.  BENCH_scf.json records iterations-to-tol and wall time per
+// configuration plus the headline ratio the acceptance gate reads
+// (anderson+warm must reach the fixed points in <= half the seed's total
+// iterations).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "omen/simulator.hpp"
+#include "transport/bands.hpp"
+
+using namespace omenx;
+
+namespace {
+
+struct JsonWriter {
+  std::string body;
+  void field(const std::string& k, double v, bool last = false) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "\"%s\": %.6g%s", k.c_str(), v,
+                  last ? "" : ", ");
+    body += buf;
+  }
+};
+
+struct RunResult {
+  std::string name;
+  int total_iterations = 0;
+  double wall_s = 0.0;
+  bool all_converged = true;
+  double max_dv_vs_seed = 0.0;  ///< converged-potential agreement
+  std::vector<omen::Simulator::IvPoint> points;
+};
+
+}  // namespace
+
+int main() {
+  benchutil::header("SCF convergence: linear/Anderson x cold/warm x grid");
+
+  omen::SimulationConfig cfg;
+  lattice::Structure chain;
+  chain.cell_atoms = {{lattice::Species::kLi, {0.0, 0.0, 0.0}}};
+  chain.cell_length = 0.5;
+  chain.num_cells = 16;
+  chain.name = "chain FET";
+  cfg.structure = chain;
+  cfg.build.cutoff_nm = 1.0;  // NBW = 2
+  cfg.point.obc = transport::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = transport::SolverAlgorithm::kBlockLU;
+  omen::Simulator sim(cfg);
+
+  const auto win = transport::band_window(sim.bands(9));
+  const double mu_s = win.emin + 0.1;
+  const double vds = 0.2;
+  const lattice::DeviceRegions regions{5, 6, 5};
+  const std::vector<double> vgs{-0.15, -0.05, 0.05, 0.15};
+
+  // Fixed fine grid (the seed's configuration) and the coarse base the
+  // adaptive configuration refines per outer iteration.
+  std::vector<double> fine, coarse;
+  for (double e = win.emin - 0.02; e <= mu_s + 0.3; e += 0.01)
+    fine.push_back(e);
+  for (double e = win.emin - 0.02; e <= mu_s + 0.3; e += 0.05)
+    coarse.push_back(e);
+
+  poisson::ScfOptions seed_loop;  // the seed: cold linear, fixed grid
+  seed_loop.poisson.screening_length_cells = 2.0;
+  seed_loop.poisson.charge_coupling = 0.25;
+  seed_loop.tol = 1e-8;
+  seed_loop.charge_tol = 0.0;
+  seed_loop.mixing = 0.3;
+  seed_loop.max_iter = 200;
+  seed_loop.anderson_depth = 0;
+  seed_loop.warm_start = false;
+
+  const auto run = [&](const std::string& name, int depth, bool warm,
+                       bool adaptive) {
+    poisson::ScfOptions o = seed_loop;
+    o.anderson_depth = depth;
+    o.warm_start = warm;
+    o.adaptive_energy_grid = adaptive;
+    o.grid_refine_tol = 0.25;
+    o.grid_min_spacing = 2e-3;
+    benchutil::WallTimer timer;
+    RunResult r;
+    r.name = name;
+    r.points = sim.transfer_characteristics(vgs, vds, regions,
+                                            adaptive ? coarse : fine, mu_s, o);
+    r.wall_s = timer.seconds();
+    for (const auto& p : r.points) {
+      r.total_iterations += p.scf_iterations;
+      r.all_converged = r.all_converged && p.converged;
+    }
+    return r;
+  };
+
+  std::vector<RunResult> runs;
+  runs.push_back(run("linear_cold_fixed", 0, false, false));
+  runs.push_back(run("linear_warm_fixed", 0, true, false));
+  runs.push_back(run("anderson_cold_fixed", 3, false, false));
+  runs.push_back(run("anderson_warm_fixed", 3, true, false));
+  runs.push_back(run("anderson_warm_adaptive", 3, true, true));
+
+  // Fixed-point agreement: every configuration against the seed loop.
+  const auto& seed = runs.front();
+  for (auto& r : runs) {
+    for (std::size_t b = 0; b < vgs.size(); ++b) {
+      const auto& vp = r.points[b].potential;
+      const auto& vs = seed.points[b].potential;
+      for (std::size_t c = 0; c < vp.size() && c < vs.size(); ++c)
+        r.max_dv_vs_seed =
+            std::max(r.max_dv_vs_seed, std::abs(vp[c] - vs[c]));
+    }
+  }
+
+  std::printf("%-24s %10s %10s %6s %12s\n", "configuration", "iters",
+              "wall (s)", "conv", "max|dV|seed");
+  benchutil::rule();
+  for (const auto& r : runs)
+    std::printf("%-24s %10d %10.3f %6s %12.2e\n", r.name.c_str(),
+                r.total_iterations, r.wall_s, r.all_converged ? "yes" : "NO",
+                r.max_dv_vs_seed);
+  benchutil::rule();
+
+  const auto& headline = runs[3];  // anderson_warm_fixed
+  const double ratio = static_cast<double>(seed.total_iterations) /
+                       std::max(1, headline.total_iterations);
+  const bool le_half = 2 * headline.total_iterations <= seed.total_iterations;
+  // "Same converged potential" is part of the gate: the accelerated loop
+  // must land on the seed's fixed points to well within the production
+  // tolerance (1e-6 eV), not merely converge somewhere fast.
+  const bool same_fixed_point = headline.max_dv_vs_seed < 1e-6;
+  std::printf("anderson+warm vs seed linear: %d vs %d iterations (%.2fx, "
+              "<= half: %s, same fixed points: %s)\n",
+              headline.total_iterations, seed.total_iterations, ratio,
+              le_half ? "yes" : "NO", same_fixed_point ? "yes" : "NO");
+
+  std::string json = "{\n";
+  for (const auto& r : runs) {
+    JsonWriter w;
+    w.field("total_iterations", static_cast<double>(r.total_iterations));
+    w.field("wall_s", r.wall_s);
+    w.field("all_converged", r.all_converged ? 1.0 : 0.0);
+    w.field("max_dv_vs_seed", r.max_dv_vs_seed, true);
+    json += "  \"" + r.name + "\": {" + w.body + "},\n";
+  }
+  {
+    JsonWriter w;
+    w.field("iteration_speedup", ratio);
+    w.field("le_half_of_seed", le_half ? 1.0 : 0.0);
+    w.field("same_fixed_point", same_fixed_point ? 1.0 : 0.0, true);
+    json += "  \"headline_anderson_warm\": {" + w.body + "}\n}\n";
+  }
+  std::FILE* f = std::fopen("BENCH_scf.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scf.json\n");
+  }
+  return le_half && headline.all_converged && same_fixed_point ? 0 : 1;
+}

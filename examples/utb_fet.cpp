@@ -2,7 +2,11 @@
 //
 // The UTB film is periodic out-of-plane, so transport observables are
 // averaged over a k grid — H(k), S(k) are generated from the 3-D blocks in
-// OMEN (the paper notes CP2K provides no k dependence itself).
+// OMEN (the paper notes CP2K provides no k dependence itself).  The zone
+// average uses trapezoidal BZ weights (the closed [0, pi] grid half-weights
+// both edges).  The second half runs the self-consistent Id-Vgs transfer
+// sweep with the accelerated SCF loop: Anderson(3) mixing and warm starts
+// from the previous bias point.
 #include <cstdio>
 #include <vector>
 
@@ -34,5 +38,54 @@ int main() {
                 static_cast<long long>(sp.propagating[i]));
   std::printf("\nk-averaging smears the single-k staircase, as expected for "
               "a 2-D film.\n");
+
+  // --- self-consistent transfer characteristics ------------------------
+  // The SCF sweep runs on the scaled 1-orbital channel (the fig01d bench's
+  // idiom): the full film's FEAST solves cost seconds per energy point,
+  // far too heavy for the 50+ charge sweeps of a bias sweep.
+  omen::SimulationConfig ch;
+  lattice::Structure chain;
+  chain.cell_atoms = {{lattice::Species::kLi, {0.0, 0.0, 0.0}}};
+  chain.cell_length = 0.5;
+  chain.num_cells = 16;
+  chain.name = "scaled UTBFET channel";
+  ch.structure = chain;
+  ch.build.cutoff_nm = 1.0;
+  ch.point.obc = transport::ObcAlgorithm::kShiftInvert;
+  ch.point.solver = transport::SolverAlgorithm::kBlockLU;
+  omen::Simulator fet(ch);
+  const auto cwin = transport::band_window(fet.bands(9));
+  const double mu_s = cwin.emin + 0.1;
+  const double vds = 0.2;
+  const lattice::DeviceRegions regions{5, 6, 5};
+
+  poisson::ScfOptions scf;
+  scf.poisson.screening_length_cells = 2.0;
+  scf.poisson.charge_coupling = 0.25;
+  scf.tol = 1e-6;
+  scf.charge_tol = 1e-5;           // dual criterion: charge must settle too
+  scf.mixing = 0.3;
+  scf.anderson_depth = 3;          // Anderson(3) acceleration
+  scf.warm_start = true;           // seed each Vgs from the previous point
+  scf.adaptive_energy_grid = true; // re-refine the grid every outer iteration
+  scf.grid_refine_tol = 0.25;
+  scf.grid_min_spacing = 2e-3;
+  scf.max_iter = 80;
+
+  std::vector<double> egrid;  // coarse base; refinement adds the rest
+  for (double e = cwin.emin - 0.02; e <= mu_s + 0.3; e += 0.05)
+    egrid.push_back(e);
+  const std::vector<double> vgs{-0.15, -0.05, 0.05, 0.15};
+  const auto iv =
+      fet.transfer_characteristics(vgs, vds, regions, egrid, mu_s, scf);
+  std::printf("\nself-consistent Id-Vgs (Anderson + warm starts + adaptive "
+              "grid):\n");
+  std::printf("%10s %16s %12s %8s\n", "Vgs (V)", "Id (2e/h*eV)", "SCF iters",
+              "conv");
+  for (const auto& p : iv)
+    std::printf("%10.2f %16.6e %12d %8s\n", p.vgs, p.current,
+                p.scf_iterations, p.converged ? "yes" : "no");
+  std::printf("\nwarm-started points converge in a fraction of the first "
+              "(cold) point's iterations.\n");
   return 0;
 }

@@ -114,6 +114,29 @@ Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
     }
   }
 
+  // Drain-side injection: incident-from-the-right modes are the left-moving
+  // propagating ones.  Mirroring the device (q -> N-1-q) swaps tc <-> tc^H
+  // and lambda <-> 1/lambda and maps Sigma_R onto the mirrored problem's
+  // Sigma_L, so the left formula transcribes to
+  //   Inj^R_p = -(tc u_p + lambda_p^{-1} Sigma_R u_p)
+  // applied at the last block.
+  const Selection incident_r = select_modes(
+      modes, [](ModeKind k) { return k == ModeKind::kPropagatingLeft; });
+  out.num_incident_right = incident_r.u.cols();
+  out.inj_r = CMatrix(sf, out.num_incident_right);
+  out.inj_r_velocity.reserve(static_cast<std::size_t>(out.num_incident_right));
+  if (out.num_incident_right > 0) {
+    const CMatrix t1 = numeric::matmul(ops.tc, incident_r.u);
+    const CMatrix t2 = numeric::matmul(out.sigma_r, incident_r.u);
+    for (idx j = 0; j < out.num_incident_right; ++j) {
+      const cplx lam = incident_r.lambda[static_cast<std::size_t>(j)];
+      for (idx i = 0; i < sf; ++i)
+        out.inj_r(i, j) = -(t1(i, j) + t2(i, j) / lam);
+      out.inj_r_velocity.push_back(
+          std::abs(incident_r.velocity[static_cast<std::size_t>(j)]));
+    }
+  }
+
   // Right-lead projection basis for transmission amplitudes.
   out.right_basis = right.u;
   out.right_lambda = right.lambda;

@@ -32,6 +32,14 @@ struct Boundary {
   std::vector<double> inj_velocity;  ///< |v| of each incident mode
   idx num_incident = 0;
 
+  /// Drain-contact injection: left-moving propagating modes incident from
+  /// the right lead, entering through the *last* block.  Mirror image of
+  /// `inj`: Inj^R_p = -(tc u_p + lambda_p^{-1} Sigma_R u_p).  The ballistic
+  /// two-contact charge (states occupied at mu_R) is built from these.
+  CMatrix inj_r;                       ///< sf x n_inc_r (last block rows)
+  std::vector<double> inj_r_velocity;  ///< |v| of each right-incident mode
+  idx num_incident_right = 0;
+
   /// Right-bounded mode basis (columns), phases, velocities; propagating
   /// entries flagged for the transmission projection.
   CMatrix right_basis;

@@ -286,20 +286,43 @@ void record_sample(RankLocal& local, const Layout& lay, idx ik, idx ie,
   local.samples.push_back(static_cast<double>(res.num_propagating));
 }
 
+/// Two-contact per-cell charge of one task: source-injected density times
+/// its (mu_L) weight plus, when requested, drain-injected density times its
+/// (mu_R) weight.  Empty result = this task carries no charge.
+std::vector<double> weighted_task_charge(
+    const SweepRequest& req, idx block_dim, idx ik, idx ie,
+    const transport::EnergyPointResult& res) {
+  if (req.density_weight.empty()) return {};
+  const auto sk = static_cast<std::size_t>(ik);
+  const auto se = static_cast<std::size_t>(ie);
+  std::vector<double> out;
+  if (!res.orbital_density.empty()) {
+    out = transport::density_per_cell(res.orbital_density, block_dim,
+                                      req.cells);
+    const double w = req.density_weight[sk][se];
+    for (auto& v : out) v *= w;
+  }
+  if (!req.density_weight_r.empty() && !res.orbital_density_r.empty()) {
+    const auto per_cell_r = transport::density_per_cell(
+        res.orbital_density_r, block_dim, req.cells);
+    const double wr = req.density_weight_r[sk][se];
+    if (out.empty()) out.assign(static_cast<std::size_t>(req.cells), 0.0);
+    for (std::size_t c = 0; c < per_cell_r.size(); ++c)
+      out[c] += wr * per_cell_r[c];
+  }
+  return out;
+}
+
 void accumulate_charge(RankLocal& local, const SweepRequest& req,
                        const Layout& lay, const KData& kd, idx ik, idx ie,
                        const transport::EnergyPointResult& res) {
-  if (req.density_weight.empty() || res.orbital_density.empty()) return;
-  const double w =
-      req.density_weight[static_cast<std::size_t>(ik)]
-                        [static_cast<std::size_t>(ie)];
-  const auto per_cell = transport::density_per_cell(
-      res.orbital_density, kd.lead.block_dim(), req.cells);
+  const auto per_cell =
+      weighted_task_charge(req, kd.lead.block_dim(), ik, ie, res);
+  if (per_cell.empty()) return;
   local.charge_samples.push_back(
       static_cast<double>(lay.e_prefix[static_cast<std::size_t>(ik)] + ie));
   for (idx c = 0; c < req.cells; ++c)
-    local.charge_samples.push_back(w *
-                                   per_cell[static_cast<std::size_t>(c)]);
+    local.charge_samples.push_back(per_cell[static_cast<std::size_t>(c)]);
 }
 
 }  // namespace
@@ -331,6 +354,18 @@ void validate_request(const SweepRequest& req) {
       if (req.density_weight[k].size() != req.energies[k].size())
         throw std::invalid_argument(
             "Engine: density_weight E-shape mismatch");
+  }
+  if (!req.density_weight_r.empty()) {
+    if (req.density_weight.empty())
+      throw std::invalid_argument(
+          "Engine: density_weight_r without density_weight");
+    if (req.density_weight_r.size() != req.energies.size())
+      throw std::invalid_argument(
+          "Engine: density_weight_r k-shape mismatch");
+    for (std::size_t k = 0; k < req.energies.size(); ++k)
+      if (req.density_weight_r[k].size() != req.energies[k].size())
+        throw std::invalid_argument(
+            "Engine: density_weight_r E-shape mismatch");
   }
 }
 
@@ -373,6 +408,9 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   // a caller may have left in the options.
   transport::EnergyPointOptions popt = request.point;
   popt.spatial = nullptr;
+  // Only pay the drain-injection RHS columns when the request carries a
+  // drain-side weight to fold them into.
+  popt.want_density_r = !request.density_weight_r.empty();
 
   // Root-local device assembly, one per k (shared across its energies).
   // Pre-folded leads from the request are reused as-is.
@@ -408,14 +446,9 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     out.transmission[sk][se] = res.transmission;
     out.caroli[sk][se] = res.transmission_caroli;
     out.propagating[sk][se] = res.num_propagating;
-    if (want_charge && !res.orbital_density.empty()) {
-      auto per_cell = transport::density_per_cell(
-          res.orbital_density, (*request.leads)[sk].block_dim(),
-          request.cells);
-      const double w = request.density_weight[sk][se];
-      for (auto& v : per_cell) v *= w;
-      point_charge[flat] = std::move(per_cell);
-    }
+    if (want_charge)
+      point_charge[flat] = weighted_task_charge(
+          request, (*request.leads)[sk].block_dim(), ik, ie, res);
   });
   // Deterministic charge assembly: sum in flat task order.
   for (std::size_t flat = 0; flat < point_charge.size(); ++flat)
@@ -523,6 +556,9 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
           lay.width > 1 && e_comm.size() > 1 && may_cooperate;
       transport::EnergyPointOptions popt = request.point;
       popt.spatial = spatial_group ? &e_comm : nullptr;
+      // Mirrors run_flat: drain-injection columns only when there is a
+      // drain-side weight to consume them.
+      popt.want_density_r = !request.density_weight_r.empty();
       if (leader && spatial_group) {
         spatial_comm = e_comm;
         members_released = false;

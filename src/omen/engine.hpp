@@ -68,8 +68,13 @@ struct SweepRequest {
   transport::EnergyPointOptions point;
   /// When non-empty (same shape as `energies`), each task also folds
   /// weight[ik][ie] * density_per_cell into a per-cell charge accumulator
-  /// that is reduce()d to the root.
+  /// that is reduce()d to the root.  `density_weight` multiplies the
+  /// source-injected density (states occupied at mu_L); the optional
+  /// `density_weight_r` (same shape) multiplies the drain-injected density
+  /// (occupied at mu_R) — the two-contact ballistic charge.  Empty
+  /// `density_weight_r` means the drain contribution is dropped.
   std::vector<std::vector<double>> density_weight;
+  std::vector<std::vector<double>> density_weight_r;
 };
 
 struct EngineStats {

@@ -1,9 +1,11 @@
 #include "omen/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "numeric/types.hpp"
+#include "transport/energy_grid.hpp"
 
 namespace omenx::omen {
 
@@ -61,6 +63,18 @@ std::vector<double> flat_or(const std::vector<double>* potential, idx cells) {
   return *potential;
 }
 
+/// Trapezoidal Brillouin-zone weights of the closed uniform [0, pi] grid:
+/// the zone edges k = 0 and k = pi each bound only one interval, so they
+/// carry half the interior weight (a flat 1/nk average double-counts them).
+std::vector<double> bz_weights(idx nk) {
+  if (nk <= 1) return {1.0};
+  std::vector<double> w(static_cast<std::size_t>(nk),
+                        1.0 / static_cast<double>(nk - 1));
+  w.front() *= 0.5;
+  w.back() *= 0.5;
+  return w;
+}
+
 }  // namespace
 
 Spectrum Simulator::transmission_spectrum(
@@ -90,6 +104,7 @@ Spectrum Simulator::transmission_spectrum(
   out.energies = energies;
   out.transmission.assign(static_cast<std::size_t>(ne), 0.0);
   out.propagating.assign(static_cast<std::size_t>(ne), 0);
+  const std::vector<double> wk = bz_weights(nk);
   for (idx ik = 0; ik < nk; ++ik) {
     for (idx ie = 0; ie < ne; ++ie) {
       const auto sk = static_cast<std::size_t>(ik);
@@ -99,7 +114,7 @@ Spectrum Simulator::transmission_spectrum(
           prop > 0 || req.point.obc == transport::ObcAlgorithm::kDecimation
               ? (prop > 0 ? res.transmission[sk][se] : res.caroli[sk][se])
               : 0.0;
-      out.transmission[se] += t / static_cast<double>(nk);
+      out.transmission[se] += t * wk[sk];
       out.propagating[se] += prop;
     }
   }
@@ -122,8 +137,10 @@ std::vector<double> Simulator::charge_density(
 
   // Single-k energy sweep on the engine: every task folds its weighted
   // per-cell density into the rank-local accumulator, which the assembly
-  // stage reduce()s to the root.  Trapezoid-ish energy weight with the
-  // left-contact occupation (ballistic left-injected states).
+  // stage reduce()s to the root.  Two-contact ballistic occupation: the
+  // source-injected states fill at mu_l, the drain-injected states at
+  // mu_r, each under the shared trapezoid quadrature (exact on the
+  // non-uniform grids the adaptive refinement produces).
   SweepRequest req;
   req.leads = &lead_;
   req.folded = &folded_;
@@ -134,21 +151,59 @@ std::vector<double> Simulator::charge_density(
   req.point.want_density = true;
   req.point.want_current = false;
   req.point.want_caroli = false;
+  const std::vector<double> w = transport::trapezoid_weights(energies);
   req.density_weight.resize(1);
+  req.density_weight_r.resize(1);
   req.density_weight[0].reserve(energies.size());
+  req.density_weight_r[0].reserve(energies.size());
   for (std::size_t ie = 0; ie < energies.size(); ++ie) {
-    const double de = energies.size() == 1
-                          ? 1.0
-                          : (ie + 1 < energies.size()
-                                 ? energies[ie + 1] - energies[ie]
-                                 : energies[ie] - energies[ie - 1]);
-    req.density_weight[0].push_back(de *
+    req.density_weight[0].push_back(w[ie] *
                                     transport::fermi(energies[ie], mu_l, kt_));
+    req.density_weight_r[0].push_back(
+        w[ie] * transport::fermi(energies[ie], mu_r, kt_));
   }
   const SweepResult res = engine_->run(req);
   stats_ = res.stats;
-  (void)mu_r;
   return res.charge;
+}
+
+std::vector<double> Simulator::adaptive_energy_grid(
+    std::vector<double> base, const std::vector<double>* cell_potential,
+    double tol, double min_spacing) {
+  const idx cells = config_.structure.num_cells;
+  const std::vector<double> pot = flat_or(cell_potential, cells);
+  // Each refinement pass becomes one engine sweep over the pass's points.
+  // The indicator is the transmission itself (Caroli under decimation):
+  // unlike the lead's propagating-mode count it sees the *device* potential,
+  // so the refinement clusters where the potential pushes band edges and
+  // barrier steps — which is what moves between SCF iterations.
+  const transport::BatchEvaluator indicator =
+      [&](const std::vector<double>& points) {
+        SweepRequest req;
+        req.leads = &lead_;
+        req.folded = &folded_;
+        req.energies = {points};
+        req.potential = pot;
+        req.cells = cells;
+        req.point = config_.point;
+        req.point.want_density = false;
+        req.point.want_current = false;
+        const bool caroli =
+            req.point.obc == transport::ObcAlgorithm::kDecimation;
+        req.point.want_caroli = caroli;
+        const SweepResult res = engine_->run(req);
+        stats_ = res.stats;
+        std::vector<double> out(points.size());
+        for (std::size_t ie = 0; ie < points.size(); ++ie)
+          out[ie] = res.propagating[0][ie] > 0
+                        ? res.transmission[0][ie]
+                        : (caroli ? res.caroli[0][ie] : 0.0);
+        return out;
+      };
+  transport::EnergyGridOptions gopt;
+  gopt.min_spacing = min_spacing;
+  gopt.max_spacing = std::max(gopt.max_spacing, min_spacing);
+  return transport::refine_energy_grid(std::move(base), indicator, tol, gopt);
 }
 
 double Simulator::current(const std::vector<double>& energies, double mu_l,
@@ -169,17 +224,35 @@ std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
   const double mu_drain = mu_source - vds;
   std::vector<IvPoint> out;
   out.reserve(vgs_values.size());
+  // Warm start: each bias point seeds the SCF loop with the previous
+  // point's converged potential (and its charge, as the first charge-
+  // residual reference) — adjacent Vgs values have nearly identical
+  // electrostatics, so the loop starts inside the Anderson history's basin
+  // instead of at the Laplace solution.
+  std::vector<double> warm, warm_charge;
   for (const double vgs : vgs_values) {
-    // Ballistic charge model: electrons injected from both contacts.  Both
-    // the charge evaluations inside the SCF loop and the final current
-    // integral run on the distribution engine.
+    // Two-contact ballistic charge model.  Both the charge evaluations
+    // inside the SCF loop and the final current integral run on the
+    // distribution engine.  With adaptive_energy_grid on, the grid is
+    // regenerated from the base `energies` at every outer SCF iteration so
+    // refinement tracks the band edges as the potential moves.
+    std::vector<double> grid = energies;
     poisson::ChargeModel charge = [&](const std::vector<double>& v) {
-      return charge_density(energies, mu_source, mu_drain, &v);
+      if (scf.adaptive_energy_grid)
+        grid = adaptive_energy_grid(energies, &v, scf.grid_refine_tol,
+                                    scf.grid_min_spacing);
+      return charge_density(grid, mu_source, mu_drain, &v);
     };
-    const auto res =
-        poisson::self_consistent_potential(regions, vgs, vds, charge, scf);
-    const double i = current(energies, mu_source, mu_drain, &res.potential);
-    out.push_back({vgs, i, res.iterations, res.converged});
+    const bool use_warm = scf.warm_start && !warm.empty();
+    const auto res = poisson::self_consistent_potential(
+        regions, vgs, vds, charge, scf, use_warm ? &warm : nullptr,
+        use_warm && !warm_charge.empty() ? &warm_charge : nullptr);
+    if (scf.warm_start) {
+      warm = res.potential;
+      warm_charge = res.charge;
+    }
+    const double i = current(grid, mu_source, mu_drain, &res.potential);
+    out.push_back({vgs, i, res.iterations, res.converged, res.potential});
   }
   return out;
 }

@@ -69,8 +69,10 @@ class Simulator {
   /// N_SS of the assembled device (atoms x orbitals).
   idx hamiltonian_dimension() const;
 
-  /// T(E) over `energies`, averaged over the k grid, with a flat potential
-  /// or the provided per-cell potential.  Parallel over (k, E).
+  /// T(E) over `energies`, averaged over the k grid with trapezoidal BZ
+  /// weights (the closed [0, pi] grid half-weights both zone edges), with a
+  /// flat potential or the provided per-cell potential.  Parallel over
+  /// (k, E).
   Spectrum transmission_spectrum(
       const std::vector<double>& energies,
       const std::vector<double>* cell_potential = nullptr);
@@ -79,10 +81,24 @@ class Simulator {
   transport::EnergyPointResult solve_point(
       double energy, const std::vector<double>* cell_potential = nullptr);
 
-  /// Ballistic charge per physical cell for contacts at mu_l / mu_r.
+  /// Ballistic two-contact charge per physical cell: source-injected
+  /// states occupied at mu_l plus drain-injected states occupied at mu_r,
+  /// integrated over `energies` with trapezoid weights (valid on
+  /// non-uniform/adaptive grids).
   std::vector<double> charge_density(const std::vector<double>& energies,
                                      double mu_l, double mu_r,
                                      const std::vector<double>* potential);
+
+  /// Adaptive energy grid for the given potential: bisect the base grid
+  /// where the transmission (Caroli under decimation) jumps by more than
+  /// `tol` — unlike the lead's propagating-mode count, the transmission
+  /// sees the device potential, so refinement clusters at the band edges
+  /// and barrier steps the potential moves.  Every refinement pass is
+  /// evaluated as one engine sweep (the midpoint solves distribute exactly
+  /// like any other (k, E) sweep).  Used by the SCF loop.
+  std::vector<double> adaptive_energy_grid(
+      std::vector<double> base, const std::vector<double>* cell_potential,
+      double tol = 0.5, double min_spacing = 1e-3);
 
   /// Ballistic drain current (2e/h * eV units) through the device with the
   /// given potential profile.
@@ -90,13 +106,19 @@ class Simulator {
                  const std::vector<double>* potential);
 
   /// Self-consistent Id(Vgs) sweep: for each gate bias run the
-  /// Schroedinger-Poisson loop with the ballistic charge model and
-  /// integrate the Landauer current.
+  /// Schroedinger-Poisson loop with the two-contact ballistic charge model
+  /// and integrate the Landauer current.  With `scf.warm_start` each bias
+  /// point starts from the previous point's converged potential instead of
+  /// the Laplace solution; with `scf.adaptive_energy_grid` the grid is
+  /// regenerated from `energies` every outer SCF iteration
+  /// (adaptive_energy_grid), so refinement follows the band edges as the
+  /// potential converges.
   struct IvPoint {
     double vgs;
     double current;
     int scf_iterations;
     bool converged;
+    std::vector<double> potential;  ///< converged per-cell potential (eV)
   };
   /// `mu_source` is the source Fermi level (eV, absolute); the drain sits
   /// at mu_source - vds.

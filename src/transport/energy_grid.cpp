@@ -24,34 +24,39 @@ std::vector<double> make_energy_grid(double emin, double emax,
   }
   std::vector<double> grid;
   grid.reserve(static_cast<std::size_t>(n + 1));
-  for (idx i = 0; i <= n; ++i)
+  // Pin the last point to emax itself: accumulating emin + spacing*i drifts
+  // in floating point when the span does not divide evenly, and downstream
+  // integration windows (band edges, Fermi windows) key on the exact bound.
+  for (idx i = 0; i < n; ++i)
     grid.push_back(emin + spacing * static_cast<double>(i));
+  grid.push_back(emax);
   return grid;
 }
 
+std::vector<double> trapezoid_weights(const std::vector<double>& grid) {
+  const std::size_t n = grid.size();
+  if (n == 0) return {};
+  if (n == 1) return {1.0};
+  std::vector<double> w(n);
+  w[0] = 0.5 * (grid[1] - grid[0]);
+  w[n - 1] = 0.5 * (grid[n - 1] - grid[n - 2]);
+  for (std::size_t i = 1; i + 1 < n; ++i)
+    w[i] = 0.5 * (grid[i + 1] - grid[i - 1]);
+  return w;
+}
+
 std::vector<double> refine_energy_grid(std::vector<double> grid,
-                                       const std::function<double(double)>& f,
-                                       double tol,
-                                       const EnergyGridOptions& options,
-                                       parallel::ThreadPool* threads) {
+                                       const BatchEvaluator& f, double tol,
+                                       const EnergyGridOptions& options) {
   if (grid.size() < 2) return grid;
   std::sort(grid.begin(), grid.end());
 
   // Each pass evaluates a whole batch of points at once — the initial grid
   // first, then every pass's midpoints — so the expensive f(E) solves can
-  // run concurrently instead of one at a time.
-  const auto evaluate = [&](const std::vector<double>& points) {
-    std::vector<double> values(points.size());
-    if (threads != nullptr && points.size() > 1) {
-      threads->parallel_for(points.size(),
-                            [&](std::size_t i) { values[i] = f(points[i]); });
-    } else {
-      for (std::size_t i = 0; i < points.size(); ++i) values[i] = f(points[i]);
-    }
-    return values;
-  };
-
-  std::vector<double> fv = evaluate(grid);
+  // run with full parallelism instead of one at a time.
+  std::vector<double> fv = f(grid);
+  if (fv.size() != grid.size())
+    throw std::invalid_argument("refine_energy_grid: evaluator size mismatch");
   for (;;) {
     // Collect every interval that needs a midpoint.
     std::vector<double> mids;
@@ -64,7 +69,10 @@ std::vector<double> refine_energy_grid(std::vector<double> grid,
       }
     }
     if (mids.empty()) break;
-    const std::vector<double> mid_values = evaluate(mids);
+    const std::vector<double> mid_values = f(mids);
+    if (mid_values.size() != mids.size())
+      throw std::invalid_argument(
+          "refine_energy_grid: evaluator size mismatch");
 
     std::vector<double> next_grid;
     std::vector<double> next_fv;
@@ -84,6 +92,24 @@ std::vector<double> refine_energy_grid(std::vector<double> grid,
     fv = std::move(next_fv);
   }
   return grid;
+}
+
+std::vector<double> refine_energy_grid(std::vector<double> grid,
+                                       const std::function<double(double)>& f,
+                                       double tol,
+                                       const EnergyGridOptions& options,
+                                       parallel::ThreadPool* threads) {
+  const BatchEvaluator batch = [&](const std::vector<double>& points) {
+    std::vector<double> values(points.size());
+    if (threads != nullptr && points.size() > 1) {
+      threads->parallel_for(points.size(),
+                            [&](std::size_t i) { values[i] = f(points[i]); });
+    } else {
+      for (std::size_t i = 0; i < points.size(); ++i) values[i] = f(points[i]);
+    }
+    return values;
+  };
+  return refine_energy_grid(std::move(grid), batch, tol, options);
 }
 
 }  // namespace omenx::transport

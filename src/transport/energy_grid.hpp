@@ -5,7 +5,9 @@
 // (Fig. 11 caption), which is why the weak-scaling runs in Table II carry
 // 12.9-14.1 energy points per node instead of a constant.  This module
 // reproduces that behaviour: uniform base grids constrained by (dmin, dmax)
-// plus adaptive refinement toward features (band edges).
+// plus adaptive refinement toward features (band edges), and the trapezoid
+// quadrature weights every energy integral (charge, Landauer current)
+// shares.
 #pragma once
 
 #include <functional>
@@ -28,18 +30,34 @@ struct EnergyGridOptions {
 
 /// Uniform grid over [emin, emax] whose spacing is the largest value
 /// <= max_spacing that divides the interval, clamped below by min_spacing.
+/// The first point is exactly emin and the last exactly emax (no floating-
+/// point drift from accumulated spacing).
 std::vector<double> make_energy_grid(double emin, double emax,
                                      const EnergyGridOptions& options = {});
 
-/// Adaptive grid: start from the uniform grid and bisect intervals where
-/// |f(e_i+1) - f(e_i)| > tol until min_spacing is reached.  `f` is any
-/// cheap feature indicator (e.g. number of propagating modes).
-///
-/// Refinement proceeds in batched passes: all midpoints of a pass are
-/// collected first and then evaluated together — concurrently on `threads`
-/// when given (`f` must then be thread-safe), serially otherwise.  Energy
-/// points are the expensive unit of work, so evaluating a whole pass at
-/// once is what keeps the sweep pipeline busy.
+/// Trapezoid quadrature weights of a sorted (possibly non-uniform) grid:
+/// half-interval weights at the endpoints, 0.5*(de_left + de_right) in the
+/// interior, so sum(w_i * f_i) is the trapezoid integral of f.  A single
+/// point gets weight 1 (degenerate delta grid).  Shared by the charge
+/// integration and the Landauer current.
+std::vector<double> trapezoid_weights(const std::vector<double>& grid);
+
+/// Batch feature evaluator: values of the indicator for a whole refinement
+/// pass of energies at once.  This is the hook a distribution layer
+/// (omen::Engine) plugs a (k, E) sweep into, so every pass's midpoints are
+/// solved with full parallelism instead of point by point.
+using BatchEvaluator =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Adaptive grid: bisect intervals where |f(e_i+1) - f(e_i)| > tol until
+/// min_spacing is reached, evaluating each pass's midpoints as one batch.
+std::vector<double> refine_energy_grid(std::vector<double> grid,
+                                       const BatchEvaluator& f, double tol,
+                                       const EnergyGridOptions& options = {});
+
+/// Pointwise-indicator convenience wrapper: same semantics, with each batch
+/// evaluated concurrently on `threads` when given (`f` must then be
+/// thread-safe), serially otherwise.
 std::vector<double> refine_energy_grid(std::vector<double> grid,
                                        const std::function<double(double)>& f,
                                        double tol,

@@ -10,6 +10,7 @@
 #include "parallel/comm.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solvers/spike.hpp"
+#include "transport/energy_grid.hpp"
 
 namespace omenx::transport {
 
@@ -127,9 +128,16 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   // RHS layout: [e_first I (s), e_last I (s), Inj (n_inc)] so one solve
   // covers both formalisms.
   const idx n_inc = have_injection ? bnd.num_incident : 0;
+  // Drain-side injection columns are only carried when the two-contact
+  // density is requested (the SCF charge path): transmission and current
+  // need no right-incident states, and the extra RHS columns are not free.
+  const idx n_inc_r = have_injection && options.want_density &&
+                              options.want_density_r
+                          ? bnd.num_incident_right
+                          : 0;
   const bool want_caroli = options.want_caroli || !have_injection;
   const idx gcols = want_caroli ? 2 * sf : 0;
-  const idx m = gcols + n_inc;
+  const idx m = gcols + n_inc + n_inc_r;
   if (m == 0) {
     // Nothing to solve at this energy — but cooperative/asynchronous
     // backends may have outstanding work (spatial members' partitions,
@@ -150,6 +158,10 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   }
   for (idx j = 0; j < n_inc; ++j)
     for (idx i = 0; i < sf; ++i) b_top(i, gcols + j) = bnd.inj(i, j);
+  // Right-contact injection enters through the last block.
+  for (idx j = 0; j < n_inc_r; ++j)
+    for (idx i = 0; i < sf; ++i)
+      b_bot(i, gcols + n_inc + j) = bnd.inj_r(i, j);
 
   CMatrix& x = ctx.x;
   x = solver.solve_boundary(a, bnd.sigma_l, bnd.sigma_r, b_top, b_bot);
@@ -214,6 +226,20 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
       }
     }
   }
+
+  // Drain-injected density: same flux normalization, states incident from
+  // the right contact (occupied at mu_R in the two-contact charge model).
+  if (n_inc_r > 0 && options.want_density) {
+    out.orbital_density_r.assign(static_cast<std::size_t>(a.dim()), 0.0);
+    for (idx p = 0; p < n_inc_r; ++p) {
+      const double w =
+          1.0 /
+          std::max(bnd.inj_r_velocity[static_cast<std::size_t>(p)], 1e-12);
+      for (idx i = 0; i < a.dim(); ++i)
+        out.orbital_density_r[static_cast<std::size_t>(i)] +=
+            w * std::norm(x(i, gcols + n_inc + p));
+    }
+  }
   return out;
 }
 
@@ -273,15 +299,13 @@ double landauer_current(const std::vector<double>& energies,
                         double mu_r, double kt) {
   if (energies.size() != transmission.size() || energies.size() < 2)
     throw std::invalid_argument("landauer_current: bad table");
+  // Same trapezoid weights as the charge integration (energy_grid.hpp):
+  // half-weight endpoints, 0.5*(de_left + de_right) interior.
+  const std::vector<double> w = trapezoid_weights(energies);
   double current = 0.0;
-  for (std::size_t i = 1; i < energies.size(); ++i) {
-    const double de = energies[i] - energies[i - 1];
-    const double f0 = transmission[i - 1] * (fermi(energies[i - 1], mu_l, kt) -
-                                             fermi(energies[i - 1], mu_r, kt));
-    const double f1 = transmission[i] *
-                      (fermi(energies[i], mu_l, kt) - fermi(energies[i], mu_r, kt));
-    current += 0.5 * (f0 + f1) * de;
-  }
+  for (std::size_t i = 0; i < energies.size(); ++i)
+    current += w[i] * transmission[i] *
+               (fermi(energies[i], mu_l, kt) - fermi(energies[i], mu_r, kt));
   return current;
 }
 

@@ -51,6 +51,11 @@ struct EnergyPointOptions {
   obc::FeastOptions feast;
   double decimation_eta = 1e-7;
   bool want_density = true;
+  /// Also solve the drain-injected states (orbital_density_r) when the
+  /// density is requested.  The two-contact charge path needs them; a
+  /// caller integrating only source-injected density can drop the extra
+  /// RHS columns.
+  bool want_density_r = true;
   bool want_current = true;
   bool want_caroli = true;         ///< also compute Tr[GL G GR G^H]
 };
@@ -60,7 +65,14 @@ struct EnergyPointResult {
   double transmission = 0.0;         ///< wave-function formalism (0 if no inj)
   double transmission_caroli = 0.0;  ///< Green's-function cross-check
   idx num_propagating = 0;           ///< incident channels at this energy
-  std::vector<double> orbital_density;    ///< |psi|^2 / v summed over modes
+  /// |psi|^2 / v summed over *source-injected* modes (incident from the
+  /// left contact).  States here are occupied at mu_L in the ballistic
+  /// two-contact model.
+  std::vector<double> orbital_density;
+  /// Same for *drain-injected* modes (incident from the right contact,
+  /// occupied at mu_R).  Filled with orbital_density when want_density is
+  /// set; empty when the OBC provides no injection data (decimation).
+  std::vector<double> orbital_density_r;
   std::vector<double> interface_current;  ///< bond current per interface
 };
 

@@ -208,13 +208,15 @@ TEST(Engine, ChargeDensityConsistentAcrossWorldSizes) {
   for (double e = window.emin + 0.02; e < window.emax; e += 0.3)
     grid.push_back(e);
   const double mu = 0.5 * (window.emin + window.emax);
-  const auto base = reference.charge_density(grid, mu, mu, nullptr);
+  // Unequal contact potentials: the source and drain density weights
+  // differ, so this also pins the distributed two-contact charge path.
+  const auto base = reference.charge_density(grid, mu, mu - 0.2, nullptr);
 
   for (const int ranks : {2, 7}) {
     om::SimulationConfig dcfg = cfg;
     dcfg.num_ranks = ranks;
     om::Simulator sim(dcfg);
-    const auto charge = sim.charge_density(grid, mu, mu, nullptr);
+    const auto charge = sim.charge_density(grid, mu, mu - 0.2, nullptr);
     ASSERT_EQ(charge.size(), base.size());
     // Bit-identical, not merely close: per-task contributions are summed
     // in flat task order at the root, so work stealing moving tasks

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
 #include "dft/hamiltonian.hpp"
+#include "poisson/scf.hpp"
 #include "numeric/blas.hpp"
 #include "omen/io.hpp"
 #include "omen/scheduler.hpp"
@@ -15,6 +18,7 @@ namespace lt = omenx::lattice;
 namespace nm = omenx::numeric;
 namespace om = omenx::omen;
 namespace pp = omenx::parallel;
+namespace ps = omenx::poisson;
 namespace tr = omenx::transport;
 using nm::CMatrix;
 using nm::cplx;
@@ -214,4 +218,215 @@ TEST(Simulator, HamiltonianDimensionMatchesStructure) {
   cfg.structure = chain_structure(10);
   om::Simulator sim(cfg);
   EXPECT_EQ(sim.hamiltonian_dimension(), 10);  // 1 orbital (Li s) x 10 cells
+}
+
+namespace {
+
+// Chain FET simulator used by the two-contact and SCF tests below.
+om::SimulationConfig fet_config(idx cells) {
+  om::SimulationConfig cfg;
+  cfg.structure = chain_structure(cells);
+  cfg.build.cutoff_nm = 1.0;  // NBW = 2
+  cfg.point.obc = tr::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = tr::SolverAlgorithm::kBlockLU;
+  return cfg;
+}
+
+double band_mid(om::Simulator& sim) {
+  const auto win = tr::band_window(sim.bands(9));
+  return 0.5 * (win.emin + win.emax);
+}
+
+double max_parity_violation(const std::vector<double>& rho) {
+  double out = 0.0;
+  for (std::size_t i = 0; i < rho.size(); ++i)
+    out = std::max(out, std::abs(rho[i] - rho[rho.size() - 1 - i]));
+  return out;
+}
+
+}  // namespace
+
+// Regression for the dropped drain contact ((void)mu_r): on a symmetric
+// device at Vds > 0 the charge MUST move when mu_r moves.
+TEST(Simulator, ChargeRespondsToDrainChemicalPotential) {
+  om::Simulator sim(fet_config(12));
+  const double mu = band_mid(sim);
+  std::vector<double> grid;
+  for (double e = mu - 0.4; e <= mu + 0.4; e += 0.05) grid.push_back(e);
+
+  const auto equil = sim.charge_density(grid, mu, mu, nullptr);
+  const auto biased = sim.charge_density(grid, mu, mu - 0.3, nullptr);
+  ASSERT_EQ(equil.size(), 12u);
+  double change = 0.0;
+  for (std::size_t i = 0; i < equil.size(); ++i)
+    change = std::max(change, std::abs(equil[i] - biased[i]));
+  EXPECT_GT(change, 1e-3);
+  // Draining the right contact removes occupation: less total charge.
+  double sum_eq = 0.0, sum_b = 0.0;
+  for (std::size_t i = 0; i < equil.size(); ++i) {
+    sum_eq += equil[i];
+    sum_b += biased[i];
+  }
+  EXPECT_LT(sum_b, sum_eq);
+}
+
+// Two-contact parity: with a mirror-symmetric device and barrier, the
+// charge is symmetric at equilibrium (both contacts filled alike) and
+// visibly asymmetric once Vds != 0 depopulates the drain-injected states.
+TEST(Simulator, ChargeParityBreaksUnderDrainBias) {
+  om::Simulator sim(fet_config(12));
+  const double mu = band_mid(sim);
+  std::vector<double> grid;
+  for (double e = mu - 0.4; e <= mu + 0.4; e += 0.05) grid.push_back(e);
+  // Symmetric barrier (cells 5 and 6 of 12): left/right injected densities
+  // are mirror images, so parity can only break through the occupations.
+  std::vector<double> barrier(12, 0.0);
+  barrier[5] = barrier[6] = 1.0;
+
+  const auto equil = sim.charge_density(grid, mu, mu, &barrier);
+  EXPECT_LT(max_parity_violation(equil), 1e-8);
+
+  const auto biased = sim.charge_density(grid, mu, mu - 0.3, &barrier);
+  const double asym = max_parity_violation(biased);
+  EXPECT_GT(asym, 1e-2);
+  // The source side keeps its filled standing-wave charge; the drain side
+  // loses the states above mu_r: more charge on the source half.
+  double left = 0.0, right = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    left += biased[i];
+    right += biased[11 - i];
+  }
+  EXPECT_GT(left, right);
+}
+
+// The closed [0, pi] k grid must carry trapezoidal BZ weights: a flat 1/nk
+// average double-counts both zone edges.  Verified against the manually
+// weighted per-k solves.
+TEST(Simulator, KAverageUsesTrapezoidalBzWeights) {
+  om::SimulationConfig cfg;
+  lt::Structure s = chain_structure(6);
+  s.periodicity = lt::Periodicity::kZ;
+  s.z_period = 0.4;
+  cfg.structure = s;
+  cfg.build.cutoff_nm = 1.0;
+  cfg.point.obc = tr::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = tr::SolverAlgorithm::kBlockLU;
+  cfg.num_k = 3;  // k = 0, pi/2, pi -> weights 1/4, 1/2, 1/4
+  om::Simulator sim(cfg);
+
+  const auto bs = sim.bands(9);
+  const auto win = tr::band_window(bs);
+  const double e = 0.5 * (win.emin + win.emax);
+
+  double expected = 0.0, uniform = 0.0;
+  const double wk[3] = {0.25, 0.5, 0.25};
+  for (idx ik = 0; ik < 3; ++ik) {
+    const auto& lead = sim.lead_blocks(ik);
+    const auto folded = df::fold_lead(lead);
+    const auto dm =
+        df::assemble_device(lead, 6, std::vector<double>(6, 0.0));
+    const auto res = tr::solve_energy_point(dm, lead, folded, e, cfg.point);
+    const double t = res.num_propagating > 0 ? res.transmission : 0.0;
+    expected += wk[ik] * t;
+    uniform += t / 3.0;
+  }
+
+  const auto sp = sim.transmission_spectrum({e});
+  ASSERT_EQ(sp.transmission.size(), 1u);
+  EXPECT_NEAR(sp.transmission[0], expected, 1e-10);
+  // The analytic discrimination: at band mid only the k = 0 zone edge
+  // propagates (T(k) = {1, 0, 0}), so the trapezoid average is exactly 1/4
+  // while the seed's flat average double-counted the edge to 1/3.
+  EXPECT_NEAR(expected, 0.25, 1e-6);
+  EXPECT_NEAR(uniform, 1.0 / 3.0, 1e-6);
+  EXPECT_GT(std::abs(sp.transmission[0] - uniform), 0.05);
+}
+
+// Warm-started Anderson SCF across a bias sweep: same converged potentials
+// as the cold linear loop, in at most half the total iterations.
+TEST(Simulator, WarmAndersonSweepMatchesColdLinearInHalfTheIterations) {
+  om::Simulator sim(fet_config(16));
+  const auto win = tr::band_window(sim.bands(9));
+  const double mu_s = win.emin + 0.1;
+  const double vds = 0.2;
+  std::vector<double> grid;
+  for (double e = win.emin - 0.02; e <= mu_s + 0.3; e += 0.01)
+    grid.push_back(e);
+  const lt::DeviceRegions regions{5, 6, 5};
+  const std::vector<double> vgs{-0.15, -0.05, 0.05, 0.15};
+
+  ps::ScfOptions seed_like;
+  seed_like.poisson.screening_length_cells = 2.0;
+  seed_like.poisson.charge_coupling = 0.25;
+  seed_like.tol = 1e-6;
+  seed_like.charge_tol = 0.0;
+  seed_like.mixing = 0.3;
+  seed_like.max_iter = 200;
+  seed_like.anderson_depth = 0;
+  seed_like.warm_start = false;
+
+  ps::ScfOptions accel = seed_like;
+  accel.anderson_depth = 3;
+  accel.warm_start = true;
+
+  const auto cold = sim.transfer_characteristics(vgs, vds, regions, grid,
+                                                 mu_s, seed_like);
+  const auto warm =
+      sim.transfer_characteristics(vgs, vds, regions, grid, mu_s, accel);
+  ASSERT_EQ(cold.size(), vgs.size());
+  ASSERT_EQ(warm.size(), vgs.size());
+  int cold_total = 0, warm_total = 0;
+  for (std::size_t i = 0; i < vgs.size(); ++i) {
+    ASSERT_TRUE(cold[i].converged) << "cold point " << i;
+    ASSERT_TRUE(warm[i].converged) << "warm point " << i;
+    cold_total += cold[i].scf_iterations;
+    warm_total += warm[i].scf_iterations;
+    // Same converged potential: max |dV| below the loop tolerance.
+    ASSERT_EQ(cold[i].potential.size(), warm[i].potential.size());
+    double dv = 0.0;
+    for (std::size_t c = 0; c < cold[i].potential.size(); ++c)
+      dv = std::max(dv,
+                    std::abs(cold[i].potential[c] - warm[i].potential[c]));
+    EXPECT_LT(dv, 1e-5) << "bias point " << i;
+    EXPECT_NEAR(cold[i].current, warm[i].current,
+                1e-6 * std::max(1.0, std::abs(cold[i].current)));
+  }
+  EXPECT_LE(2 * warm_total, cold_total)
+      << "warm " << warm_total << " vs cold " << cold_total;
+}
+
+// The adaptive grid must add points where the channel count steps (band
+// edge) and follow the band edge as the potential shifts it.
+TEST(Simulator, AdaptiveGridTracksBandEdge) {
+  om::Simulator sim(fet_config(10));
+  const auto win = tr::band_window(sim.bands(9));
+  std::vector<double> base;
+  for (double e = win.emin - 0.2; e <= win.emin + 0.4; e += 0.1)
+    base.push_back(e);
+
+  const auto flat =
+      sim.adaptive_energy_grid(base, nullptr, 0.5, 1e-3);
+  EXPECT_GT(flat.size(), base.size());
+  // Finest interval must straddle the band edge.
+  double best = 1e9, best_mid = 0.0;
+  for (std::size_t i = 1; i < flat.size(); ++i)
+    if (flat[i] - flat[i - 1] < best) {
+      best = flat[i] - flat[i - 1];
+      best_mid = 0.5 * (flat[i] + flat[i - 1]);
+    }
+  EXPECT_NEAR(best_mid, win.emin, 0.05);
+
+  // A uniform potential shift moves the band edge by the same amount; the
+  // refinement must follow it.
+  const double shift = 0.15;
+  const std::vector<double> pot(10, shift);
+  const auto shifted = sim.adaptive_energy_grid(base, &pot, 0.5, 1e-3);
+  best = 1e9;
+  double shifted_mid = 0.0;
+  for (std::size_t i = 1; i < shifted.size(); ++i)
+    if (shifted[i] - shifted[i - 1] < best) {
+      best = shifted[i] - shifted[i - 1];
+      shifted_mid = 0.5 * (shifted[i] + shifted[i - 1]);
+    }
+  EXPECT_NEAR(shifted_mid, win.emin + shift, 0.05);
 }

@@ -86,6 +86,72 @@ TEST(EnergyGrid, RefinementAddsPointsAtSteps) {
   EXPECT_LT(closest, 2e-3);
 }
 
+TEST(EnergyGrid, LastPointIsExactlyEmax) {
+  // Spans that don't divide evenly by the spacing used to accumulate the
+  // seed grid: emin + spacing*n drifts by a few ULPs, which downstream
+  // integration windows keyed on the exact bound then miss.
+  tr::EnergyGridOptions opt;
+  opt.min_spacing = 1e-6;
+  opt.max_spacing = 0.03;
+  for (const auto& [emin, emax] : {std::pair<double, double>{-1.37, 0.94},
+                                   {0.1, 0.8000000000000003},
+                                   {-2.0001, 1.9999}}) {
+    const auto grid = tr::make_energy_grid(emin, emax, opt);
+    EXPECT_DOUBLE_EQ(grid.front(), emin);
+    EXPECT_DOUBLE_EQ(grid.back(), emax);  // bitwise, not approximately
+    for (std::size_t i = 1; i < grid.size(); ++i)
+      EXPECT_GT(grid[i], grid[i - 1]);
+  }
+}
+
+TEST(EnergyGrid, TrapezoidWeightsIntegrateNonUniformGrid) {
+  // Deliberately non-uniform grid; weights must reproduce the exact
+  // trapezoid integral (segment sum) of any table, and integrate a linear
+  // function exactly.
+  const std::vector<double> grid{0.0, 0.1, 0.15, 0.4, 0.42, 1.0};
+  const auto w = tr::trapezoid_weights(grid);
+  ASSERT_EQ(w.size(), grid.size());
+  // Sum of weights is the span (integral of 1).
+  double wsum = 0.0;
+  for (const double wi : w) wsum += wi;
+  EXPECT_NEAR(wsum, 1.0, 1e-14);
+  // Linear f integrates exactly: integral of (3x + 1) over [0,1] = 2.5.
+  double lin = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) lin += w[i] * (3.0 * grid[i] + 1.0);
+  EXPECT_NEAR(lin, 2.5, 1e-14);
+  // Against the explicit segment-sum trapezoid for a curved analytic f.
+  auto f = [](double x) { return std::exp(x); };
+  double seg = 0.0;
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    seg += 0.5 * (f(grid[i]) + f(grid[i - 1])) * (grid[i] - grid[i - 1]);
+  double wsumf = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) wsumf += w[i] * f(grid[i]);
+  EXPECT_NEAR(wsumf, seg, 1e-13);
+  // Degenerate grids.
+  EXPECT_TRUE(tr::trapezoid_weights({}).empty());
+  const auto single = tr::trapezoid_weights({0.3});
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 1.0);
+}
+
+TEST(EnergyGrid, BatchEvaluatorOverloadMatchesPointwise) {
+  tr::EnergyGridOptions opt;
+  opt.min_spacing = 1e-3;
+  opt.max_spacing = 0.25;
+  const auto base = tr::make_energy_grid(0.0, 1.0, opt);
+  const auto f = [](double e) { return e > 0.35 ? 1.0 : 0.0; };
+  const auto pointwise = tr::refine_energy_grid(base, f, 0.5, opt);
+  const tr::BatchEvaluator batch = [&](const std::vector<double>& pts) {
+    std::vector<double> v(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) v[i] = f(pts[i]);
+    return v;
+  };
+  const auto batched = tr::refine_energy_grid(base, batch, 0.5, opt);
+  ASSERT_EQ(pointwise.size(), batched.size());
+  for (std::size_t i = 0; i < pointwise.size(); ++i)
+    EXPECT_DOUBLE_EQ(pointwise[i], batched[i]);
+}
+
 TEST(EnergyGrid, InvalidArgumentsThrow) {
   EXPECT_THROW(tr::make_energy_grid(1.0, 0.0), std::invalid_argument);
   tr::EnergyGridOptions bad;
@@ -208,6 +274,47 @@ TEST(Transport, DensityDecaysInsideBarrier) {
   const auto per_cell = tr::density_per_cell(res.orbital_density, 1, cells);
   // Density in the middle of the barrier is far below the source side.
   EXPECT_LT(per_cell[8], 0.2 * per_cell[1]);
+}
+
+// Two-contact ballistic charge: the drain-injected density must be the
+// mirror image of the source-injected one on a mirror-symmetric device
+// (same leads, symmetric barrier), and its states carry the same flux
+// normalization.
+TEST(Transport, RightInjectedDensityMirrorsLeftOnSymmetricDevice) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const idx cells = 16;
+  // Barrier cells 6..9: symmetric under i -> 15 - i.
+  const auto dm = chain_device(cells, 1.2, 6, 10);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  const auto res = tr::solve_energy_point(dm, lead, folded, -0.6, opt);
+  ASSERT_EQ(res.orbital_density.size(), static_cast<std::size_t>(cells));
+  ASSERT_EQ(res.orbital_density_r.size(), static_cast<std::size_t>(cells));
+  for (idx i = 0; i < cells; ++i)
+    EXPECT_NEAR(res.orbital_density_r[static_cast<std::size_t>(i)],
+                res.orbital_density[static_cast<std::size_t>(cells - 1 - i)],
+                1e-8)
+        << "cell " << i;
+  // Both injections see one propagating channel on the chain; the density
+  // is genuinely nonzero on the incoming side.
+  EXPECT_GT(res.orbital_density_r[static_cast<std::size_t>(cells - 1)], 0.1);
+}
+
+// The drain-side columns ride only on the density path: transmission-only
+// solves must not change.
+TEST(Transport, RightInjectionOnlyComputedWhenDensityRequested) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto dm = chain_device(8);
+  tr::EnergyPointOptions opt;
+  opt.obc = tr::ObcAlgorithm::kShiftInvert;
+  opt.solver = tr::SolverAlgorithm::kBlockLU;
+  opt.want_density = false;
+  const auto res = tr::solve_energy_point(dm, lead, folded, -0.5, opt);
+  EXPECT_TRUE(res.orbital_density_r.empty());
+  EXPECT_NEAR(res.transmission, 1.0, 1e-6);
 }
 
 TEST(Transport, FermiFunctionLimits) {
