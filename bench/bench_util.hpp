@@ -35,4 +35,19 @@ inline void rule() {
   std::printf("------------------------------------------------------------\n");
 }
 
+/// Flat-JSON body builder shared by the BENCH_*.json emitters.  `fmt` is
+/// the printf conversion applied to every value.
+struct JsonWriter {
+  explicit JsonWriter(const char* fmt = "%.6g") : fmt_(fmt) {}
+  std::string body;
+  void field(const std::string& k, double v, bool last = false) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), fmt_, v);
+    body += "\"" + k + "\": " + buf + (last ? "" : ", ");
+  }
+
+ private:
+  const char* fmt_;
+};
+
 }  // namespace benchutil

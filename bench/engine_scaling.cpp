@@ -46,16 +46,6 @@ dft::LeadBlocks bench_lead(idx s, unsigned seed) {
   return lead;
 }
 
-struct JsonWriter {
-  std::string body;
-  void field(const std::string& k, double v, bool last = false) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "\"%s\": %.4f%s", k.c_str(), v,
-                  last ? "" : ", ");
-    body += buf;
-  }
-};
-
 struct RunPoint {
   int ranks;
   double wall_s;
@@ -158,7 +148,7 @@ int main() {
               dyn4.eff_busy, stat_eff_busy);
 
   for (const auto& p : points) {
-    JsonWriter w;
+    benchutil::JsonWriter w("%.4f");
     w.field("ranks", static_cast<double>(p.ranks));
     w.field("wall_s", p.wall_s);
     w.field("eff_wall", p.eff_wall);
@@ -169,7 +159,7 @@ int main() {
             w.body + "},\n";
   }
   {
-    JsonWriter w;
+    benchutil::JsonWriter w("%.4f");
     w.field("ranks", 4.0);
     w.field("wall_s", stat4.stats.wall_seconds);
     w.field("eff_busy", stat_eff_busy);

@@ -23,7 +23,7 @@ omen::Simulator make_sim(dft::Functional f) {
   cfg.structure = lattice::make_nanowire(0.6, 8);
   cfg.functional = f;
   cfg.point.obc = transport::ObcAlgorithm::kFeast;
-  cfg.point.feast.annulus_r = 30.0;
+  cfg.point.obc_opts.feast.annulus_r = 30.0;
   cfg.point.solver = transport::SolverAlgorithm::kSplitSolve;
   cfg.point.partitions = 2;
   cfg.num_devices = 2;

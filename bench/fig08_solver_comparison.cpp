@@ -53,7 +53,7 @@ int main() {
     opt.obc = c.obc;
     opt.solver = c.solver;
     opt.partitions = c.solver == transport::SolverAlgorithm::kSplitSolve ? 4 : 1;
-    opt.feast.annulus_r = 30.0;
+    opt.obc_opts.feast.annulus_r = 30.0;
     benchutil::WallTimer timer;
     const auto res =
         transport::solve_energy_point(dm, lead, folded, energy, opt, &pool);

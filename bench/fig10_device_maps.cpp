@@ -22,7 +22,7 @@ int main() {
   omen::SimulationConfig cfg;
   cfg.structure = lattice::make_nanowire(0.6, 16);
   cfg.point.obc = transport::ObcAlgorithm::kFeast;
-  cfg.point.feast.annulus_r = 30.0;
+  cfg.point.obc_opts.feast.annulus_r = 30.0;
   cfg.point.solver = transport::SolverAlgorithm::kSplitSolve;
   cfg.point.partitions = 2;
   omen::Simulator sim(cfg);

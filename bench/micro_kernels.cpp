@@ -94,16 +94,6 @@ dft::LeadBlocks bench_lead(idx s) {
   return lead;
 }
 
-struct JsonWriter {
-  std::string body;
-  void field(const std::string& k, double v, bool last = false) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "\"%s\": %.4f%s", k.c_str(), v,
-                  last ? "" : ", ");
-    body += buf;
-  }
-};
-
 }  // namespace
 
 int main() {
@@ -124,7 +114,7 @@ int main() {
     const double g_new = flop / t_new * 1e-9;
     std::printf("%6lld %14.2f %14.2f %9.2fx\n", (long long)n, g_seed, g_new,
                 g_new / g_seed);
-    JsonWriter w;
+    benchutil::JsonWriter w("%.4f");
     w.field("n", double(n));
     w.field("gflops_seed", g_seed);
     w.field("gflops_packed", g_new);
@@ -159,7 +149,7 @@ int main() {
     const double g_new = flop / t_new * 1e-9;
     std::printf("%6lld %14.2f %14.2f %9.2fx\n", (long long)n, g_ref, g_new,
                 t_ref / t_new);
-    JsonWriter w;
+    benchutil::JsonWriter w("%.4f");
     w.field("n", double(n));
     w.field("gflops_unblocked", g_ref);
     w.field("gflops_blocked", g_new);
@@ -175,7 +165,7 @@ int main() {
     const double sec =
         time_seconds([&] { benchutil::consume(solvers::rgf_block_columns(t).data()); }, 5);
     std::printf("nb=16 s=48: %.3f ms per preprocess\n", sec * 1e3);
-    JsonWriter w;
+    benchutil::JsonWriter w("%.4f");
     w.field("nb", 16.0);
     w.field("s", 48.0);
     w.field("ms", sec * 1e3, true);
@@ -221,7 +211,7 @@ int main() {
         "(%.2fx)\n",
         (long long)npts, pool.num_threads(), pps_serial, pps_par,
         pps_par / pps_serial);
-    JsonWriter w;
+    benchutil::JsonWriter w("%.4f");
     w.field("points", double(npts));
     w.field("threads", double(pool.num_threads()));
     w.field("serial_pts_per_s", pps_serial);

@@ -26,16 +26,6 @@ using namespace omenx;
 
 namespace {
 
-struct JsonWriter {
-  std::string body;
-  void field(const std::string& k, double v, bool last = false) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "\"%s\": %.6g%s", k.c_str(), v,
-                  last ? "" : ", ");
-    body += buf;
-  }
-};
-
 struct RunResult {
   std::string name;
   int total_iterations = 0;
@@ -150,7 +140,7 @@ int main() {
 
   std::string json = "{\n";
   for (const auto& r : runs) {
-    JsonWriter w;
+    benchutil::JsonWriter w;
     w.field("total_iterations", static_cast<double>(r.total_iterations));
     w.field("wall_s", r.wall_s);
     w.field("all_converged", r.all_converged ? 1.0 : 0.0);
@@ -158,7 +148,7 @@ int main() {
     json += "  \"" + r.name + "\": {" + w.body + "},\n";
   }
   {
-    JsonWriter w;
+    benchutil::JsonWriter w;
     w.field("iteration_speedup", ratio);
     w.field("le_half_of_seed", le_half ? 1.0 : 0.0);
     w.field("same_fixed_point", same_fixed_point ? 1.0 : 0.0, true);

@@ -48,16 +48,6 @@ dft::LeadBlocks bench_lead(idx s, unsigned seed) {
   return lead;
 }
 
-struct JsonWriter {
-  std::string body;
-  void field(const std::string& k, double v, bool last = false) {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "\"%s\": %.4f%s", k.c_str(), v,
-                  last ? "" : ", ");
-    body += buf;
-  }
-};
-
 struct Device {
   const char* label;
   idx s;
@@ -139,7 +129,7 @@ int main() {
                     solvers::algorithm_name(algo), width,
                     res.stats.wall_seconds, busy, speedup, model_speedup);
 
-        JsonWriter w;
+        benchutil::JsonWriter w("%.4f");
         w.field("width", static_cast<double>(width));
         w.field("ranks", static_cast<double>(kRanks));
         w.field("partitions", static_cast<double>(kPartitions));
@@ -164,7 +154,7 @@ int main() {
   std::printf("spatial solve beats width-1 on the large device: %s (%s)\n",
               beats ? "yes" : "NO",
               capable ? "measured wall" : "cost model; host undersized");
-  JsonWriter w;
+  benchutil::JsonWriter w("%.4f");
   w.field("host_cores", static_cast<double>(cores));
   w.field("wall_speedups_honest", capable ? 1.0 : 0.0);
   w.field("spatial_beats_width1_large_measured", beats_measured ? 1.0 : 0.0);

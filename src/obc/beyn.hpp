@@ -31,6 +31,15 @@ struct BeynOptions {
   double prop_tol = 1e-6;
   unsigned seed = 4242;
   bool parallel_points = true;
+
+  // Memberwise — cached boundaries are invalidated on any change, so a new
+  // field MUST be added here too.
+  friend bool operator==(const BeynOptions& a, const BeynOptions& b) noexcept {
+    return a.annulus_r == b.annulus_r && a.num_points == b.num_points &&
+           a.probe_columns == b.probe_columns && a.rank_tol == b.rank_tol &&
+           a.residual_tol == b.residual_tol && a.prop_tol == b.prop_tol &&
+           a.seed == b.seed && a.parallel_points == b.parallel_points;
+  }
 };
 
 struct BeynStats {

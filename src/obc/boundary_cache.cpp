@@ -1,0 +1,65 @@
+#include "obc/boundary_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace omenx::obc {
+
+BoundaryCache::BoundaryCache(std::size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::shared_ptr<const Boundary> BoundaryCache::find(const BoundaryKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+std::shared_ptr<const Boundary> BoundaryCache::insert(const BoundaryKey& key,
+                                                      Boundary bnd) {
+  auto entry = std::make_shared<const Boundary>(std::move(bnd));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  if (inserted) {
+    ++stats_.insertions;
+    order_.push_back(key);
+    while (entries_.size() > max_entries_ && !order_.empty()) {
+      entries_.erase(order_.front());  // FIFO: oldest insertion goes first
+      order_.pop_front();
+    }
+  }
+  return it->second;  // an existing entry wins: first evaluation is canonical
+}
+
+void BoundaryCache::invalidate() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  order_.clear();
+  ++stats_.invalidations;
+}
+
+void BoundaryCache::reserve(std::size_t min_entries) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = std::max(max_entries_, min_entries);
+}
+
+std::size_t BoundaryCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t BoundaryCache::max_entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return max_entries_;
+}
+
+BoundaryCache::Stats BoundaryCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace omenx::obc

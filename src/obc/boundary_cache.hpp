@@ -1,0 +1,103 @@
+// Cross-sweep cache of boundary conditions, keyed by (k-index, energy,
+// contact-shift).
+//
+// The lead Hamiltonian never depends on the device potential, so every SCF
+// outer iteration, transfer-characteristic bias point, and adaptive-grid
+// re-sweep that revisits a (k, E) pair re-solves an *identical* lead
+// eigenproblem.  The cache stores the full Boundary (self-energies,
+// injection columns, mode basis) of the first evaluation and hands the same
+// object back on every revisit — bit-identical by construction, since a hit
+// reuses the stored matrices rather than recomputing anything.
+//
+// Keys compare doubles exactly on purpose: a near-miss energy is a
+// different physical point and must be recomputed, and exact keys are what
+// makes cached and uncached runs agree to the last bit.  Entries become
+// stale only when the lead electrostatics change (the contact shift is part
+// of the key, but drivers should still invalidate() on a shift change to
+// drop the unreachable entries).
+//
+// Thread-safe: the distribution engine shares one cache among a rank's pool
+// workers (flat path), and invalidate() may race with lookups — entries are
+// handed out as shared_ptr so a concurrent invalidation can never pull a
+// Boundary out from under a reader.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "numeric/types.hpp"
+#include "obc/self_energy.hpp"
+
+namespace omenx::obc {
+
+using numeric::idx;
+
+/// Cache key of one boundary evaluation.  Doubles compare exactly (see
+/// file header).  `algorithm` is the ObcAlgorithm enum value (stored as an
+/// int to keep this header strategy-free): two backends at the same (k, E,
+/// shift) produce different Boundaries (e.g. truncated vs full spectra)
+/// and must never alias.  Backend *options* are not part of the key —
+/// holders of a persistent cache invalidate() when they change (the
+/// engine compares each run's ObcOptions against the previous run's).
+struct BoundaryKey {
+  idx k = 0;              ///< global momentum index of the sweep
+  double energy = 0.0;    ///< energy (eV) the point was requested at
+  double contact_shift = 0.0;  ///< uniform lead potential shift (eV)
+  int algorithm = 0;      ///< static_cast<int>(ObcAlgorithm)
+
+  friend bool operator<(const BoundaryKey& a, const BoundaryKey& b) noexcept {
+    if (a.k != b.k) return a.k < b.k;
+    if (a.energy != b.energy) return a.energy < b.energy;
+    if (a.contact_shift != b.contact_shift)
+      return a.contact_shift < b.contact_shift;
+    return a.algorithm < b.algorithm;
+  }
+};
+
+class BoundaryCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  /// `max_entries` bounds the footprint: inserting at the cap evicts the
+  /// oldest insertion (FIFO).  Holders should reserve() at least one full
+  /// sweep's worth of keys — a cap below the sweep size churns the whole
+  /// cache every pass and forfeits cross-iteration reuse (the engine
+  /// reserves 2x its task count per run).
+  explicit BoundaryCache(std::size_t max_entries = 4096);
+
+  /// The cached boundary for `key`, or nullptr (counts a hit or a miss).
+  std::shared_ptr<const Boundary> find(const BoundaryKey& key);
+
+  /// Store `bnd` under `key` and return the stored entry.  If another
+  /// thread (or an earlier sweep) already populated the key, the existing
+  /// entry wins and is returned — first evaluation is canonical.
+  std::shared_ptr<const Boundary> insert(const BoundaryKey& key, Boundary bnd);
+
+  /// Drop every entry (the lead potential shift — or the lead itself —
+  /// changed).  Outstanding shared_ptr handles stay valid.
+  void invalidate();
+
+  /// Raise the eviction cap to at least `min_entries` (never lowers it).
+  void reserve(std::size_t min_entries);
+
+  std::size_t size() const;
+  std::size_t max_entries() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::map<BoundaryKey, std::shared_ptr<const Boundary>> entries_;
+  std::deque<BoundaryKey> order_;  ///< insertion order, oldest first
+  Stats stats_;
+};
+
+}  // namespace omenx::obc

@@ -15,6 +15,13 @@ struct DecimationOptions {
   double eta = 1e-6;     ///< imaginary energy broadening (eV)
   idx max_iter = 200;
   double tol = 1e-12;    ///< convergence on the coupling norm
+
+  // Memberwise — cached boundaries are invalidated on any change, so a new
+  // field MUST be added here too.
+  friend bool operator==(const DecimationOptions& a,
+                         const DecimationOptions& b) noexcept {
+    return a.eta == b.eta && a.max_iter == b.max_iter && a.tol == b.tol;
+  }
 };
 
 /// Surface Green's function of the left (q -> -inf) lead:

@@ -23,6 +23,16 @@ struct FeastOptions {
   double prop_tol = 1e-6;
   unsigned seed = 12345;     ///< probing matrix seed (deterministic)
   bool parallel_points = true;
+
+  // Memberwise — cached boundaries are invalidated on any change, so a new
+  // field MUST be added here too.
+  friend bool operator==(const FeastOptions& a,
+                         const FeastOptions& b) noexcept {
+    return a.annulus_r == b.annulus_r && a.num_points == b.num_points &&
+           a.subspace == b.subspace && a.max_refinement == b.max_refinement &&
+           a.residual_tol == b.residual_tol && a.prop_tol == b.prop_tol &&
+           a.seed == b.seed && a.parallel_points == b.parallel_points;
+  }
 };
 
 struct FeastStats {

@@ -31,12 +31,20 @@ double group_velocity(cplx lambda, const CMatrix& u, idx col,
               uj;
     }
   }
-  const double den = std::max(std::abs(norm.real()), 1e-12);
+  // The Bloch norm u^H Sv u is real but *not* sign-definite for the ridged,
+  // truncated overlaps a DFT basis produces: discarding its sign would flip
+  // the velocity of a negative-norm eigenvector and misclassify the mode's
+  // direction (wrong lead set => wrong Sigma and injection).  Clamp only the
+  // magnitude away from zero; keep the sign.
+  double den = norm.real();
+  const double mag = std::max(std::abs(den), 1e-12);
+  den = den < 0.0 ? -mag : mag;
   return 2.0 * std::imag(lambda * utcu) / den;
 }
 
 LeadModes fold_and_classify(const numeric::EigResult& eig, idx nbw, idx s,
-                            const LeadOperators& ops, double prop_tol) {
+                            const LeadOperators& ops, double prop_tol,
+                            double vel_tol) {
   const idx sf = nbw * s;
   const idx m = static_cast<idx>(eig.values.size());
   LeadModes out;
@@ -63,8 +71,19 @@ LeadModes fold_and_classify(const numeric::EigResult& eig, idx nbw, idx s,
     const double mag = std::abs(lam_f);
     if (std::abs(mag - 1.0) < prop_tol) {
       const double v = group_velocity(lam_f, out.vectors, c, ops);
+      if (std::abs(v) <= vel_tol) {
+        // Band-edge state: a degenerate |lambda| = 1 pair with vanishing
+        // group velocity.  Classifying it by sign(v) would drop *both*
+        // members into the incident set (v >= 0) and double-count the
+        // injection; a zero-velocity mode carries no flux, so it belongs
+        // with the evanescent states, split by which half-space bounds it.
+        out.velocity.push_back(0.0);
+        out.kind.push_back(mag <= 1.0 ? ModeKind::kDecayingRight
+                                      : ModeKind::kDecayingLeft);
+        continue;
+      }
       out.velocity.push_back(v);
-      if (v >= 0.0) {
+      if (v > 0.0) {
         out.kind.push_back(ModeKind::kPropagatingRight);
         ++out.num_propagating_right;
       } else {

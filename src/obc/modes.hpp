@@ -16,10 +16,12 @@
 namespace omenx::obc {
 
 enum class ModeKind {
-  kPropagatingRight,  ///< |lambda| = 1, group velocity > 0
-  kPropagatingLeft,   ///< |lambda| = 1, group velocity < 0
-  kDecayingRight,     ///< |lambda| < 1 (bounded as q -> +inf)
-  kDecayingLeft,      ///< |lambda| > 1 (bounded as q -> -inf)
+  kPropagatingRight,  ///< |lambda| = 1, group velocity > +vel_tol
+  kPropagatingLeft,   ///< |lambda| = 1, group velocity < -vel_tol
+  kDecayingRight,     ///< |lambda| < 1 (bounded as q -> +inf), or band-edge
+                      ///< |lambda| <= 1 with |v| <= vel_tol (carries no flux)
+  kDecayingLeft,      ///< |lambda| > 1 (bounded as q -> -inf), or band-edge
+                      ///< |lambda| > 1 with |v| <= vel_tol
 };
 
 /// Folded lead modes at one energy.
@@ -43,14 +45,20 @@ LeadOperators lead_operators(const dft::FoldedLead& lead, cplx e);
 
 /// Group velocity of a folded mode: v = 2*Im(lambda * u^H tc u) / (u^H Sv u)
 /// with the Bloch-periodic overlap Sv = S00 + lambda*S01 + lambda^H*S01^H.
+/// The denominator keeps the *sign* of the Bloch norm (only its magnitude
+/// is clamped away from zero): a negative-norm eigenvector travels opposite
+/// to its numerator's sign, and dropping that flips the classification.
 /// Verified analytically against dE/dk for the 1-D chain.
 double group_velocity(cplx lambda, const CMatrix& u, idx col,
                       const LeadOperators& ops);
 
 /// Build folded modes from raw companion eigenpairs (values + vectors with
 /// the Krylov block structure).  `prop_tol` decides |(|lambda|-1)| for the
-/// propagating classification.
+/// propagating classification; unit-circle modes with |v| <= `vel_tol`
+/// (degenerate band-edge pairs) carry no flux and are demoted to the
+/// decaying set chosen by |lambda|, so they never enter the incident set.
 LeadModes fold_and_classify(const numeric::EigResult& eig, idx nbw, idx s,
-                            const LeadOperators& ops, double prop_tol = 1e-6);
+                            const LeadOperators& ops, double prop_tol = 1e-6,
+                            double vel_tol = 1e-6);
 
 }  // namespace omenx::obc

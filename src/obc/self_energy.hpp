@@ -20,6 +20,13 @@ namespace omenx::obc {
 struct BoundaryOptions {
   /// Tikhonov ridge for the mode pseudo-inverse (U^H U + ridge I)^{-1} U^H.
   double pinv_ridge = 1e-12;
+
+  // Memberwise — cached boundaries are invalidated on any change, so a new
+  // field MUST be added here too.
+  friend bool operator==(const BoundaryOptions& a,
+                         const BoundaryOptions& b) noexcept {
+    return a.pinv_ridge == b.pinv_ridge;
+  }
 };
 
 /// Everything the Schroedinger solver needs to apply open boundaries at one

@@ -14,6 +14,13 @@ namespace omenx::obc {
 struct ShiftInvertOptions {
   cplx sigma{1.05, 0.21};  ///< spectral shift (must avoid eigenvalues)
   double prop_tol = 1e-6;
+
+  // Memberwise — cached boundaries are invalidated on any change, so a new
+  // field MUST be added here too.
+  friend bool operator==(const ShiftInvertOptions& a,
+                         const ShiftInvertOptions& b) noexcept {
+    return a.sigma == b.sigma && a.prop_tol == b.prop_tol;
+  }
 };
 
 /// All finite lead modes at energy `e`, via dense shift-and-invert on the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <memory>
@@ -334,6 +335,31 @@ Engine::Engine(EngineConfig config, parallel::DevicePool* pool)
   if (config_.ranks_per_energy_group < 1)
     throw std::invalid_argument(
         "Engine: ranks_per_energy_group must be >= 1");
+  if (config_.cache_boundaries) {
+    caches_.resize(static_cast<std::size_t>(config_.num_ranks));
+    for (auto& c : caches_) c = std::make_unique<obc::BoundaryCache>();
+  }
+}
+
+obc::BoundaryCache* Engine::rank_cache(int rank) const {
+  if (caches_.empty()) return nullptr;
+  return caches_[static_cast<std::size_t>(rank)].get();
+}
+
+void Engine::invalidate_boundary_caches() {
+  for (auto& c : caches_) c->invalidate();
+}
+
+obc::BoundaryCache::Stats Engine::boundary_cache_stats() const {
+  obc::BoundaryCache::Stats total;
+  for (const auto& c : caches_) {
+    const auto s = c->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.invalidations += s.invalidations;
+  }
+  return total;
 }
 
 namespace {
@@ -369,6 +395,35 @@ void validate_request(const SweepRequest& req) {
   }
 }
 
+/// FNV-1a over the lead blocks' shapes and raw entries — the *content*
+/// identity the boundary caches depend on (see Engine::last_leads_hash_).
+std::uint64_t leads_fingerprint(const std::vector<dft::LeadBlocks>& leads) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_matrix = [&](const numeric::CMatrix& m) {
+    mix(static_cast<std::uint64_t>(m.rows()));
+    mix(static_cast<std::uint64_t>(m.cols()));
+    for (idx i = 0; i < m.rows(); ++i)
+      for (idx j = 0; j < m.cols(); ++j) {
+        const double parts[2] = {m(i, j).real(), m(i, j).imag()};
+        std::uint64_t bits;
+        std::memcpy(&bits, &parts[0], sizeof(bits));
+        mix(bits);
+        std::memcpy(&bits, &parts[1], sizeof(bits));
+        mix(bits);
+      }
+  };
+  for (const auto& lead : leads) {
+    mix(static_cast<std::uint64_t>(lead.h.size()));
+    for (const auto& m : lead.h) mix_matrix(m);
+    for (const auto& m : lead.s) mix_matrix(m);
+  }
+  return h;
+}
+
 SweepResult shaped_result(const SweepRequest& req) {
   SweepResult out;
   const std::size_t nk = req.energies.size();
@@ -392,6 +447,24 @@ SweepResult Engine::run(const SweepRequest& request) {
   std::size_t total = 0;
   for (const auto& grid : request.energies) total += grid.size();
   if (total == 0) return shaped_result(request);
+  if (!caches_.empty()) {
+    // Cached Boundaries are only replayable while the OBC options and the
+    // lead matrices hold: the backend is part of the key, but an annulus/
+    // ridge/eta change — or different lead Hamiltonians under the same
+    // (k, E) keys — is not.  Drop everything on either mismatch.
+    const bool opts_changed =
+        last_obc_opts_.has_value() &&
+        !obc::obc_options_equal(*last_obc_opts_, request.point.obc_opts);
+    const std::uint64_t leads_hash = leads_fingerprint(*request.leads);
+    const bool leads_changed =
+        last_leads_hash_.has_value() && *last_leads_hash_ != leads_hash;
+    if (opts_changed || leads_changed) invalidate_boundary_caches();
+    last_obc_opts_ = request.point.obc_opts;
+    last_leads_hash_ = leads_hash;
+    // One sweep must always fit: a cap below the task count would evict
+    // entries mid-sweep and forfeit every cross-iteration hit.
+    for (auto& c : caches_) c->reserve(2 * total);
+  }
   if (config_.num_ranks == 1 && config_.flat_single_rank)
     return run_flat(request);
   return run_distributed(request);
@@ -408,6 +481,10 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   // a caller may have left in the options.
   transport::EnergyPointOptions popt = request.point;
   popt.spatial = nullptr;
+  // The engine owns the boundary-cache binding: its rank-0 persistent
+  // cache (shared by the pool workers — BoundaryCache is thread-safe), or
+  // nothing when caching is disabled.
+  popt.boundary_cache = rank_cache(0);
   // Only pay the drain-injection RHS columns when the request carries a
   // drain-side weight to fold them into.
   popt.want_density_r = !request.density_weight_r.empty();
@@ -437,11 +514,14 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
     const auto sk = static_cast<std::size_t>(ik);
     const auto se = static_cast<std::size_t>(ie);
+    // The cache key's momentum component is the global k index.
+    transport::EnergyPointOptions task_opt = popt;
+    task_opt.k_index = ik;
     const double t0 = now_seconds();
     const auto res = transport::solve_energy_point(
         dms[sk], (*request.leads)[sk], (*folded)[sk],
         request.energies[sk][se],
-        popt, pool_);
+        task_opt, pool_);
     busy[flat] = now_seconds() - t0;
     out.transmission[sk][se] = res.transmission;
     out.caroli[sk][se] = res.transmission_caroli;
@@ -523,7 +603,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
     // forever.
     std::optional<Comm> spatial_comm;
     bool members_released = true;
-    const std::vector<double> kSpatialDone{-1.0, 0.0, 0.0, 0.0, 0.0};
+    const std::vector<double> kSpatialDone{-1.0, 0.0, 0.0, 0.0, 0.0, 0.0};
     // The single release point for the members' service loop — every exit
     // path (drain, normal completion, escaped exception) goes through it,
     // so the done marker can never be sent twice or with a stale shape.
@@ -556,6 +636,10 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
           lay.width > 1 && e_comm.size() > 1 && may_cooperate;
       transport::EnergyPointOptions popt = request.point;
       popt.spatial = spatial_group ? &e_comm : nullptr;
+      // Per-rank persistent boundary cache (nullptr when caching is off):
+      // survives across run() calls, so repeated sweeps — the SCF outer
+      // loop — reuse this rank's lead eigenproblem solves.
+      popt.boundary_cache = rank_cache(wr);
       // Mirrors run_flat: drain-injection columns only when there is a
       // drain-side weight to consume them.
       popt.want_density_r = !request.density_weight_r.empty();
@@ -602,8 +686,13 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               wr == 0 && request.folded != nullptr
                   ? &(*request.folded)[static_cast<std::size_t>(k)]
                   : nullptr;
+          // The worker's boundary-cache key carries the *global* k index:
+          // stolen tasks land in the thief's cache under the owner's k, so
+          // two momenta sharing an energy can never alias.
+          transport::EnergyPointOptions kopt = popt;
+          kopt.k_index = k;
           cache.emplace(k, std::make_unique<KData>(std::move(lead), request,
-                                                   popt, ctx, my_pool, pre,
+                                                   kopt, ctx, my_pool, pre,
                                                    /*build_worker=*/leader));
         } catch (...) {
           rank_error = std::current_exception();
@@ -635,10 +724,12 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
                   wr == 0 && request.folded != nullptr
                       ? &(*request.folded)[static_cast<std::size_t>(ik)]
                       : nullptr;
+              transport::EnergyPointOptions kopt = popt;
+              kopt.k_index = ik;
               it = cache
                        .emplace(ik, std::make_unique<KData>(
                                         recv_lead_blocks(comm, 0), request,
-                                        popt, ctx, my_pool, pre))
+                                        kopt, ctx, my_pool, pre))
                        .first;
               fetched = true;
             }
@@ -647,7 +738,11 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             // the leader's choice (kAuto resolution is pure, but a member
             // that lost its inputs could not resolve locally — with the
             // algorithm on the wire it can still honor the protocol by
-            // sending placeholder partitions).
+            // sending placeholder partitions).  The announcement also
+            // carries the boundary-cache key — (global ik, ie, contact
+            // shift) — which members adopt into their task options, so
+            // every rank of the group labels the task by the leader's key
+            // no matter whose queue pull (or steal) produced it.
             if (spatial_group) {
               solvers::SolverContext binding;
               binding.pool = my_pool;
@@ -660,7 +755,8 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               std::vector<double> task{
                   1.0, static_cast<double>(ik), static_cast<double>(ie),
                   fetched ? 1.0 : 0.0,
-                  static_cast<double>(static_cast<int>(algo))};
+                  static_cast<double>(static_cast<int>(algo)),
+                  popt.obc_opts.contact_shift};
               e_comm.bcast(task, 0);
               // A stolen k's blocks reach the members through the group,
               // mirroring the owned-k broadcast at input distribution.
@@ -686,19 +782,26 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         for (;;) {
           std::vector<double> task;
           e_comm.bcast(task, 0);
-          if (task.size() < 5 || task[0] < 0.0) break;
+          if (task.size() < 6 || task[0] < 0.0) break;
           const auto ik = static_cast<idx>(task[1]);
           const auto ie = static_cast<idx>(task[2]);
           const bool fetched = task[3] != 0.0;
           const auto algo = static_cast<solvers::SolverAlgorithm>(
               static_cast<int>(task[4]));
+          // Adopt the leader's cache key: today the member's own options
+          // carry the same shift (one request per run), but the announced
+          // value is authoritative for the task.
+          const double task_shift = task[5];
           if (fetched) {
             dft::LeadBlocks lead;
             broadcast_lead_blocks(e_comm, lead);
             if (rank_error == nullptr && cache.find(ik) == cache.end()) {
               try {
+                transport::EnergyPointOptions kopt = popt;
+                kopt.k_index = ik;
+                kopt.obc_opts.contact_shift = task_shift;
                 cache.emplace(ik, std::make_unique<KData>(
-                                      std::move(lead), request, popt, ctx,
+                                      std::move(lead), request, kopt, ctx,
                                       my_pool, nullptr,
                                       /*build_worker=*/false));
               } catch (...) {

@@ -33,8 +33,25 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
   engine_cfg.ranks_per_energy_group =
       std::max(1, config_.ranks_per_energy_group);
   engine_cfg.work_stealing = config_.work_stealing;
+  engine_cfg.cache_boundaries = config_.cache_boundaries;
   engine_ = std::make_unique<Engine>(engine_cfg, pool_.get());
   kt_ = 8.617e-5 * config_.temperature_k;
+}
+
+void Simulator::set_contact_shift(double shift) {
+  // No direct invalidation here: the engine compares each run's ObcOptions
+  // (shift included) against the previous run's and drops the caches
+  // exactly once at the next sweep iff the value actually changed —
+  // invalidating both here and there would double-count.
+  config_.point.obc_opts.contact_shift = shift;
+}
+
+void Simulator::invalidate_boundary_cache() {
+  engine_->invalidate_boundary_caches();
+}
+
+obc::BoundaryCache::Stats Simulator::boundary_cache_stats() const {
+  return engine_->boundary_cache_stats();
 }
 
 const dft::LeadBlocks& Simulator::lead_blocks(idx ik) const {
@@ -104,6 +121,11 @@ Spectrum Simulator::transmission_spectrum(
   out.energies = energies;
   out.transmission.assign(static_cast<std::size_t>(ne), 0.0);
   out.propagating.assign(static_cast<std::size_t>(ne), 0);
+  // Sigma-only OBC backends (no kProvidesInjection) report no incident
+  // channels; their transmission is the Green's-function (Caroli) trace.
+  const bool caroli_fallback =
+      (obc::obc_algorithm_capabilities(req.point.obc) &
+       obc::kProvidesInjection) == 0;
   const std::vector<double> wk = bz_weights(nk);
   for (idx ik = 0; ik < nk; ++ik) {
     for (idx ie = 0; ie < ne; ++ie) {
@@ -111,7 +133,7 @@ Spectrum Simulator::transmission_spectrum(
       const auto se = static_cast<std::size_t>(ie);
       const idx prop = res.propagating[sk][se];
       const double t =
-          prop > 0 || req.point.obc == transport::ObcAlgorithm::kDecimation
+          prop > 0 || caroli_fallback
               ? (prop > 0 ? res.transmission[sk][se] : res.caroli[sk][se])
               : 0.0;
       out.transmission[se] += t * wk[sk];
@@ -189,7 +211,8 @@ std::vector<double> Simulator::adaptive_energy_grid(
         req.point.want_density = false;
         req.point.want_current = false;
         const bool caroli =
-            req.point.obc == transport::ObcAlgorithm::kDecimation;
+            (obc::obc_algorithm_capabilities(req.point.obc) &
+             obc::kProvidesInjection) == 0;
         req.point.want_caroli = caroli;
         const SweepResult res = engine_->run(req);
         stats_ = res.stats;
@@ -221,6 +244,11 @@ std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
   if (regions.total() != config_.structure.num_cells)
     throw std::invalid_argument(
         "transfer_characteristics: regions must cover all cells");
+  // The bias sweep's lead electrostatics: apply the configured contact
+  // shift up front — set_contact_shift invalidates the boundary caches iff
+  // the value actually changed, so back-to-back sweeps at the same shift
+  // keep their cached lead eigenproblems.
+  set_contact_shift(scf.contact_shift);
   const double mu_drain = mu_source - vds;
   std::vector<IvPoint> out;
   out.reserve(vgs_values.size());

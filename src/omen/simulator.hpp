@@ -47,6 +47,11 @@ struct SimulationConfig {
   /// width-1 run for equal `point.partitions`.
   int ranks_per_energy_group = 1;
   bool work_stealing = true;       ///< dynamic balancing between k groups
+  /// Cross-sweep OBC boundary caching (per engine rank): the lead
+  /// eigenproblem at each (k, E, contact-shift) is solved once and reused
+  /// by every later sweep — bit-identical to recomputation.  Benchmarks
+  /// turn it off for an honest baseline.
+  bool cache_boundaries = true;
 };
 
 struct Spectrum {
@@ -131,6 +136,19 @@ class Simulator {
   /// Execution statistics of the most recent engine sweep (task counts,
   /// stolen tasks, per-rank busy time).
   const EngineStats& last_sweep_stats() const noexcept { return stats_; }
+
+  /// Set the uniform lead (contact) potential shift handed to the OBC
+  /// stage.  A changed value invalidates the boundary caches at the next
+  /// sweep (the engine detects the option change, exactly once); an
+  /// unchanged value keeps every cached lead solve.
+  void set_contact_shift(double shift);
+
+  /// Drop every cached boundary (lead electrostatics changed by other
+  /// means, or to bound the footprint between very different workloads).
+  void invalidate_boundary_cache();
+
+  /// Cumulative boundary-cache counters of the engine's per-rank caches.
+  obc::BoundaryCache::Stats boundary_cache_stats() const;
 
  private:
   SimulationConfig config_;

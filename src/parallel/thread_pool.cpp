@@ -64,7 +64,18 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futs) f.get();
+  // Settle every chunk before surfacing an error: rethrowing on the first
+  // get() would unwind the caller's frame (and the objects `fn` captures)
+  // while later chunks are still running on pool workers.
+  std::exception_ptr first;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 ThreadPool& ThreadPool::global() {

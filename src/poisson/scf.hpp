@@ -48,6 +48,13 @@ struct ScfOptions {
   bool adaptive_energy_grid = false;
   double grid_refine_tol = 0.5;    ///< indicator jump that triggers bisection
   double grid_min_spacing = 1e-3;  ///< eV floor for adaptive refinement
+  /// Uniform lead (contact) potential shift (eV) the transport stage
+  /// applies when building the open boundary conditions for this sweep.
+  /// Drivers hand it to the OBC layer (Simulator::set_contact_shift), which
+  /// explicitly invalidates the cross-sweep boundary cache whenever the
+  /// value changes — cached lead self-energies are reusable only while the
+  /// lead electrostatics stay fixed.
+  double contact_shift = 0.0;
 
   PoissonOptions poisson;
 };

@@ -1,12 +1,12 @@
 #include "transport/transmission.hpp"
 
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "numeric/blas.hpp"
 #include "numeric/lu.hpp"
-#include "obc/decimation.hpp"
-#include "obc/shift_invert.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solvers/spike.hpp"
@@ -55,6 +55,14 @@ solvers::Solver& EnergyPointContext::solver(
   return *solver_;
 }
 
+obc::Strategy& EnergyPointContext::obc_strategy(ObcAlgorithm algo) {
+  if (obc_ == nullptr || obc_algo_ != algo) {
+    obc_ = obc::make_obc_strategy(algo);
+    obc_algo_ = algo;
+  }
+  return *obc_;
+}
+
 EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
                                      const dft::LeadBlocks& lead,
                                      const dft::FoldedLead& folded,
@@ -82,7 +90,7 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   const BlockTridiag& a = ctx.a;
   const idx sf = a.block_size();
 
-  // --- strategy lookup (registry + deterministic kAuto resolution) --------
+  // --- strategy lookups (registries + deterministic kAuto resolution) -----
   solvers::SolverContext binding;
   binding.pool = pool;
   binding.partitions = options.partitions;
@@ -92,36 +100,45 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
           : nullptr;
   solvers::Solver& solver =
       ctx.solver(options.solver, binding, a.num_blocks(), sf);
+  obc::Strategy& obc_strategy = ctx.obc_strategy(options.obc);
+  const bool have_injection =
+      (obc_strategy.capabilities() & obc::kProvidesInjection) != 0;
+  // Density/charge and bond currents integrate the *injected* wave
+  // functions; an OBC backend without injection data would silently
+  // produce zeros.  Reject before any cooperative work starts, so a
+  // spatial group's members are never left waiting on a solve that
+  // cannot happen.
+  if ((options.want_density || options.want_current) && !have_injection)
+    throw std::invalid_argument(
+        std::string("solve_energy_point: OBC strategy '") +
+        obc_strategy.name() +
+        "' provides self-energies only (no injection states); density/"
+        "charge/current requests need a mode-based OBC (shift_invert, "
+        "feast, beyn)");
 
   // kOverlapPrepare backends (SplitSolve Step 1) start work here — before
   // the boundary conditions exist.
   solver.prepare(a);
 
   // --- Open boundary conditions (CPU side, overlapping with Step 1) ---
-  const obc::LeadOperators ops = obc::lead_operators(folded, e);
-  obc::Boundary bnd;
-  bool have_injection = true;
-  switch (options.obc) {
-    case ObcAlgorithm::kShiftInvert: {
-      const auto modes = obc::compute_modes_shift_invert(lead, e);
-      bnd = obc::build_boundary(modes, ops);
-      break;
-    }
-    case ObcAlgorithm::kFeast: {
-      const auto modes = obc::compute_modes_feast(lead, e, options.feast);
-      bnd = obc::build_boundary(modes, ops);
-      break;
-    }
-    case ObcAlgorithm::kDecimation: {
-      obc::DecimationOptions dopt;
-      dopt.eta = options.decimation_eta;
-      bnd.sigma_l = obc::sigma_left_decimation(ops, dopt);
-      bnd.sigma_r = obc::sigma_right_decimation(ops, dopt);
-      bnd.num_incident = 0;
-      have_injection = false;  // decimation yields Sigma only
-      break;
-    }
+  // Served from the cross-sweep cache when one is bound: the lead does not
+  // depend on the device potential, so SCF outer iterations, bias points,
+  // and adaptive-grid re-sweeps revisiting (k, E, shift) reuse the first
+  // evaluation's Boundary bit-for-bit.
+  std::shared_ptr<const obc::Boundary> cached;
+  obc::Boundary computed;
+  if (options.boundary_cache != nullptr) {
+    const obc::BoundaryKey key{options.k_index, energy,
+                               options.obc_opts.contact_shift,
+                               static_cast<int>(options.obc)};
+    cached = options.boundary_cache->find(key);
+    if (cached == nullptr)
+      cached = options.boundary_cache->insert(
+          key, obc_strategy.boundary(lead, folded, e, options.obc_opts));
+  } else {
+    computed = obc_strategy.boundary(lead, folded, e, options.obc_opts);
   }
+  const obc::Boundary& bnd = cached != nullptr ? *cached : computed;
   out.num_propagating = bnd.num_incident;
 
   // --- Solve: Green's-function columns (for Caroli) + injected waves ---
@@ -178,7 +195,10 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
     // Transmission: project the last supercell onto the right-bounded mode
     // basis; flux-normalized propagating amplitudes give T.
     const CMatrix psi_last = x.block(a.dim() - sf, gcols, sf, n_inc);
-    const CMatrix uplus = obc::pseudo_inverse(bnd.right_basis, 1e-12);
+    // Same ridge as the self-energy construction: one BoundaryOptions
+    // governs every pseudo-inverse of the mode basis.
+    const CMatrix uplus = obc::pseudo_inverse(
+        bnd.right_basis, options.obc_opts.boundary.pinv_ridge);
     const CMatrix amps = numeric::matmul(uplus, psi_last);
     double total = 0.0;
     for (idx p = 0; p < n_inc; ++p) {

@@ -3,8 +3,9 @@
 //
 // For one (E, k) the pipeline is:
 //   1. assemble A = E*S - H (block tridiagonal, folded supercells),
-//   2. lead modes -> Sigma^RB and Inj (FEAST / shift-and-invert /
-//      decimation), overlapped with
+//   2. lead modes -> Sigma^RB and Inj through the OBC strategy registry
+//      (shift_invert / feast / beyn / decimation), served from the
+//      cross-sweep BoundaryCache when one is bound, overlapped with
 //   3. Step 1 of SplitSolve on the accelerators (or a direct baseline),
 //   4. wave-function observables: transmission (flux-normalized amplitudes
 //      in the right lead), orbital-resolved density, interface currents —
@@ -15,8 +16,8 @@
 #include <vector>
 
 #include "dft/hamiltonian.hpp"
-#include "obc/feast.hpp"
-#include "obc/self_energy.hpp"
+#include "obc/boundary_cache.hpp"
+#include "obc/strategy.hpp"
 #include "parallel/device.hpp"
 #include "solvers/solver.hpp"
 
@@ -32,7 +33,10 @@ using numeric::CMatrix;
 using numeric::cplx;
 using numeric::idx;
 
-enum class ObcAlgorithm { kShiftInvert, kFeast, kDecimation };
+/// OBC backends come from the OBC strategy layer (obc/strategy.hpp):
+/// shift_invert, feast, decimation, beyn — every registered backend is
+/// selectable here.
+using ObcAlgorithm = obc::ObcAlgorithm;
 
 /// Linear-solver backends come from the unified strategy layer
 /// (solvers/solver.hpp): rgf, block_lu, bcr, spike, splitsolve, or kAuto
@@ -41,6 +45,19 @@ using SolverAlgorithm = solvers::SolverAlgorithm;
 
 struct EnergyPointOptions {
   ObcAlgorithm obc = ObcAlgorithm::kFeast;
+  /// Per-backend OBC options plus the shared BoundaryOptions ridge (one
+  /// ridge governs both the self-energy construction and the transmission
+  /// projection) and the uniform lead contact shift.
+  obc::ObcOptions obc_opts;
+  /// Cross-sweep boundary cache, keyed by (k_index, energy, contact_shift).
+  /// Null = always recompute.  The distribution engine owns this field
+  /// during engine runs (it installs its per-rank persistent cache); set it
+  /// only for direct solve_energy_point calls.
+  obc::BoundaryCache* boundary_cache = nullptr;
+  /// Global momentum index of this point's sweep — the k component of the
+  /// boundary-cache key.  Must identify the *lead*, not the rank solving it
+  /// (work stealing moves tasks between ranks).
+  idx k_index = 0;
   SolverAlgorithm solver = SolverAlgorithm::kSplitSolve;
   int partitions = 1;              ///< SplitSolve/SPIKE partitions
   /// Spatial sub-communicator (Fig. 9 level 3).  Non-null with size > 1:
@@ -48,8 +65,6 @@ struct EnergyPointOptions {
   /// across the communicator's ranks.  The caller must be rank 0; every
   /// other rank serves the same point through serve_spatial_point.
   parallel::Comm* spatial = nullptr;
-  obc::FeastOptions feast;
-  double decimation_eta = 1e-7;
   bool want_density = true;
   /// Also solve the drain-injected states (orbital_density_r) when the
   /// density is requested.  The two-contact charge path needs them; a
@@ -98,10 +113,17 @@ struct EnergyPointContext {
                           const solvers::SolverContext& binding, idx nb,
                           idx s);
 
+  /// Cached OBC strategy instance (obc/strategy.hpp registry); recreated
+  /// when the requested algorithm changes.  Strategies are stateless beyond
+  /// the options passed per evaluation, so reuse is always safe.
+  obc::Strategy& obc_strategy(ObcAlgorithm algo);
+
  private:
   std::unique_ptr<solvers::Solver> solver_;
   solvers::SolverAlgorithm solver_algo_ = solvers::SolverAlgorithm::kAuto;
   solvers::SolverContext solver_binding_;
+  std::unique_ptr<obc::Strategy> obc_;
+  ObcAlgorithm obc_algo_ = ObcAlgorithm::kFeast;
 };
 
 /// Solve one energy point for the device `dm` with leads `lead`/`folded`.

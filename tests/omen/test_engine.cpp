@@ -335,6 +335,200 @@ TEST(Engine, RankErrorsPropagateWithoutDeadlock) {
   EXPECT_THROW(wide.run(req), std::invalid_argument);
 }
 
+TEST(Engine, BoundaryCacheReusedAcrossSweeps) {
+  // The SCF outer loop re-sweeps identical (k, E) grids: the second sweep
+  // must hit the per-rank boundary cache for every point, solve zero lead
+  // eigenproblems, and still produce the first sweep's spectrum verbatim.
+  om::SimulationConfig cfg = chain_config(8, 1);
+  om::Simulator sim(cfg);
+  const auto bands = sim.bands(9);
+  const auto window = tr::band_window(bands);
+  std::vector<double> grid;
+  for (double e = window.emin + 0.05; e < window.emax; e += 0.2)
+    grid.push_back(e);
+
+  const auto first = sim.transmission_spectrum(grid);
+  const auto after_first = sim.boundary_cache_stats();
+  EXPECT_EQ(after_first.misses, grid.size());
+  EXPECT_EQ(after_first.hits, 0u);
+
+  const auto solves_before = omenx::obc::boundary_solve_count();
+  const auto second = sim.transmission_spectrum(grid);
+  EXPECT_EQ(omenx::obc::boundary_solve_count(), solves_before);
+  EXPECT_EQ(sim.boundary_cache_stats().hits, grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(second.transmission[i], first.transmission[i]);
+
+  // The charge sweep revisits the same keys: still no new lead solves.
+  const double mu = 0.5 * (window.emin + window.emax);
+  sim.charge_density(grid, mu, mu - 0.1, nullptr);
+  EXPECT_EQ(omenx::obc::boundary_solve_count(), solves_before);
+
+  // Invalidation empties the cache; the next sweep recomputes.
+  sim.invalidate_boundary_cache();
+  sim.transmission_spectrum(grid);
+  EXPECT_EQ(omenx::obc::boundary_solve_count(),
+            solves_before + grid.size());
+}
+
+TEST(Engine, CachedSweepsBitIdenticalAcrossWorldSizesAndStealing) {
+  // Caching must be invisible to the physics: cached runs at world sizes
+  // 1/2/4 (the hot-k request forces stealing at 4 ranks) agree bit-for-bit
+  // with the uncached flat reference, on first *and* repeat sweeps.
+  const idx s = 5, cells = 10;
+  std::vector<df::LeadBlocks> leads;
+  for (unsigned k = 0; k < 4; ++k)
+    leads.push_back(synthetic_lead(s, 51 + 3 * k));
+  om::SweepRequest req;
+  req.leads = &leads;
+  req.cells = cells;
+  req.potential.assign(static_cast<std::size_t>(cells), 0.0);
+  req.point = cheap_options();
+  req.energies.resize(4);
+  for (int ie = 0; ie < 24; ++ie)
+    req.energies[0].push_back(-2.0 + 0.15 * ie);
+  for (std::size_t k = 1; k < 4; ++k)
+    for (int ie = 0; ie < 3; ++ie)
+      req.energies[k].push_back(-1.0 + 0.5 * ie);
+
+  om::EngineConfig ucfg;
+  ucfg.cache_boundaries = false;
+  om::Engine uncached(ucfg);
+  const auto ref = uncached.run(req);
+
+  for (const int ranks : {1, 2, 4}) {
+    om::EngineConfig ccfg;
+    ccfg.num_ranks = ranks;
+    om::Engine cached(ccfg);
+    const auto a = cached.run(req);
+    const auto b = cached.run(req);  // second sweep: served from the cache
+    if (ranks == 4) EXPECT_GT(a.stats.tasks_stolen, 0);
+    for (std::size_t k = 0; k < 4; ++k)
+      for (std::size_t ie = 0; ie < req.energies[k].size(); ++ie) {
+        EXPECT_DOUBLE_EQ(a.caroli[k][ie], ref.caroli[k][ie])
+            << "ranks=" << ranks;
+        EXPECT_DOUBLE_EQ(b.caroli[k][ie], ref.caroli[k][ie])
+            << "ranks=" << ranks << " (cached resweep)";
+      }
+    EXPECT_GT(cached.boundary_cache_stats().hits, 0u);
+  }
+}
+
+TEST(Engine, SigmaOnlyObcDensityRequestFailsLoudlyAndDrains) {
+  // Decimation provides no injection states: a charge-carrying sweep must
+  // surface std::invalid_argument — from the flat loop and from every rank
+  // topology — instead of silently integrating zero density (and the world
+  // must drain, not hang).
+  om::SimulationConfig cfg = chain_config(8, 1);
+  cfg.point.obc = tr::ObcAlgorithm::kDecimation;
+  om::Simulator reference(cfg);
+  const auto bands = reference.bands(9);
+  const auto window = tr::band_window(bands);
+  const double mu = 0.5 * (window.emin + window.emax);
+  const std::vector<double> grid{mu - 0.1, mu, mu + 0.1};
+  EXPECT_THROW(reference.charge_density(grid, mu, mu, nullptr),
+               std::invalid_argument);
+
+  for (const int ranks : {2, 4}) {
+    om::SimulationConfig dcfg = cfg;
+    dcfg.num_ranks = ranks;
+    if (ranks == 4) dcfg.ranks_per_energy_group = 2;
+    om::Simulator sim(dcfg);
+    EXPECT_THROW(sim.charge_density(grid, mu, mu, nullptr),
+                 std::invalid_argument)
+        << "ranks=" << ranks;
+  }
+}
+
+TEST(Engine, ObcOptionChangeInvalidatesPersistentCaches) {
+  // The cache key carries the backend but not its options: a run whose
+  // ObcOptions differ from the previous run's must drop the cached
+  // Boundaries instead of replaying entries computed under the old
+  // annulus/eta/ridge.
+  std::vector<df::LeadBlocks> leads{synthetic_lead(4, 71)};
+  om::SweepRequest req;
+  req.leads = &leads;
+  req.cells = 8;
+  req.potential.assign(8, 0.0);
+  req.point = cheap_options();
+  req.energies = {{-1.0, -0.5, 0.0, 0.5}};
+
+  om::Engine engine(om::EngineConfig{});
+  engine.run(req);
+  engine.run(req);  // same options: cache serves the sweep
+  EXPECT_EQ(engine.boundary_cache_stats().hits, req.energies[0].size());
+  EXPECT_EQ(engine.boundary_cache_stats().invalidations, 0u);
+
+  req.point.obc_opts.decimation.eta = 1e-5;  // changed backend parameter
+  const auto changed = engine.run(req);
+  EXPECT_EQ(engine.boundary_cache_stats().invalidations, 1u);
+
+  // The post-change results must match a fresh engine under the new
+  // options — no stale-Boundary replay.
+  om::EngineConfig fresh_cfg;
+  fresh_cfg.cache_boundaries = false;
+  om::Engine fresh(fresh_cfg);
+  const auto ref = fresh.run(req);
+  for (std::size_t ie = 0; ie < req.energies[0].size(); ++ie)
+    EXPECT_DOUBLE_EQ(changed.caroli[0][ie], ref.caroli[0][ie]);
+
+  // A different leads vector (different lead Hamiltonians under the same
+  // (k, E) keys) must also drop the caches — and the swapped-leads sweep
+  // must match its own uncached reference, not replay the old leads.
+  std::vector<df::LeadBlocks> other_leads{synthetic_lead(4, 72)};
+  const auto inval_before = engine.boundary_cache_stats().invalidations;
+  req.leads = &other_leads;
+  const auto swapped = engine.run(req);
+  EXPECT_GT(engine.boundary_cache_stats().invalidations, inval_before);
+  const auto swapped_ref = fresh.run(req);
+  for (std::size_t ie = 0; ie < req.energies[0].size(); ++ie)
+    EXPECT_DOUBLE_EQ(swapped.caroli[0][ie], swapped_ref.caroli[0][ie]);
+}
+
+TEST(Engine, ContactShiftChangeInvalidatesCache) {
+  om::SimulationConfig cfg = chain_config(8, 1);
+  om::Simulator sim(cfg);
+  const auto bands = sim.bands(9);
+  const auto window = tr::band_window(bands);
+  const double v_shift = 0.15;
+  std::vector<double> grid;
+  for (double e = window.emin + 0.1; e < window.emax - 0.2; e += 0.25)
+    grid.push_back(e);
+
+  const auto base = sim.transmission_spectrum(grid);
+  EXPECT_EQ(sim.boundary_cache_stats().invalidations, 0u);
+  // The shift change invalidates at the *next sweep* — exactly once, even
+  // when set repeatedly to the same new value.
+  sim.set_contact_shift(v_shift);
+  sim.set_contact_shift(v_shift);
+  EXPECT_EQ(sim.boundary_cache_stats().invalidations, 0u);
+
+  // Physics of the shift: leads at potential V with the device floated to
+  // the same V is the pristine system at E - V.
+  const std::vector<double> lifted(8, v_shift);
+  std::vector<double> shifted_grid;
+  for (const double e : grid) shifted_grid.push_back(e + v_shift);
+  const auto shifted = sim.transmission_spectrum(shifted_grid, &lifted);
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_NEAR(shifted.transmission[i], base.transmission[i], 1e-7) << i;
+  // That sweep saw the changed shift: exactly one invalidation fired.
+  EXPECT_EQ(sim.boundary_cache_stats().invalidations, 1u);
+
+  // The SCF driver plumbs the shift from ScfOptions and invalidates only
+  // on change (0.15 -> 0.0 here; a repeat sweep at the same shift must
+  // keep its cached lead solves).
+  lt::DeviceRegions regions{3, 2, 3};
+  omenx::poisson::ScfOptions scf;
+  scf.max_iter = 2;
+  scf.contact_shift = 0.0;
+  sim.transfer_characteristics({0.0}, 0.05, regions, grid,
+                               0.5 * (window.emin + window.emax), scf);
+  EXPECT_EQ(sim.boundary_cache_stats().invalidations, 2u);  // 0.15 -> 0.0
+  sim.transfer_characteristics({0.0}, 0.05, regions, grid,
+                               0.5 * (window.emin + window.emax), scf);
+  EXPECT_EQ(sim.boundary_cache_stats().invalidations, 2u);
+}
+
 TEST(Engine, RejectsBadRequests) {
   om::Engine engine(om::EngineConfig{});
   om::SweepRequest req;

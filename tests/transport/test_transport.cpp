@@ -244,7 +244,7 @@ TEST(Transport, FeastObcMatchesShiftInvert) {
   tr::EnergyPointOptions fe;
   fe.obc = tr::ObcAlgorithm::kFeast;
   fe.solver = tr::SolverAlgorithm::kBlockLU;
-  fe.feast.annulus_r = 50.0;
+  fe.obc_opts.feast.annulus_r = 50.0;
   const auto a = tr::solve_energy_point(dm, lead, folded, -0.8, si);
   const auto b = tr::solve_energy_point(dm, lead, folded, -0.8, fe);
   EXPECT_NEAR(a.transmission, b.transmission, 1e-5);
@@ -257,6 +257,8 @@ TEST(Transport, DecimationGivesCaroliOnly) {
   tr::EnergyPointOptions opt;
   opt.obc = tr::ObcAlgorithm::kDecimation;
   opt.solver = tr::SolverAlgorithm::kBlockLU;
+  opt.want_density = false;  // Sigma-only OBC: density/current requests
+  opt.want_current = false;  // are rejected loudly
   const auto res = tr::solve_energy_point(dm, lead, folded, -0.5, opt);
   EXPECT_NEAR(res.transmission_caroli, 1.0, 1e-4);
   EXPECT_EQ(res.num_propagating, 0);  // no injection data from decimation
