@@ -13,11 +13,13 @@
 #include <stdexcept>
 #include <thread>
 
+#include "numeric/backend.hpp"
 #include "omen/scheduler.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/thread_pool.hpp"
 #include "solvers/solver.hpp"
 #include "solvers/spike.hpp"
+#include "transport/batch.hpp"
 
 namespace omenx::omen {
 
@@ -276,6 +278,12 @@ struct RankLocal {
   std::vector<double> charge_samples;
   double busy_seconds = 0.0;
   idx tasks = 0;
+  // Batched-execution accounting (stays zero when the leader ran the
+  // unbatched scalar path, a spatial group, or a non-batchable solver).
+  idx batches = 0;          ///< fused backend calls issued
+  idx batched_tasks = 0;    ///< tasks that went through those calls
+  idx prefetch_hits = 0;    ///< boundary-cache hits during OBC prefetch
+  idx prefetch_misses = 0;  ///< prefetch misses (or caching disabled)
 };
 
 void record_sample(RankLocal& local, const Layout& lay, idx ik, idx ie,
@@ -504,32 +512,111 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     dms[k] = dft::assemble_device((*request.leads)[k], request.cells,
                                   request.potential);
 
-  // The degenerate single-rank case: the flat (k, E) thread-pool loop the
-  // simulator always ran, with per-worker warm contexts.
   const bool want_charge = !request.density_weight.empty();
   std::vector<std::vector<double>> point_charge;
   if (want_charge) point_charge.resize(n);
-  std::vector<double> busy(n, 0.0);
-  parallel::ThreadPool::global().parallel_for(n, [&](std::size_t flat) {
-    const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
-    const auto sk = static_cast<std::size_t>(ik);
-    const auto se = static_cast<std::size_t>(ie);
-    // The cache key's momentum component is the global k index.
-    transport::EnergyPointOptions task_opt = popt;
-    task_opt.k_index = ik;
-    const double t0 = now_seconds();
-    const auto res = transport::solve_energy_point(
-        dms[sk], (*request.leads)[sk], (*folded)[sk],
-        request.energies[sk][se],
-        task_opt, pool_);
-    busy[flat] = now_seconds() - t0;
-    out.transmission[sk][se] = res.transmission;
-    out.caroli[sk][se] = res.transmission_caroli;
-    out.propagating[sk][se] = res.num_propagating;
-    if (want_charge)
-      point_charge[flat] = weighted_task_charge(
-          request, (*request.leads)[sk].block_dim(), ik, ie, res);
-  });
+  double busy_total = 0.0;
+
+  // Batch only when the representative resolution (rank-invariant: the
+  // configured max_batch, the first k's block structure) lands on a solver
+  // that advertises kBatchable; otherwise the per-task thread-pool loop
+  // keeps its across-task parallelism, which the scalar fallback inside
+  // solve_energy_batch would forfeit.
+  bool use_batches = false;
+  if (config_.batch_tasks && n > 0) {
+    solvers::SolverContext binding;
+    binding.pool = pool_;
+    binding.partitions = popt.partitions;
+    binding.batch = std::max(1, config_.max_batch);
+    const idx nbb = dms[0].h.num_blocks();
+    const idx sbb = dms[0].h.block_size();
+    const auto algo =
+        solvers::resolve_algorithm(popt.solver, nbb, sbb, 2 * sbb, binding);
+    use_batches =
+        (solvers::algorithm_capabilities(algo) & solvers::kBatchable) != 0;
+  }
+
+  if (use_batches) {
+    // Bucket flat tasks by block structure: batching fuses kernels within
+    // one shape, never across shapes.  Buckets preserve flat order, so the
+    // per-task outputs (and the charge assembly below) stay deterministic.
+    std::map<std::pair<idx, idx>, std::vector<std::size_t>> buckets;
+    for (std::size_t flat = 0; flat < n; ++flat) {
+      const auto sk = static_cast<std::size_t>(lay.unflatten(
+          static_cast<idx>(flat)).first);
+      buckets[{dms[sk].h.num_blocks(), dms[sk].h.block_size()}].push_back(
+          flat);
+    }
+    const std::size_t cap =
+        static_cast<std::size_t>(std::max(1, config_.max_batch));
+    transport::BatchContext bctx;
+    transport::BatchStats bstats;
+    for (const auto& [shape, flats] : buckets) {
+      for (std::size_t base = 0; base < flats.size(); base += cap) {
+        const std::size_t count = std::min(cap, flats.size() - base);
+        std::vector<transport::BatchTask> chunk;
+        chunk.reserve(count);
+        for (std::size_t j = 0; j < count; ++j) {
+          const auto [ik, ie] =
+              lay.unflatten(static_cast<idx>(flats[base + j]));
+          const auto sk = static_cast<std::size_t>(ik);
+          const auto se = static_cast<std::size_t>(ie);
+          chunk.push_back({ik, request.energies[sk][se], &dms[sk],
+                           &(*request.leads)[sk], &(*folded)[sk]});
+        }
+        const double t0 = now_seconds();
+        const auto res = transport::solve_energy_batch(
+            bctx, chunk, popt, pool_, numeric::host_backend(),
+            config_.max_batch, &bstats);
+        busy_total += now_seconds() - t0;
+        for (std::size_t j = 0; j < count; ++j) {
+          const std::size_t flat = flats[base + j];
+          const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
+          const auto sk = static_cast<std::size_t>(ik);
+          const auto se = static_cast<std::size_t>(ie);
+          out.transmission[sk][se] = res[j].transmission;
+          out.caroli[sk][se] = res[j].transmission_caroli;
+          out.propagating[sk][se] = res[j].num_propagating;
+          if (want_charge)
+            point_charge[flat] = weighted_task_charge(
+                request, (*request.leads)[sk].block_dim(), ik, ie, res[j]);
+        }
+      }
+    }
+    if (bstats.batched_solve) {
+      out.stats.batches_issued = bstats.batches;
+      if (bstats.batches > 0)
+        out.stats.mean_batch_size = static_cast<double>(bstats.tasks) /
+                                    static_cast<double>(bstats.batches);
+    }
+    out.stats.prefetch_hits = bstats.prefetch_hits;
+    out.stats.prefetch_misses = bstats.prefetch_misses;
+  } else {
+    // The flat (k, E) thread-pool loop the simulator always ran, with
+    // per-worker warm contexts.
+    std::vector<double> busy(n, 0.0);
+    parallel::ThreadPool::global().parallel_for(n, [&](std::size_t flat) {
+      const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
+      const auto sk = static_cast<std::size_t>(ik);
+      const auto se = static_cast<std::size_t>(ie);
+      // The cache key's momentum component is the global k index.
+      transport::EnergyPointOptions task_opt = popt;
+      task_opt.k_index = ik;
+      const double t0 = now_seconds();
+      const auto res = transport::solve_energy_point(
+          dms[sk], (*request.leads)[sk], (*folded)[sk],
+          request.energies[sk][se],
+          task_opt, pool_);
+      busy[flat] = now_seconds() - t0;
+      out.transmission[sk][se] = res.transmission;
+      out.caroli[sk][se] = res.transmission_caroli;
+      out.propagating[sk][se] = res.num_propagating;
+      if (want_charge)
+        point_charge[flat] = weighted_task_charge(
+            request, (*request.leads)[sk].block_dim(), ik, ie, res);
+    });
+    busy_total = std::accumulate(busy.begin(), busy.end(), 0.0);
+  }
   // Deterministic charge assembly: sum in flat task order.
   for (std::size_t flat = 0; flat < point_charge.size(); ++flat)
     for (std::size_t c = 0; c < point_charge[flat].size(); ++c)
@@ -539,8 +626,7 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   out.stats.energy_groups = 1;
   out.stats.tasks_total = lay.total_tasks;
   out.stats.tasks_per_rank = {lay.total_tasks};
-  out.stats.busy_seconds_per_rank = {
-      std::accumulate(busy.begin(), busy.end(), 0.0)};
+  out.stats.busy_seconds_per_rank = {busy_total};
   out.stats.wall_seconds = now_seconds() - t_start;
   return out;
 }
@@ -701,6 +787,57 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
 
       // --- energy level: pull tasks until the coordinator says done ----
       if (leader) {
+        // Non-spatial leaders accumulate assignments into a same-shape
+        // bucket and flush it through the batched pipeline: on capacity,
+        // on a block-structure change (a stolen k with different blocks),
+        // and at protocol end.  Stolen blocks are still fetched at
+        // accumulation time, so the fetch rides ahead of the flush.
+        // Spatial groups solve cooperatively, one point at a time.
+        const bool use_batches = config_.batch_tasks && !spatial_group;
+        const std::size_t batch_cap =
+            static_cast<std::size_t>(std::max(1, config_.max_batch));
+        struct PendingTask {
+          idx ik, ie;
+          const KData* kd;
+        };
+        std::vector<PendingTask> pending;
+        idx pending_nb = 0, pending_s = 0;
+        transport::BatchContext bctx;
+        const auto flush_pending = [&]() {
+          if (pending.empty()) return;
+          std::vector<PendingTask> batch;
+          batch.swap(pending);
+          if (rank_error != nullptr) return;  // drained, not solved
+          try {
+            std::vector<transport::BatchTask> bt;
+            bt.reserve(batch.size());
+            for (const PendingTask& p : batch)
+              bt.push_back({p.ik,
+                            request.energies[static_cast<std::size_t>(p.ik)]
+                                            [static_cast<std::size_t>(p.ie)],
+                            &p.kd->dm, &p.kd->lead, &p.kd->folded});
+            transport::BatchStats bs;
+            const double t0 = now_seconds();
+            const auto res = transport::solve_energy_batch(
+                bctx, bt, popt, my_pool, numeric::host_backend(),
+                config_.max_batch, &bs);
+            local.busy_seconds += now_seconds() - t0;
+            local.tasks += static_cast<idx>(batch.size());
+            if (bs.batched_solve) {
+              local.batches += bs.batches;
+              local.batched_tasks += bs.tasks;
+            }
+            local.prefetch_hits += bs.prefetch_hits;
+            local.prefetch_misses += bs.prefetch_misses;
+            for (std::size_t j = 0; j < batch.size(); ++j) {
+              record_sample(local, lay, batch[j].ik, batch[j].ie, res[j]);
+              accumulate_charge(local, request, lay, *batch[j].kd,
+                                batch[j].ik, batch[j].ie, res[j]);
+            }
+          } catch (...) {
+            rank_error = std::current_exception();
+          }
+        };
         for (;;) {
           comm.send({0.0, static_cast<double>(my_color)}, 0, kTagRequest);
           const auto assign = comm.recv(0, kTagAssign);
@@ -710,6 +847,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             // Drain, don't solve — and stop announcing tasks so the
             // members exit their service loop instead of waiting for a
             // cooperative solve that will never run.
+            pending.clear();
             release_members();
             continue;
           }
@@ -732,6 +870,19 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
                                         kopt, ctx, my_pool, pre))
                        .first;
               fetched = true;
+            }
+            if (use_batches) {
+              const KData& kd = *it->second;
+              const idx nbb = kd.dm.h.num_blocks();
+              const idx sbb = kd.dm.h.block_size();
+              if (!pending.empty() &&
+                  (nbb != pending_nb || sbb != pending_s))
+                flush_pending();
+              pending_nb = nbb;
+              pending_s = sbb;
+              pending.push_back({ik, ie, &kd});
+              if (pending.size() >= batch_cap) flush_pending();
+              continue;
             }
             // --- spatial level: announce the task to the group ---------
             // The resolved backend travels with the task: members follow
@@ -775,6 +926,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             rank_error = std::current_exception();
           }
         }
+        flush_pending();  // the tail bucket the done marker cut short
         protocol_done = true;
         release_members();
       } else if (spatial_group) {
@@ -858,7 +1010,12 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
     if (!request.density_weight.empty())
       charge_gathered = comm.gatherv(local.charge_samples, 0);
     const auto rank_stats = comm.gatherv(
-        {local.busy_seconds, static_cast<double>(local.tasks)}, 0);
+        {local.busy_seconds, static_cast<double>(local.tasks),
+         static_cast<double>(local.batches),
+         static_cast<double>(local.batched_tasks),
+         static_cast<double>(local.prefetch_hits),
+         static_cast<double>(local.prefetch_misses)},
+        0);
 
     if (wr == 0) {
       for (std::size_t i = 0; i + 3 < gathered.size(); i += 4) {
@@ -889,11 +1046,21 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       out.stats.tasks_stolen = co.stolen;
       out.stats.tasks_per_rank.clear();
       out.stats.busy_seconds_per_rank.clear();
-      for (std::size_t r = 0; 2 * r + 1 < rank_stats.size(); ++r) {
-        out.stats.busy_seconds_per_rank.push_back(rank_stats[2 * r]);
+      idx batched_tasks_total = 0;
+      for (std::size_t r = 0; 6 * r + 5 < rank_stats.size(); ++r) {
+        out.stats.busy_seconds_per_rank.push_back(rank_stats[6 * r]);
         out.stats.tasks_per_rank.push_back(
-            static_cast<idx>(rank_stats[2 * r + 1]));
+            static_cast<idx>(rank_stats[6 * r + 1]));
+        out.stats.batches_issued += static_cast<idx>(rank_stats[6 * r + 2]);
+        batched_tasks_total += static_cast<idx>(rank_stats[6 * r + 3]);
+        out.stats.prefetch_hits += static_cast<idx>(rank_stats[6 * r + 4]);
+        out.stats.prefetch_misses +=
+            static_cast<idx>(rank_stats[6 * r + 5]);
       }
+      if (out.stats.batches_issued > 0)
+        out.stats.mean_batch_size =
+            static_cast<double>(batched_tasks_total) /
+            static_cast<double>(out.stats.batches_issued);
     }
 
     // The protocol is drained and every collective matched; now the error

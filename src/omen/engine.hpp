@@ -62,6 +62,20 @@ struct EngineConfig {
   /// uncached path — a hit replays the stored Boundary verbatim.  Off =
   /// recompute every evaluation (benchmark baseline).
   bool cache_boundaries = true;
+  /// Fuse queued same-shape (k, E) tasks into batched numeric::Backend
+  /// calls (transport::solve_energy_batch): the OBC stage of the whole
+  /// bucket prefetches asynchronously while the device phase issues Step 1
+  /// / block-LU factorizations as single batched calls.  Only solvers
+  /// advertising kBatchable participate; spatial groups (width > 1) always
+  /// solve cooperatively, one point at a time.  Bit-identical to the
+  /// unbatched path, task by task.  Off = solve_energy_point per task
+  /// (benchmark baseline).
+  bool batch_tasks = true;
+  /// Batch capacity — how many queued tasks one leader accumulates before
+  /// issuing a batched call.  Also the *nominal* batch fed to kAuto
+  /// resolution (rank-invariant, never the actual bucket fill, so every
+  /// rank resolves the same backend).
+  int max_batch = 16;
 };
 
 /// Inputs of one distributed (k, E) sweep.  Only the root reads the lead
@@ -96,6 +110,12 @@ struct EngineStats {
   std::vector<idx> tasks_per_rank;
   std::vector<double> busy_seconds_per_rank;  ///< time inside solves
   double wall_seconds = 0.0;
+  // --- batched-execution counters (zero when batch_tasks is off or the
+  // resolved solver lacks kBatchable) ---------------------------------
+  idx batches_issued = 0;       ///< batched pipeline invocations
+  double mean_batch_size = 0.0;  ///< tasks per batch, averaged over batches
+  idx prefetch_hits = 0;        ///< boundary-cache hits during OBC prefetch
+  idx prefetch_misses = 0;      ///< prefetch misses (or caching disabled)
 };
 
 /// Sweep outputs, valid on the calling (root) thread.

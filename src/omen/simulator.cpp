@@ -34,6 +34,8 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
       std::max(1, config_.ranks_per_energy_group);
   engine_cfg.work_stealing = config_.work_stealing;
   engine_cfg.cache_boundaries = config_.cache_boundaries;
+  engine_cfg.batch_tasks = config_.batch_tasks;
+  engine_cfg.max_batch = std::max(1, config_.max_batch);
   engine_ = std::make_unique<Engine>(engine_cfg, pool_.get());
   kt_ = 8.617e-5 * config_.temperature_k;
 }

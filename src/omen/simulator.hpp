@@ -52,6 +52,13 @@ struct SimulationConfig {
   /// by every later sweep — bit-identical to recomputation.  Benchmarks
   /// turn it off for an honest baseline.
   bool cache_boundaries = true;
+  /// Batched execution: fuse queued same-shape (k, E) tasks into batched
+  /// numeric::Backend calls with the OBC stage prefetching asynchronously
+  /// ahead of the device phase.  Bit-identical to the unbatched path.
+  /// Benchmarks turn it off for the single-point baseline.
+  bool batch_tasks = true;
+  /// Tasks per batched call (also the nominal batch for kAuto resolution).
+  int max_batch = 16;
 };
 
 struct Spectrum {

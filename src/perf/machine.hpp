@@ -27,6 +27,15 @@ struct MachineSpec {
   double cpu_active_watts;     ///< per-node CPU draw during FEAST
   double facility_overhead;    ///< multiplier for XDP pumps, blowers, losses
 
+  /// Sustained DP throughput (GFlop/s) of a *batched* GEMM phase: many
+  /// independent same-shape multiplies issued together, one per lane.  For
+  /// the host model this is measured once per process at first use; for the
+  /// Table I machines it is the device peak (batching is how the paper
+  /// saturates the K20X).  solvers::auto_algorithm credits kBatchable
+  /// backends with the ratio batched_gemm_gflops / cpu_gflops when the
+  /// caller plans batched execution.
+  double batched_gemm_gflops;
+
   /// Cray-XK7 Titan (ORNL): 18688 nodes, AMD Opteron 6274 + Tesla K20X.
   static MachineSpec titan();
 
@@ -36,9 +45,11 @@ struct MachineSpec {
   /// The machine this process runs on, as seen by the solver cost model
   /// (solvers::auto_algorithm): one node whose "accelerators" are the
   /// emulated in-process devices, so CPU and GPU throughput coincide.
-  /// Constant by design — the kAuto choice must be a pure function of the
-  /// problem shape, never of load or measurement noise.
-  static MachineSpec host();
+  /// Measured once and cached in a thread-safe static — every call returns
+  /// the same instance, so within a process the kAuto choice stays a pure
+  /// function of the problem shape (all emulated ranks share the process
+  /// and therefore the measurement).
+  static const MachineSpec& host();
 
   /// Total DP peak in PFlop/s over `nodes` nodes.
   double peak_pflops(int nodes) const {

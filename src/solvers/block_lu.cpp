@@ -1,7 +1,9 @@
 #include "solvers/block_lu.hpp"
 
 #include <stdexcept>
+#include <utility>
 
+#include "numeric/backend.hpp"
 #include "numeric/blas.hpp"
 
 namespace omenx::solvers {
@@ -27,6 +29,72 @@ void BlockTridiagLU::factor(const BlockTridiag& a) {
     dtilde_.emplace_back(std::move(di));
   }
   for (idx i = 0; i + 1 < nb_; ++i) u_.push_back(a.upper(i));
+}
+
+void BlockTridiagLU::factor_batched(std::vector<BlockTridiagLU>& out,
+                                    const std::vector<const BlockTridiag*>& as,
+                                    numeric::Backend& backend) {
+  const std::size_t n = as.size();
+  out.resize(n);
+  if (n == 0) return;
+  for (const BlockTridiag* a : as) {
+    if (a == nullptr)
+      throw std::invalid_argument("factor_batched: null system");
+    if (a->num_blocks() != as[0]->num_blocks() ||
+        a->block_size() != as[0]->block_size())
+      throw std::invalid_argument(
+          "factor_batched: mixed block structures in one batch");
+  }
+  const idx nb = as[0]->num_blocks();
+  const idx s = as[0]->block_size();
+  for (std::size_t p = 0; p < n; ++p) {
+    out[p].nb_ = nb;
+    out[p].s_ = s;
+    out[p].dtilde_.clear();
+    out[p].l_.clear();
+    out[p].u_.clear();
+    out[p].dtilde_.reserve(static_cast<std::size_t>(nb));
+    out[p].l_.reserve(static_cast<std::size_t>(nb));
+    out[p].u_.reserve(static_cast<std::size_t>(nb));
+  }
+  // Stage lockstep across the batch: where factor() walks rows with one
+  // kernel call each, the batch walks the same rows with one *batched* call
+  // each, so every stage presents p same-shape problems to the backend at
+  // once.  Per problem the operands and kernels are exactly factor()'s.
+  std::vector<const CMatrix*> blocks(n);
+  for (std::size_t p = 0; p < n; ++p) blocks[p] = &as[p]->diag(0);
+  std::vector<numeric::LUFactor> f0 = backend.lu_factor_batched(blocks);
+  for (std::size_t p = 0; p < n; ++p) {
+    out[p].dtilde_.push_back(std::move(f0[p]));
+    out[p].l_.emplace_back();  // unused slot for i = 0
+  }
+  std::vector<const numeric::LUFactor*> pivots(n);
+  std::vector<CMatrix> lis;
+  std::vector<numeric::GemmBatchItem> items(n);
+  for (idx i = 1; i < nb; ++i) {
+    for (std::size_t p = 0; p < n; ++p) {
+      pivots[p] = &out[p].dtilde_.back();
+      blocks[p] = &as[p]->lower(i - 1);
+    }
+    backend.lu_solve_left_batched(pivots, blocks, lis);
+    std::vector<CMatrix> dis;
+    dis.reserve(n);
+    for (std::size_t p = 0; p < n; ++p) dis.push_back(as[p]->diag(i));
+    for (std::size_t p = 0; p < n; ++p) {
+      const CMatrix& up = as[p]->upper(i - 1);
+      items[p] = {lis[p].data(), lis[p].cols(), up.data(), up.cols(),
+                  dis[p].data(), dis[p].cols()};
+    }
+    backend.gemm_batched('N', 'N', s, s, s, cplx{-1.0}, cplx{1.0}, items);
+    for (std::size_t p = 0; p < n; ++p) blocks[p] = &dis[p];
+    std::vector<numeric::LUFactor> fi = backend.lu_factor_batched(blocks);
+    for (std::size_t p = 0; p < n; ++p) {
+      out[p].l_.push_back(std::move(lis[p]));
+      out[p].dtilde_.push_back(std::move(fi[p]));
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p)
+    for (idx i = 0; i + 1 < nb; ++i) out[p].u_.push_back(as[p]->upper(i));
 }
 
 CMatrix BlockTridiagLU::solve(const CMatrix& b) const {

@@ -18,6 +18,10 @@
 #include "blockmat/block_tridiag.hpp"
 #include "numeric/lu.hpp"
 
+namespace omenx::numeric {
+class Backend;
+}  // namespace omenx::numeric
+
 namespace omenx::solvers {
 
 using blockmat::BlockTridiag;
@@ -38,6 +42,18 @@ class BlockTridiagLU {
 
   /// Solve A X = B for dense multi-column B (dim() rows).
   CMatrix solve(const CMatrix& b) const;
+
+  /// Factor a batch of same-shape systems in stage lockstep: elimination
+  /// row i issues one batched left-solve (the L couplings of every
+  /// problem), one batched s x s GEMM (every trailing update), and one
+  /// batched dense LU (every new pivot block) through `backend` — the
+  /// zgetrf_batched shape of the paper's device phase.  out[p] is
+  /// bit-identical to BlockTridiagLU(*as[p]): the batched stages run the
+  /// same scalar kernels on the same operands, only grouped across
+  /// problems instead of across rows.  Throws if shapes differ.
+  static void factor_batched(std::vector<BlockTridiagLU>& out,
+                             const std::vector<const BlockTridiag*>& as,
+                             numeric::Backend& backend);
 
   idx dim() const noexcept { return nb_ * s_; }
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "numeric/backend.hpp"
 #include "numeric/blas.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/device.hpp"
@@ -40,6 +41,20 @@ CMatrix Solver::solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
   return solve(b_);
 }
 
+std::vector<CMatrix> Solver::solve_boundary_batched(
+    const std::vector<BoundaryProblem>& problems, numeric::Backend& backend) {
+  // Scalar fallback: any backend can serve a batch one problem at a time,
+  // trivially bit-identical to the unbatched path.  kBatchable overrides
+  // replace this with fused numeric::Backend calls.
+  (void)backend;
+  std::vector<CMatrix> xs;
+  xs.reserve(problems.size());
+  for (const BoundaryProblem& p : problems)
+    xs.push_back(solve_boundary(*p.a, *p.sigma_l, *p.sigma_r, *p.b_top,
+                                *p.b_bot));
+  return xs;
+}
+
 std::vector<CMatrix> Solver::diagonal_blocks(const BlockTridiag& t) {
   if ((capabilities() & kFactorSolve) == 0)
     throw std::logic_error(std::string(name()) +
@@ -63,17 +78,62 @@ std::vector<CMatrix> Solver::diagonal_blocks(const BlockTridiag& t) {
 
 namespace {
 
+/// Every problem of one batch must share the block structure — that is what
+/// lets the planner fuse their kernels into single batched calls.
+void check_batch_shapes(const std::vector<BoundaryProblem>& problems) {
+  for (const BoundaryProblem& p : problems) {
+    if (p.a == nullptr || p.sigma_l == nullptr || p.sigma_r == nullptr ||
+        p.b_top == nullptr || p.b_bot == nullptr)
+      throw std::invalid_argument("solve_boundary_batched: null operand");
+    if (p.a->num_blocks() != problems.front().a->num_blocks() ||
+        p.a->block_size() != problems.front().a->block_size())
+      throw std::invalid_argument(
+          "solve_boundary_batched: mixed block structures in one batch");
+  }
+}
+
 /// Block Thomas factorization (the MUMPS stand-in of Fig. 8).  Factor once,
 /// solve any number of dense right-hand sides.
 class BlockLUSolver final : public Solver {
  public:
   const char* name() const noexcept override { return "block_lu"; }
-  unsigned capabilities() const noexcept override { return kFactorSolve; }
+  unsigned capabilities() const noexcept override {
+    return kFactorSolve | kBatchable;
+  }
   void factor(const BlockTridiag& t) override { lu_.factor(t); }
   CMatrix solve(const CMatrix& b) override { return lu_.solve(b); }
+  std::vector<CMatrix> solve_boundary_batched(
+      const std::vector<BoundaryProblem>& problems,
+      numeric::Backend& backend) override {
+    if (problems.empty()) return {};
+    check_batch_shapes(problems);
+    const std::size_t n = problems.size();
+    // Boundary application is cheap copies; run it as one dispatch so every
+    // lane assembles its own T = A - diag-corner(Sigma_L, Sigma_R).
+    ts_.resize(n);
+    backend.dispatch("block_lu_apply_boundary", n, [&](std::size_t p) {
+      apply_boundary_into(ts_[p], *problems[p].a, *problems[p].sigma_l,
+                          *problems[p].sigma_r);
+    });
+    std::vector<const BlockTridiag*> systems(n);
+    for (std::size_t p = 0; p < n; ++p) systems[p] = &ts_[p];
+    // The whole batch factors in stage lockstep: each elimination row issues
+    // one batched left-solve, one batched GEMM, one batched LU.
+    BlockTridiagLU::factor_batched(lus_, systems, backend);
+    std::vector<CMatrix> xs(n);
+    backend.dispatch("block_lu_solve_batched", n, [&](std::size_t p) {
+      const CMatrix b = expand_boundary_rhs(problems[p].a->dim(),
+                                            *problems[p].b_top,
+                                            *problems[p].b_bot);
+      xs[p] = lus_[p].solve(b);
+    });
+    return xs;
+  }
 
  private:
   BlockTridiagLU lu_;
+  std::vector<BlockTridiag> ts_;    ///< per-problem boundary-applied systems
+  std::vector<BlockTridiagLU> lus_; ///< per-problem factors (batch scratch)
 };
 
 /// Block cyclic reduction (OMEN's tight-binding solver).  BCR has no
@@ -100,7 +160,7 @@ class RgfSolver final : public Solver {
  public:
   const char* name() const noexcept override { return "rgf"; }
   unsigned capabilities() const noexcept override {
-    return kDiagonalBlocksNative;
+    return kDiagonalBlocksNative | kBatchable;
   }
   CMatrix solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
                          const CMatrix& sigma_r, const CMatrix& b_top,
@@ -108,6 +168,25 @@ class RgfSolver final : public Solver {
     apply_boundary_into(t_, a, sigma_l, sigma_r);
     const CMatrix q = rgf_block_columns(t_);
     return columns_times_rhs(q, a, b_top, b_bot);
+  }
+  std::vector<CMatrix> solve_boundary_batched(
+      const std::vector<BoundaryProblem>& problems,
+      numeric::Backend& backend) override {
+    if (problems.empty()) return {};
+    check_batch_shapes(problems);
+    // RGF's recursion has no cross-problem kernel to fuse; it batches at
+    // the problem level — one independent recursion per lane, on lane-local
+    // scratch (the shared t_ member is single-lane only).
+    std::vector<CMatrix> xs(problems.size());
+    backend.dispatch("rgf_batched", problems.size(), [&](std::size_t p) {
+      BlockTridiag t;
+      apply_boundary_into(t, *problems[p].a, *problems[p].sigma_l,
+                          *problems[p].sigma_r);
+      const CMatrix q = rgf_block_columns(t);
+      xs[p] = columns_times_rhs(q, *problems[p].a, *problems[p].b_top,
+                                *problems[p].b_bot);
+    });
+    return xs;
   }
   std::vector<CMatrix> diagonal_blocks(const BlockTridiag& t) override {
     return rgf_diagonal_blocks(t);
@@ -177,7 +256,52 @@ class SplitSolveSolver final : public Solver {
   const char* name() const noexcept override { return "splitsolve"; }
   unsigned capabilities() const noexcept override {
     return kDiagonalBlocksNative | kOverlapPrepare | kSpatialCooperative |
-           kUsesDevicePool;
+           kUsesDevicePool | kBatchable;
+  }
+  void prepare_batched(const std::vector<const BlockTridiag*>& systems,
+                       numeric::Backend& backend) override {
+    // Step 1 (Q_i = A_i^{-1} B) for the whole batch as one backend
+    // dispatch: this is the heavy phase the engine overlaps with the
+    // asynchronous OBC stage.  Each lane runs the *serial* SPIKE
+    // block-column kernel, which is bit-identical to the pool and spatial
+    // variants for equal partition counts — so the batch needs no device
+    // pool and still matches the scalar splitsolve path to the bit.
+    SpikeOptions so;
+    so.partitions = ctx_.partitions;
+    qs_.assign(systems.size(), CMatrix());
+    backend.dispatch("splitsolve_step1_batched", systems.size(),
+                     [&](std::size_t p) {
+                       if (systems[p] == nullptr)
+                         throw std::invalid_argument(
+                             "splitsolve: null system in batch");
+                       qs_[p] = spike_block_columns(*systems[p], so);
+                     });
+  }
+  std::vector<CMatrix> solve_boundary_batched(
+      const std::vector<BoundaryProblem>& problems,
+      numeric::Backend& backend) override {
+    if (problems.empty()) {
+      qs_.clear();
+      return {};
+    }
+    check_batch_shapes(problems);
+    if (qs_.size() != problems.size()) {
+      // No (or mismatched) prepare_batched: run Step 1 now, unoverlapped.
+      std::vector<const BlockTridiag*> systems(problems.size());
+      for (std::size_t p = 0; p < problems.size(); ++p)
+        systems[p] = problems[p].a;
+      prepare_batched(systems, backend);
+    }
+    std::vector<CMatrix> xs(problems.size());
+    backend.dispatch("splitsolve_smw_batched", problems.size(),
+                     [&](std::size_t p) {
+                       const BoundaryProblem& pr = problems[p];
+                       xs[p] = SplitSolve::solve_with_q(
+                           qs_[p], pr.a->dim(), pr.a->block_size(),
+                           *pr.sigma_l, *pr.sigma_r, *pr.b_top, *pr.b_bot);
+                     });
+    qs_.clear();  // Q is per-system; the next batch prepares anew
+    return xs;
   }
   void prepare(const BlockTridiag& a) override {
     const bool spatial = ctx_.spatial != nullptr && ctx_.spatial->size() > 1;
@@ -214,6 +338,7 @@ class SplitSolveSolver final : public Solver {
  private:
   SolverContext ctx_;
   std::unique_ptr<SplitSolve> split_;
+  std::vector<CMatrix> qs_;  ///< per-problem Step 1 results of the batch
 };
 
 // --- registry --------------------------------------------------------------
@@ -301,6 +426,28 @@ bool algorithm_is_cooperative(SolverAlgorithm algo) noexcept {
          algo == SolverAlgorithm::kSplitSolve;
 }
 
+unsigned algorithm_capabilities(SolverAlgorithm algo) noexcept {
+  // Mirrors the capabilities() of the registered built-ins — kept static so
+  // planners (the engine's batch scheduler, kAuto) can query capabilities
+  // without instantiating a backend.
+  switch (algo) {
+    case SolverAlgorithm::kBlockLU:
+      return kFactorSolve | kBatchable;
+    case SolverAlgorithm::kBcr:
+      return kFactorSolve;
+    case SolverAlgorithm::kRgf:
+      return kDiagonalBlocksNative | kBatchable;
+    case SolverAlgorithm::kSpike:
+      return kDiagonalBlocksNative | kSpatialCooperative | kUsesDevicePool;
+    case SolverAlgorithm::kSplitSolve:
+      return kDiagonalBlocksNative | kOverlapPrepare | kSpatialCooperative |
+             kUsesDevicePool | kBatchable;
+    case SolverAlgorithm::kAuto:
+      return 0;
+  }
+  return 0;
+}
+
 // --- cost model ------------------------------------------------------------
 
 namespace {
@@ -364,7 +511,7 @@ double splitsolve_seconds(const CostInputs& c, int partitions) {
 double estimate_boundary_solve_seconds(SolverAlgorithm algo, idx nb, idx s,
                                        idx nrhs, int partitions,
                                        int executors) {
-  const perf::MachineSpec spec = perf::MachineSpec::host();
+  const perf::MachineSpec& spec = perf::MachineSpec::host();
   CostInputs c;
   c.nb = static_cast<double>(nb);
   c.s = static_cast<double>(s);
@@ -401,9 +548,22 @@ SolverAlgorithm auto_algorithm(idx nb, idx s, idx nrhs,
   const int executors =
       partitioned_ok ? std::max(width, std::max(1, devices)) : 1;
 
+  // With a batched caller (ctx.batch > 1), kBatchable candidates run their
+  // heavy kernels as fused backend calls and are credited the measured
+  // batched-GEMM throughput of the node model.  The credit is a pure
+  // function of MachineSpec::host() and ctx.batch, so the kAuto determinism
+  // guarantee holds as long as every rank passes the same nominal batch.
+  const perf::MachineSpec& spec = perf::MachineSpec::host();
+  const double batch_credit =
+      ctx.batch > 1
+          ? std::max(1.0, spec.batched_gemm_gflops / spec.cpu_gflops)
+          : 1.0;
   auto estimate = [&](SolverAlgorithm algo) {
-    return estimate_boundary_solve_seconds(algo, nb, s, nrhs, ctx.partitions,
-                                           executors);
+    double seconds = estimate_boundary_solve_seconds(algo, nb, s, nrhs,
+                                                     ctx.partitions, executors);
+    if ((algorithm_capabilities(algo) & kBatchable) != 0)
+      seconds /= batch_credit;
+    return seconds;
   };
   SolverAlgorithm best = SolverAlgorithm::kBlockLU;
   double best_seconds = estimate(best);
@@ -416,10 +576,12 @@ SolverAlgorithm auto_algorithm(idx nb, idx s, idx nrhs,
   };
   consider(SolverAlgorithm::kBcr);
   consider(SolverAlgorithm::kRgf);
-  if (partitioned_ok && (devices > 0 || width > 1)) {
+  if (partitioned_ok && (devices > 0 || width > 1))
     consider(SolverAlgorithm::kSpike);
+  // Batched SplitSolve runs Step 1 on backend lanes, so it no longer needs
+  // accelerators or a spatial group to be worth considering.
+  if (partitioned_ok && (devices > 0 || width > 1 || ctx.batch > 1))
     consider(SolverAlgorithm::kSplitSolve);
-  }
   return best;
 }
 

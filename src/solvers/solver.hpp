@@ -29,6 +29,10 @@
 #include "blockmat/block_tridiag.hpp"
 #include "numeric/matrix.hpp"
 
+namespace omenx::numeric {
+class Backend;
+}  // namespace omenx::numeric
+
 namespace omenx::parallel {
 class Comm;
 class DevicePool;
@@ -60,7 +64,16 @@ enum Capability : unsigned {
   kSpatialCooperative = 1u << 3,
   /// Offloads partition work to the emulated accelerator pool.
   kUsesDevicePool = 1u << 4,
+  /// solve_boundary_batched has a fused implementation: many same-shape
+  /// (k, E) systems execute as single batched numeric::Backend calls
+  /// (the paper's Section 5E pipeline), bit-identical per problem to the
+  /// scalar solve_boundary path.
+  kBatchable = 1u << 5,
 };
+
+/// Capability bits of an algorithm without instantiating it (the batch
+/// planner asks before building solvers).  kAuto reports 0 — resolve first.
+unsigned algorithm_capabilities(SolverAlgorithm algo) noexcept;
 
 /// Execution resources bound to a solver instance at creation.
 struct SolverContext {
@@ -71,6 +84,26 @@ struct SolverContext {
   /// caller of solve_boundary must be spatial rank 0, and every other rank
   /// must be serving the same solve (transport::serve_spatial_point).
   parallel::Comm* spatial = nullptr;
+  /// Nominal batch width the caller intends to issue through the batched
+  /// entry points (1 = scalar operation).  Only the kAuto cost model reads
+  /// it: with batch > 1, kBatchable candidates are credited the measured
+  /// batched-GEMM throughput of perf::MachineSpec::host().  Callers that
+  /// need rank-invariant resolution must pass a rank-invariant nominal
+  /// width (the engine passes its configured max_batch, never the actual
+  /// bucket fill).
+  int batch = 1;
+};
+
+/// One boundary-solve problem of a batch: x = T^{-1} [b_top; 0; ...; b_bot]
+/// with T = *a - diag-corner(*sigma_l, *sigma_r).  All pointers must stay
+/// valid through the batched call; every problem in one batch must share
+/// (num_blocks, block_size).
+struct BoundaryProblem {
+  const BlockTridiag* a = nullptr;
+  const CMatrix* sigma_l = nullptr;
+  const CMatrix* sigma_r = nullptr;
+  const CMatrix* b_top = nullptr;
+  const CMatrix* b_bot = nullptr;
 };
 
 /// Strategy interface.  Instances are stateful (cached factorizations, warm
@@ -104,6 +137,27 @@ class Solver {
   virtual CMatrix solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
                                  const CMatrix& sigma_r, const CMatrix& b_top,
                                  const CMatrix& b_bot);
+
+  /// Batched counterpart of prepare(): called with the A = E*S - H of every
+  /// problem of the upcoming solve_boundary_batched call, before any
+  /// boundary self-energy exists.  kOverlapPrepare backends start the whole
+  /// batch's heavy phase here (SplitSolve Step 1 for every system as one
+  /// backend dispatch) so it overlaps with the asynchronous OBC stage.
+  /// Default: nothing to prepare.  The systems must outlive the following
+  /// solve_boundary_batched call and match it element for element.
+  virtual void prepare_batched(const std::vector<const BlockTridiag*>& systems,
+                               numeric::Backend& backend) {
+    (void)systems;
+    (void)backend;
+  }
+
+  /// Solve a batch of same-shape boundary problems, issuing the heavy
+  /// kernels as batched numeric::Backend calls when the backend advertises
+  /// kBatchable.  Results are in problem order; problem i is bit-identical
+  /// to solve_boundary(*a, *sigma_l, *sigma_r, *b_top, *b_bot) on problem
+  /// i's operands.  The default (any backend) is exactly that scalar loop.
+  virtual std::vector<CMatrix> solve_boundary_batched(
+      const std::vector<BoundaryProblem>& problems, numeric::Backend& backend);
 
   /// Diagonal blocks of t^{-1} (LDOS / charge assembly).  The default is
   /// the identity-solve fallback (factor + one solve per block column,

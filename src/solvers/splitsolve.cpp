@@ -49,18 +49,25 @@ const CMatrix& SplitSolve::preprocessed_q() {
 CMatrix SplitSolve::solve(const CMatrix& sigma_l, const CMatrix& sigma_r,
                           const CMatrix& b_top, const CMatrix& b_bottom) {
   const CMatrix& q = preprocessed_q();
-  if (sigma_l.rows() != s_ || sigma_r.rows() != s_)
+  return solve_with_q(q, dim_, s_, sigma_l, sigma_r, b_top, b_bottom);
+}
+
+CMatrix SplitSolve::solve_with_q(const CMatrix& q, idx dim, idx s,
+                                 const CMatrix& sigma_l, const CMatrix& sigma_r,
+                                 const CMatrix& b_top,
+                                 const CMatrix& b_bottom) {
+  if (sigma_l.rows() != s || sigma_r.rows() != s)
     throw std::invalid_argument("SplitSolve::solve: sigma size mismatch");
-  if (b_top.rows() != s_ || b_bottom.rows() != s_ ||
+  if (b_top.rows() != s || b_bottom.rows() != s ||
       b_top.cols() != b_bottom.cols())
     throw std::invalid_argument("SplitSolve::solve: RHS size mismatch");
   const idx m = b_top.cols();
   parallel::TraceScope trace("postprocess", /*device_id=*/-1);
 
   // b' = stacked non-zero rows of b.
-  CMatrix bprime(2 * s_, m);
+  CMatrix bprime(2 * s, m);
   bprime.set_block(0, 0, b_top);
-  bprime.set_block(s_, 0, b_bottom);
+  bprime.set_block(s, 0, b_bottom);
 
   // Step 2: y = Q b'.
   const CMatrix y = numeric::matmul(q, bprime);
@@ -68,17 +75,17 @@ CMatrix SplitSolve::solve(const CMatrix& sigma_l, const CMatrix& sigma_r,
   // Step 3: R = 1 - C Q (2s x 2s) and z = R^{-1} C y.
   // C has Sigma_L in its top-left and Sigma_R in its bottom-right corner, so
   // C M = [Sigma_L * M_toprows; Sigma_R * M_botrows] for any M.
-  const CMatrix q_top = q.block(0, 0, s_, 2 * s_);
-  const CMatrix q_bot = q.block(dim_ - s_, 0, s_, 2 * s_);
-  CMatrix cq(2 * s_, 2 * s_);
+  const CMatrix q_top = q.block(0, 0, s, 2 * s);
+  const CMatrix q_bot = q.block(dim - s, 0, s, 2 * s);
+  CMatrix cq(2 * s, 2 * s);
   cq.set_block(0, 0, numeric::matmul(sigma_l, q_top));
-  cq.set_block(s_, 0, numeric::matmul(sigma_r, q_bot));
-  CMatrix r = CMatrix::identity(2 * s_);
+  cq.set_block(s, 0, numeric::matmul(sigma_r, q_bot));
+  CMatrix r = CMatrix::identity(2 * s);
   r -= cq;
 
-  CMatrix cy(2 * s_, m);
-  cy.set_block(0, 0, numeric::matmul(sigma_l, y.block(0, 0, s_, m)));
-  cy.set_block(s_, 0, numeric::matmul(sigma_r, y.block(dim_ - s_, 0, s_, m)));
+  CMatrix cy(2 * s, m);
+  cy.set_block(0, 0, numeric::matmul(sigma_l, y.block(0, 0, s, m)));
+  cy.set_block(s, 0, numeric::matmul(sigma_r, y.block(dim - s, 0, s, m)));
   const CMatrix z = numeric::solve(r, cy);
 
   // Step 4: x = Q (b' + z).

@@ -60,6 +60,17 @@ class SplitSolve {
                          const numeric::CMatrix& b_top,
                          const numeric::CMatrix& b_bottom);
 
+  /// Steps 2-4 against an externally computed Q = A^{-1} B (dim x 2s with
+  /// block size s).  This is the whole of solve() minus Step 1 — the
+  /// batched pipeline computes many Qs as one backend dispatch and then
+  /// runs this per problem, bit-identical to solve() on the same Q.
+  static numeric::CMatrix solve_with_q(const numeric::CMatrix& q,
+                                       numeric::idx dim, numeric::idx s,
+                                       const numeric::CMatrix& sigma_l,
+                                       const numeric::CMatrix& sigma_r,
+                                       const numeric::CMatrix& b_top,
+                                       const numeric::CMatrix& b_bottom);
+
   numeric::idx dim() const noexcept { return dim_; }
   numeric::idx block_size() const noexcept { return s_; }
 

@@ -1,0 +1,208 @@
+#include "transport/batch.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/backend.hpp"
+#include "parallel/comm.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/tracer.hpp"
+
+namespace omenx::transport {
+
+using solvers::BoundaryProblem;
+
+std::vector<EnergyPointResult> solve_energy_batch(
+    BatchContext& ctx, const std::vector<BatchTask>& tasks,
+    const EnergyPointOptions& options, parallel::DevicePool* pool,
+    numeric::Backend& backend, int nominal_batch, BatchStats* stats) {
+  std::vector<EnergyPointResult> results(tasks.size());
+  if (tasks.empty()) return results;
+  if (options.spatial != nullptr && options.spatial->size() > 1)
+    throw std::invalid_argument(
+        "solve_energy_batch: spatial groups solve cooperatively, one point "
+        "at a time — batching applies to non-spatial energy groups");
+
+  const numeric::WorkspaceScope scope(ctx.point.workspace);
+  const std::size_t n = tasks.size();
+
+  // --- Stage 1: asynchronous OBC prefetch -------------------------------
+  // Every task's boundary goes to the process thread pool *before* the
+  // device phase is issued, so the lead stage runs ahead of (and
+  // interleaved with) Step 1 — the paper's CPU/GPU overlap at batch scope.
+  // Each job uses its own strategy instance and workspace arena; the
+  // BoundaryCache's first-insert-wins discipline makes concurrent misses on
+  // one key converge on a single canonical Boundary.
+  for (const BatchTask& task : tasks)
+    if (task.dm == nullptr || task.lead == nullptr || task.folded == nullptr)
+      throw std::invalid_argument("solve_energy_batch: null task operand");
+  auto& threads = parallel::ThreadPool::global();
+  std::vector<std::future<detail::FetchedBoundary>> prefetch;
+  prefetch.reserve(n);
+  // Any exit between the submissions and the await must settle the jobs
+  // first: they reference the caller's tasks, and a future destroyed while
+  // its job runs would leave the job touching freed state.
+  const auto drain_prefetch = [&prefetch]() noexcept {
+    for (auto& fut : prefetch)
+      if (fut.valid()) {
+        try {
+          fut.get();
+        } catch (...) {
+        }
+      }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const BatchTask& task = tasks[i];
+    prefetch.push_back(threads.submit([&options, &task] {
+      const parallel::TraceScope trace("obc_prefetch", /*device_id=*/-1);
+      static thread_local numeric::Workspace prefetch_workspace;
+      const numeric::WorkspaceScope ws(prefetch_workspace);
+      EnergyPointOptions task_options = options;
+      task_options.k_index = task.k_index;
+      auto strategy = obc::make_obc_strategy(task_options.obc);
+      return detail::fetch_boundary(*strategy, *task.lead, *task.folded,
+                                    task.energy, task_options);
+    }));
+  }
+
+  bool batched = false;
+  bool have_injection = false;
+  bool rhs_known_nonempty = false;
+  idx nb = 0, sf = 0;
+  solvers::Solver* solver = nullptr;
+  try {
+    // --- Assemble every task's A = E*S - H ------------------------------
+    ctx.a.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      ctx.a[i].assign_es_minus_h(cplx{tasks[i].energy, 0.0}, tasks[i].dm->s,
+                                 tasks[i].dm->h);
+    nb = ctx.a[0].num_blocks();
+    sf = ctx.a[0].block_size();
+    for (const BlockTridiag& a : ctx.a)
+      if (a.num_blocks() != nb || a.block_size() != sf)
+        throw std::invalid_argument(
+            "solve_energy_batch: mixed block structures in one batch");
+
+    // --- Solver + OBC resolution ----------------------------------------
+    solvers::SolverContext binding;
+    binding.pool = pool;
+    binding.partitions = options.partitions;
+    binding.batch = std::max(1, nominal_batch);
+    solver = &ctx.point.solver(options.solver, binding, nb, sf);
+    obc::Strategy& obc_strategy = ctx.point.obc_strategy(options.obc);
+    have_injection =
+        (obc_strategy.capabilities() & obc::kProvidesInjection) != 0;
+    detail::require_injection_support(obc_strategy, have_injection, options);
+    batched = (solver->capabilities() & solvers::kBatchable) != 0;
+
+    // With Caroli columns (or a self-energy-only OBC, which forces them)
+    // every task has a non-empty RHS, so the whole batch can start its
+    // device phase before any boundary arrives.  Otherwise the column
+    // count is boundary-dependent and Step 1 waits for the prefetch.
+    rhs_known_nonempty = options.want_caroli || !have_injection;
+
+    if (batched && rhs_known_nonempty) {
+      std::vector<const BlockTridiag*> systems(n);
+      for (std::size_t i = 0; i < n; ++i) systems[i] = &ctx.a[i];
+      const parallel::TraceScope trace("batch_device_phase",
+                                       /*device_id=*/-1);
+      solver->prepare_batched(systems, backend);
+    }
+  } catch (...) {
+    drain_prefetch();
+    throw;
+  }
+
+  // --- Await the boundaries ---------------------------------------------
+  // A throwing fetch must not abandon its siblings: settle every future,
+  // then surface the first error.
+  std::vector<detail::FetchedBoundary> boundaries;
+  boundaries.reserve(n);
+  std::exception_ptr prefetch_error;
+  for (auto& fut : prefetch) {
+    try {
+      boundaries.push_back(fut.get());
+    } catch (...) {
+      if (prefetch_error == nullptr)
+        prefetch_error = std::current_exception();
+      boundaries.emplace_back();
+    }
+  }
+  if (prefetch_error != nullptr) std::rethrow_exception(prefetch_error);
+
+  BatchStats local;
+  local.batches = 1;
+  local.tasks = static_cast<idx>(n);
+  local.batched_solve = batched;
+  for (const detail::FetchedBoundary& f : boundaries)
+    (f.hit ? local.prefetch_hits : local.prefetch_misses) += 1;
+
+  // --- Shapes + RHS ------------------------------------------------------
+  std::vector<detail::RhsShape> shapes(n);
+  std::vector<std::size_t> solvable;
+  solvable.reserve(n);
+  ctx.b_top.resize(n);
+  ctx.b_bot.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const obc::Boundary& bnd = boundaries[i].get();
+    results[i].energy = tasks[i].energy;
+    results[i].num_propagating = bnd.num_incident;
+    shapes[i] = detail::rhs_shape(bnd, have_injection, sf, options);
+    if (shapes[i].m == 0) continue;  // nothing propagates at this energy
+    detail::build_rhs(ctx.b_top[i], ctx.b_bot[i], bnd, shapes[i], sf);
+    solvable.push_back(i);
+  }
+
+  // --- Stage 2: the device phase ----------------------------------------
+  std::vector<CMatrix> xs;
+  if (batched) {
+    std::vector<BoundaryProblem> problems;
+    problems.reserve(solvable.size());
+    for (const std::size_t i : solvable) {
+      const obc::Boundary& bnd = boundaries[i].get();
+      problems.push_back({&ctx.a[i], &bnd.sigma_l, &bnd.sigma_r,
+                          &ctx.b_top[i], &ctx.b_bot[i]});
+    }
+    const parallel::TraceScope trace("batch_device_phase", /*device_id=*/-1);
+    if (!rhs_known_nonempty && !solvable.empty()) {
+      // Deferred Step 1: prepare exactly the solvable subset so the
+      // prepared state matches the problem list element for element.
+      std::vector<const BlockTridiag*> solvable_systems;
+      solvable_systems.reserve(solvable.size());
+      for (const std::size_t i : solvable)
+        solvable_systems.push_back(&ctx.a[i]);
+      solver->prepare_batched(solvable_systems, backend);
+    }
+    xs = solver->solve_boundary_batched(problems, backend);
+    if (solvable.size() != n && rhs_known_nonempty) {
+      // Unreachable by construction (rhs_known_nonempty => every task is
+      // solvable), kept as a guard against future shape changes.
+      throw std::logic_error("solve_energy_batch: prepared/solved mismatch");
+    }
+  } else {
+    // Scalar loop: the solver instance is stateful (prepare/solve pairs),
+    // so non-batchable backends execute sequentially — still behind the
+    // asynchronous OBC prefetch above.
+    xs.resize(solvable.size());
+    for (std::size_t j = 0; j < solvable.size(); ++j) {
+      const std::size_t i = solvable[j];
+      const obc::Boundary& bnd = boundaries[i].get();
+      solver->prepare(ctx.a[i]);
+      xs[j] = solver->solve_boundary(ctx.a[i], bnd.sigma_l, bnd.sigma_r,
+                                    ctx.b_top[i], ctx.b_bot[i]);
+    }
+  }
+
+  // --- Stage 3: observables, one task per lane --------------------------
+  backend.dispatch("batch_finalize", solvable.size(), [&](std::size_t j) {
+    const std::size_t i = solvable[j];
+    detail::finalize_observables(results[i], ctx.a[i], boundaries[i].get(),
+                                 have_injection, shapes[i], xs[j], options);
+  });
+
+  if (stats != nullptr) *stats += local;
+  return results;
+}
+
+}  // namespace omenx::transport

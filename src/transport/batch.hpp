@@ -1,0 +1,77 @@
+// Batched energy-point pipeline — the paper's two-phase execution model
+// (Section 5E) across *tasks* instead of within one.
+//
+// A batch is a bucket of queued (k, E) tasks sharing one block structure.
+// The pipeline runs:
+//   1. OBC prefetch: every task's boundary (BoundaryCache-disciplined) is
+//      submitted to the process thread pool up front ("obc_prefetch" trace
+//      spans), so the lead stage runs asynchronously ahead of —
+//   2. the device phase: SplitSolve Step 1 / block-LU factorization of the
+//      whole bucket issued as single batched numeric::Backend calls
+//      ("batch_device_phase" trace span), then the per-task boundary
+//      solves, fused through Solver::solve_boundary_batched.
+//   3. Observables finalize on backend lanes, one task per lane.
+// Every stage runs the same scalar arithmetic as transport::
+// solve_energy_point (the shared detail:: helpers), so results are
+// bit-identical to the unbatched path, task by task.
+#pragma once
+
+#include <vector>
+
+#include "transport/transmission.hpp"
+
+namespace omenx::numeric {
+class Backend;
+}  // namespace omenx::numeric
+
+namespace omenx::transport {
+
+/// One queued (k, E) task of a batch.  The referenced matrices must share
+/// (num_blocks, block_size) across the batch and outlive the call.
+struct BatchTask {
+  idx k_index = 0;     ///< global momentum index (boundary-cache key)
+  double energy = 0.0;
+  const dft::DeviceMatrices* dm = nullptr;
+  const dft::LeadBlocks* lead = nullptr;
+  const dft::FoldedLead* folded = nullptr;
+};
+
+/// Per-call accounting, accumulated into the engine's sweep counters.
+struct BatchStats {
+  idx batches = 0;          ///< batched calls issued (1 per solve_energy_batch)
+  idx tasks = 0;            ///< tasks executed through batches
+  idx prefetch_hits = 0;    ///< boundary-cache hits during OBC prefetch
+  idx prefetch_misses = 0;  ///< boundary-cache misses (or no cache bound)
+  bool batched_solve = false;  ///< false = solver lacked kBatchable, scalar loop
+
+  void operator+=(const BatchStats& other) {
+    batches += other.batches;
+    tasks += other.tasks;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_misses += other.prefetch_misses;
+    batched_solve = batched_solve || other.batched_solve;
+  }
+};
+
+/// Reusable state of a batch consumer (one per energy-group leader): the
+/// workspace arena, the per-task assembled systems, and the cached solver
+/// instance (inside the EnergyPointContext).
+struct BatchContext {
+  EnergyPointContext point;
+  std::vector<blockmat::BlockTridiag> a;  ///< per-task E*S - H
+  std::vector<CMatrix> b_top, b_bot;      ///< per-task sparse RHS blocks
+};
+
+/// Solve a bucket of same-shape tasks through the batched pipeline.
+/// `nominal_batch` feeds SolverContext::batch for kAuto resolution — pass a
+/// rank-invariant value (the engine's configured max_batch), never the
+/// actual bucket fill, so every rank resolves the same backend.  When the
+/// resolved solver lacks kBatchable the call degrades to the scalar loop
+/// (still with asynchronous OBC prefetch when a cache is bound).  Results
+/// are in task order.
+std::vector<EnergyPointResult> solve_energy_batch(
+    BatchContext& ctx, const std::vector<BatchTask>& tasks,
+    const EnergyPointOptions& options, parallel::DevicePool* pool,
+    numeric::Backend& backend, int nominal_batch, BatchStats* stats = nullptr);
+
+}  // namespace omenx::transport

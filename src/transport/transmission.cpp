@@ -36,73 +36,11 @@ double caroli_transmission(const CMatrix& sigma_l, const CMatrix& sigma_r,
 
 }  // namespace
 
-solvers::Solver& EnergyPointContext::solver(
-    solvers::SolverAlgorithm requested, const solvers::SolverContext& binding,
-    idx nb, idx s) {
-  // Resolution uses the representative nrhs = 2s (the Caroli columns): the
-  // actual injected-mode count is energy-dependent and unknown to the
-  // spatial members, and the choice must agree across the group's ranks.
-  const solvers::SolverAlgorithm resolved =
-      solvers::resolve_algorithm(requested, nb, s, 2 * s, binding);
-  const bool same_binding = solver_binding_.pool == binding.pool &&
-                            solver_binding_.partitions == binding.partitions &&
-                            solver_binding_.spatial == binding.spatial;
-  if (solver_ == nullptr || solver_algo_ != resolved || !same_binding) {
-    solver_ = solvers::make_solver(resolved, binding);
-    solver_algo_ = resolved;
-    solver_binding_ = binding;
-  }
-  return *solver_;
-}
+namespace detail {
 
-obc::Strategy& EnergyPointContext::obc_strategy(ObcAlgorithm algo) {
-  if (obc_ == nullptr || obc_algo_ != algo) {
-    obc_ = obc::make_obc_strategy(algo);
-    obc_algo_ = algo;
-  }
-  return *obc_;
-}
-
-EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
-                                     const dft::LeadBlocks& lead,
-                                     const dft::FoldedLead& folded,
-                                     double energy,
-                                     const EnergyPointOptions& options,
-                                     parallel::DevicePool* pool) {
-  // Thread-local context: every pool worker that sweeps energies keeps its
-  // own warm workspace, so steady-state points are allocation-free.
-  static thread_local EnergyPointContext ctx;
-  return solve_energy_point(ctx, dm, lead, folded, energy, options, pool);
-}
-
-EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
-                                     const dft::DeviceMatrices& dm,
-                                     const dft::LeadBlocks& lead,
-                                     const dft::FoldedLead& folded,
-                                     double energy,
-                                     const EnergyPointOptions& options,
-                                     parallel::DevicePool* pool) {
-  const numeric::WorkspaceScope scope(ctx.workspace);
-  EnergyPointResult out;
-  out.energy = energy;
-  const cplx e{energy, 0.0};
-  ctx.a.assign_es_minus_h(e, dm.s, dm.h);
-  const BlockTridiag& a = ctx.a;
-  const idx sf = a.block_size();
-
-  // --- strategy lookups (registries + deterministic kAuto resolution) -----
-  solvers::SolverContext binding;
-  binding.pool = pool;
-  binding.partitions = options.partitions;
-  binding.spatial =
-      options.spatial != nullptr && options.spatial->size() > 1
-          ? options.spatial
-          : nullptr;
-  solvers::Solver& solver =
-      ctx.solver(options.solver, binding, a.num_blocks(), sf);
-  obc::Strategy& obc_strategy = ctx.obc_strategy(options.obc);
-  const bool have_injection =
-      (obc_strategy.capabilities() & obc::kProvidesInjection) != 0;
+void require_injection_support(const obc::Strategy& strategy,
+                               bool have_injection,
+                               const EnergyPointOptions& options) {
   // Density/charge and bond currents integrate the *injected* wave
   // functions; an OBC backend without injection data would silently
   // produce zeros.  Reject before any cooperative work starts, so a
@@ -110,81 +48,83 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   // cannot happen.
   if ((options.want_density || options.want_current) && !have_injection)
     throw std::invalid_argument(
-        std::string("solve_energy_point: OBC strategy '") +
-        obc_strategy.name() +
+        std::string("solve_energy_point: OBC strategy '") + strategy.name() +
         "' provides self-energies only (no injection states); density/"
         "charge/current requests need a mode-based OBC (shift_invert, "
         "feast, beyn)");
+}
 
-  // kOverlapPrepare backends (SplitSolve Step 1) start work here — before
-  // the boundary conditions exist.
-  solver.prepare(a);
-
-  // --- Open boundary conditions (CPU side, overlapping with Step 1) ---
+FetchedBoundary fetch_boundary(obc::Strategy& strategy,
+                               const dft::LeadBlocks& lead,
+                               const dft::FoldedLead& folded, double energy,
+                               const EnergyPointOptions& options) {
   // Served from the cross-sweep cache when one is bound: the lead does not
   // depend on the device potential, so SCF outer iterations, bias points,
   // and adaptive-grid re-sweeps revisiting (k, E, shift) reuse the first
   // evaluation's Boundary bit-for-bit.
-  std::shared_ptr<const obc::Boundary> cached;
-  obc::Boundary computed;
+  FetchedBoundary out;
+  const cplx e{energy, 0.0};
   if (options.boundary_cache != nullptr) {
     const obc::BoundaryKey key{options.k_index, energy,
                                options.obc_opts.contact_shift,
                                static_cast<int>(options.obc)};
-    cached = options.boundary_cache->find(key);
-    if (cached == nullptr)
-      cached = options.boundary_cache->insert(
-          key, obc_strategy.boundary(lead, folded, e, options.obc_opts));
+    out.cached = options.boundary_cache->find(key);
+    out.hit = out.cached != nullptr;
+    if (out.cached == nullptr)
+      out.cached = options.boundary_cache->insert(
+          key, strategy.boundary(lead, folded, e, options.obc_opts));
   } else {
-    computed = obc_strategy.boundary(lead, folded, e, options.obc_opts);
+    out.computed = strategy.boundary(lead, folded, e, options.obc_opts);
   }
-  const obc::Boundary& bnd = cached != nullptr ? *cached : computed;
-  out.num_propagating = bnd.num_incident;
+  return out;
+}
 
-  // --- Solve: Green's-function columns (for Caroli) + injected waves ---
-  // RHS layout: [e_first I (s), e_last I (s), Inj (n_inc)] so one solve
-  // covers both formalisms.
-  const idx n_inc = have_injection ? bnd.num_incident : 0;
+RhsShape rhs_shape(const obc::Boundary& bnd, bool have_injection, idx sf,
+                   const EnergyPointOptions& options) {
+  RhsShape shape;
+  shape.n_inc = have_injection ? bnd.num_incident : 0;
   // Drain-side injection columns are only carried when the two-contact
   // density is requested (the SCF charge path): transmission and current
   // need no right-incident states, and the extra RHS columns are not free.
-  const idx n_inc_r = have_injection && options.want_density &&
-                              options.want_density_r
-                          ? bnd.num_incident_right
-                          : 0;
-  const bool want_caroli = options.want_caroli || !have_injection;
-  const idx gcols = want_caroli ? 2 * sf : 0;
-  const idx m = gcols + n_inc + n_inc_r;
-  if (m == 0) {
-    // Nothing to solve at this energy — but cooperative/asynchronous
-    // backends may have outstanding work (spatial members' partitions,
-    // SplitSolve's Step 1) that must be settled before the next point.
-    solver.discard();
-    return out;
-  }
+  shape.n_inc_r = have_injection && options.want_density &&
+                          options.want_density_r
+                      ? bnd.num_incident_right
+                      : 0;
+  shape.want_caroli = options.want_caroli || !have_injection;
+  shape.gcols = shape.want_caroli ? 2 * sf : 0;
+  shape.m = shape.gcols + shape.n_inc + shape.n_inc_r;
+  return shape;
+}
 
-  CMatrix& b_top = ctx.b_top;
-  CMatrix& b_bot = ctx.b_bot;
-  b_top.resize(sf, m);
-  b_bot.resize(sf, m);
-  if (want_caroli) {
+void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& bnd,
+               const RhsShape& shape, idx sf) {
+  b_top.resize(sf, shape.m);
+  b_bot.resize(sf, shape.m);
+  if (shape.want_caroli) {
     for (idx i = 0; i < sf; ++i) {
       b_top(i, i) = cplx{1.0};
       b_bot(i, sf + i) = cplx{1.0};
     }
   }
-  for (idx j = 0; j < n_inc; ++j)
-    for (idx i = 0; i < sf; ++i) b_top(i, gcols + j) = bnd.inj(i, j);
+  for (idx j = 0; j < shape.n_inc; ++j)
+    for (idx i = 0; i < sf; ++i) b_top(i, shape.gcols + j) = bnd.inj(i, j);
   // Right-contact injection enters through the last block.
-  for (idx j = 0; j < n_inc_r; ++j)
+  for (idx j = 0; j < shape.n_inc_r; ++j)
     for (idx i = 0; i < sf; ++i)
-      b_bot(i, gcols + n_inc + j) = bnd.inj_r(i, j);
+      b_bot(i, shape.gcols + shape.n_inc + j) = bnd.inj_r(i, j);
+}
 
-  CMatrix& x = ctx.x;
-  x = solver.solve_boundary(a, bnd.sigma_l, bnd.sigma_r, b_top, b_bot);
+void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
+                          const obc::Boundary& bnd, bool have_injection,
+                          const RhsShape& shape, const CMatrix& x,
+                          const EnergyPointOptions& options) {
+  const idx sf = a.block_size();
+  const idx gcols = shape.gcols;
+  const idx n_inc = shape.n_inc;
+  const idx n_inc_r = shape.n_inc_r;
 
   // --- Caroli transmission from G_{first,last} ---
-  if (want_caroli) {
+  if (shape.want_caroli) {
     const CMatrix g_first_last = x.block(0, sf, sf, sf);
     out.transmission_caroli =
         caroli_transmission(bnd.sigma_l, bnd.sigma_r, g_first_last);
@@ -260,6 +200,109 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
             w * std::norm(x(i, gcols + n_inc + p));
     }
   }
+}
+
+}  // namespace detail
+
+solvers::Solver& EnergyPointContext::solver(
+    solvers::SolverAlgorithm requested, const solvers::SolverContext& binding,
+    idx nb, idx s) {
+  // Resolution uses the representative nrhs = 2s (the Caroli columns): the
+  // actual injected-mode count is energy-dependent and unknown to the
+  // spatial members, and the choice must agree across the group's ranks.
+  const solvers::SolverAlgorithm resolved =
+      solvers::resolve_algorithm(requested, nb, s, 2 * s, binding);
+  const bool same_binding = solver_binding_.pool == binding.pool &&
+                            solver_binding_.partitions == binding.partitions &&
+                            solver_binding_.spatial == binding.spatial &&
+                            solver_binding_.batch == binding.batch;
+  if (solver_ == nullptr || solver_algo_ != resolved || !same_binding) {
+    solver_ = solvers::make_solver(resolved, binding);
+    solver_algo_ = resolved;
+    solver_binding_ = binding;
+  }
+  return *solver_;
+}
+
+obc::Strategy& EnergyPointContext::obc_strategy(ObcAlgorithm algo) {
+  if (obc_ == nullptr || obc_algo_ != algo) {
+    obc_ = obc::make_obc_strategy(algo);
+    obc_algo_ = algo;
+  }
+  return *obc_;
+}
+
+EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
+                                     const dft::LeadBlocks& lead,
+                                     const dft::FoldedLead& folded,
+                                     double energy,
+                                     const EnergyPointOptions& options,
+                                     parallel::DevicePool* pool) {
+  // Thread-local context: every pool worker that sweeps energies keeps its
+  // own warm workspace, so steady-state points are allocation-free.
+  static thread_local EnergyPointContext ctx;
+  return solve_energy_point(ctx, dm, lead, folded, energy, options, pool);
+}
+
+EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
+                                     const dft::DeviceMatrices& dm,
+                                     const dft::LeadBlocks& lead,
+                                     const dft::FoldedLead& folded,
+                                     double energy,
+                                     const EnergyPointOptions& options,
+                                     parallel::DevicePool* pool) {
+  const numeric::WorkspaceScope scope(ctx.workspace);
+  EnergyPointResult out;
+  out.energy = energy;
+  const cplx e{energy, 0.0};
+  ctx.a.assign_es_minus_h(e, dm.s, dm.h);
+  const BlockTridiag& a = ctx.a;
+  const idx sf = a.block_size();
+
+  // --- strategy lookups (registries + deterministic kAuto resolution) -----
+  solvers::SolverContext binding;
+  binding.pool = pool;
+  binding.partitions = options.partitions;
+  binding.spatial =
+      options.spatial != nullptr && options.spatial->size() > 1
+          ? options.spatial
+          : nullptr;
+  solvers::Solver& solver =
+      ctx.solver(options.solver, binding, a.num_blocks(), sf);
+  obc::Strategy& obc_strategy = ctx.obc_strategy(options.obc);
+  const bool have_injection =
+      (obc_strategy.capabilities() & obc::kProvidesInjection) != 0;
+  detail::require_injection_support(obc_strategy, have_injection, options);
+
+  // kOverlapPrepare backends (SplitSolve Step 1) start work here — before
+  // the boundary conditions exist.
+  solver.prepare(a);
+
+  // --- Open boundary conditions (CPU side, overlapping with Step 1) ---
+  const detail::FetchedBoundary fetched =
+      detail::fetch_boundary(obc_strategy, lead, folded, energy, options);
+  const obc::Boundary& bnd = fetched.get();
+  out.num_propagating = bnd.num_incident;
+
+  // --- Solve: Green's-function columns (for Caroli) + injected waves ---
+  // RHS layout: [e_first I (s), e_last I (s), Inj (n_inc)] so one solve
+  // covers both formalisms.
+  const detail::RhsShape shape =
+      detail::rhs_shape(bnd, have_injection, sf, options);
+  if (shape.m == 0) {
+    // Nothing to solve at this energy — but cooperative/asynchronous
+    // backends may have outstanding work (spatial members' partitions,
+    // SplitSolve's Step 1) that must be settled before the next point.
+    solver.discard();
+    return out;
+  }
+
+  detail::build_rhs(ctx.b_top, ctx.b_bot, bnd, shape, sf);
+
+  CMatrix& x = ctx.x;
+  x = solver.solve_boundary(a, bnd.sigma_l, bnd.sigma_r, ctx.b_top, ctx.b_bot);
+
+  detail::finalize_observables(out, a, bnd, have_injection, shape, x, options);
   return out;
 }
 

@@ -198,6 +198,63 @@ void serve_spatial_point(EnergyPointContext& ctx,
                          solvers::SolverAlgorithm algo, int partitions,
                          parallel::Comm& spatial);
 
+namespace detail {
+
+/// Stage helpers shared verbatim between the scalar solve_energy_point and
+/// the batched pipeline (transport/batch.cpp): both paths run exactly this
+/// arithmetic, which is what makes the batched results bit-identical.
+
+/// Outcome of the cache-disciplined OBC stage.  Holds either a cache
+/// handout (shared_ptr keeps it alive past invalidation) or a locally
+/// computed Boundary.
+struct FetchedBoundary {
+  std::shared_ptr<const obc::Boundary> cached;
+  obc::Boundary computed;
+  bool hit = false;  ///< true when the bound cache already had the key
+  const obc::Boundary& get() const {
+    return cached != nullptr ? *cached : computed;
+  }
+};
+
+/// Stage 2: compute (or fetch) the boundary for one (k, E, shift) under the
+/// options' cache discipline — find first, insert on miss (first insert is
+/// canonical), compute without storing when no cache is bound.
+FetchedBoundary fetch_boundary(obc::Strategy& strategy,
+                               const dft::LeadBlocks& lead,
+                               const dft::FoldedLead& folded, double energy,
+                               const EnergyPointOptions& options);
+
+/// The RHS column layout of one point:
+/// [e_first I, e_last I (gcols), Inj (n_inc), Inj_r (n_inc_r)].
+struct RhsShape {
+  idx n_inc = 0;
+  idx n_inc_r = 0;
+  idx gcols = 0;
+  idx m = 0;  ///< total columns; 0 = nothing propagates, skip the solve
+  bool want_caroli = false;
+};
+
+RhsShape rhs_shape(const obc::Boundary& bnd, bool have_injection, idx sf,
+                   const EnergyPointOptions& options);
+
+/// Stage 3a: assemble the sparse boundary RHS blocks for `shape`.
+void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& bnd,
+               const RhsShape& shape, idx sf);
+
+/// Stage 4: all observables (Caroli + wave-function transmission, density,
+/// currents) from the solved block columns `x`.
+void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
+                          const obc::Boundary& bnd, bool have_injection,
+                          const RhsShape& shape, const CMatrix& x,
+                          const EnergyPointOptions& options);
+
+/// Shared guard: density/current requests need a mode-based OBC.
+void require_injection_support(const obc::Strategy& strategy,
+                               bool have_injection,
+                               const EnergyPointOptions& options);
+
+}  // namespace detail
+
 /// Fermi-Dirac occupation.
 double fermi(double e, double mu, double kt);
 

@@ -1,0 +1,281 @@
+// numeric::Backend parity tests: every batched entry point must be
+// bit-identical — not merely close — to the scalar kernels it fuses, on
+// every item of the batch.  The engine's batched sweep path relies on this
+// to keep spectra and charge reproducible between batched and unbatched
+// runs (and across world sizes / work stealing, which change the batch
+// composition).
+#include "numeric/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "blockmat/block_tridiag.hpp"
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "parallel/device.hpp"
+#include "solvers/block_lu.hpp"
+#include "solvers/solver.hpp"
+
+namespace bm = omenx::blockmat;
+namespace nm = omenx::numeric;
+namespace sv = omenx::solvers;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+void expect_bit_identical(const CMatrix& a, const CMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j).real(), b(i, j).real()) << "(" << i << "," << j << ")";
+      EXPECT_EQ(a(i, j).imag(), b(i, j).imag()) << "(" << i << "," << j << ")";
+    }
+}
+
+CMatrix well_conditioned(idx n, unsigned seed) {
+  CMatrix a = nm::random_cmatrix(n, n, seed);
+  for (idx i = 0; i < n; ++i) a(i, i) += cplx{double(n), 0.5};
+  return a;
+}
+
+bm::BlockTridiag random_system(idx nb, idx s, unsigned seed) {
+  bm::BlockTridiag t(nb, s);
+  for (idx i = 0; i < nb; ++i) {
+    t.diag(i) = nm::random_cmatrix(s, s, seed + static_cast<unsigned>(i));
+    for (idx d = 0; d < s; ++d) t.diag(i)(d, d) += cplx{6.0, 0.5};
+    if (i + 1 < nb) {
+      t.upper(i) =
+          nm::random_cmatrix(s, s, seed + 1000 + static_cast<unsigned>(i));
+      t.lower(i) =
+          nm::random_cmatrix(s, s, seed + 2000 + static_cast<unsigned>(i));
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+TEST(Backend, HostIsRegistered) {
+  EXPECT_STREQ(nm::host_backend().name(), "host");
+  EXPECT_GE(nm::host_backend().lanes(), 1);
+  EXPECT_EQ(nm::find_backend("host"), &nm::host_backend());
+  EXPECT_EQ(nm::find_backend("no-such-backend"), nullptr);
+  const auto names = nm::registered_backends();
+  EXPECT_NE(std::find(names.begin(), names.end(), "host"), names.end());
+}
+
+TEST(Backend, DispatchCoversEveryItemExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  nm::host_backend().dispatch("test_cover", hits.size(),
+                              [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Backend, DispatchPropagatesFirstException) {
+  EXPECT_THROW(nm::host_backend().dispatch(
+                   "test_throw", 16,
+                   [&](std::size_t i) {
+                     if (i % 2 == 1) throw std::runtime_error("lane failure");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Backend, NestedDispatchFromALaneDegradesToSerial) {
+  // A batched kernel that itself issues a batch must not deadlock on the
+  // shared pool: the inner dispatch runs serially on the lane.
+  std::atomic<int> total{0};
+  nm::host_backend().dispatch("outer", 8, [&](std::size_t) {
+    nm::host_backend().dispatch("inner", 8,
+                                [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(Backend, GemmBatchedBitIdenticalToScalarLoop) {
+  const idx m = 13, n = 9, k = 11;
+  const std::size_t batch = 12;
+  std::vector<CMatrix> as, bs, cs, refs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    as.push_back(nm::random_cmatrix(m, k, 100 + static_cast<unsigned>(p)));
+    bs.push_back(nm::random_cmatrix(k, n, 200 + static_cast<unsigned>(p)));
+    cs.push_back(nm::random_cmatrix(m, n, 300 + static_cast<unsigned>(p)));
+    refs.push_back(cs.back());
+  }
+  const cplx alpha{-1.0, 0.25}, beta{0.5, -0.125};
+  for (std::size_t p = 0; p < batch; ++p)
+    nm::gemm(as[p], bs[p], refs[p], alpha, beta);
+
+  std::vector<nm::GemmBatchItem> items;
+  for (std::size_t p = 0; p < batch; ++p)
+    items.push_back({as[p].data(), as[p].cols(), bs[p].data(), bs[p].cols(),
+                     cs[p].data(), cs[p].cols()});
+  nm::host_backend().gemm_batched('N', 'N', m, n, k, alpha, beta, items);
+  for (std::size_t p = 0; p < batch; ++p) expect_bit_identical(cs[p], refs[p]);
+}
+
+TEST(Backend, LuFactorAndSolveBatchedBitIdentical) {
+  const idx s = 17;
+  const std::size_t batch = 9;
+  std::vector<CMatrix> as, bs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    as.push_back(well_conditioned(s, 400 + static_cast<unsigned>(p)));
+    bs.push_back(
+        nm::random_cmatrix(s, 3 + static_cast<idx>(p % 2),
+                           500 + static_cast<unsigned>(p)));
+  }
+  std::vector<const CMatrix*> a_ptrs, b_ptrs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    a_ptrs.push_back(&as[p]);
+    b_ptrs.push_back(&bs[p]);
+  }
+  auto factors = nm::host_backend().lu_factor_batched(a_ptrs);
+  ASSERT_EQ(factors.size(), batch);
+  std::vector<const nm::LUFactor*> f_ptrs;
+  for (const auto& f : factors) f_ptrs.push_back(&f);
+
+  std::vector<CMatrix> xs;
+  nm::host_backend().lu_solve_batched(f_ptrs, b_ptrs, xs);
+  ASSERT_EQ(xs.size(), batch);
+  for (std::size_t p = 0; p < batch; ++p) {
+    const nm::LUFactor ref(as[p]);
+    expect_bit_identical(xs[p], ref.solve(bs[p]));
+  }
+}
+
+TEST(Backend, LuSolveLeftBatchedBitIdentical) {
+  const idx s = 12;
+  const std::size_t batch = 7;
+  std::vector<CMatrix> as, bs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    as.push_back(well_conditioned(s, 600 + static_cast<unsigned>(p)));
+    bs.push_back(nm::random_cmatrix(s, s, 700 + static_cast<unsigned>(p)));
+  }
+  std::vector<const CMatrix*> a_ptrs, b_ptrs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    a_ptrs.push_back(&as[p]);
+    b_ptrs.push_back(&bs[p]);
+  }
+  const auto factors = nm::host_backend().lu_factor_batched(a_ptrs);
+  std::vector<const nm::LUFactor*> f_ptrs;
+  for (const auto& f : factors) f_ptrs.push_back(&f);
+  std::vector<CMatrix> xs;
+  nm::host_backend().lu_solve_left_batched(f_ptrs, b_ptrs, xs);
+  for (std::size_t p = 0; p < batch; ++p) {
+    const nm::LUFactor ref(as[p]);
+    expect_bit_identical(xs[p], ref.solve_left(bs[p]));
+  }
+}
+
+TEST(Backend, BlockTridiagFactorBatchedBitIdenticalToScalar) {
+  const idx nb = 6, s = 5;
+  const std::size_t batch = 8;
+  std::vector<bm::BlockTridiag> systems;
+  for (std::size_t p = 0; p < batch; ++p)
+    systems.push_back(random_system(nb, s, 800 + 10 * static_cast<unsigned>(p)));
+  std::vector<const bm::BlockTridiag*> ptrs;
+  for (const auto& t : systems) ptrs.push_back(&t);
+
+  std::vector<sv::BlockTridiagLU> batched;
+  sv::BlockTridiagLU::factor_batched(batched, ptrs, nm::host_backend());
+  ASSERT_EQ(batched.size(), batch);
+
+  for (std::size_t p = 0; p < batch; ++p) {
+    const CMatrix b = nm::random_cmatrix(systems[p].dim(), 4,
+                                         900 + static_cast<unsigned>(p));
+    sv::BlockTridiagLU scalar;
+    scalar.factor(systems[p]);
+    expect_bit_identical(batched[p].solve(b), scalar.solve(b));
+  }
+}
+
+namespace {
+
+/// Run one solver's batched boundary path against the scalar path of a
+/// *fresh* instance on identical operands; every item must match to the bit.
+void solver_batched_parity(const std::string& solver_name,
+                           const sv::SolverContext& ctx = {}) {
+  const idx nb = 5, s = 4, cols = 3;
+  const std::size_t batch = 6;
+  std::vector<bm::BlockTridiag> systems;
+  std::vector<CMatrix> sig_l, sig_r, b_top, b_bot;
+  for (std::size_t p = 0; p < batch; ++p) {
+    const auto u = static_cast<unsigned>(p);
+    systems.push_back(random_system(nb, s, 1100 + 10 * u));
+    sig_l.push_back(nm::random_cmatrix(s, s, 1200 + u) * cplx{0.1, 0.0});
+    sig_r.push_back(nm::random_cmatrix(s, s, 1300 + u) * cplx{0.1, 0.0});
+    b_top.push_back(nm::random_cmatrix(s, cols, 1400 + u));
+    b_bot.push_back(nm::random_cmatrix(s, cols, 1500 + u));
+  }
+
+  const auto batched_solver = sv::make_solver(solver_name, ctx);
+  std::vector<const bm::BlockTridiag*> ptrs;
+  std::vector<sv::BoundaryProblem> problems;
+  for (std::size_t p = 0; p < batch; ++p) {
+    ptrs.push_back(&systems[p]);
+    problems.push_back(
+        {&systems[p], &sig_l[p], &sig_r[p], &b_top[p], &b_bot[p]});
+  }
+  batched_solver->prepare_batched(ptrs, nm::host_backend());
+  const auto xs =
+      batched_solver->solve_boundary_batched(problems, nm::host_backend());
+  ASSERT_EQ(xs.size(), batch);
+
+  for (std::size_t p = 0; p < batch; ++p) {
+    const auto scalar = sv::make_solver(solver_name, ctx);
+    scalar->prepare(systems[p]);
+    const CMatrix ref = scalar->solve_boundary(systems[p], sig_l[p], sig_r[p],
+                                               b_top[p], b_bot[p]);
+    expect_bit_identical(xs[p], ref);
+  }
+}
+
+}  // namespace
+
+TEST(Backend, BlockLuSolverBatchedParity) { solver_batched_parity("block_lu"); }
+
+TEST(Backend, RgfSolverBatchedParity) { solver_batched_parity("rgf"); }
+
+TEST(Backend, SplitSolveSolverBatchedParity) {
+  // The batched Step 1 runs the serial SPIKE block-column kernel on host
+  // lanes; the scalar reference runs the device-pool variant.  PR 3's
+  // guarantee — serial/pool/spatial Step 1 bit-identical for equal
+  // partition counts — is what makes the comparison exact.
+  omenx::parallel::DevicePool pool(2);
+  sv::SolverContext ctx;
+  ctx.pool = &pool;
+  solver_batched_parity("splitsolve", ctx);
+}
+
+TEST(Backend, DefaultBatchedPathMatchesScalarForNonBatchable) {
+  // A solver without kBatchable still honors the batched entry points via
+  // the base-class scalar loop (the engine never calls them in that case,
+  // but the contract holds).
+  EXPECT_EQ(sv::algorithm_capabilities(sv::SolverAlgorithm::kBcr) &
+                sv::kBatchable,
+            0u);
+  solver_batched_parity("bcr");
+}
+
+TEST(Backend, RegisterAndFindCustomBackend) {
+  class NullBackend : public nm::Backend {
+   public:
+    const char* name() const noexcept override { return "null"; }
+    int lanes() const noexcept override { return 1; }
+    void dispatch(const char*, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) override {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+  static NullBackend null_backend;
+  nm::register_backend("null", &null_backend);
+  EXPECT_EQ(nm::find_backend("null"), &null_backend);
+  const auto names = nm::registered_backends();
+  EXPECT_NE(std::find(names.begin(), names.end(), "null"), names.end());
+}

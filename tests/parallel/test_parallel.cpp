@@ -386,3 +386,68 @@ TEST(Comm, CollectivesInterleaveOnParentAndChild) {
     }
   });
 }
+
+TEST(DevicePool, SliceRejectsBadPartitionIndex) {
+  pp::DevicePool pool(2);
+  EXPECT_THROW(pool.slice(-1, 2), std::invalid_argument);
+  EXPECT_THROW(pool.slice(2, 2), std::invalid_argument);
+  EXPECT_THROW(pool.slice(0, 0), std::invalid_argument);
+}
+
+TEST(DevicePool, ZeroDevicePoolThrows) {
+  // A pool with no devices cannot exist (and so no slice can ever see an
+  // empty view): the constructor refuses up front.
+  EXPECT_THROW(pp::DevicePool(0), std::invalid_argument);
+  EXPECT_THROW(pp::DevicePool(-3), std::invalid_argument);
+}
+
+TEST(DevicePool, SingleDeviceSliceIsAlwaysDeviceZero) {
+  pp::DevicePool pool(1);
+  pp::DevicePool one = pool.slice(0, 1);
+  ASSERT_EQ(one.size(), 1);
+  // Exhaustive single-device case: every group of a many-group split maps
+  // round-robin back onto device 0.
+  for (int part = 0; part < 4; ++part) {
+    pp::DevicePool s = one.slice(part, 4);
+    ASSERT_EQ(s.size(), 1);
+    EXPECT_EQ(s.device(0).id(), 0);
+  }
+}
+
+TEST(DevicePool, SliceMoreGroupsThanDevicesIsRoundRobin) {
+  pp::DevicePool pool(3);
+  for (int part = 0; part < 7; ++part) {
+    pp::DevicePool s = pool.slice(part, 7);
+    ASSERT_EQ(s.size(), 1);
+    EXPECT_EQ(s.device(0).id(), part % 3);
+  }
+}
+
+TEST(DevicePool, SliceUnevenRemainderGoesToFirstGroups) {
+  // 5 devices over 3 groups: 2, 2, 1 — remainder devices land in the
+  // first groups, partitions are contiguous and disjoint.
+  pp::DevicePool pool(5);
+  pp::DevicePool s0 = pool.slice(0, 3);
+  pp::DevicePool s1 = pool.slice(1, 3);
+  pp::DevicePool s2 = pool.slice(2, 3);
+  ASSERT_EQ(s0.size(), 2);
+  ASSERT_EQ(s1.size(), 2);
+  ASSERT_EQ(s2.size(), 1);
+  EXPECT_EQ(s0.device(0).id(), 0);
+  EXPECT_EQ(s0.device(1).id(), 1);
+  EXPECT_EQ(s1.device(0).id(), 2);
+  EXPECT_EQ(s1.device(1).id(), 3);
+  EXPECT_EQ(s2.device(0).id(), 4);
+}
+
+TEST(DevicePool, SliceOfSliceComposesOverContiguousShare) {
+  // The engine hands an energy group a contiguous share, and the group may
+  // re-slice it (nested hierarchy levels).  4 devices -> 2 groups of 2 ->
+  // 2 sub-slices of 1 each.
+  pp::DevicePool pool(4);
+  pp::DevicePool half = pool.slice(1, 2);  // devices {2, 3}
+  ASSERT_EQ(half.size(), 2);
+  pp::DevicePool quarter = half.slice(1, 2);
+  ASSERT_EQ(quarter.size(), 1);
+  EXPECT_EQ(quarter.device(0).id(), 3);
+}
