@@ -46,24 +46,24 @@ CMatrix sancho_rubio(const CMatrix& t0, const CMatrix& alpha0,
 
 CMatrix surface_gf_left(const LeadOperators& ops, const DecimationOptions& o) {
   // Left lead (q -> -inf): the surface cell couples inward via tc^H.
-  return sancho_rubio(ops.t0, numeric::dagger(ops.tc), ops.tc, o);
+  return sancho_rubio(ops.t0, ops.tcd, ops.tc, o);
 }
 
 CMatrix surface_gf_right(const LeadOperators& ops, const DecimationOptions& o) {
   // Right lead (q -> +inf): the surface cell couples inward via tc.
-  return sancho_rubio(ops.t0, ops.tc, numeric::dagger(ops.tc), o);
+  return sancho_rubio(ops.t0, ops.tc, ops.tcd, o);
 }
 
 CMatrix sigma_left_decimation(const LeadOperators& ops,
                               const DecimationOptions& o) {
   const CMatrix g = surface_gf_left(ops, o);
-  return numeric::matmul(numeric::dagger(ops.tc), numeric::matmul(g, ops.tc));
+  return numeric::matmul(ops.tcd, numeric::matmul(g, ops.tc));
 }
 
 CMatrix sigma_right_decimation(const LeadOperators& ops,
                                const DecimationOptions& o) {
   const CMatrix g = surface_gf_right(ops, o);
-  return numeric::matmul(ops.tc, numeric::matmul(g, numeric::dagger(ops.tc)));
+  return numeric::matmul(ops.tc, numeric::matmul(g, ops.tcd));
 }
 
 }  // namespace omenx::obc

@@ -12,6 +12,7 @@ LeadOperators lead_operators(const dft::FoldedLead& lead, cplx e) {
   out.s01 = lead.s01;
   out.t0 = lead.s00 * e - lead.h00;
   out.tc = lead.s01 * e - lead.h01;
+  out.tcd = numeric::dagger(lead.s01) * e - numeric::dagger(lead.h01);
   return out;
 }
 

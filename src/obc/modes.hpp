@@ -35,9 +35,17 @@ struct LeadModes {
 };
 
 /// Folded-supercell operator blocks of the lead at energy E:
-/// t0 = E*S00 - H00, tc = E*S01 - H01.
+/// t0 = E*S00 - H00, tc = E*S01 - H01, and the reverse coupling
+/// tcd = E*S01^H - H01^H.  On the real axis tcd == tc^H, but the two differ
+/// at complex E: the dagger of tc would conjugate the energy (conj(E)*S01^H
+/// - H01^H), making every self-energy built from it a function of conj(E)
+/// and silently breaking the analyticity that the contour charge quadrature
+/// deforms through.  Only the *matrices* are Hermitian-conjugated; the
+/// energy continues unconjugated (same convention as the companion pencil's
+/// Htilde_{-l} = H_l^H - E*S_l^H blocks).
 struct LeadOperators {
   CMatrix t0, tc;
+  CMatrix tcd;  ///< E*S01^H - H01^H — use instead of dagger(tc) everywhere
   CMatrix s00, s01;
 };
 

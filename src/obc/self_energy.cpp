@@ -1,5 +1,6 @@
 #include "obc/self_energy.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "numeric/blas.hpp"
@@ -57,6 +58,21 @@ CMatrix bloch_propagator(const Selection& sel, bool inverse_lambda,
   return numeric::matmul(scaled, pseudo_inverse(sel.u, ridge));
 }
 
+// True probability flux of the unit-2-norm mode column j: |2 Im(lambda
+// u^H tc u)|.  Equals |v_p| * beta_p with beta_p = u^H S_v u the Bloch norm
+// that group_velocity divides out (modes.cpp), so dividing |psi|^2 by this
+// flux — not by the bare |v_p| — is what makes the summed wave-function
+// density match the spectral function -2 Im G_ii in a non-orthogonal basis.
+double mode_flux(const CMatrix& u, idx j, const CMatrix& tc, cplx lam) {
+  cplx acc{0.0};
+  for (idx a = 0; a < u.rows(); ++a) {
+    cplx row{0.0};
+    for (idx b = 0; b < u.rows(); ++b) row += tc(a, b) * u(b, j);
+    acc += std::conj(u(a, j)) * row;
+  }
+  return std::abs(2.0 * (lam * acc).imag());
+}
+
 }  // namespace
 
 Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
@@ -79,7 +95,9 @@ Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
       modes, [](ModeKind k) { return k == ModeKind::kPropagatingRight; });
 
   Boundary out;
-  const CMatrix tch = numeric::dagger(ops.tc);
+  // The reverse coupling E*S01^H - H01^H — NOT dagger(tc), which would
+  // conjugate a complex energy and destroy Sigma's analyticity in E.
+  const CMatrix& tch = ops.tcd;
 
   // Sigma_L = tc^H (t0 + tc^H F_L)^{-1} tc with F_L = U_L Lambda^{-1} U_L^+.
   {
@@ -111,6 +129,7 @@ Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
         out.inj(i, j) = -(t1(i, j) + lam * t2(i, j));
       out.inj_velocity.push_back(
           std::abs(incident.velocity[static_cast<std::size_t>(j)]));
+      out.inj_flux.push_back(mode_flux(incident.u, j, ops.tc, lam));
     }
   }
 
@@ -134,6 +153,7 @@ Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
         out.inj_r(i, j) = -(t1(i, j) + t2(i, j) / lam);
       out.inj_r_velocity.push_back(
           std::abs(incident_r.velocity[static_cast<std::size_t>(j)]));
+      out.inj_r_flux.push_back(mode_flux(incident_r.u, j, ops.tc, lam));
     }
   }
 
@@ -142,8 +162,16 @@ Boundary build_boundary(const LeadModes& modes, const LeadOperators& ops,
   out.right_lambda = right.lambda;
   out.right_velocity = right.velocity;
   out.right_propagating.reserve(right.kind.size());
-  for (const auto k : right.kind)
-    out.right_propagating.push_back(k == ModeKind::kPropagatingRight);
+  out.right_flux.reserve(right.kind.size());
+  for (idx j = 0; j < static_cast<idx>(right.kind.size()); ++j) {
+    const bool prop =
+        right.kind[static_cast<std::size_t>(j)] == ModeKind::kPropagatingRight;
+    out.right_propagating.push_back(prop);
+    out.right_flux.push_back(
+        prop ? mode_flux(right.u, j, ops.tc,
+                         right.lambda[static_cast<std::size_t>(j)])
+             : 0.0);
+  }
   return out;
 }
 

@@ -37,6 +37,17 @@ struct Boundary {
   CMatrix inj;      ///< sf x n_inc injection columns (first block rows)
 
   std::vector<double> inj_velocity;  ///< |v| of each incident mode
+  /// Bloch-normalized probability flux |2 Im(lambda u^H tc u)| of each
+  /// incident mode.  The mode vectors are stored with unit 2-norm, not
+  /// Bloch norm, so the flux carried by mode p is v_p * beta_p with
+  /// beta_p = u^H S_v u (the Bloch norm group_velocity divides out) — in a
+  /// non-orthogonal basis beta != 1 and dividing |psi|^2 by the bare |v|
+  /// over-counts each channel by beta.  Normalizing by this flux instead
+  /// makes the summed wave-function density equal the spectral function
+  /// -2 Im G_ii exactly, which is what lets the complex-contour charge
+  /// quadrature (charge::Quadrature) integrate the same physical density
+  /// through the Green's-function route.
+  std::vector<double> inj_flux;
   idx num_incident = 0;
 
   /// Drain-contact injection: left-moving propagating modes incident from
@@ -45,13 +56,17 @@ struct Boundary {
   /// two-contact charge (states occupied at mu_R) is built from these.
   CMatrix inj_r;                       ///< sf x n_inc_r (last block rows)
   std::vector<double> inj_r_velocity;  ///< |v| of each right-incident mode
+  std::vector<double> inj_r_flux;      ///< Bloch-normalized flux, as above
   idx num_incident_right = 0;
 
   /// Right-bounded mode basis (columns), phases, velocities; propagating
-  /// entries flagged for the transmission projection.
+  /// entries flagged for the transmission projection.  `right_flux` carries
+  /// the Bloch-normalized flux of the propagating entries (0 for decaying
+  /// ones), so transmission amplitudes are weighted by true flux ratios.
   CMatrix right_basis;
   std::vector<cplx> right_lambda;
   std::vector<double> right_velocity;
+  std::vector<double> right_flux;
   std::vector<bool> right_propagating;
 };
 

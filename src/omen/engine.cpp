@@ -53,19 +53,25 @@ struct Layout {
   std::vector<int> group_size;
   std::vector<std::vector<idx>> owned;  ///< k points per color
   std::vector<idx> e_prefix;            ///< flat-task-index base per k
+  /// Real-axis task count per k: within a k's flat range, local indices
+  /// ie < n_real[k] are wave-function energy points and ie >= n_real[k]
+  /// are Green's-function contour nodes (node index ie - n_real[k]).
+  std::vector<idx> n_real;
   idx total_tasks = 0;
 
   Layout(const SweepRequest& req, int world_size, int width_in)
       : world(world_size), width(std::max(1, width_in)) {
     const int nk = static_cast<int>(req.energies.size());
     e_prefix.assign(static_cast<std::size_t>(nk) + 1, 0);
+    n_real.assign(static_cast<std::size_t>(nk), 0);
     std::vector<idx> counts(static_cast<std::size_t>(nk), 0);
     for (int k = 0; k < nk; ++k) {
-      counts[static_cast<std::size_t>(k)] =
-          static_cast<idx>(req.energies[static_cast<std::size_t>(k)].size());
-      e_prefix[static_cast<std::size_t>(k) + 1] =
-          e_prefix[static_cast<std::size_t>(k)] +
-          counts[static_cast<std::size_t>(k)];
+      const auto sk = static_cast<std::size_t>(k);
+      n_real[sk] = static_cast<idx>(req.energies[sk].size());
+      counts[sk] = n_real[sk];
+      if (!req.gf_nodes.empty())
+        counts[sk] += static_cast<idx>(req.gf_nodes[sk].size());
+      e_prefix[sk + 1] = e_prefix[sk] + counts[sk];
     }
     total_tasks = e_prefix.back();
 
@@ -120,6 +126,10 @@ struct Layout {
     const idx ik = static_cast<idx>(it - e_prefix.begin());
     return {ik, flat - *it};
   }
+  /// Is local task index `ie` of momentum `ik` a Green's-function node?
+  bool is_greens(idx ik, idx ie) const {
+    return ie >= n_real[static_cast<std::size_t>(ik)];
+  }
 };
 
 /// The shared work queue (coordinator side): per-k deques drained by the
@@ -133,10 +143,13 @@ struct Coordinator {
 
   Coordinator(const Layout& layout, const SweepRequest& req, bool steal)
       : lay(layout), stealing(steal) {
+    // Real-axis tasks first, then the k's Green's-function nodes — the
+    // local index space the Layout defines (is_greens).
     queue.resize(req.energies.size());
-    for (std::size_t k = 0; k < req.energies.size(); ++k)
-      for (idx ie = 0; ie < static_cast<idx>(req.energies[k].size()); ++ie)
-        queue[k].push_back(ie);
+    for (std::size_t k = 0; k < req.energies.size(); ++k) {
+      const idx count = lay.e_prefix[k + 1] - lay.e_prefix[k];
+      for (idx ie = 0; ie < count; ++ie) queue[k].push_back(ie);
+    }
   }
 
   bool pick(int color, idx& ik, idx& ie, bool& was_stolen) {
@@ -278,6 +291,7 @@ struct RankLocal {
   std::vector<double> charge_samples;
   double busy_seconds = 0.0;
   idx tasks = 0;
+  idx greens_tasks = 0;  ///< contour-node solves among `tasks`
   // Batched-execution accounting (stays zero when the leader ran the
   // unbatched scalar path, a spatial group, or a non-batchable solver).
   idx batches = 0;          ///< fused backend calls issued
@@ -332,6 +346,28 @@ void accumulate_charge(RankLocal& local, const SweepRequest& req,
       static_cast<double>(lay.e_prefix[static_cast<std::size_t>(ik)] + ie));
   for (idx c = 0; c < req.cells; ++c)
     local.charge_samples.push_back(per_cell[static_cast<std::size_t>(c)]);
+}
+
+/// Per-cell charge of one Green's-function node: Im(w * G_ii) summed onto
+/// physical cells.  The node weight w (contour jacobian * gauss weight *
+/// Fermi factor, or a pole residue) already carries the -2 spectral
+/// normalization, so this is the GF-side twin of weighted_task_charge.
+std::vector<double> greens_task_charge(const SweepRequest& req, idx block_dim,
+                                       numeric::cplx weight,
+                                       const std::vector<numeric::cplx>& diag) {
+  std::vector<double> out(static_cast<std::size_t>(req.cells), 0.0);
+  for (std::size_t i = 0; i < diag.size(); ++i)
+    out[i / static_cast<std::size_t>(block_dim)] += (weight * diag[i]).imag();
+  return out;
+}
+
+/// Does the request carry any Green's-function nodes?  Drives charge
+/// allocation/gather symmetrically on every rank (all ranks read the same
+/// request object).
+bool request_has_greens(const SweepRequest& req) {
+  for (const auto& nodes : req.gf_nodes)
+    if (!nodes.empty()) return true;
+  return false;
 }
 
 }  // namespace
@@ -401,6 +437,19 @@ void validate_request(const SweepRequest& req) {
         throw std::invalid_argument(
             "Engine: density_weight_r E-shape mismatch");
   }
+  if (!req.gf_nodes.empty()) {
+    if (req.gf_nodes.size() != req.energies.size())
+      throw std::invalid_argument("Engine: gf_nodes k-shape mismatch");
+    if (req.gf_weights.size() != req.gf_nodes.size())
+      throw std::invalid_argument(
+          "Engine: gf_weights/gf_nodes k-shape mismatch");
+    for (std::size_t k = 0; k < req.gf_nodes.size(); ++k)
+      if (req.gf_weights[k].size() != req.gf_nodes[k].size())
+        throw std::invalid_argument(
+            "Engine: gf_weights node-shape mismatch");
+  } else if (!req.gf_weights.empty()) {
+    throw std::invalid_argument("Engine: gf_weights without gf_nodes");
+  }
 }
 
 /// FNV-1a over the lead blocks' shapes and raw entries — the *content*
@@ -443,7 +492,7 @@ SweepResult shaped_result(const SweepRequest& req) {
     out.caroli[k].assign(req.energies[k].size(), 0.0);
     out.propagating[k].assign(req.energies[k].size(), 0);
   }
-  if (!req.density_weight.empty())
+  if (!req.density_weight.empty() || request_has_greens(req))
     out.charge.assign(static_cast<std::size_t>(req.cells), 0.0);
   return out;
 }
@@ -454,6 +503,7 @@ SweepResult Engine::run(const SweepRequest& request) {
   validate_request(request);
   std::size_t total = 0;
   for (const auto& grid : request.energies) total += grid.size();
+  for (const auto& nodes : request.gf_nodes) total += nodes.size();
   if (total == 0) return shaped_result(request);
   if (!caches_.empty()) {
     // Cached Boundaries are only replayable while the OBC options and the
@@ -512,10 +562,29 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     dms[k] = dft::assemble_device((*request.leads)[k], request.cells,
                                   request.potential);
 
-  const bool want_charge = !request.density_weight.empty();
+  const bool has_greens = request_has_greens(request);
+  const bool want_charge = !request.density_weight.empty() || has_greens;
   std::vector<std::vector<double>> point_charge;
   if (want_charge) point_charge.resize(n);
   double busy_total = 0.0;
+  idx greens_done = 0;
+
+  // One Green's-function (contour) task: diagonal of G at the complex node,
+  // folded into per-cell charge with the node's complex weight.
+  const auto solve_greens_flat = [&](std::size_t flat) {
+    const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
+    const auto sk = static_cast<std::size_t>(ik);
+    const auto sg =
+        static_cast<std::size_t>(ie - lay.n_real[sk]);
+    transport::EnergyPointOptions task_opt = popt;
+    task_opt.k_index = ik;
+    const auto diag = transport::solve_greens_diagonal(
+        dms[sk], (*request.leads)[sk], (*folded)[sk],
+        request.gf_nodes[sk][sg], task_opt);
+    point_charge[flat] = greens_task_charge(
+        request, (*request.leads)[sk].block_dim(), request.gf_weights[sk][sg],
+        diag);
+  };
 
   // Batch only when the representative resolution (rank-invariant: the
   // configured max_batch, the first k's block structure) lands on a solver
@@ -537,21 +606,39 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   }
 
   if (use_batches) {
-    // Bucket flat tasks by block structure: batching fuses kernels within
-    // one shape, never across shapes.  Buckets preserve flat order, so the
-    // per-task outputs (and the charge assembly below) stay deterministic.
-    std::map<std::pair<idx, idx>, std::vector<std::size_t>> buckets;
+    // Bucket flat tasks by block structure *and task kind*: batching fuses
+    // kernels within one shape, never across shapes, and Green's-function
+    // nodes never fuse with wave-function points (they are scalar RGF
+    // diagonal solves, executed below with across-task parallelism
+    // instead).  Buckets preserve flat order, so the per-task outputs (and
+    // the charge assembly below) stay deterministic.
+    std::map<std::tuple<idx, idx, bool>, std::vector<std::size_t>> buckets;
     for (std::size_t flat = 0; flat < n; ++flat) {
-      const auto sk = static_cast<std::size_t>(lay.unflatten(
-          static_cast<idx>(flat)).first);
-      buckets[{dms[sk].h.num_blocks(), dms[sk].h.block_size()}].push_back(
-          flat);
+      const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
+      const auto sk = static_cast<std::size_t>(ik);
+      buckets[{dms[sk].h.num_blocks(), dms[sk].h.block_size(),
+               lay.is_greens(ik, ie)}]
+          .push_back(flat);
     }
     const std::size_t cap =
         static_cast<std::size_t>(std::max(1, config_.max_batch));
     transport::BatchContext bctx;
     transport::BatchStats bstats;
     for (const auto& [shape, flats] : buckets) {
+      if (std::get<2>(shape)) {
+        // Green's-function bucket: thread-pool loop over the nodes, each
+        // worker on its own warm context.
+        std::vector<double> busy(flats.size(), 0.0);
+        parallel::ThreadPool::global().parallel_for(
+            flats.size(), [&](std::size_t j) {
+              const double t0 = now_seconds();
+              solve_greens_flat(flats[j]);
+              busy[j] = now_seconds() - t0;
+            });
+        busy_total += std::accumulate(busy.begin(), busy.end(), 0.0);
+        greens_done += static_cast<idx>(flats.size());
+        continue;
+      }
       for (std::size_t base = 0; base < flats.size(); base += cap) {
         const std::size_t count = std::min(cap, flats.size() - base);
         std::vector<transport::BatchTask> chunk;
@@ -597,12 +684,17 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     std::vector<double> busy(n, 0.0);
     parallel::ThreadPool::global().parallel_for(n, [&](std::size_t flat) {
       const auto [ik, ie] = lay.unflatten(static_cast<idx>(flat));
+      const double t0 = now_seconds();
+      if (lay.is_greens(ik, ie)) {
+        solve_greens_flat(flat);
+        busy[flat] = now_seconds() - t0;
+        return;
+      }
       const auto sk = static_cast<std::size_t>(ik);
       const auto se = static_cast<std::size_t>(ie);
       // The cache key's momentum component is the global k index.
       transport::EnergyPointOptions task_opt = popt;
       task_opt.k_index = ik;
-      const double t0 = now_seconds();
       const auto res = transport::solve_energy_point(
           dms[sk], (*request.leads)[sk], (*folded)[sk],
           request.energies[sk][se],
@@ -616,6 +708,11 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
             request, (*request.leads)[sk].block_dim(), ik, ie, res);
     });
     busy_total = std::accumulate(busy.begin(), busy.end(), 0.0);
+    for (idx k = 0; k < static_cast<idx>(nk); ++k)
+      if (!request.gf_nodes.empty())
+        greens_done +=
+            static_cast<idx>(request.gf_nodes[static_cast<std::size_t>(k)]
+                                 .size());
   }
   // Deterministic charge assembly: sum in flat task order.
   for (std::size_t flat = 0; flat < point_charge.size(); ++flat)
@@ -625,6 +722,7 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   out.stats.ranks = 1;
   out.stats.energy_groups = 1;
   out.stats.tasks_total = lay.total_tasks;
+  out.stats.tasks_greens = greens_done;
   out.stats.tasks_per_rank = {lay.total_tasks};
   out.stats.busy_seconds_per_rank = {busy_total};
   out.stats.wall_seconds = now_seconds() - t_start;
@@ -689,7 +787,12 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
     // forever.
     std::optional<Comm> spatial_comm;
     bool members_released = true;
-    const std::vector<double> kSpatialDone{-1.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+    // Announcement wire format (8 doubles): {flag, ik, ie, fetched, algo,
+    // contact_shift, Re(E), Im(E)}.  Im(E) != 0 marks a contour node; those
+    // are announced with the (non-cooperative) RGF algorithm, so members
+    // handle the fetched-blocks broadcast and then skip the solve.
+    const std::vector<double> kSpatialDone{-1.0, 0.0, 0.0, 0.0,
+                                           0.0,  0.0, 0.0, 0.0};
     // The single release point for the members' service loop — every exit
     // path (drain, normal completion, escaped exception) goes through it,
     // so the done marker can never be sent twice or with a stale shape.
@@ -871,7 +974,8 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
                        .first;
               fetched = true;
             }
-            if (use_batches) {
+            const bool is_gf = lay.is_greens(ik, ie);
+            if (use_batches && !is_gf) {
               const KData& kd = *it->second;
               const idx nbb = kd.dm.h.num_blocks();
               const idx sbb = kd.dm.h.block_size();
@@ -884,6 +988,13 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               if (pending.size() >= batch_cap) flush_pending();
               continue;
             }
+            const auto sik = static_cast<std::size_t>(ik);
+            const numeric::cplx z =
+                is_gf ? request.gf_nodes[sik][static_cast<std::size_t>(
+                            ie - lay.n_real[sik])]
+                      : numeric::cplx{
+                            request.energies[sik][static_cast<std::size_t>(ie)],
+                            0.0};
             // --- spatial level: announce the task to the group ---------
             // The resolved backend travels with the task: members follow
             // the leader's choice (kAuto resolution is pure, but a member
@@ -901,17 +1012,43 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               binding.spatial = &e_comm;
               const idx nbb = it->second->dm.h.num_blocks();
               const idx sbb = it->second->dm.h.block_size();
-              const auto algo = solvers::resolve_algorithm(
-                  popt.solver, nbb, sbb, 2 * sbb, binding);
+              // GF nodes announce the (non-cooperative) RGF diagonal: the
+              // members run the fetched-blocks broadcast and skip the
+              // solve, exactly like a statically requested RGF task.
+              const auto algo =
+                  is_gf ? solvers::SolverAlgorithm::kRgf
+                        : solvers::resolve_algorithm(popt.solver, nbb, sbb,
+                                                     2 * sbb, binding);
               std::vector<double> task{
                   1.0, static_cast<double>(ik), static_cast<double>(ie),
                   fetched ? 1.0 : 0.0,
                   static_cast<double>(static_cast<int>(algo)),
-                  popt.obc_opts.contact_shift};
+                  popt.obc_opts.contact_shift, z.real(), z.imag()};
               e_comm.bcast(task, 0);
               // A stolen k's blocks reach the members through the group,
               // mirroring the owned-k broadcast at input distribution.
               if (fetched) broadcast_lead_blocks(e_comm, it->second->lead);
+            }
+            if (is_gf) {
+              transport::EnergyPointOptions gopt = popt;
+              gopt.k_index = ik;
+              gopt.spatial = nullptr;  // the RGF diagonal is a solo solve
+              const double t0 = now_seconds();
+              const auto diag = transport::solve_greens_diagonal(
+                  ctx, it->second->dm, it->second->lead, it->second->folded,
+                  z, gopt);
+              local.busy_seconds += now_seconds() - t0;
+              ++local.tasks;
+              ++local.greens_tasks;
+              const auto sg = static_cast<std::size_t>(ie - lay.n_real[sik]);
+              local.charge_samples.push_back(static_cast<double>(
+                  lay.e_prefix[sik] + ie));
+              const auto per_cell = greens_task_charge(
+                  request, it->second->lead.block_dim(),
+                  request.gf_weights[sik][sg], diag);
+              local.charge_samples.insert(local.charge_samples.end(),
+                                          per_cell.begin(), per_cell.end());
+              continue;
             }
             const double energy =
                 request.energies[static_cast<std::size_t>(ik)]
@@ -934,7 +1071,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         for (;;) {
           std::vector<double> task;
           e_comm.bcast(task, 0);
-          if (task.size() < 6 || task[0] < 0.0) break;
+          if (task.size() < 8 || task[0] < 0.0) break;
           const auto ik = static_cast<idx>(task[1]);
           const auto ie = static_cast<idx>(task[2]);
           const bool fetched = task[3] != 0.0;
@@ -972,9 +1109,10 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             continue;
           }
           try {
-            const double energy =
-                request.energies[static_cast<std::size_t>(ik)]
-                                [static_cast<std::size_t>(ie)];
+            // The wire energy is authoritative (bit-identical: the leader
+            // read the same request double); GF announcements never reach
+            // here — kRgf fails the cooperative check above.
+            const double energy = task[6];
             const double t0 = now_seconds();
             transport::serve_spatial_point(ctx, it->second->dm, energy, algo,
                                            popt.partitions, e_comm);
@@ -1007,14 +1145,16 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
     // --- assembly: rooted collectives ----------------------------------
     const auto gathered = comm.gatherv(local.samples, 0);
     std::vector<double> charge_gathered;
-    if (!request.density_weight.empty())
-      charge_gathered = comm.gatherv(local.charge_samples, 0);
+    const bool want_charge =
+        !request.density_weight.empty() || request_has_greens(request);
+    if (want_charge) charge_gathered = comm.gatherv(local.charge_samples, 0);
     const auto rank_stats = comm.gatherv(
         {local.busy_seconds, static_cast<double>(local.tasks),
          static_cast<double>(local.batches),
          static_cast<double>(local.batched_tasks),
          static_cast<double>(local.prefetch_hits),
-         static_cast<double>(local.prefetch_misses)},
+         static_cast<double>(local.prefetch_misses),
+         static_cast<double>(local.greens_tasks)},
         0);
 
     if (wr == 0) {
@@ -1026,7 +1166,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         out.caroli[sk][se] = gathered[i + 2];
         out.propagating[sk][se] = static_cast<idx>(gathered[i + 3]);
       }
-      if (!request.density_weight.empty()) {
+      if (want_charge) {
         // Deterministic charge: per-task contributions summed in flat task
         // order, independent of which rank solved what (work stealing
         // moves tasks between ranks run to run; mirrors run_flat).
@@ -1047,15 +1187,16 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       out.stats.tasks_per_rank.clear();
       out.stats.busy_seconds_per_rank.clear();
       idx batched_tasks_total = 0;
-      for (std::size_t r = 0; 6 * r + 5 < rank_stats.size(); ++r) {
-        out.stats.busy_seconds_per_rank.push_back(rank_stats[6 * r]);
+      for (std::size_t r = 0; 7 * r + 6 < rank_stats.size(); ++r) {
+        out.stats.busy_seconds_per_rank.push_back(rank_stats[7 * r]);
         out.stats.tasks_per_rank.push_back(
-            static_cast<idx>(rank_stats[6 * r + 1]));
-        out.stats.batches_issued += static_cast<idx>(rank_stats[6 * r + 2]);
-        batched_tasks_total += static_cast<idx>(rank_stats[6 * r + 3]);
-        out.stats.prefetch_hits += static_cast<idx>(rank_stats[6 * r + 4]);
+            static_cast<idx>(rank_stats[7 * r + 1]));
+        out.stats.batches_issued += static_cast<idx>(rank_stats[7 * r + 2]);
+        batched_tasks_total += static_cast<idx>(rank_stats[7 * r + 3]);
+        out.stats.prefetch_hits += static_cast<idx>(rank_stats[7 * r + 4]);
         out.stats.prefetch_misses +=
-            static_cast<idx>(rank_stats[6 * r + 5]);
+            static_cast<idx>(rank_stats[7 * r + 5]);
+        out.stats.tasks_greens += static_cast<idx>(rank_stats[7 * r + 6]);
       }
       if (out.stats.batches_issued > 0)
         out.stats.mean_batch_size =

@@ -100,12 +100,23 @@ struct SweepRequest {
   /// `density_weight_r` means the drain contribution is dropped.
   std::vector<std::vector<double>> density_weight;
   std::vector<std::vector<double>> density_weight_r;
+  /// Complex-plane Green's-function nodes per k (contour charge
+  /// quadrature, charge::Quadrature).  When non-empty (same k-shape as
+  /// `energies`; per-k grids may be empty), each node z becomes one extra
+  /// task solving the diagonal of G = (zS - H - Sigma)^{-1} and folding
+  /// Im(gf_weights[ik][in] * G_ii) into the per-cell charge accumulator.
+  /// GF tasks ride the same queue, stealing, caching (keyed with Im(E)),
+  /// and deterministic flat-order assembly as the real-axis tasks; they
+  /// contribute charge only — no transmission entries.
+  std::vector<std::vector<numeric::cplx>> gf_nodes;
+  std::vector<std::vector<numeric::cplx>> gf_weights;  ///< same shape
 };
 
 struct EngineStats {
   int ranks = 1;
   int energy_groups = 1;
-  idx tasks_total = 0;
+  idx tasks_total = 0;               ///< real-axis + Green's-function tasks
+  idx tasks_greens = 0;              ///< contour (complex-node) solves within
   idx tasks_stolen = 0;              ///< served outside the group's own k
   std::vector<idx> tasks_per_rank;
   std::vector<double> busy_seconds_per_rank;  ///< time inside solves

@@ -38,6 +38,13 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
   engine_cfg.max_batch = std::max(1, config_.max_batch);
   engine_ = std::make_unique<Engine>(engine_cfg, pool_.get());
   kt_ = 8.617e-5 * config_.temperature_k;
+  // Contour anchor ingredient: the lead's spectral minimum (zero-potential,
+  // first k).  The coarse band sampler is exact at the zone endpoints,
+  // where cosine-like bands take their extrema; charge_density folds in the
+  // device potential, the contact shift, and a safety margin per call.
+  lead_band_min_ =
+      transport::band_window(transport::lead_band_structure(folded_.front()))
+          .emin;
 }
 
 void Simulator::set_contact_shift(double shift) {
@@ -118,6 +125,7 @@ Spectrum Simulator::transmission_spectrum(
   req.point.want_current = false;
   const SweepResult res = engine_->run(req);
   stats_ = res.stats;
+  total_tasks_ += res.stats.tasks_total;
 
   Spectrum out;
   out.energies = energies;
@@ -156,38 +164,77 @@ transport::EnergyPointResult Simulator::solve_point(
 
 std::vector<double> Simulator::charge_density(
     const std::vector<double>& energies, double mu_l, double mu_r,
-    const std::vector<double>* potential) {
+    const std::vector<double>* potential,
+    charge::QuadratureAlgorithm quadrature,
+    const charge::QuadratureOptions& quadrature_options) {
   const idx cells = config_.structure.num_cells;
+  // Same grid contract as landauer_current: the quadrature backends assume
+  // a strictly increasing window of >= 2 points, and a violated contract
+  // must surface here — not as NaNs three SCF iterations later.
+  if (energies.size() < 2)
+    throw std::invalid_argument(
+        "charge_density: need at least two energy points");
+  for (std::size_t ie = 1; ie < energies.size(); ++ie)
+    if (!(energies[ie] > energies[ie - 1]))
+      throw std::invalid_argument(
+          "charge_density: energies must be strictly increasing");
 
-  // Single-k energy sweep on the engine: every task folds its weighted
-  // per-cell density into the rank-local accumulator, which the assembly
-  // stage reduce()s to the root.  Two-contact ballistic occupation: the
-  // source-injected states fill at mu_l, the drain-injected states at
-  // mu_r, each under the shared trapezoid quadrature (exact on the
-  // non-uniform grids the adaptive refinement produces).
+  // Plan the integration with the selected backend.  real_grid reproduces
+  // the seed's trapezoid-times-Fermi weights bit-identically (same products
+  // in the same order); contour replaces the equilibrium window with
+  // Green's-function nodes and keeps only the bias window of `energies`.
+  charge::ChargeWindow window;
+  window.mu_l = mu_l;
+  window.mu_r = mu_r;
+  window.kt = kt_;
+  window.grid = energies;
+  double pot_min = 0.0;
+  if (potential != nullptr && !potential->empty())
+    pot_min = *std::min_element(potential->begin(), potential->end());
+  // The potential-dependent depth is quantized to 0.5 eV steps (rounded
+  // *down*, so the anchor always stays below the shifted spectrum).  Any
+  // anchor below the band bottom integrates the same charge — the contour
+  // encloses the same poles — but the node positions depend on it, and the
+  // SCF potential drifts a little every outer iteration.  Quantizing keeps
+  // the contour nodes literally identical across iterations, so the
+  // boundary cache serves every node from iteration 2 onward instead of
+  // missing on each micro-shifted anchor.
+  const double depth = std::min(0.0, pot_min) +
+                       std::min(0.0, config_.point.obc_opts.contact_shift);
+  window.band_bottom =
+      lead_band_min_ + 0.5 * std::floor(depth / 0.5) - 0.5;
+  const charge::NodeSet nodes =
+      charge::make_quadrature(quadrature)->build(window, quadrature_options);
+
+  // One engine sweep executes both task kinds: real-axis wave-function
+  // points fold weight * density into the per-cell accumulator, contour
+  // nodes fold Im(w * G_ii) — the assembly stage reduce()s both to the
+  // root in deterministic flat-task order.
   SweepRequest req;
   req.leads = &lead_;
   req.folded = &folded_;
-  req.energies = {energies};
+  req.energies = {nodes.energies};
   req.potential = flat_or(potential, cells);
   req.cells = cells;
   req.point = config_.point;
   req.point.want_density = true;
   req.point.want_current = false;
   req.point.want_caroli = false;
-  const std::vector<double> w = transport::trapezoid_weights(energies);
-  req.density_weight.resize(1);
-  req.density_weight_r.resize(1);
-  req.density_weight[0].reserve(energies.size());
-  req.density_weight_r[0].reserve(energies.size());
-  for (std::size_t ie = 0; ie < energies.size(); ++ie) {
-    req.density_weight[0].push_back(w[ie] *
-                                    transport::fermi(energies[ie], mu_l, kt_));
-    req.density_weight_r[0].push_back(
-        w[ie] * transport::fermi(energies[ie], mu_r, kt_));
+  if (!nodes.energies.empty()) {
+    req.density_weight = {nodes.weight_l};
+    req.density_weight_r = {nodes.weight_r};
+  }
+  if (!nodes.gf_nodes.empty()) {
+    req.gf_nodes = {nodes.gf_nodes};
+    req.gf_weights = {nodes.gf_weights};
   }
   const SweepResult res = engine_->run(req);
   stats_ = res.stats;
+  total_tasks_ += res.stats.tasks_total;
+  // An empty plan (occupied window entirely below the band bottom at
+  // equilibrium) carries no charge at all.
+  if (res.charge.empty())
+    return std::vector<double>(static_cast<std::size_t>(cells), 0.0);
   return res.charge;
 }
 
@@ -218,6 +265,7 @@ std::vector<double> Simulator::adaptive_energy_grid(
         req.point.want_caroli = caroli;
         const SweepResult res = engine_->run(req);
         stats_ = res.stats;
+        total_tasks_ += res.stats.tasks_total;
         std::vector<double> out(points.size());
         for (std::size_t ie = 0; ie < points.size(); ++ie)
           out[ie] = res.propagating[0][ie] > 0
@@ -268,10 +316,17 @@ std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
     // refinement tracks the band edges as the potential moves.
     std::vector<double> grid = energies;
     poisson::ChargeModel charge = [&](const std::vector<double>& v) {
-      if (scf.adaptive_energy_grid)
+      // Adaptive refinement targets the real-axis part of the integration
+      // only: the contour backend keeps just the bias window [mu_R, mu_L]
+      // on the real axis, and at equilibrium that window is empty — the
+      // refinement sweeps would refine points the quadrature then discards.
+      const bool contour =
+          scf.quadrature == charge::QuadratureAlgorithm::kContour;
+      if (scf.adaptive_energy_grid && !(contour && mu_source == mu_drain))
         grid = adaptive_energy_grid(energies, &v, scf.grid_refine_tol,
                                     scf.grid_min_spacing);
-      return charge_density(grid, mu_source, mu_drain, &v);
+      return charge_density(grid, mu_source, mu_drain, &v, scf.quadrature,
+                            scf.quadrature_options);
     };
     const bool use_warm = scf.warm_start && !warm.empty();
     const auto res = poisson::self_consistent_potential(

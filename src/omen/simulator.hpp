@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "charge/quadrature.hpp"
 #include "dft/hamiltonian.hpp"
 #include "lattice/structure.hpp"
 #include "omen/engine.hpp"
@@ -93,13 +94,23 @@ class Simulator {
   transport::EnergyPointResult solve_point(
       double energy, const std::vector<double>* cell_potential = nullptr);
 
-  /// Ballistic two-contact charge per physical cell: source-injected
-  /// states occupied at mu_l plus drain-injected states occupied at mu_r,
-  /// integrated over `energies` with trapezoid weights (valid on
-  /// non-uniform/adaptive grids).
-  std::vector<double> charge_density(const std::vector<double>& energies,
-                                     double mu_l, double mu_r,
-                                     const std::vector<double>* potential);
+  /// Ballistic two-contact charge per physical cell, integrated with the
+  /// selected charge::Quadrature backend.  The default kRealGrid fills
+  /// source-injected states at mu_l and drain-injected states at mu_r under
+  /// trapezoid weights on `energies` (valid on non-uniform/adaptive grids)
+  /// — bit-identical to the pre-registry charge path.  kContour sweeps the
+  /// equilibrium window below min(mu_l, mu_r) on the complex contour
+  /// (Green's-function nodes solved by the same engine sweep) and keeps
+  /// only the non-equilibrium window of `energies` on the real axis.
+  /// `energies` must hold >= 2 strictly increasing points (it anchors the
+  /// spectral window even when the contour replaces it); throws
+  /// std::invalid_argument otherwise.
+  std::vector<double> charge_density(
+      const std::vector<double>& energies, double mu_l, double mu_r,
+      const std::vector<double>* potential,
+      charge::QuadratureAlgorithm quadrature =
+          charge::QuadratureAlgorithm::kRealGrid,
+      const charge::QuadratureOptions& quadrature_options = {});
 
   /// Adaptive energy grid for the given potential: bisect the base grid
   /// where the transmission (Caroli under decimation) jumps by more than
@@ -144,6 +155,14 @@ class Simulator {
   /// stolen tasks, per-rank busy time).
   const EngineStats& last_sweep_stats() const noexcept { return stats_; }
 
+  /// Cumulative (k, E) solves issued across every engine sweep since
+  /// construction or the last reset — wave-function tasks plus contour
+  /// Green's-function nodes.  The charge-quadrature benchmark reads this to
+  /// compare backends on total solve count, which last_sweep_stats() (one
+  /// sweep only) cannot provide across an SCF iteration history.
+  idx total_tasks_issued() const noexcept { return total_tasks_; }
+  void reset_task_counter() noexcept { total_tasks_ = 0; }
+
   /// Set the uniform lead (contact) potential shift handed to the OBC
   /// stage.  A changed value invalidates the boundary caches at the next
   /// sweep (the engine detects the option change, exactly once); an
@@ -165,7 +184,12 @@ class Simulator {
   std::unique_ptr<parallel::DevicePool> pool_;
   std::unique_ptr<Engine> engine_;       ///< all sweeps route through this
   EngineStats stats_;
+  idx total_tasks_ = 0;  ///< cumulative solves (see total_tasks_issued)
   double kt_ = 0.0259;
+  /// Lead spectral minimum at k = 0 (eV, zero potential), computed once at
+  /// construction: the contour quadrature anchors below
+  /// band_min + min(0, potential) + min(0, contact_shift) - margin.
+  double lead_band_min_ = 0.0;
 };
 
 }  // namespace omenx::omen

@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "charge/quadrature.hpp"
 #include "lattice/structure.hpp"
 #include "poisson/poisson1d.hpp"
 
@@ -55,6 +56,17 @@ struct ScfOptions {
   /// value changes — cached lead self-energies are reusable only while the
   /// lead electrostatics stay fixed.
   double contact_shift = 0.0;
+  /// Charge-quadrature backend for the SCF charge evaluations
+  /// (charge::Quadrature registry).  kRealGrid is the seed's trapezoid
+  /// integration of the caller grid; kContour moves the equilibrium window
+  /// onto the complex contour (a handful of Green's-function nodes replace
+  /// the real-axis sweep) and keeps only the bias window [mu_R, mu_L] on
+  /// the real axis.  With kContour, `adaptive_energy_grid` applies only to
+  /// that real-axis remainder — at equilibrium there is none, and grid
+  /// refinement is skipped entirely.
+  charge::QuadratureAlgorithm quadrature =
+      charge::QuadratureAlgorithm::kRealGrid;
+  charge::QuadratureOptions quadrature_options;
 
   PoissonOptions poisson;
 };

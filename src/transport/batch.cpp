@@ -62,7 +62,7 @@ std::vector<EnergyPointResult> solve_energy_batch(
       task_options.k_index = task.k_index;
       auto strategy = obc::make_obc_strategy(task_options.obc);
       return detail::fetch_boundary(*strategy, *task.lead, *task.folded,
-                                    task.energy, task_options);
+                                    cplx{task.energy, 0.0}, task_options);
     }));
   }
 

@@ -37,6 +37,14 @@ std::vector<double> trapezoid_weights(const std::vector<double>& grid) {
   const std::size_t n = grid.size();
   if (n == 0) return {};
   if (n == 1) return {1.0};
+  // A non-monotonic grid would silently produce negative weights and a
+  // nonsense integral; every producer in the tree (make_energy_grid,
+  // refine_energy_grid) emits strictly increasing grids, so reject anything
+  // else as caller error.
+  for (std::size_t i = 1; i < n; ++i)
+    if (!(grid[i] > grid[i - 1]))
+      throw std::invalid_argument(
+          "trapezoid_weights: grid must be strictly increasing");
   std::vector<double> w(n);
   w[0] = 0.5 * (grid[1] - grid[0]);
   w[n - 1] = 0.5 * (grid[n - 1] - grid[n - 2]);

@@ -38,7 +38,8 @@ std::vector<double> make_energy_grid(double emin, double emax,
 /// Trapezoid quadrature weights of a sorted (possibly non-uniform) grid:
 /// half-interval weights at the endpoints, 0.5*(de_left + de_right) in the
 /// interior, so sum(w_i * f_i) is the trapezoid integral of f.  A single
-/// point gets weight 1 (degenerate delta grid).  Shared by the charge
+/// point gets weight 1 (degenerate delta grid); a grid that is not strictly
+/// increasing throws std::invalid_argument.  Shared by the charge
 /// integration and the Landauer current.
 std::vector<double> trapezoid_weights(const std::vector<double>& grid);
 

@@ -56,25 +56,25 @@ void require_injection_support(const obc::Strategy& strategy,
 
 FetchedBoundary fetch_boundary(obc::Strategy& strategy,
                                const dft::LeadBlocks& lead,
-                               const dft::FoldedLead& folded, double energy,
+                               const dft::FoldedLead& folded, cplx energy,
                                const EnergyPointOptions& options) {
   // Served from the cross-sweep cache when one is bound: the lead does not
   // depend on the device potential, so SCF outer iterations, bias points,
   // and adaptive-grid re-sweeps revisiting (k, E, shift) reuse the first
-  // evaluation's Boundary bit-for-bit.
+  // evaluation's Boundary bit-for-bit.  Complex energies (contour nodes)
+  // follow the same discipline — Im(E) is part of the key.
   FetchedBoundary out;
-  const cplx e{energy, 0.0};
   if (options.boundary_cache != nullptr) {
-    const obc::BoundaryKey key{options.k_index, energy,
+    const obc::BoundaryKey key{options.k_index, energy.real(),
                                options.obc_opts.contact_shift,
-                               static_cast<int>(options.obc)};
+                               static_cast<int>(options.obc), energy.imag()};
     out.cached = options.boundary_cache->find(key);
     out.hit = out.cached != nullptr;
     if (out.cached == nullptr)
       out.cached = options.boundary_cache->insert(
-          key, strategy.boundary(lead, folded, e, options.obc_opts));
+          key, strategy.boundary(lead, folded, energy, options.obc_opts));
   } else {
-    out.computed = strategy.boundary(lead, folded, e, options.obc_opts);
+    out.computed = strategy.boundary(lead, folded, energy, options.obc_opts);
   }
   return out;
 }
@@ -140,25 +140,30 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
     const CMatrix uplus = obc::pseudo_inverse(
         bnd.right_basis, options.obc_opts.boundary.pinv_ridge);
     const CMatrix amps = numeric::matmul(uplus, psi_last);
+    // Flux-normalized amplitudes: the mode vectors have unit 2-norm, so the
+    // flux a mode carries is v*beta (beta = Bloch norm u^H S_v u), stored
+    // per mode as Boundary::*_flux.  Dividing by the bare |v| instead would
+    // over-count every channel by beta in a non-orthogonal basis.
     double total = 0.0;
     for (idx p = 0; p < n_inc; ++p) {
-      const double vp = std::max(bnd.inj_velocity[static_cast<std::size_t>(p)],
-                                 1e-12);
+      const double fp =
+          std::max(bnd.inj_flux[static_cast<std::size_t>(p)], 1e-12);
       for (idx n = 0; n < amps.rows(); ++n) {
         if (!bnd.right_propagating[static_cast<std::size_t>(n)]) continue;
-        const double vn =
-            std::abs(bnd.right_velocity[static_cast<std::size_t>(n)]);
-        total += std::norm(amps(n, p)) * vn / vp;
+        const double fn = bnd.right_flux[static_cast<std::size_t>(n)];
+        total += std::norm(amps(n, p)) * fn / fp;
       }
     }
     out.transmission = total;
 
     if (options.want_density) {
+      // 1/flux weights make the summed injected density equal the spectral
+      // function -2 Im G_ii exactly — the identity the contour charge
+      // quadrature (charge::Quadrature) integrates on the GF side.
       out.orbital_density.assign(static_cast<std::size_t>(a.dim()), 0.0);
       for (idx p = 0; p < n_inc; ++p) {
         const double w =
-            1.0 / std::max(bnd.inj_velocity[static_cast<std::size_t>(p)],
-                           1e-12);
+            1.0 / std::max(bnd.inj_flux[static_cast<std::size_t>(p)], 1e-12);
         for (idx i = 0; i < a.dim(); ++i)
           out.orbital_density[static_cast<std::size_t>(i)] +=
               w * std::norm(x(i, gcols + p));
@@ -171,8 +176,8 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
         const CMatrix& tc = a.upper(iface);
         for (idx p = 0; p < n_inc; ++p) {
           const double w =
-              1.0 / std::max(bnd.inj_velocity[static_cast<std::size_t>(p)],
-                             1e-12);
+              1.0 /
+              std::max(bnd.inj_flux[static_cast<std::size_t>(p)], 1e-12);
           cplx acc{0.0};
           for (idx i = 0; i < sf; ++i) {
             const cplx psi_i = x(iface * sf + i, gcols + p);
@@ -194,7 +199,7 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
     for (idx p = 0; p < n_inc_r; ++p) {
       const double w =
           1.0 /
-          std::max(bnd.inj_r_velocity[static_cast<std::size_t>(p)], 1e-12);
+          std::max(bnd.inj_r_flux[static_cast<std::size_t>(p)], 1e-12);
       for (idx i = 0; i < a.dim(); ++i)
         out.orbital_density_r[static_cast<std::size_t>(i)] +=
             w * std::norm(x(i, gcols + n_inc + p));
@@ -232,16 +237,34 @@ obc::Strategy& EnergyPointContext::obc_strategy(ObcAlgorithm algo) {
   return *obc_;
 }
 
+solvers::Solver& EnergyPointContext::greens_solver() {
+  if (greens_solver_ == nullptr)
+    greens_solver_ =
+        solvers::make_solver(solvers::SolverAlgorithm::kRgf, {});
+  return *greens_solver_;
+}
+
+namespace {
+
+// Thread-local context: every pool worker that sweeps energies keeps its
+// own warm workspace, so steady-state points are allocation-free.  Shared
+// between the wave-function and Green's-function entry points, so a worker
+// interleaving contour and real-axis tasks reuses one workspace.
+EnergyPointContext& thread_context() {
+  static thread_local EnergyPointContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
 EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
                                      const dft::LeadBlocks& lead,
                                      const dft::FoldedLead& folded,
                                      double energy,
                                      const EnergyPointOptions& options,
                                      parallel::DevicePool* pool) {
-  // Thread-local context: every pool worker that sweeps energies keeps its
-  // own warm workspace, so steady-state points are allocation-free.
-  static thread_local EnergyPointContext ctx;
-  return solve_energy_point(ctx, dm, lead, folded, energy, options, pool);
+  return solve_energy_point(thread_context(), dm, lead, folded, energy,
+                            options, pool);
 }
 
 EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
@@ -280,7 +303,7 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
 
   // --- Open boundary conditions (CPU side, overlapping with Step 1) ---
   const detail::FetchedBoundary fetched =
-      detail::fetch_boundary(obc_strategy, lead, folded, energy, options);
+      detail::fetch_boundary(obc_strategy, lead, folded, e, options);
   const obc::Boundary& bnd = fetched.get();
   out.num_propagating = bnd.num_incident;
 
@@ -304,6 +327,47 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
 
   detail::finalize_observables(out, a, bnd, have_injection, shape, x, options);
   return out;
+}
+
+std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
+                                        const dft::DeviceMatrices& dm,
+                                        const dft::LeadBlocks& lead,
+                                        const dft::FoldedLead& folded,
+                                        cplx energy,
+                                        const EnergyPointOptions& options) {
+  const numeric::WorkspaceScope scope(ctx.workspace);
+  ctx.a.assign_es_minus_h(energy, dm.s, dm.h);
+  BlockTridiag& a = ctx.a;
+  const idx sf = a.block_size();
+
+  obc::Strategy& strategy = ctx.obc_strategy(options.obc);
+  const detail::FetchedBoundary fetched =
+      detail::fetch_boundary(strategy, lead, folded, energy, options);
+  const obc::Boundary& bnd = fetched.get();
+
+  // Fold the contact self-energies into the corner blocks; RGF then yields
+  // exactly the diagonal blocks of G = (z S - H - Sigma)^{-1}.  No
+  // injection columns exist off the real axis (every lead mode decays), so
+  // self-energy-only backends are as good as mode-based ones here.
+  a.diag(0) -= bnd.sigma_l;
+  a.diag(a.num_blocks() - 1) -= bnd.sigma_r;
+  const auto blocks = ctx.greens_solver().diagonal_blocks(a);
+
+  std::vector<cplx> out(static_cast<std::size_t>(a.dim()));
+  for (idx b = 0; b < a.num_blocks(); ++b)
+    for (idx i = 0; i < sf; ++i)
+      out[static_cast<std::size_t>(b * sf + i)] =
+          blocks[static_cast<std::size_t>(b)](i, i);
+  return out;
+}
+
+std::vector<cplx> solve_greens_diagonal(const dft::DeviceMatrices& dm,
+                                        const dft::LeadBlocks& lead,
+                                        const dft::FoldedLead& folded,
+                                        cplx energy,
+                                        const EnergyPointOptions& options) {
+  return solve_greens_diagonal(thread_context(), dm, lead, folded, energy,
+                               options);
 }
 
 std::vector<EnergyPointResult> sweep_energy_points(
@@ -355,6 +419,26 @@ double fermi(double e, double mu, double kt) {
   if (arg > 40.0) return 0.0;
   if (arg < -40.0) return 1.0;
   return 1.0 / (1.0 + std::exp(arg));
+}
+
+cplx fermi(cplx e, double mu, double kt) {
+  if (kt <= 0.0) return e.real() <= mu ? cplx{1.0} : cplx{0.0};
+  const cplx arg = (e - mu) / kt;
+  if (arg.real() > 40.0) return cplx{0.0};
+  if (arg.real() < -40.0) return cplx{1.0};
+  return 1.0 / (1.0 + std::exp(arg));
+}
+
+std::vector<cplx> matsubara_poles(double mu, double kt, int n) {
+  if (kt <= 0.0)
+    throw std::invalid_argument("matsubara_poles: kt must be positive");
+  if (n < 0) throw std::invalid_argument("matsubara_poles: n must be >= 0");
+  std::vector<cplx> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double pi = 3.14159265358979323846;
+  for (int p = 0; p < n; ++p)
+    out.emplace_back(mu, pi * kt * (2.0 * p + 1.0));
+  return out;
 }
 
 double landauer_current(const std::vector<double>& energies,

@@ -118,10 +118,17 @@ struct EnergyPointContext {
   /// the options passed per evaluation, so reuse is always safe.
   obc::Strategy& obc_strategy(ObcAlgorithm algo);
 
+  /// Cached RGF instance for Green's-function diagonal solves
+  /// (solve_greens_diagonal).  A separate slot from the wave-function
+  /// solver, so a sweep interleaving contour (GF) and real-axis (WF) tasks
+  /// does not recreate either backend on every switch.
+  solvers::Solver& greens_solver();
+
  private:
   std::unique_ptr<solvers::Solver> solver_;
   solvers::SolverAlgorithm solver_algo_ = solvers::SolverAlgorithm::kAuto;
   solvers::SolverContext solver_binding_;
+  std::unique_ptr<solvers::Solver> greens_solver_;
   std::unique_ptr<obc::Strategy> obc_;
   ObcAlgorithm obc_algo_ = ObcAlgorithm::kFeast;
 };
@@ -145,6 +152,30 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
                                      double energy,
                                      const EnergyPointOptions& options = {},
                                      parallel::DevicePool* pool = nullptr);
+
+/// Diagonal of the retarded Green's function G = (z S - H - Sigma)^{-1} at a
+/// complex energy node z, ordered orbital-by-orbital like orbital_density.
+/// The OBC strategy is evaluated at z itself: with Im z > 0 every lead mode
+/// is strictly decaying, so the Boundary carries self-energies only (no
+/// injection states exist or are needed) and any registered backend works.
+/// This is the work unit of the contour charge quadrature
+/// (charge::Quadrature): a node with complex weight w contributes
+/// Im(w * G_ii) to the orbital density, and the node is served from
+/// options.boundary_cache under the complex-energy key, so a fixed contour
+/// hits the cache on every SCF iteration after the first.
+std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
+                                        const dft::DeviceMatrices& dm,
+                                        const dft::LeadBlocks& lead,
+                                        const dft::FoldedLead& folded,
+                                        cplx energy,
+                                        const EnergyPointOptions& options = {});
+
+/// Same, on a thread-local context (shared with solve_energy_point's).
+std::vector<cplx> solve_greens_diagonal(const dft::DeviceMatrices& dm,
+                                        const dft::LeadBlocks& lead,
+                                        const dft::FoldedLead& folded,
+                                        cplx energy,
+                                        const EnergyPointOptions& options = {});
 
 /// Sweep many energies.  With `threads`, the sweep is parallelized over the
 /// pool's workers, each reusing its own thread-local context; serial
@@ -218,10 +249,12 @@ struct FetchedBoundary {
 
 /// Stage 2: compute (or fetch) the boundary for one (k, E, shift) under the
 /// options' cache discipline — find first, insert on miss (first insert is
-/// canonical), compute without storing when no cache is bound.
+/// canonical), compute without storing when no cache is bound.  `energy` may
+/// sit off the real axis (contour charge quadrature); the cache key carries
+/// Im(E) so contour nodes cache across SCF iterations like real points do.
 FetchedBoundary fetch_boundary(obc::Strategy& strategy,
                                const dft::LeadBlocks& lead,
-                               const dft::FoldedLead& folded, double energy,
+                               const dft::FoldedLead& folded, cplx energy,
                                const EnergyPointOptions& options);
 
 /// The RHS column layout of one point:
@@ -257,6 +290,19 @@ void require_injection_support(const obc::Strategy& strategy,
 
 /// Fermi-Dirac occupation.
 double fermi(double e, double mu, double kt);
+
+/// Fermi-Dirac occupation at a complex energy (contour quadrature), with
+/// the same +-40 kT overflow guards applied to Re((e - mu)/kt).  At
+/// Im e = 2 n pi kt (the contour's horizontal segment) exp((e - mu)/kt) is
+/// real and positive, so f there equals the real-axis Fermi function — the
+/// property the L-shaped contour is built on.  kt <= 0 degenerates to a
+/// step in Re(e), matching the real overload.
+cplx fermi(cplx e, double mu, double kt);
+
+/// First `n` fermionic Matsubara poles of f(z) = 1/(1 + exp((z - mu)/kt))
+/// above the real axis: z_p = mu + i pi kt (2p + 1), p = 0..n-1.  Each pole
+/// has residue -kt.  Throws std::invalid_argument for kt <= 0 or n < 0.
+std::vector<cplx> matsubara_poles(double mu, double kt, int n);
 
 /// Landauer ballistic current (in units of 2e/h * eV) from a transmission
 /// table: I = integral T(E) [f(E, mu_l) - f(E, mu_r)] dE (trapezoid).

@@ -1,0 +1,316 @@
+// Charge-quadrature registry and backend tests.
+//
+// The contour backend is validated against the scalar pole model: for
+// G(z) = 1/(z - E0) the exact occupied density is 2 pi f(E0), so the node
+// set must reproduce the Fermi function itself through the residue theorem
+// — a complete end-to-end check of node placement, jacobians, Fermi
+// factors, and pole residues with no transport machinery involved.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "charge/quadrature.hpp"
+#include "lattice/structure.hpp"
+#include "omen/simulator.hpp"
+#include "transport/bands.hpp"
+#include "transport/energy_grid.hpp"
+#include "transport/transmission.hpp"
+
+namespace ch = omenx::charge;
+namespace lt = omenx::lattice;
+namespace om = omenx::omen;
+namespace tr = omenx::transport;
+using omenx::numeric::cplx;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+ch::ChargeWindow test_window(double mu_l, double mu_r) {
+  ch::ChargeWindow w;
+  w.mu_l = mu_l;
+  w.mu_r = mu_r;
+  w.kt = 0.0259;
+  w.band_bottom = -6.5;
+  w.grid = {-6.2, -5.6, -5.0, -4.4};
+  return w;
+}
+
+// Density of the scalar pole model under a node set: GF nodes contribute
+// Im(w / (z - e0)); real-axis tasks have no scalar analogue and must be
+// absent for the windows these tests use.
+double scalar_density(const ch::NodeSet& nodes, double e0) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < nodes.gf_nodes.size(); ++i)
+    acc += std::imag(nodes.gf_weights[i] / (nodes.gf_nodes[i] - e0));
+  return acc;
+}
+
+om::SimulationConfig chain_config(omenx::numeric::idx cells) {
+  om::SimulationConfig cfg;
+  lt::Structure s;
+  s.cell_atoms = {{lt::Species::kLi, {0.0, 0.0, 0.0}}};
+  s.cell_length = 0.5;
+  s.num_cells = cells;
+  s.name = "chain";
+  cfg.structure = s;
+  cfg.build.cutoff_nm = 1.0;
+  cfg.point.obc = tr::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = tr::SolverAlgorithm::kBlockLU;
+  return cfg;
+}
+
+}  // namespace
+
+// --- registry --------------------------------------------------------------
+
+TEST(QuadratureRegistry, BuiltinsAreRegistered) {
+  const auto names = ch::registered_quadratures();
+  EXPECT_NE(std::find(names.begin(), names.end(), "real_grid"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "contour"), names.end());
+  EXPECT_STREQ(ch::make_quadrature("real_grid")->name(), "real_grid");
+  EXPECT_STREQ(ch::make_quadrature("contour")->name(), "contour");
+  EXPECT_STREQ(
+      ch::make_quadrature(ch::QuadratureAlgorithm::kRealGrid)->name(),
+      "real_grid");
+  EXPECT_STREQ(ch::make_quadrature(ch::QuadratureAlgorithm::kContour)->name(),
+               "contour");
+  EXPECT_THROW(ch::make_quadrature("no_such_backend"), std::invalid_argument);
+}
+
+TEST(QuadratureRegistry, CapabilityBits) {
+  EXPECT_EQ(
+      ch::quadrature_algorithm_capabilities(ch::QuadratureAlgorithm::kRealGrid),
+      0u);
+  const unsigned contour =
+      ch::quadrature_algorithm_capabilities(ch::QuadratureAlgorithm::kContour);
+  EXPECT_TRUE(contour & ch::kUsesComplexPlane);
+  EXPECT_TRUE(contour & ch::kSplitsWindows);
+}
+
+TEST(QuadratureRegistry, CustomRegistrationWins) {
+  ch::register_quadrature("custom_contour", [] {
+    return ch::make_quadrature(ch::QuadratureAlgorithm::kContour);
+  });
+  const auto names = ch::registered_quadratures();
+  EXPECT_NE(std::find(names.begin(), names.end(), "custom_contour"),
+            names.end());
+  EXPECT_STREQ(ch::make_quadrature("custom_contour")->name(), "contour");
+}
+
+// --- Gauss-Legendre --------------------------------------------------------
+
+TEST(GaussLegendre, NodesAscendAndWeightsSumToTwo) {
+  for (int n : {1, 2, 5, 16, 64}) {
+    const auto gl = ch::gauss_legendre(n);
+    ASSERT_EQ(gl.nodes.size(), static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) EXPECT_GT(gl.nodes[i], gl.nodes[i - 1]);
+      EXPECT_GT(gl.weights[i], 0.0);
+      sum += gl.weights[i];
+    }
+    EXPECT_NEAR(sum, 2.0, 1e-13);
+  }
+  EXPECT_THROW(ch::gauss_legendre(0), std::invalid_argument);
+}
+
+TEST(GaussLegendre, ExactForPolynomialsUpToDegree2nMinus1) {
+  // n-point Gauss integrates x^k exactly for k <= 2n-1:
+  // int_{-1}^{1} x^k dx = 2/(k+1) for even k, 0 for odd.
+  for (int n : {2, 4, 7}) {
+    const auto gl = ch::gauss_legendre(n);
+    for (int k = 0; k <= 2 * n - 1; ++k) {
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i)
+        acc += gl.weights[i] * std::pow(gl.nodes[i], k);
+      const double exact = (k % 2 == 0) ? 2.0 / (k + 1.0) : 0.0;
+      EXPECT_NEAR(acc, exact, 1e-12) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+// --- real_grid backend -----------------------------------------------------
+
+TEST(RealGridQuadrature, ReproducesTrapezoidTimesFermiExactly) {
+  const auto win = test_window(-5.1, -5.3);
+  const auto nodes =
+      ch::make_quadrature(ch::QuadratureAlgorithm::kRealGrid)->build(win);
+  ASSERT_EQ(nodes.energies, win.grid);
+  EXPECT_TRUE(nodes.gf_nodes.empty());
+  const auto w = tr::trapezoid_weights(win.grid);
+  ASSERT_EQ(nodes.weight_l.size(), w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    // Bit-identical products in the same order as the pre-registry path.
+    EXPECT_DOUBLE_EQ(nodes.weight_l[i],
+                     w[i] * tr::fermi(win.grid[i], win.mu_l, win.kt));
+    EXPECT_DOUBLE_EQ(nodes.weight_r[i],
+                     w[i] * tr::fermi(win.grid[i], win.mu_r, win.kt));
+  }
+}
+
+TEST(RealGridQuadrature, RejectsDegenerateGrids) {
+  auto quad = ch::make_quadrature(ch::QuadratureAlgorithm::kRealGrid);
+  auto win = test_window(-5.1, -5.1);
+  win.grid = {-5.0};
+  EXPECT_THROW(quad->build(win), std::invalid_argument);
+  win.grid = {-5.0, -5.0};
+  EXPECT_THROW(quad->build(win), std::invalid_argument);
+  win.grid = {-5.0, -5.5};
+  EXPECT_THROW(quad->build(win), std::invalid_argument);
+}
+
+// --- contour backend: the scalar pole model --------------------------------
+
+TEST(ContourQuadrature, ScalarPoleReproducesFermiFunction) {
+  const auto win = test_window(-5.1, -5.1);
+  const auto quad = ch::make_quadrature(ch::QuadratureAlgorithm::kContour);
+  // The default rule (128 points) sits at ~2e-7 absolute error; 256 points
+  // is converged to roundoff.
+  const auto dflt = quad->build(win);
+  EXPECT_TRUE(dflt.energies.empty());  // equilibrium: no real remainder
+  EXPECT_GE(dflt.gf_nodes.size(), 100u);
+  ch::QuadratureOptions tight;
+  tight.contour_points = 256;
+  const auto nodes = quad->build(win, tight);
+  // Deep state, band-edge-ish state, states bracketing mu by a few kT, and
+  // a state far above the window (f ~ 0, pole outside the contour).
+  for (const double e0 : {-6.3, -5.8, -5.2, -5.1, -5.05, -4.0}) {
+    const double exact = 2.0 * kPi * tr::fermi(e0, win.mu_l, win.kt);
+    EXPECT_NEAR(scalar_density(dflt, e0), exact, 1e-6) << "E0=" << e0;
+    EXPECT_NEAR(scalar_density(nodes, e0), exact, 1e-10) << "E0=" << e0;
+  }
+}
+
+TEST(ContourQuadrature, InvariantUnderBandBottomShift) {
+  // Any anchor below the spectrum encloses the same poles: moving EB must
+  // not change the integral (this is what lets the Simulator quantize the
+  // potential-dependent anchor for cache stability).
+  auto win = test_window(-5.1, -5.1);
+  const auto quad = ch::make_quadrature(ch::QuadratureAlgorithm::kContour);
+  ch::QuadratureOptions tight;
+  tight.contour_points = 256;  // converged: isolates the anchor dependence
+  const auto a = quad->build(win, tight);
+  win.band_bottom -= 0.37;
+  const auto b = quad->build(win, tight);
+  for (const double e0 : {-6.3, -5.4, -5.1}) {
+    EXPECT_NEAR(scalar_density(a, e0), scalar_density(b, e0), 1e-9)
+        << "E0=" << e0;
+  }
+}
+
+TEST(ContourQuadrature, ConvergesGeometricallyInNodeCount) {
+  const auto win = test_window(-5.1, -5.1);
+  const auto quad = ch::make_quadrature(ch::QuadratureAlgorithm::kContour);
+  const double e0 = -5.6;
+  const double exact = 2.0 * kPi * tr::fermi(e0, win.mu_l, win.kt);
+  double prev = 1e300;
+  for (int np : {32, 64, 128, 256}) {
+    ch::QuadratureOptions opt;
+    opt.contour_points = np;
+    const double err =
+        std::abs(scalar_density(quad->build(win, opt), e0) - exact);
+    EXPECT_LT(err, 0.5 * prev) << "np=" << np;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-9);
+}
+
+TEST(ContourQuadrature, BiasWindowStaysOnRealAxis) {
+  // mu_l != mu_r: the disputed window keeps real-axis tasks whose weights
+  // are the occupation differences f_c - f_min — zero at the left contact
+  // for mu_l = mu_min, positive for the other.
+  auto win = test_window(-5.3, -5.0);
+  win.grid.clear();
+  for (double e = -6.4; e <= -4.3; e += 0.01) win.grid.push_back(e);
+  const auto nodes =
+      ch::make_quadrature(ch::QuadratureAlgorithm::kContour)->build(win);
+  ASSERT_GE(nodes.energies.size(), 2u);
+  const double lo = -5.3 - 30.0 * win.kt;
+  const double hi = -5.0 + 30.0 * win.kt;
+  for (std::size_t i = 0; i < nodes.energies.size(); ++i) {
+    EXPECT_GE(nodes.energies[i], lo);
+    EXPECT_LE(nodes.energies[i], hi);
+    // mu_l = mu_min here, so the source weight vanishes identically and the
+    // drain weight is non-negative.
+    EXPECT_DOUBLE_EQ(nodes.weight_l[i], 0.0);
+    EXPECT_GE(nodes.weight_r[i], 0.0);
+  }
+  // The drain weights integrate f(mu_r) - f(mu_l): summed over the window
+  // this is ~ (mu_r - mu_l) for a wide-enough grid.
+  double sum = 0.0;
+  for (const double w : nodes.weight_r) sum += w;
+  EXPECT_NEAR(sum, 0.3, 1e-3);
+}
+
+TEST(ContourQuadrature, RejectsUnusableWindows) {
+  const auto quad = ch::make_quadrature(ch::QuadratureAlgorithm::kContour);
+  auto win = test_window(-5.1, -5.1);
+  win.kt = 0.0;
+  EXPECT_THROW(quad->build(win), std::invalid_argument);
+  win = test_window(-5.1, -5.1);
+  ch::QuadratureOptions opt;
+  opt.contour_points = 3;
+  EXPECT_THROW(quad->build(win, opt), std::invalid_argument);
+  opt = {};
+  opt.num_poles = 0;
+  EXPECT_THROW(quad->build(win, opt), std::invalid_argument);
+}
+
+// --- Simulator integration -------------------------------------------------
+
+TEST(SimulatorCharge, DegenerateGridsThrowAndEngineDrains) {
+  om::Simulator sim(chain_config(6));
+  const auto win = tr::band_window(sim.bands(9));
+  const double mu = 0.5 * (win.emin + win.emax);
+  std::vector<double> grid;
+  for (double e = win.emin - 0.3; e <= mu + 0.4; e += 0.02) grid.push_back(e);
+
+  // The validation bugfix: bad grids must throw std::invalid_argument up
+  // front instead of feeding NaNs into the SCF loop.
+  EXPECT_THROW(sim.charge_density({}, mu, mu, nullptr), std::invalid_argument);
+  EXPECT_THROW(sim.charge_density({mu}, mu, mu, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(sim.charge_density({mu, mu}, mu, mu, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(sim.charge_density({mu, mu - 0.5}, mu, mu, nullptr),
+               std::invalid_argument);
+
+  // Regression: the engine must drain cleanly past the throws — the next
+  // sweep on the same Simulator matches a fresh instance bit-for-bit.
+  const auto after = sim.charge_density(grid, mu, mu, nullptr);
+  om::Simulator fresh(chain_config(6));
+  const auto expect = fresh.charge_density(grid, mu, mu, nullptr);
+  ASSERT_EQ(after.size(), expect.size());
+  for (std::size_t i = 0; i < after.size(); ++i)
+    EXPECT_DOUBLE_EQ(after[i], expect[i]);
+}
+
+TEST(SimulatorCharge, ContourMatchesRealGridOnChainDevice) {
+  // End-to-end through the engine: the contour's Green's-function nodes
+  // must land on the same per-cell charge as the dense real-axis
+  // wave-function integration, to within the *real grid's* trapezoid error
+  // (the contour is converged orders of magnitude tighter).
+  om::Simulator sim(chain_config(8));
+  const auto win = tr::band_window(sim.bands(9));
+  const double mu = 0.5 * (win.emin + win.emax);
+  std::vector<double> grid;
+  for (double e = win.emin - 0.4; e <= mu + 0.8; e += 0.002) grid.push_back(e);
+  std::vector<double> barrier(8, 0.0);
+  barrier[3] = barrier[4] = 0.25;
+
+  const auto real = sim.charge_density(grid, mu, mu, &barrier);
+  const auto contour =
+      sim.charge_density(grid, mu, mu, &barrier,
+                         ch::QuadratureAlgorithm::kContour);
+  ASSERT_EQ(contour.size(), real.size());
+  for (std::size_t i = 0; i < real.size(); ++i)
+    EXPECT_NEAR(contour[i], real[i], 2e-2) << "cell " << i;
+  // The solve-count win that motivates the backend.
+  EXPECT_LT(sim.last_sweep_stats().tasks_total,
+            static_cast<omenx::numeric::idx>(grid.size()) / 5);
+  EXPECT_EQ(sim.last_sweep_stats().tasks_greens,
+            sim.last_sweep_stats().tasks_total);
+}

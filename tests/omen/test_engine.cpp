@@ -544,3 +544,87 @@ TEST(Engine, RejectsBadRequests) {
   EXPECT_THROW(om::Engine(om::EngineConfig{0, 1, true, true}),
                std::invalid_argument);
 }
+
+TEST(Engine, GreensTasksBitIdenticalAcrossWorldSizesAndStealing) {
+  // Contour charge nodes ride the same queue as real-axis tasks: a hot k
+  // full of Green's-function nodes must distribute, steal, and assemble
+  // bit-identically to the flat loop at any world size.
+  const idx s = 5, cells = 10;
+  std::vector<df::LeadBlocks> leads;
+  for (unsigned k = 0; k < 4; ++k)
+    leads.push_back(synthetic_lead(s, 91 + 3 * k));
+  om::SweepRequest req;
+  req.leads = &leads;
+  req.cells = cells;
+  req.potential.assign(static_cast<std::size_t>(cells), 0.0);
+  req.point = cheap_options();
+  req.energies.resize(4);  // no real-axis tasks at all: GF nodes only
+  req.gf_nodes.resize(4);
+  req.gf_weights.resize(4);
+  for (int in = 0; in < 20; ++in) {
+    req.gf_nodes[0].push_back(cplx{-1.5 + 0.12 * in, 0.3 + 0.01 * in});
+    req.gf_weights[0].push_back(cplx{0.05, -0.02 * in});
+  }
+  for (std::size_t k = 1; k < 4; ++k)
+    for (int in = 0; in < 3; ++in) {
+      req.gf_nodes[k].push_back(cplx{-0.8 + 0.4 * in, 0.25});
+      req.gf_weights[k].push_back(cplx{0.1 * (in + 1.0), 0.03});
+    }
+
+  om::Engine flat({});
+  const auto ref = flat.run(req);
+  ASSERT_EQ(ref.charge.size(), static_cast<std::size_t>(cells));
+  EXPECT_EQ(ref.stats.tasks_greens, 29);
+  EXPECT_EQ(ref.stats.tasks_total, 29);
+
+  for (const int ranks : {1, 2, 4}) {
+    for (const bool stealing : {true, false}) {
+      om::EngineConfig cfg;
+      cfg.num_ranks = ranks;
+      cfg.work_stealing = stealing;
+      cfg.flat_single_rank = false;  // force the rank protocol even at 1
+      om::Engine engine(cfg);
+      const auto res = engine.run(req);
+      EXPECT_EQ(res.stats.tasks_greens, 29) << "ranks=" << ranks;
+      ASSERT_EQ(res.charge.size(), ref.charge.size());
+      for (std::size_t c = 0; c < ref.charge.size(); ++c)
+        EXPECT_DOUBLE_EQ(res.charge[c], ref.charge[c])
+            << "ranks=" << ranks << " stealing=" << stealing << " cell " << c;
+      if (ranks == 4 && stealing) EXPECT_GT(res.stats.tasks_stolen, 0);
+    }
+  }
+}
+
+TEST(Engine, ContourChargeBitIdenticalAcrossWorldSizes) {
+  // Simulator-level replica of ChargeDensityConsistentAcrossWorldSizes for
+  // the contour backend, at a bias so the sweep mixes real-axis remainder
+  // tasks with complex Green's-function nodes in one queue.
+  om::SimulationConfig cfg = chain_config(10, 1);
+  om::Simulator reference(cfg);
+  const auto window = tr::band_window(reference.bands(9));
+  std::vector<double> grid;
+  for (double e = window.emin - 0.4;
+       e < 0.5 * (window.emin + window.emax) + 0.8; e += 0.02)
+    grid.push_back(e);
+  const double mu = 0.5 * (window.emin + window.emax);
+  omenx::charge::QuadratureOptions qopt;
+  qopt.contour_points = 32;  // accuracy is not under test here
+  const auto base = reference.charge_density(
+      grid, mu, mu - 0.2, nullptr, omenx::charge::QuadratureAlgorithm::kContour,
+      qopt);
+  EXPECT_GT(reference.last_sweep_stats().tasks_greens, 0);
+  EXPECT_LT(reference.last_sweep_stats().tasks_greens,
+            reference.last_sweep_stats().tasks_total);
+
+  for (const int ranks : {2, 7}) {
+    om::SimulationConfig dcfg = cfg;
+    dcfg.num_ranks = ranks;
+    om::Simulator sim(dcfg);
+    const auto charge = sim.charge_density(
+        grid, mu, mu - 0.2, nullptr,
+        omenx::charge::QuadratureAlgorithm::kContour, qopt);
+    ASSERT_EQ(charge.size(), base.size());
+    for (std::size_t c = 0; c < charge.size(); ++c)
+      EXPECT_DOUBLE_EQ(charge[c], base[c]) << "ranks=" << ranks << " cell " << c;
+  }
+}

@@ -467,3 +467,99 @@ TEST(Transport, SweepMatchesPointwiseSolves) {
                 1e-10);
   }
 }
+
+// --- complex-plane Fermi machinery (contour charge quadrature) ------------
+
+TEST(Transport, FermiComplexMatchesAnalyticValues) {
+  const double mu = -5.0, kt = 0.025;
+  // On the real axis the complex overload reduces to the real one exactly.
+  for (const double e : {-5.4, -5.0, -4.9, -4.975}) {
+    const cplx f = tr::fermi(cplx{e, 0.0}, mu, kt);
+    EXPECT_DOUBLE_EQ(f.real(), tr::fermi(e, mu, kt));
+    EXPECT_DOUBLE_EQ(f.imag(), 0.0);
+  }
+  // Hand-evaluated point off the axis: z - mu = kt * (1 + i), so
+  // f = 1 / (1 + e^{1+i}).
+  const cplx z = mu + cplx{kt, kt};
+  const cplx expect = 1.0 / (1.0 + std::exp(cplx{1.0, 1.0}));
+  const cplx got = tr::fermi(z, mu, kt);
+  EXPECT_NEAR(got.real(), expect.real(), 1e-14);
+  EXPECT_NEAR(got.imag(), expect.imag(), 1e-14);
+  // At height 2 n pi kt the exponential is real-positive: f equals the
+  // real-axis Fermi function (the property the L-contour's run relies on).
+  const double h = 2.0 * 3.0 * 3.14159265358979323846 * kt;
+  for (const double e : {-5.2, -5.0, -4.93}) {
+    const cplx fr = tr::fermi(cplx{e, h}, mu, kt);
+    EXPECT_NEAR(fr.real(), tr::fermi(e, mu, kt), 1e-12);
+    EXPECT_NEAR(fr.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Transport, FermiComplexOverflowGuards) {
+  const double mu = 0.0, kt = 0.025;
+  // Far above / below the window: the guard must clamp instead of
+  // overflowing exp into inf/NaN, matching the real overload.
+  const cplx hot = tr::fermi(cplx{100.0, 0.3}, mu, kt);
+  EXPECT_DOUBLE_EQ(hot.real(), 0.0);
+  EXPECT_DOUBLE_EQ(hot.imag(), 0.0);
+  const cplx cold = tr::fermi(cplx{-100.0, 0.3}, mu, kt);
+  EXPECT_DOUBLE_EQ(cold.real(), 1.0);
+  EXPECT_DOUBLE_EQ(cold.imag(), 0.0);
+  // kt <= 0 degenerates to a step in Re(e).
+  EXPECT_DOUBLE_EQ(tr::fermi(cplx{-0.1, 0.2}, mu, 0.0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(tr::fermi(cplx{0.1, 0.2}, mu, 0.0).real(), 0.0);
+}
+
+TEST(Transport, MatsubaraPolesLocationsAndResidues) {
+  const double mu = -5.1, kt = 0.0259;
+  const double pi = 3.14159265358979323846;
+  const auto poles = tr::matsubara_poles(mu, kt, 4);
+  ASSERT_EQ(poles.size(), 4u);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_DOUBLE_EQ(poles[static_cast<std::size_t>(p)].real(), mu);
+    EXPECT_DOUBLE_EQ(poles[static_cast<std::size_t>(p)].imag(),
+                     pi * kt * (2.0 * p + 1.0));
+    // Residue check: (z - z_p) * f(z) -> -kt as z -> z_p.
+    const cplx zp = poles[static_cast<std::size_t>(p)];
+    const cplx dz{1e-7, 1e-7};
+    const cplx res = dz * tr::fermi(zp + dz, mu, kt);
+    EXPECT_NEAR(res.real(), -kt, 1e-6);
+    EXPECT_NEAR(res.imag(), 0.0, 1e-6);
+  }
+  EXPECT_TRUE(tr::matsubara_poles(mu, kt, 0).empty());
+  EXPECT_THROW(tr::matsubara_poles(mu, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(tr::matsubara_poles(mu, kt, -1), std::invalid_argument);
+}
+
+// --- trapezoid_weights edge cases (charge-integration contract) -----------
+
+TEST(EnergyGrid, TrapezoidWeightsTwoPointGrid) {
+  const auto w = tr::trapezoid_weights({-1.0, 2.0});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 1.5);
+  EXPECT_DOUBLE_EQ(w[1], 1.5);
+}
+
+TEST(EnergyGrid, TrapezoidWeightsSumToSpanExactly) {
+  // The half-interval construction telescopes: the weight sum equals
+  // emax - emin to the last ulp, not merely to a tolerance.
+  std::vector<double> grid;
+  for (int i = 0; i <= 1000; ++i)
+    grid.push_back(-6.5 + 3.1e-3 * i + 1e-4 * std::sin(0.1 * i));
+  const auto w = tr::trapezoid_weights(grid);
+  double sum = 0.0;
+  for (std::size_t i = 1; i + 1 < w.size(); ++i) sum += w[i];
+  // Telescoped interior + the two half-end weights == span, summed in the
+  // same pairwise order the implementation uses.
+  double span = 0.0;
+  for (std::size_t i = 1; i < grid.size(); ++i) span += grid[i] - grid[i - 1];
+  sum += w.front() + w.back();
+  EXPECT_NEAR(sum, span, 1e-12 * std::abs(span));
+  EXPECT_NEAR(sum, grid.back() - grid.front(), 1e-10);
+}
+
+TEST(EnergyGrid, TrapezoidWeightsRejectNonMonotonicGrids) {
+  EXPECT_THROW(tr::trapezoid_weights({0.0, 1.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(tr::trapezoid_weights({0.0, 0.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(tr::trapezoid_weights({1.0, 0.0}), std::invalid_argument);
+}
