@@ -3,9 +3,14 @@
 //
 // Part (a) prints the calibrated power model.  Part (b) runs a real
 // SplitSolve energy point on the emulated accelerators and prints the
-// recorded trace events — the equivalent of the paper's nvprof capture.
+// recorded trace events — the equivalent of the paper's nvprof capture —
+// plus the per-device busy fraction over the traced window (the occupancy
+// number behind the paper's "GPUs active ~87% of an energy point" claim).
+// BENCH_power.json records the power model and the measured occupancy.
 #include <algorithm>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "blockmat/block_tridiag.hpp"
@@ -72,5 +77,64 @@ int main() {
   benchutil::rule();
   std::printf("phases P1-P4 run concurrently on all devices; the spike merge "
               "and SMW postprocess follow, as in the paper's nvprof trace\n");
-  return 0;
+
+  // Per-device busy fraction over the traced window: the integral of each
+  // device's recorded kernel time divided by the wall span of the whole
+  // trace.  The paper's Fig. 12(b) point is that all GPUs stay busy
+  // through P1-P4 and idle only during the host-side merge.
+  const int n_devices = static_cast<int>(pool.size());
+  std::vector<double> busy(static_cast<std::size_t>(n_devices), 0.0);
+  double t0 = 1e300, t1 = -1e300;
+  for (const auto& e : events) {
+    t0 = std::min(t0, e.start_s);
+    t1 = std::max(t1, e.end_s);
+    if (e.device_id >= 0 && e.device_id < n_devices)
+      busy[static_cast<std::size_t>(e.device_id)] += e.end_s - e.start_s;
+  }
+  const double window = events.empty() ? 0.0 : t1 - t0;
+  double busy_sum = 0.0;
+  std::printf("per-device busy fraction over the %.2f ms trace window:\n",
+              1e3 * window);
+  for (int d = 0; d < n_devices; ++d) {
+    const double frac =
+        window > 0.0 ? busy[static_cast<std::size_t>(d)] / window : 0.0;
+    busy_sum += frac;
+    std::printf("  device %d: %5.1f%%\n", d, 100.0 * frac);
+  }
+  const double mean_busy = n_devices > 0 ? busy_sum / n_devices : 0.0;
+  std::printf("mean device occupancy: %.1f%%\n", 100.0 * mean_busy);
+
+  // --- JSON record -------------------------------------------------------
+  std::string json = "{\n";
+  {
+    benchutil::JsonWriter w;
+    w.field("avg_machine_mw", profile.avg_machine_mw);
+    w.field("peak_machine_mw", profile.peak_machine_mw);
+    w.field("avg_gpu_watts", profile.avg_gpu_watts);
+    w.field("machine_mflops_per_watt", profile.machine_mflops_per_watt);
+    w.field("gpu_mflops_per_watt", profile.gpu_mflops_per_watt, true);
+    json += "  \"power_model\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("devices", static_cast<double>(n_devices));
+    w.field("trace_window_s", window);
+    w.field("trace_events", static_cast<double>(events.size()));
+    for (int d = 0; d < n_devices; ++d)
+      w.field("busy_fraction_device_" + std::to_string(d),
+              window > 0.0 ? busy[static_cast<std::size_t>(d)] / window : 0.0);
+    w.field("mean_busy_fraction", mean_busy, true);
+    json += "  \"occupancy\": {" + w.body + "}\n}\n";
+  }
+  std::FILE* f = std::fopen("BENCH_power.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_power.json\n");
+  }
+  // Gate: a real multi-device trace was captured and every device did work.
+  bool all_active = n_devices > 0 && window > 0.0;
+  for (int d = 0; d < n_devices; ++d)
+    all_active = all_active && busy[static_cast<std::size_t>(d)] > 0.0;
+  return all_active ? 0 : 1;
 }

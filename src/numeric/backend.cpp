@@ -147,7 +147,14 @@ void register_backend(const std::string& name, Backend* backend) {
   if (backend == nullptr)
     throw std::invalid_argument("register_backend: null backend");
   const std::lock_guard<std::mutex> lock(registry_mutex());
-  registry()[name] = backend;
+  // A name maps to one backend forever (callers cache the raw pointer, so a
+  // silent overwrite would strand them on an object the registry no longer
+  // vouches for).
+  const auto [it, inserted] = registry().emplace(name, backend);
+  (void)it;
+  if (!inserted)
+    throw std::invalid_argument("register_backend: name '" + name +
+                                "' is already registered");
 }
 
 Backend* find_backend(const std::string& name) {

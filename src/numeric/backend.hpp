@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -90,13 +91,45 @@ class Backend {
   virtual void lu_solve_left_batched(
       const std::vector<const LUFactor*>& factors,
       const std::vector<const CMatrix*>& bs, std::vector<CMatrix>& xs);
+
+  /// True when batched calls genuinely offload (pay host<->device transfer
+  /// and launch costs).  The host backend returns false; callers use this
+  /// to decide whether staging operands (stage_operand) is worthwhile and
+  /// which throughput figure of perf::MachineSpec applies.
+  virtual bool offloads() const noexcept { return false; }
+
+  /// Hint that operand `stable_id` (`bytes` wide) is about to be consumed
+  /// by batched calls and is bit-stable under that id — typically reused
+  /// across SCF iterations.  An offload backend stages it into device
+  /// residency (transferring H2D at most once per id); returns true iff the
+  /// operand was already resident, i.e. no transfer was paid.  The host
+  /// backend ignores the hint and returns false.  `stable_id` 0 means
+  /// "stream, do not cache".
+  virtual bool stage_operand(std::uint64_t stable_id, std::uint64_t bytes) {
+    (void)stable_id;
+    (void)bytes;
+    return false;
+  }
+
+  /// Drop any operand residency (stage_operand state).  Called when the
+  /// inputs behind the stable ids change (new leads / OBC options).  No-op
+  /// on backends without residency.
+  virtual void invalidate_residency() {}
 };
 
 /// The built-in thread-pool backend ("host").  Singleton; always registered.
 Backend& host_backend();
 
-/// Register `backend` (not owned; must outlive the process) under `name`,
-/// replacing any previous registration.
+/// Register `backend` under `name`.
+///
+/// Lifetime contract: the registry stores the raw pointer and never takes
+/// ownership — the backend must stay alive for as long as any lookup may
+/// return it (in practice: for the rest of the process; register
+/// function-local statics or objects owned by main()).  There is no
+/// unregister.  Each name can be registered exactly once: a duplicate name
+/// throws std::invalid_argument instead of silently replacing the earlier
+/// backend (which would leave callers holding a pointer the registry no
+/// longer vouches for).  A null backend also throws std::invalid_argument.
 void register_backend(const std::string& name, Backend* backend);
 
 /// Look up a backend by name; nullptr when unknown.

@@ -1,0 +1,289 @@
+#include "numeric/device_backend.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "numeric/blas.hpp"
+
+namespace omenx::numeric {
+
+namespace {
+
+// Set while a device worker is executing one of our kernels.  A nested
+// dispatch from inside a kernel must not enqueue back onto the pool (the
+// current stream would deadlock waiting on a kernel behind itself), so it
+// degrades to a serial loop on the same stream — the exact analogue of the
+// host backend's lane rule.
+thread_local bool g_in_device_kernel = false;
+
+// Kernel discipline mirroring run_lane_item in backend.cpp: a per-stream
+// workspace arena and nested kernel parallelism off, so p devices genuinely
+// run p-way parallel without oversubscription and each item executes the
+// same single-threaded scalar kernel as every other path — the bit-identity
+// contract.
+void run_kernel_item(const std::function<void(std::size_t)>& fn,
+                     std::size_t i) {
+  static thread_local Workspace stream_workspace;
+  const WorkspaceScope scope(stream_workspace);
+  const bool saved_parallelism = thread_parallelism();
+  set_thread_parallelism(false);
+  const bool saved_nested = g_in_device_kernel;
+  g_in_device_kernel = true;
+  try {
+    fn(i);
+  } catch (...) {
+    g_in_device_kernel = saved_nested;
+    set_thread_parallelism(saved_parallelism);
+    throw;
+  }
+  g_in_device_kernel = saved_nested;
+  set_thread_parallelism(saved_parallelism);
+}
+
+constexpr std::uint64_t kCplxBytes = sizeof(cplx);
+
+std::uint64_t matrix_bytes(const CMatrix* m) {
+  if (m == nullptr) return 0;
+  return std::uint64_t(m->rows()) * std::uint64_t(m->cols()) * kCplxBytes;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- ResidencyCache --
+
+ResidencyCache::Outcome ResidencyCache::stage(std::uint64_t id,
+                                              std::uint64_t bytes,
+                                              parallel::Device& device) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(id);
+  if (found != index_.end()) {
+    ++stats_.hits;
+    return Outcome::kHit;
+  }
+  // Miss: reserve, evicting our oldest entries on this device until the
+  // operand fits.  Entries pinned on *other* devices do not free capacity
+  // here, so they are left alone.
+  for (;;) {
+    try {
+      parallel::DeviceBuffer buffer = device.allocate(bytes);
+      device.record_h2d(bytes);
+      entries_.push_back(Entry{id, &device, std::move(buffer)});
+      index_.emplace(id, std::prev(entries_.end()));
+      ++stats_.misses;
+      stats_.resident_bytes += bytes;
+      return Outcome::kMiss;
+    } catch (const std::runtime_error&) {
+      auto victim = entries_.begin();
+      while (victim != entries_.end() && victim->device != &device) ++victim;
+      if (victim == entries_.end()) {
+        // Nothing left to evict: the operand is simply streamed — the
+        // transfer happens but nothing is pinned, and the next stage of
+        // this id will pay H2D again.
+        device.record_h2d(bytes);
+        ++stats_.streamed;
+        return Outcome::kStreamed;
+      }
+      stats_.resident_bytes -= victim->buffer.bytes();
+      ++stats_.evictions;
+      index_.erase(victim->id);
+      entries_.erase(victim);
+    }
+  }
+}
+
+void ResidencyCache::invalidate() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  index_.clear();
+  entries_.clear();
+  stats_.resident_bytes = 0;
+}
+
+ResidencyCache::Stats ResidencyCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// -------------------------------------------------------- DeviceBackend --
+
+DeviceBackend::DeviceBackend(parallel::DevicePool& pool,
+                             ResidencyCache* residency)
+    : pool_(pool),
+      residency_(residency != nullptr ? residency : &owned_residency_) {
+  if (pool_.size() <= 0)
+    throw std::invalid_argument("DeviceBackend: empty device pool");
+}
+
+void DeviceBackend::dispatch(const char* label, std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (g_in_device_kernel) {
+    for (std::size_t i = 0; i < n; ++i) run_kernel_item(fn, i);
+    return;
+  }
+  const std::size_t num_devices = std::size_t(pool_.size());
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    parallel::Device& dev = pool_.device(int(i % num_devices));
+    pending.push_back(dev.enqueue(label, [&fn, i] { run_kernel_item(fn, i); }));
+  }
+  // Same settle-then-rethrow rule as the host backend: every kernel
+  // completes before any exception propagates, first item-order error wins.
+  std::exception_ptr first_error;
+  for (auto& fut : pending) {
+    try {
+      fut.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+bool DeviceBackend::reserve_workspace(
+    const std::vector<std::uint64_t>& per_device_bytes,
+    std::vector<parallel::DeviceBuffer>& held) {
+  held.clear();
+  held.reserve(per_device_bytes.size());
+  for (std::size_t d = 0; d < per_device_bytes.size(); ++d) {
+    if (per_device_bytes[d] == 0) continue;
+    try {
+      held.push_back(pool_.device(int(d)).allocate(per_device_bytes[d]));
+    } catch (const std::runtime_error&) {
+      held.clear();  // releases every reservation made so far, exactly once
+      host_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  return true;
+}
+
+void DeviceBackend::account_item_transfers(std::size_t i,
+                                           std::uint64_t in_bytes,
+                                           std::uint64_t out_bytes) {
+  parallel::Device& dev = pool_.device(int(i % std::size_t(pool_.size())));
+  if (in_bytes != 0) dev.record_h2d(in_bytes);
+  if (out_bytes != 0) dev.record_d2h(out_bytes);
+}
+
+void DeviceBackend::gemm_batched(char op_a, char op_b, idx m, idx n, idx k,
+                                 cplx alpha, cplx beta,
+                                 const std::vector<GemmBatchItem>& items) {
+  if (items.empty()) return;
+  // Operands per item: A (m x k), B (k x n) in; C out (and in when the
+  // update reads it).
+  const std::uint64_t a_bytes = std::uint64_t(m) * std::uint64_t(k) * kCplxBytes;
+  const std::uint64_t b_bytes = std::uint64_t(k) * std::uint64_t(n) * kCplxBytes;
+  const std::uint64_t c_bytes = std::uint64_t(m) * std::uint64_t(n) * kCplxBytes;
+  const bool reads_c = beta != cplx(0.0, 0.0);
+  const std::uint64_t in_bytes = a_bytes + b_bytes + (reads_c ? c_bytes : 0);
+  const std::size_t num_devices = std::size_t(pool_.size());
+  std::vector<std::uint64_t> per_device(num_devices, 0);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    per_device[i % num_devices] += in_bytes + c_bytes;
+  std::vector<parallel::DeviceBuffer> held;
+  if (!reserve_workspace(per_device, held)) {
+    host_backend().gemm_batched(op_a, op_b, m, n, k, alpha, beta, items);
+    return;
+  }
+  for (std::size_t i = 0; i < items.size(); ++i)
+    account_item_transfers(i, in_bytes, c_bytes);
+  Backend::gemm_batched(op_a, op_b, m, n, k, alpha, beta, items);
+}
+
+std::vector<LUFactor> DeviceBackend::lu_factor_batched(
+    const std::vector<const CMatrix*>& as, Pivoting pivoting) {
+  if (as.empty()) return {};
+  const std::size_t num_devices = std::size_t(pool_.size());
+  std::vector<std::uint64_t> per_device(num_devices, 0);
+  for (std::size_t i = 0; i < as.size(); ++i) {
+    // In-place factorization of a device copy: one n x n operand in, the
+    // factor (same footprint) back out.
+    per_device[i % num_devices] += 2 * matrix_bytes(as[i]);
+  }
+  std::vector<parallel::DeviceBuffer> held;
+  if (!reserve_workspace(per_device, held))
+    return host_backend().lu_factor_batched(as, pivoting);
+  for (std::size_t i = 0; i < as.size(); ++i)
+    account_item_transfers(i, matrix_bytes(as[i]), matrix_bytes(as[i]));
+  return Backend::lu_factor_batched(as, pivoting);
+}
+
+void DeviceBackend::lu_solve_batched(
+    const std::vector<const LUFactor*>& factors,
+    const std::vector<const CMatrix*>& bs, std::vector<CMatrix>& xs) {
+  if (factors.empty()) {
+    Backend::lu_solve_batched(factors, bs, xs);
+    return;
+  }
+  const std::size_t num_devices = std::size_t(pool_.size());
+  std::vector<std::uint64_t> per_device(num_devices, 0);
+  for (std::size_t i = 0; i < bs.size(); ++i)
+    per_device[i % num_devices] += 2 * matrix_bytes(bs[i]);
+  std::vector<parallel::DeviceBuffer> held;
+  if (!reserve_workspace(per_device, held)) {
+    host_backend().lu_solve_batched(factors, bs, xs);
+    return;
+  }
+  // The factor is assumed device-resident from lu_factor_batched (a real
+  // port keeps it there); only the RHS moves in and the solution out.
+  for (std::size_t i = 0; i < bs.size(); ++i)
+    account_item_transfers(i, matrix_bytes(bs[i]), matrix_bytes(bs[i]));
+  Backend::lu_solve_batched(factors, bs, xs);
+}
+
+void DeviceBackend::lu_solve_left_batched(
+    const std::vector<const LUFactor*>& factors,
+    const std::vector<const CMatrix*>& bs, std::vector<CMatrix>& xs) {
+  if (factors.empty()) {
+    Backend::lu_solve_left_batched(factors, bs, xs);
+    return;
+  }
+  const std::size_t num_devices = std::size_t(pool_.size());
+  std::vector<std::uint64_t> per_device(num_devices, 0);
+  for (std::size_t i = 0; i < bs.size(); ++i)
+    per_device[i % num_devices] += 2 * matrix_bytes(bs[i]);
+  std::vector<parallel::DeviceBuffer> held;
+  if (!reserve_workspace(per_device, held)) {
+    host_backend().lu_solve_left_batched(factors, bs, xs);
+    return;
+  }
+  for (std::size_t i = 0; i < bs.size(); ++i)
+    account_item_transfers(i, matrix_bytes(bs[i]), matrix_bytes(bs[i]));
+  Backend::lu_solve_left_batched(factors, bs, xs);
+}
+
+bool DeviceBackend::stage_operand(std::uint64_t stable_id,
+                                  std::uint64_t bytes) {
+  if (bytes == 0) return false;
+  const std::size_t num_devices = std::size_t(pool_.size());
+  parallel::Device& dev = pool_.device(int(stable_id % num_devices));
+  if (stable_id == 0) {
+    dev.record_h2d(bytes);
+    return false;
+  }
+  return residency_->stage(stable_id, bytes, dev) ==
+         ResidencyCache::Outcome::kHit;
+}
+
+Backend& device_backend() {
+  // Construction order pool -> backend (destroyed in reverse, so the
+  // backend's residency reservations are released before their devices).
+  static parallel::DevicePool pool([] {
+    const char* env = std::getenv("OMENX_DEVICE_COUNT");
+    const int n = env != nullptr ? std::atoi(env) : 0;
+    return n > 0 ? n : 2;
+  }());
+  static DeviceBackend backend(pool);
+  static const bool registered = [] {
+    register_backend("device", &backend);
+    return true;
+  }();
+  (void)registered;
+  return backend;
+}
+
+}  // namespace omenx::numeric

@@ -147,6 +147,8 @@ CMatrix LUFactor::solve_left(const CMatrix& b) const {
   // A^T = U^T L^T P: forward substitution with U^T, backward with L^T, then
   // undo the permutation.  Only used for small SMW blocks and the block-
   // tridiagonal L_i computation, so the unblocked row loops are fine.
+  if (b.cols() != lu_.rows())
+    throw std::invalid_argument("LUFactor::solve_left: shape");
   CMatrix bt = b.transpose();
   const idx n = lu_.rows();
   const idx nrhs = bt.cols();

@@ -14,9 +14,11 @@
 #include <thread>
 
 #include "numeric/backend.hpp"
+#include "numeric/device_backend.hpp"
 #include "omen/scheduler.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/thread_pool.hpp"
+#include "perf/machine.hpp"
 #include "solvers/solver.hpp"
 #include "solvers/spike.hpp"
 #include "transport/batch.hpp"
@@ -298,6 +300,9 @@ struct RankLocal {
   idx batched_tasks = 0;    ///< tasks that went through those calls
   idx prefetch_hits = 0;    ///< boundary-cache hits during OBC prefetch
   idx prefetch_misses = 0;  ///< prefetch misses (or caching disabled)
+  idx device_batches = 0;   ///< batches offloaded to the device backend
+  idx residency_hits = 0;   ///< staged operands already device-resident
+  idx residency_misses = 0;  ///< staged operands that paid an H2D transfer
 };
 
 void record_sample(RankLocal& local, const Layout& lay, idx ik, idx ie,
@@ -383,6 +388,11 @@ Engine::Engine(EngineConfig config, parallel::DevicePool* pool)
     caches_.resize(static_cast<std::size_t>(config_.num_ranks));
     for (auto& c : caches_) c = std::make_unique<obc::BoundaryCache>();
   }
+  if (pool_ != nullptr) {
+    residency_.resize(static_cast<std::size_t>(config_.num_ranks));
+    for (auto& r : residency_)
+      r = std::make_unique<numeric::ResidencyCache>();
+  }
 }
 
 obc::BoundaryCache* Engine::rank_cache(int rank) const {
@@ -390,8 +400,16 @@ obc::BoundaryCache* Engine::rank_cache(int rank) const {
   return caches_[static_cast<std::size_t>(rank)].get();
 }
 
+numeric::ResidencyCache* Engine::rank_residency(int rank) const {
+  if (residency_.empty()) return nullptr;
+  return residency_[static_cast<std::size_t>(rank)].get();
+}
+
 void Engine::invalidate_boundary_caches() {
   for (auto& c : caches_) c->invalidate();
+  // Device-resident operands share the boundary caches' validity domain:
+  // both replay lead-derived products keyed on (k, E).
+  for (auto& r : residency_) r->invalidate();
 }
 
 obc::BoundaryCache::Stats Engine::boundary_cache_stats() const {
@@ -497,17 +515,122 @@ SweepResult shaped_result(const SweepRequest& req) {
   return out;
 }
 
+/// Per-leader backend selection for the batched device phase.  A fixed
+/// choice ("host", "device", a registered name) resolves once; "auto" asks
+/// the perf::estimate_batch_seconds crossover per shape bucket.  Every
+/// candidate runs the same scalar kernels per item, so the choice moves
+/// work and transfer accounting — never results.
+struct BackendArbiter {
+  numeric::Backend* fixed = nullptr;  ///< non-auto resolution
+  numeric::DeviceBackend* device = nullptr;  ///< offload candidate
+  bool auto_select = false;
+  int host_lanes = 1;
+  int devices = 0;
+  int nominal_batch = 1;
+
+  numeric::Backend& choose(idx nb, idx s) const {
+    if (!auto_select) return *fixed;
+    if (device == nullptr) return numeric::host_backend();
+    // nrhs mirrors the 2*s nominal the solver resolution uses; the nominal
+    // batch (never the actual fill) keeps the estimate rank-invariant.
+    const perf::BatchShape shape{static_cast<long long>(nb),
+                                 static_cast<long long>(s),
+                                 static_cast<long long>(2 * s)};
+    const perf::BatchEstimate est = perf::estimate_batch_seconds(
+        perf::MachineSpec::host(), shape, nominal_batch, host_lanes, devices);
+    return est.device_wins() ? static_cast<numeric::Backend&>(*device)
+                             : numeric::host_backend();
+  }
+};
+
+/// Builds a leader's arbiter over its pool slice, constructing the
+/// DeviceBackend in `storage` when offloading is a candidate.  `residency`
+/// is the leader's persistent cross-run operand cache (may be null).
+BackendArbiter make_backend_arbiter(
+    const EngineConfig& cfg, std::optional<numeric::DeviceBackend>& storage,
+    parallel::DevicePool* pool, numeric::ResidencyCache* residency) {
+  BackendArbiter arb;
+  arb.nominal_batch = std::max(1, cfg.max_batch);
+  arb.host_lanes =
+      static_cast<int>(parallel::ThreadPool::global().num_threads());
+  if (pool != nullptr && pool->size() > 0 && cfg.backend != "host") {
+    storage.emplace(*pool, residency);
+    arb.device = &*storage;
+    arb.devices = pool->size();
+  }
+  if (cfg.backend == "auto") {
+    arb.auto_select = true;
+    arb.fixed = &numeric::host_backend();
+  } else if (cfg.backend == "host") {
+    arb.fixed = &numeric::host_backend();
+  } else if (cfg.backend == "device") {
+    // Degrade to host when the engine has no accelerators to offload to.
+    arb.fixed = arb.device != nullptr
+                    ? static_cast<numeric::Backend*>(arb.device)
+                    : &numeric::host_backend();
+  } else {
+    numeric::Backend* named = numeric::find_backend(cfg.backend);
+    if (named == nullptr)
+      throw std::invalid_argument("Engine: unknown backend '" + cfg.backend +
+                                  "'");
+    arb.fixed = named;
+  }
+  return arb;
+}
+
+/// H2D/D2H/busy counters of every pool device, snapshotted around a sweep
+/// so EngineStats can report per-run deltas (the pool persists across
+/// runs and may be shared).
+struct PoolSnapshot {
+  std::vector<std::uint64_t> h2d, d2h;
+  std::vector<double> busy;
+};
+
+PoolSnapshot snapshot_pool(parallel::DevicePool* pool) {
+  PoolSnapshot snap;
+  if (pool == nullptr) return snap;
+  for (int d = 0; d < pool->size(); ++d) {
+    parallel::Device& dev = pool->device(d);
+    snap.h2d.push_back(dev.h2d_bytes());
+    snap.d2h.push_back(dev.d2h_bytes());
+    snap.busy.push_back(dev.busy_seconds());
+  }
+  return snap;
+}
+
+void apply_pool_delta(EngineStats& stats, parallel::DevicePool* pool,
+                      const PoolSnapshot& before) {
+  if (pool == nullptr) return;
+  stats.device_busy_seconds.assign(before.busy.size(), 0.0);
+  for (int d = 0; d < pool->size(); ++d) {
+    parallel::Device& dev = pool->device(d);
+    const auto sd = static_cast<std::size_t>(d);
+    stats.h2d_bytes += static_cast<double>(dev.h2d_bytes() - before.h2d[sd]);
+    stats.d2h_bytes += static_cast<double>(dev.d2h_bytes() - before.d2h[sd]);
+    stats.device_busy_seconds[sd] = dev.busy_seconds() - before.busy[sd];
+  }
+}
+
 }  // namespace
 
 SweepResult Engine::run(const SweepRequest& request) {
   validate_request(request);
+  // Fail an unknown backend name on the caller thread, before any world or
+  // collective exists (leaders re-resolve the same name later; by then it
+  // is known good).
+  if (config_.backend != "auto" && config_.backend != "host" &&
+      config_.backend != "device" &&
+      numeric::find_backend(config_.backend) == nullptr)
+    throw std::invalid_argument("Engine: unknown backend '" +
+                                config_.backend + "'");
   std::size_t total = 0;
   for (const auto& grid : request.energies) total += grid.size();
   for (const auto& nodes : request.gf_nodes) total += nodes.size();
   if (total == 0) return shaped_result(request);
-  if (!caches_.empty()) {
-    // Cached Boundaries are only replayable while the OBC options and the
-    // lead matrices hold: the backend is part of the key, but an annulus/
+  if (!caches_.empty() || !residency_.empty()) {
+    // Cached Boundaries (and the device-resident operands derived from
+    // them) are only replayable while the OBC options and the lead
+    // matrices hold: the backend is part of the cache key, but an annulus/
     // ridge/eta change — or different lead Hamiltonians under the same
     // (k, E) keys — is not.  Drop everything on either mismatch.
     const bool opts_changed =
@@ -523,9 +646,12 @@ SweepResult Engine::run(const SweepRequest& request) {
     // entries mid-sweep and forfeit every cross-iteration hit.
     for (auto& c : caches_) c->reserve(2 * total);
   }
-  if (config_.num_ranks == 1 && config_.flat_single_rank)
-    return run_flat(request);
-  return run_distributed(request);
+  const PoolSnapshot snapshot = snapshot_pool(pool_);
+  SweepResult out = (config_.num_ranks == 1 && config_.flat_single_rank)
+                        ? run_flat(request)
+                        : run_distributed(request);
+  apply_pool_delta(out.stats, pool_, snapshot);
+  return out;
 }
 
 SweepResult Engine::run_flat(const SweepRequest& request) {
@@ -591,14 +717,22 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   // that advertises kBatchable; otherwise the per-task thread-pool loop
   // keeps its across-task parallelism, which the scalar fallback inside
   // solve_energy_batch would forfeit.
+  // The flat loop is its own leader: one DeviceBackend over the whole pool
+  // (when bound), persistent rank-0 residency, and the configured backend
+  // policy deciding where each shape bucket's device phase runs.
+  std::optional<numeric::DeviceBackend> device_storage;
+  const BackendArbiter arbiter = make_backend_arbiter(
+      config_, device_storage, pool_, rank_residency(0));
+
   bool use_batches = false;
   if (config_.batch_tasks && n > 0) {
+    const idx nbb = dms[0].h.num_blocks();
+    const idx sbb = dms[0].h.block_size();
     solvers::SolverContext binding;
     binding.pool = pool_;
     binding.partitions = popt.partitions;
     binding.batch = std::max(1, config_.max_batch);
-    const idx nbb = dms[0].h.num_blocks();
-    const idx sbb = dms[0].h.block_size();
+    binding.backend = &arbiter.choose(nbb, sbb);
     const auto algo =
         solvers::resolve_algorithm(popt.solver, nbb, sbb, 2 * sbb, binding);
     use_batches =
@@ -639,6 +773,11 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
         greens_done += static_cast<idx>(flats.size());
         continue;
       }
+      // The whole shape bucket lands on one backend: host lanes or device
+      // streams, by policy/crossover.  Either way the per-item kernels are
+      // identical, so the spectra cannot depend on the choice.
+      numeric::Backend& bucket_backend =
+          arbiter.choose(std::get<0>(shape), std::get<1>(shape));
       for (std::size_t base = 0; base < flats.size(); base += cap) {
         const std::size_t count = std::min(cap, flats.size() - base);
         std::vector<transport::BatchTask> chunk;
@@ -653,7 +792,7 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
         }
         const double t0 = now_seconds();
         const auto res = transport::solve_energy_batch(
-            bctx, chunk, popt, pool_, numeric::host_backend(),
+            bctx, chunk, popt, pool_, bucket_backend,
             config_.max_batch, &bstats);
         busy_total += now_seconds() - t0;
         for (std::size_t j = 0; j < count; ++j) {
@@ -678,6 +817,9 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     }
     out.stats.prefetch_hits = bstats.prefetch_hits;
     out.stats.prefetch_misses = bstats.prefetch_misses;
+    out.stats.device_batches = bstats.device_batches;
+    out.stats.residency_hits = bstats.residency_hits;
+    out.stats.residency_misses = bstats.residency_misses;
   } else {
     // The flat (k, E) thread-pool loop the simulator always ran, with
     // per-worker warm contexts.
@@ -899,6 +1041,14 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         const bool use_batches = config_.batch_tasks && !spatial_group;
         const std::size_t batch_cap =
             static_cast<std::size_t>(std::max(1, config_.max_batch));
+        // This leader's backend policy over its accelerator slice.  The
+        // residency cache is the rank's persistent one, so operands staged
+        // in this sweep hit residency in the next (SCF iterations).
+        std::optional<numeric::DeviceBackend> device_storage;
+        std::optional<BackendArbiter> arbiter;
+        if (use_batches)
+          arbiter = make_backend_arbiter(config_, device_storage, my_pool,
+                                         rank_residency(wr));
         struct PendingTask {
           idx ik, ie;
           const KData* kd;
@@ -919,10 +1069,15 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
                             request.energies[static_cast<std::size_t>(p.ik)]
                                             [static_cast<std::size_t>(p.ie)],
                             &p.kd->dm, &p.kd->lead, &p.kd->folded});
+            // The flushed bucket's shape is (pending_nb, pending_s) — set
+            // when its tasks were queued, before any shape change flushes.
+            numeric::Backend& bucket_backend =
+                arbiter.has_value() ? arbiter->choose(pending_nb, pending_s)
+                                    : numeric::host_backend();
             transport::BatchStats bs;
             const double t0 = now_seconds();
             const auto res = transport::solve_energy_batch(
-                bctx, bt, popt, my_pool, numeric::host_backend(),
+                bctx, bt, popt, my_pool, bucket_backend,
                 config_.max_batch, &bs);
             local.busy_seconds += now_seconds() - t0;
             local.tasks += static_cast<idx>(batch.size());
@@ -932,6 +1087,9 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             }
             local.prefetch_hits += bs.prefetch_hits;
             local.prefetch_misses += bs.prefetch_misses;
+            local.device_batches += bs.device_batches;
+            local.residency_hits += bs.residency_hits;
+            local.residency_misses += bs.residency_misses;
             for (std::size_t j = 0; j < batch.size(); ++j) {
               record_sample(local, lay, batch[j].ik, batch[j].ie, res[j]);
               accumulate_charge(local, request, lay, *batch[j].kd,
@@ -1154,7 +1312,10 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
          static_cast<double>(local.batched_tasks),
          static_cast<double>(local.prefetch_hits),
          static_cast<double>(local.prefetch_misses),
-         static_cast<double>(local.greens_tasks)},
+         static_cast<double>(local.greens_tasks),
+         static_cast<double>(local.device_batches),
+         static_cast<double>(local.residency_hits),
+         static_cast<double>(local.residency_misses)},
         0);
 
     if (wr == 0) {
@@ -1187,16 +1348,22 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       out.stats.tasks_per_rank.clear();
       out.stats.busy_seconds_per_rank.clear();
       idx batched_tasks_total = 0;
-      for (std::size_t r = 0; 7 * r + 6 < rank_stats.size(); ++r) {
-        out.stats.busy_seconds_per_rank.push_back(rank_stats[7 * r]);
+      constexpr std::size_t kStatsStride = 10;
+      for (std::size_t r = 0; kStatsStride * r + 9 < rank_stats.size(); ++r) {
+        const std::size_t base = kStatsStride * r;
+        out.stats.busy_seconds_per_rank.push_back(rank_stats[base]);
         out.stats.tasks_per_rank.push_back(
-            static_cast<idx>(rank_stats[7 * r + 1]));
-        out.stats.batches_issued += static_cast<idx>(rank_stats[7 * r + 2]);
-        batched_tasks_total += static_cast<idx>(rank_stats[7 * r + 3]);
-        out.stats.prefetch_hits += static_cast<idx>(rank_stats[7 * r + 4]);
+            static_cast<idx>(rank_stats[base + 1]));
+        out.stats.batches_issued += static_cast<idx>(rank_stats[base + 2]);
+        batched_tasks_total += static_cast<idx>(rank_stats[base + 3]);
+        out.stats.prefetch_hits += static_cast<idx>(rank_stats[base + 4]);
         out.stats.prefetch_misses +=
-            static_cast<idx>(rank_stats[7 * r + 5]);
-        out.stats.tasks_greens += static_cast<idx>(rank_stats[7 * r + 6]);
+            static_cast<idx>(rank_stats[base + 5]);
+        out.stats.tasks_greens += static_cast<idx>(rank_stats[base + 6]);
+        out.stats.device_batches += static_cast<idx>(rank_stats[base + 7]);
+        out.stats.residency_hits += static_cast<idx>(rank_stats[base + 8]);
+        out.stats.residency_misses +=
+            static_cast<idx>(rank_stats[base + 9]);
       }
       if (out.stats.batches_issued > 0)
         out.stats.mean_batch_size =

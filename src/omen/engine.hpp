@@ -29,9 +29,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "dft/hamiltonian.hpp"
+#include "numeric/device_backend.hpp"
 #include "numeric/types.hpp"
 #include "obc/boundary_cache.hpp"
 #include "parallel/device.hpp"
@@ -76,6 +78,19 @@ struct EngineConfig {
   /// resolution (rank-invariant, never the actual bucket fill, so every
   /// rank resolves the same backend).
   int max_batch = 16;
+  /// Which numeric::Backend executes the batched device phase:
+  ///   "auto"   — per shape bucket, host lanes vs device streams by the
+  ///              perf::estimate_batch_seconds crossover (host wins without
+  ///              an engine pool);
+  ///   "host"   — always the thread-pool lanes;
+  ///   "device" — always offload through this engine's DevicePool (each
+  ///              leader drives its pool slice; degrades to host when the
+  ///              engine was built without a pool);
+  ///   any other registered backend name (numeric::register_backend).
+  /// Every choice is bit-identical — backends run the same scalar kernels
+  /// per item — so this only moves work and transfer accounting.  Unknown
+  /// names throw std::invalid_argument from run().
+  std::string backend = "auto";
 };
 
 /// Inputs of one distributed (k, E) sweep.  Only the root reads the lead
@@ -127,6 +142,15 @@ struct EngineStats {
   double mean_batch_size = 0.0;  ///< tasks per batch, averaged over batches
   idx prefetch_hits = 0;        ///< boundary-cache hits during OBC prefetch
   idx prefetch_misses = 0;      ///< prefetch misses (or caching disabled)
+  // --- device-offload counters (zero on the host backend) --------------
+  idx device_batches = 0;   ///< batches whose device phase was offloaded
+  idx residency_hits = 0;   ///< staged operands already device-resident
+  idx residency_misses = 0;  ///< staged operands that paid an H2D transfer
+  double h2d_bytes = 0.0;   ///< host->device bytes this run (pool delta)
+  double d2h_bytes = 0.0;   ///< device->host bytes this run (pool delta)
+  /// Per pool device: kernel-busy seconds accumulated during this run —
+  /// the Fig. 12(b) occupancy timeline's integral.  Empty without a pool.
+  std::vector<double> device_busy_seconds;
 };
 
 /// Sweep outputs, valid on the calling (root) thread.
@@ -151,10 +175,10 @@ class Engine {
   /// world never deadlocks on a failed rank.
   SweepResult run(const SweepRequest& request);
 
-  /// Drop every rank's cached boundaries.  Call when the lead
-  /// electrostatics change (contact shift, lead Hamiltonian) — stale
-  /// entries are unreachable once the key changes, but holding them wastes
-  /// the footprint.
+  /// Drop every rank's cached boundaries *and* device-resident operands.
+  /// Call when the lead electrostatics change (contact shift, lead
+  /// Hamiltonian) — stale entries are unreachable once the key changes,
+  /// but holding them wastes the footprint (and device memory).
   void invalidate_boundary_caches();
 
   /// Cumulative hit/miss/insert/invalidate counters summed over the
@@ -166,12 +190,21 @@ class Engine {
   SweepResult run_distributed(const SweepRequest& request);
   /// Rank `rank`'s persistent cache, or nullptr when caching is off.
   obc::BoundaryCache* rank_cache(int rank) const;
+  /// Rank `rank`'s persistent device-residency cache, or nullptr when the
+  /// engine has no pool.
+  numeric::ResidencyCache* rank_residency(int rank) const;
 
   EngineConfig config_;
   parallel::DevicePool* pool_;
   /// One cache per world rank (index 0 doubles as the flat loop's cache),
   /// created up front so rank threads never race on the vector.
   std::vector<std::unique_ptr<obc::BoundaryCache>> caches_;
+  /// One device-residency cache per world rank, same indexing and lifetime
+  /// discipline as caches_: the pool's devices outlive every run(), so
+  /// operands staged in one sweep hit residency in the next (the cross-SCF
+  /// story), and the caches are dropped together with the boundary caches
+  /// when the inputs behind the stable ids change.  Empty without a pool.
+  std::vector<std::unique_ptr<numeric::ResidencyCache>> residency_;
   /// OBC options of the previous run(): the backend is part of the cache
   /// key, but a changed option set (annulus, ridge, eta, ...) would
   /// silently replay stale Boundaries — run() invalidates on mismatch.

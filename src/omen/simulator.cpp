@@ -36,6 +36,7 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
   engine_cfg.cache_boundaries = config_.cache_boundaries;
   engine_cfg.batch_tasks = config_.batch_tasks;
   engine_cfg.max_batch = std::max(1, config_.max_batch);
+  engine_cfg.backend = config_.backend;
   engine_ = std::make_unique<Engine>(engine_cfg, pool_.get());
   kt_ = 8.617e-5 * config_.temperature_k;
   // Contour anchor ingredient: the lead's spectral minimum (zero-potential,

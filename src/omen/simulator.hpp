@@ -60,6 +60,11 @@ struct SimulationConfig {
   bool batch_tasks = true;
   /// Tasks per batched call (also the nominal batch for kAuto resolution).
   int max_batch = 16;
+  /// Backend for the batched device phase: "auto" (host-vs-device by the
+  /// perf crossover model), "host", "device" (offload through the
+  /// simulator's DevicePool), or any registered numeric::Backend name.
+  /// Bit-identical spectra/charge for every choice.
+  std::string backend = "auto";
 };
 
 struct Spectrum {

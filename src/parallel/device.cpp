@@ -135,11 +135,18 @@ DevicePool::DevicePool(int num_devices, std::uint64_t memory_bytes) {
 }
 
 DevicePool DevicePool::slice(int part, int parts) const {
-  if (parts <= 0 || part < 0 || part >= parts)
-    throw std::invalid_argument("DevicePool::slice: bad partition index");
+  if (parts <= 0)
+    throw std::invalid_argument("DevicePool::slice: parts must be positive, got " +
+                                std::to_string(parts));
+  if (part < 0 || part >= parts)
+    throw std::invalid_argument("DevicePool::slice: part " +
+                                std::to_string(part) + " out of range [0, " +
+                                std::to_string(parts) + ")");
   DevicePool out;
   const int n = static_cast<int>(view_.size());
-  if (n == 0) throw std::invalid_argument("DevicePool::slice: empty pool");
+  if (n == 0)
+    throw std::invalid_argument(
+        "DevicePool::slice: cannot slice an empty pool");
   if (parts >= n) {
     out.view_.push_back(view_[static_cast<std::size_t>(part % n)]);
     return out;

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
 #include "numeric/blas.hpp"
 #include "numeric/matrix.hpp"
+#include "perf/flops.hpp"
 
 namespace omenx::perf {
 
@@ -68,6 +71,10 @@ MachineSpec MachineSpec::titan() {
   m.cpu_active_watts = 95.0;
   m.facility_overhead = 1.08;
   m.batched_gemm_gflops = m.gpu_gflops;  // batching saturates the K20X
+  m.pcie_gbps = 6.0;  // PCIe 2.0 x16 effective (Gemini-era host interface)
+  m.kernel_launch_seconds = 10e-6;
+  m.host_lane_gflops = m.cpu_gflops / m.cpu_cores_per_node;
+  m.device_stream_gflops = m.gpu_gflops;
   return m;
 }
 
@@ -87,6 +94,10 @@ MachineSpec MachineSpec::piz_daint() {
   m.cpu_active_watts = 90.0;
   m.facility_overhead = 1.06;
   m.batched_gemm_gflops = m.gpu_gflops;  // batching saturates the K20X
+  m.pcie_gbps = 6.0;
+  m.kernel_launch_seconds = 10e-6;
+  m.host_lane_gflops = m.cpu_gflops / m.cpu_cores_per_node;
+  m.device_stream_gflops = m.gpu_gflops;
   return m;
 }
 
@@ -107,9 +118,56 @@ const MachineSpec& MachineSpec::host() {
     m.cpu_active_watts = 45.0;
     m.facility_overhead = 1.0;
     m.batched_gemm_gflops = measure_batched_gemm_gflops(m.cpu_gflops);
+    // Emulated devices are host threads running the same scalar kernels, so
+    // one device stream sustains exactly one calibrated host lane; the
+    // emulated "transfers" are byte accounting with no data motion, so the
+    // link is effectively free and only the per-kernel enqueue cost (a
+    // mutex + promise handoff, ~tens of microseconds) distinguishes an
+    // offloaded bucket from a host one.  This is what makes the host
+    // crossover honest: device wins only when it has more streams than the
+    // host has free lanes.
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    const unsigned lanes = std::min(hw, 16u);
+    m.host_lane_gflops = m.batched_gemm_gflops / lanes;
+    m.device_stream_gflops = m.host_lane_gflops;
+    m.pcie_gbps = 1e9;  // accounting-only transfers cost no wall time
+    m.kernel_launch_seconds = 10e-6;
     return m;
   }();
   return cached;
+}
+
+BatchEstimate estimate_batch_seconds(const MachineSpec& spec,
+                                     const BatchShape& shape, int n,
+                                     int host_lanes, int devices) {
+  BatchEstimate est;
+  if (n <= 0 || shape.nb <= 0 || shape.s <= 0) return est;
+  const int lanes = std::max(1, host_lanes);
+  const idx nb = static_cast<idx>(shape.nb);
+  const idx s = static_cast<idx>(shape.s);
+  const idx nrhs = static_cast<idx>(std::max<long long>(1, shape.nrhs));
+  const double item_flops =
+      static_cast<double>(block_lu_flops(nb, s, nrhs));
+  // Operand footprint crossing the link per item: the block-tridiagonal
+  // system ((3 nb - 2) blocks) plus two contact self-energies in, the RHS
+  // in and the solution out (nb*s x nrhs each), 16 bytes per complex.
+  const double ds = static_cast<double>(s);
+  const double item_bytes =
+      16.0 * ((3.0 * shape.nb - 2.0 + 2.0) * ds * ds +
+              2.0 * shape.nb * ds * static_cast<double>(nrhs));
+  const double host_rounds = std::ceil(double(n) / double(lanes));
+  est.host_seconds =
+      host_rounds * item_flops / (spec.host_lane_gflops * 1e9);
+  if (devices <= 0) {
+    est.device_seconds = std::numeric_limits<double>::infinity();
+    return est;
+  }
+  const double device_rounds = std::ceil(double(n) / double(devices));
+  est.device_seconds =
+      device_rounds * item_flops / (spec.device_stream_gflops * 1e9) +
+      double(n) * spec.kernel_launch_seconds +
+      device_rounds * item_bytes / (spec.pcie_gbps * 1e9);
+  return est;
 }
 
 }  // namespace omenx::perf

@@ -36,6 +36,13 @@ struct MachineSpec {
   /// caller plans batched execution.
   double batched_gemm_gflops;
 
+  // Offload model parameters, used by estimate_batch_seconds to place a
+  // shape bucket on host lanes or device streams.
+  double pcie_gbps;              ///< host<->device link bandwidth (GB/s)
+  double kernel_launch_seconds;  ///< per-kernel enqueue/launch overhead
+  double host_lane_gflops;       ///< one CPU lane running the scalar kernels
+  double device_stream_gflops;   ///< one device stream (K20X: its DP peak)
+
   /// Cray-XK7 Titan (ORNL): 18688 nodes, AMD Opteron 6274 + Tesla K20X.
   static MachineSpec titan();
 
@@ -56,5 +63,40 @@ struct MachineSpec {
     return static_cast<double>(nodes) * (cpu_gflops + gpu_gflops) * 1e-6;
   }
 };
+
+/// Shape of one (k, E) bucket item in the engine's device phase: a
+/// block-tridiagonal system of `nb` diagonal blocks of size `s` with
+/// `nrhs` right-hand-side columns (the injection states).
+struct BatchShape {
+  long long nb = 0;
+  long long s = 0;
+  long long nrhs = 0;
+};
+
+/// Host-vs-device crossover estimate for one batch of `n` same-shape items.
+struct BatchEstimate {
+  double host_seconds = 0.0;
+  double device_seconds = 0.0;
+  bool device_wins() const noexcept { return device_seconds < host_seconds; }
+};
+
+/// Wall-time model for a batched block-LU device phase of `n` items of
+/// `shape`, on `host_lanes` CPU lanes versus `devices` accelerator streams
+/// of `spec`:
+///
+///   host   = ceil(n / lanes)   * flops(shape) / host_lane_gflops
+///   device = ceil(n / devices) * flops(shape) / device_stream_gflops
+///            + n * kernel_launch_seconds          (in-order enqueues)
+///            + ceil(n / devices) * bytes(shape) / pcie_gbps
+///
+/// flops(shape) is the analytic block-LU count (perf/flops.hpp); bytes is
+/// the operand footprint that crosses the link per item (system blocks +
+/// self-energies in, solution out).  `devices == 0` returns +inf device
+/// time, so the host always wins without a pool.  The engine queries this
+/// with MachineSpec::host() per shape bucket ("auto" backend); the Table I
+/// specs answer the paper-scale question of which buckets deserve the K20X.
+BatchEstimate estimate_batch_seconds(const MachineSpec& spec,
+                                     const BatchShape& shape, int n,
+                                     int host_lanes, int devices);
 
 }  // namespace omenx::perf

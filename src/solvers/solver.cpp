@@ -554,9 +554,18 @@ SolverAlgorithm auto_algorithm(idx nb, idx s, idx nrhs,
   // function of MachineSpec::host() and ctx.batch, so the kAuto determinism
   // guarantee holds as long as every rank passes the same nominal batch.
   const perf::MachineSpec& spec = perf::MachineSpec::host();
+  // An offload backend runs the fused kernels on accelerator streams, so
+  // its credit is the device peak; on the emulated host model gpu ==
+  // cpu <= batched throughput, so the max() below leaves in-process
+  // resolution untouched (see SolverContext::backend).
+  const double stream_credit =
+      ctx.backend != nullptr && ctx.backend->offloads()
+          ? spec.gpu_gflops / spec.cpu_gflops
+          : 1.0;
   const double batch_credit =
       ctx.batch > 1
-          ? std::max(1.0, spec.batched_gemm_gflops / spec.cpu_gflops)
+          ? std::max({1.0, spec.batched_gemm_gflops / spec.cpu_gflops,
+                      stream_credit})
           : 1.0;
   auto estimate = [&](SolverAlgorithm algo) {
     double seconds = estimate_boundary_solve_seconds(algo, nb, s, nrhs,

@@ -92,6 +92,14 @@ struct SolverContext {
   /// width (the engine passes its configured max_batch, never the actual
   /// bucket fill).
   int batch = 1;
+  /// The numeric::Backend the caller will pass to the batched entry points
+  /// (null = undecided/host).  kAuto credits kBatchable candidates with the
+  /// accelerator stream throughput when the backend offloads.  On the
+  /// emulated host model this is a no-op by construction (gpu_gflops ==
+  /// cpu_gflops <= batched_gemm_gflops), so in-process resolution stays a
+  /// pure function of the problem shape regardless of where a leader's
+  /// bucket lands — the rank/world-size determinism guarantee is unchanged.
+  const numeric::Backend* backend = nullptr;
 };
 
 /// One boundary-solve problem of a batch: x = T^{-1} [b_top; 0; ...; b_bot]

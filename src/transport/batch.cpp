@@ -1,5 +1,7 @@
 #include "transport/batch.hpp"
 
+#include <cstdint>
+#include <cstring>
 #include <future>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +14,35 @@
 namespace omenx::transport {
 
 using solvers::BoundaryProblem;
+
+namespace {
+
+// Stable device-residency id of one per-(k, E) operand: FNV-1a over the
+// momentum index, the energy's bit pattern, and an operand tag.  Bit-stable
+// inputs at a fixed (k, E) — lead self-energies, injection RHS blocks —
+// hash to the same id every SCF iteration, which is exactly what lets them
+// go device-resident once and hit thereafter.  Id 0 is reserved for
+// "stream, do not cache" (see Backend::stage_operand).
+std::uint64_t stable_operand_id(idx k_index, double energy,
+                                std::uint64_t tag) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(k_index));
+  std::uint64_t energy_bits = 0;
+  std::memcpy(&energy_bits, &energy, sizeof(energy_bits));
+  mix(energy_bits);
+  mix(tag);
+  return h == 0 ? 1 : h;
+}
+
+std::uint64_t operand_bytes(const CMatrix& m) {
+  return std::uint64_t(m.rows()) * std::uint64_t(m.cols()) * sizeof(cplx);
+}
+
+}  // namespace
 
 std::vector<EnergyPointResult> solve_energy_batch(
     BatchContext& ctx, const std::vector<BatchTask>& tasks,
@@ -89,6 +120,7 @@ std::vector<EnergyPointResult> solve_energy_batch(
     binding.pool = pool;
     binding.partitions = options.partitions;
     binding.batch = std::max(1, nominal_batch);
+    binding.backend = &backend;
     solver = &ctx.point.solver(options.solver, binding, nb, sf);
     obc::Strategy& obc_strategy = ctx.point.obc_strategy(options.obc);
     have_injection =
@@ -135,6 +167,7 @@ std::vector<EnergyPointResult> solve_energy_batch(
   local.batches = 1;
   local.tasks = static_cast<idx>(n);
   local.batched_solve = batched;
+  local.device_batches = (batched && backend.offloads()) ? 1 : 0;
   for (const detail::FetchedBoundary& f : boundaries)
     (f.hit ? local.prefetch_hits : local.prefetch_misses) += 1;
 
@@ -152,6 +185,31 @@ std::vector<EnergyPointResult> solve_energy_batch(
     if (shapes[i].m == 0) continue;  // nothing propagates at this energy
     detail::build_rhs(ctx.b_top[i], ctx.b_bot[i], bnd, shapes[i], sf);
     solvable.push_back(i);
+  }
+
+  // --- Stage operands for device residency ------------------------------
+  // The boundary products consumed by Stage 2 — the two lead self-energies
+  // and the injection RHS blocks — are bit-stable at fixed (k, E) across
+  // SCF iterations (only A = E*S - H changes with the potential), so on an
+  // offload backend they are staged under stable ids: iteration 1 pays the
+  // H2D transfer and pins device residency, every later iteration hits.
+  // The A blocks are deliberately *not* staged — their traffic is accounted
+  // by the batched calls themselves and re-streams every iteration.
+  if (batched && backend.offloads()) {
+    for (const std::size_t i : solvable) {
+      const obc::Boundary& bnd = boundaries[i].get();
+      const CMatrix* operands[4] = {&bnd.sigma_l, &bnd.sigma_r, &ctx.b_top[i],
+                                    &ctx.b_bot[i]};
+      for (std::uint64_t tag = 0; tag < 4; ++tag) {
+        const CMatrix& op = *operands[tag];
+        if (op.rows() == 0 || op.cols() == 0) continue;
+        const std::uint64_t id =
+            stable_operand_id(tasks[i].k_index, tasks[i].energy, tag + 1);
+        (backend.stage_operand(id, operand_bytes(op)) ? local.residency_hits
+                                                      : local.residency_misses)
+            += 1;
+      }
+    }
   }
 
   // --- Stage 2: the device phase ----------------------------------------

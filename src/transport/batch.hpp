@@ -42,6 +42,10 @@ struct BatchStats {
   idx tasks = 0;            ///< tasks executed through batches
   idx prefetch_hits = 0;    ///< boundary-cache hits during OBC prefetch
   idx prefetch_misses = 0;  ///< boundary-cache misses (or no cache bound)
+  idx device_batches = 0;   ///< batches whose device phase ran on an
+                            ///< offload backend (Backend::offloads())
+  idx residency_hits = 0;   ///< staged operands already device-resident
+  idx residency_misses = 0;  ///< staged operands that paid an H2D transfer
   bool batched_solve = false;  ///< false = solver lacked kBatchable, scalar loop
 
   void operator+=(const BatchStats& other) {
@@ -49,6 +53,9 @@ struct BatchStats {
     tasks += other.tasks;
     prefetch_hits += other.prefetch_hits;
     prefetch_misses += other.prefetch_misses;
+    device_batches += other.device_batches;
+    residency_hits += other.residency_hits;
+    residency_misses += other.residency_misses;
     batched_solve = batched_solve || other.batched_solve;
   }
 };

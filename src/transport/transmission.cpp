@@ -220,7 +220,8 @@ solvers::Solver& EnergyPointContext::solver(
   const bool same_binding = solver_binding_.pool == binding.pool &&
                             solver_binding_.partitions == binding.partitions &&
                             solver_binding_.spatial == binding.spatial &&
-                            solver_binding_.batch == binding.batch;
+                            solver_binding_.batch == binding.batch &&
+                            solver_binding_.backend == binding.backend;
   if (solver_ == nullptr || solver_algo_ != resolved || !same_binding) {
     solver_ = solvers::make_solver(resolved, binding);
     solver_algo_ = resolved;

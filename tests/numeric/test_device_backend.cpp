@@ -1,0 +1,292 @@
+// numeric::DeviceBackend tests: the offload path must be bit-identical to
+// the host backend on every batched entry point (the engine flips shape
+// buckets between the two purely on cost, so any divergence would make the
+// crossover visible in the physics), the operand-residency cache must
+// transfer each stable id exactly once, and capacity overflow must degrade
+// to the host path — never throw mid-sweep — releasing every reservation.
+#include "numeric/device_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "numeric/backend.hpp"
+#include "numeric/blas.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "parallel/device.hpp"
+
+namespace nm = omenx::numeric;
+namespace pp = omenx::parallel;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+void expect_bit_identical(const CMatrix& a, const CMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (idx i = 0; i < a.rows(); ++i)
+    for (idx j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j).real(), b(i, j).real()) << "(" << i << "," << j << ")";
+      EXPECT_EQ(a(i, j).imag(), b(i, j).imag()) << "(" << i << "," << j << ")";
+    }
+}
+
+CMatrix well_conditioned(idx n, unsigned seed) {
+  CMatrix a = nm::random_cmatrix(n, n, seed);
+  for (idx i = 0; i < n; ++i) a(i, i) += cplx{double(n), 0.5};
+  return a;
+}
+
+}  // namespace
+
+TEST(DeviceBackend, RejectsNothingButReportsPool) {
+  pp::DevicePool pool(3);
+  nm::DeviceBackend backend(pool);
+  EXPECT_STREQ(backend.name(), "device");
+  EXPECT_EQ(backend.lanes(), 3);
+  EXPECT_TRUE(backend.offloads());
+  EXPECT_FALSE(nm::host_backend().offloads());
+}
+
+TEST(DeviceBackend, DispatchCoversEveryItemExactlyOnce) {
+  pp::DevicePool pool(4);
+  nm::DeviceBackend backend(pool);
+  std::vector<std::atomic<int>> hits(131);
+  backend.dispatch("test_cover", hits.size(),
+                   [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(DeviceBackend, DispatchPropagatesFirstExceptionInItemOrder) {
+  pp::DevicePool pool(2);
+  nm::DeviceBackend backend(pool);
+  try {
+    backend.dispatch("test_throw", 16, [&](std::size_t i) {
+      if (i == 3 || i == 9) throw std::runtime_error("kernel " + std::to_string(i));
+    });
+    FAIL() << "dispatch must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "kernel 3");
+  }
+}
+
+TEST(DeviceBackend, NestedDispatchFromAKernelDegradesToSerial) {
+  // A kernel issuing a batch must not enqueue behind itself on its own
+  // in-order stream: the inner dispatch runs serially on the device worker.
+  pp::DevicePool pool(2);
+  nm::DeviceBackend backend(pool);
+  std::atomic<int> total{0};
+  backend.dispatch("outer", 6, [&](std::size_t) {
+    backend.dispatch("inner", 6, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 36);
+}
+
+TEST(DeviceBackend, GemmBatchedBitIdenticalToHostAtEveryPoolSize) {
+  const idx m = 13, n = 9, k = 11;
+  const std::size_t batch = 12;
+  const cplx alpha{-1.0, 0.25}, beta{0.5, -0.125};
+  std::vector<CMatrix> as, bs, refs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    as.push_back(nm::random_cmatrix(m, k, 100 + static_cast<unsigned>(p)));
+    bs.push_back(nm::random_cmatrix(k, n, 200 + static_cast<unsigned>(p)));
+    refs.push_back(nm::random_cmatrix(m, n, 300 + static_cast<unsigned>(p)));
+  }
+  std::vector<nm::GemmBatchItem> ref_items;
+  for (std::size_t p = 0; p < batch; ++p)
+    ref_items.push_back({as[p].data(), as[p].cols(), bs[p].data(), bs[p].cols(),
+                         refs[p].data(), refs[p].cols()});
+  nm::host_backend().gemm_batched('N', 'N', m, n, k, alpha, beta, ref_items);
+
+  for (const int devices : {1, 2, 4}) {
+    pp::DevicePool pool(devices);
+    nm::DeviceBackend backend(pool);
+    std::vector<CMatrix> cs;
+    for (std::size_t p = 0; p < batch; ++p)
+      cs.push_back(nm::random_cmatrix(m, n, 300 + static_cast<unsigned>(p)));
+    std::vector<nm::GemmBatchItem> items;
+    for (std::size_t p = 0; p < batch; ++p)
+      items.push_back({as[p].data(), as[p].cols(), bs[p].data(), bs[p].cols(),
+                       cs[p].data(), cs[p].cols()});
+    backend.gemm_batched('N', 'N', m, n, k, alpha, beta, items);
+    for (std::size_t p = 0; p < batch; ++p)
+      expect_bit_identical(cs[p], refs[p]);
+    EXPECT_EQ(backend.host_fallbacks(), 0u);
+    // Every operand and result moved across the (emulated) bus.
+    std::uint64_t h2d = 0, d2h = 0;
+    for (int d = 0; d < devices; ++d) {
+      h2d += pool.device(d).h2d_bytes();
+      d2h += pool.device(d).d2h_bytes();
+    }
+    EXPECT_EQ(h2d, batch * 16u *
+                       (static_cast<std::uint64_t>(m) * k +
+                        static_cast<std::uint64_t>(k) * n +
+                        static_cast<std::uint64_t>(m) * n));
+    EXPECT_EQ(d2h, batch * 16u * static_cast<std::uint64_t>(m) * n);
+  }
+}
+
+TEST(DeviceBackend, LuFactorAndSolveBatchedBitIdenticalAtEveryPoolSize) {
+  const idx s = 17;
+  const std::size_t batch = 9;
+  std::vector<CMatrix> as, bs, left_bs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    as.push_back(well_conditioned(s, 400 + static_cast<unsigned>(p)));
+    bs.push_back(nm::random_cmatrix(s, 3 + static_cast<idx>(p % 2),
+                                    500 + static_cast<unsigned>(p)));
+    // X A = B needs B with s columns.
+    left_bs.push_back(nm::random_cmatrix(s, s, 600 + static_cast<unsigned>(p)));
+  }
+  std::vector<const CMatrix*> a_ptrs, b_ptrs, left_ptrs;
+  for (std::size_t p = 0; p < batch; ++p) {
+    a_ptrs.push_back(&as[p]);
+    b_ptrs.push_back(&bs[p]);
+    left_ptrs.push_back(&left_bs[p]);
+  }
+
+  for (const int devices : {1, 2, 4}) {
+    pp::DevicePool pool(devices);
+    nm::DeviceBackend backend(pool);
+    const auto factors = backend.lu_factor_batched(a_ptrs);
+    ASSERT_EQ(factors.size(), batch);
+    std::vector<const nm::LUFactor*> f_ptrs;
+    for (const auto& f : factors) f_ptrs.push_back(&f);
+
+    std::vector<CMatrix> xs, ys;
+    backend.lu_solve_batched(f_ptrs, b_ptrs, xs);
+    backend.lu_solve_left_batched(f_ptrs, left_ptrs, ys);
+    ASSERT_EQ(xs.size(), batch);
+    ASSERT_EQ(ys.size(), batch);
+    for (std::size_t p = 0; p < batch; ++p) {
+      const nm::LUFactor ref(as[p]);
+      expect_bit_identical(xs[p], ref.solve(bs[p]));
+      expect_bit_identical(ys[p], ref.solve_left(left_bs[p]));
+    }
+    EXPECT_EQ(backend.host_fallbacks(), 0u);
+  }
+}
+
+TEST(DeviceBackend, CapacityOverflowFallsBackToHostBitIdentically) {
+  // A pool too small for even one factor's workspace: the batched call must
+  // release every reservation, run on the host path, and still produce the
+  // exact same numbers.  Nothing may stay allocated afterwards.
+  const idx s = 24;  // 2 * 16 * 24^2 = 18 KiB per item >> 1 KiB capacity
+  const std::size_t batch = 5;
+  std::vector<CMatrix> as;
+  for (std::size_t p = 0; p < batch; ++p)
+    as.push_back(well_conditioned(s, 800 + static_cast<unsigned>(p)));
+  std::vector<const CMatrix*> a_ptrs;
+  for (const auto& a : as) a_ptrs.push_back(&a);
+
+  pp::DevicePool pool(2, /*memory_bytes=*/1024);
+  nm::DeviceBackend backend(pool);
+  const auto factors = backend.lu_factor_batched(a_ptrs);
+  EXPECT_EQ(backend.host_fallbacks(), 1u);
+  ASSERT_EQ(factors.size(), batch);
+  for (std::size_t p = 0; p < batch; ++p) {
+    const nm::LUFactor ref(as[p]);
+    const CMatrix rhs = nm::random_cmatrix(s, 3, 900 + static_cast<unsigned>(p));
+    expect_bit_identical(factors[p].solve(rhs), ref.solve(rhs));
+  }
+  // Reservations were released exactly once: the pool reads empty.
+  EXPECT_EQ(pool.device(0).memory_used(), 0u);
+  EXPECT_EQ(pool.device(1).memory_used(), 0u);
+}
+
+TEST(DeviceBackend, ResidencyCacheHitsAfterFirstStage) {
+  pp::DevicePool pool(2);
+  nm::DeviceBackend backend(pool);
+  // First stage: miss (H2D paid); second: hit (no transfer).
+  EXPECT_FALSE(backend.stage_operand(42, 1000));
+  const auto h2d_warm = pool.device(42 % 2).h2d_bytes();
+  EXPECT_TRUE(backend.stage_operand(42, 1000));
+  EXPECT_TRUE(backend.stage_operand(42, 1000));
+  EXPECT_EQ(pool.device(42 % 2).h2d_bytes(), h2d_warm);  // no re-transfer
+
+  const auto stats = backend.residency().stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.resident_bytes, 1000u);
+
+  // Id 0 is the "stream, don't cache" sentinel; zero bytes is a no-op.
+  EXPECT_FALSE(backend.stage_operand(0, 500));
+  EXPECT_FALSE(backend.stage_operand(0, 500));
+  EXPECT_FALSE(backend.stage_operand(7, 0));
+
+  backend.invalidate_residency();
+  EXPECT_EQ(backend.residency().stats().resident_bytes, 0u);
+  EXPECT_FALSE(backend.stage_operand(42, 1000));  // miss again after drop
+}
+
+TEST(DeviceBackend, ResidencyEvictsOldestWhenFullAndStreamsWhenHopeless) {
+  // Capacity for two 400-byte operands per device; ids 0,2,4,... all land
+  // on device 0.  A third distinct id must evict the oldest; an operand
+  // larger than the whole device must stream without caching.
+  pp::DevicePool pool(1, /*memory_bytes=*/1000);
+  nm::ResidencyCache cache;
+  EXPECT_EQ(cache.stage(10, 400, pool.device(0)),
+            nm::ResidencyCache::Outcome::kMiss);
+  EXPECT_EQ(cache.stage(20, 400, pool.device(0)),
+            nm::ResidencyCache::Outcome::kMiss);
+  EXPECT_EQ(cache.stage(10, 400, pool.device(0)),
+            nm::ResidencyCache::Outcome::kHit);
+  EXPECT_EQ(cache.stage(30, 400, pool.device(0)),
+            nm::ResidencyCache::Outcome::kMiss);  // evicted id 10
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stage(10, 400, pool.device(0)),
+            nm::ResidencyCache::Outcome::kMiss);  // id 10 gone
+
+  EXPECT_EQ(cache.stage(99, 5000, pool.device(0)),
+            nm::ResidencyCache::Outcome::kStreamed);
+  EXPECT_GT(cache.stats().streamed, 0u);
+
+  cache.invalidate();
+  EXPECT_EQ(pool.device(0).memory_used(), 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+TEST(DeviceBackend, EmptyPoolViaSliceIsImpossibleAndCtorValidates) {
+  // DevicePool's constructor and slice() both refuse to produce an empty
+  // view, so DeviceBackend can only ever see >= 1 device; the ctor still
+  // guards (documented contract).
+  EXPECT_THROW(pp::DevicePool(0), std::invalid_argument);
+  pp::DevicePool pool(2);
+  EXPECT_THROW(pool.slice(0, 0), std::invalid_argument);
+  EXPECT_THROW(pool.slice(2, 2), std::invalid_argument);
+  EXPECT_THROW(pool.slice(-1, 3), std::invalid_argument);
+}
+
+TEST(DeviceBackend, ProcessWideBackendIsRegisteredAsDevice) {
+  nm::Backend& dev = nm::device_backend();
+  EXPECT_STREQ(dev.name(), "device");
+  EXPECT_GE(dev.lanes(), 1);
+  EXPECT_TRUE(dev.offloads());
+  EXPECT_EQ(nm::find_backend("device"), &dev);
+  // Registering the name again (another instance) must throw, not clobber.
+  pp::DevicePool pool(1);
+  static nm::DeviceBackend other(pool);
+  EXPECT_THROW(nm::register_backend("device", &other), std::invalid_argument);
+}
+
+TEST(DeviceBackend, DuplicateRegistrationThrows) {
+  class StubBackend : public nm::Backend {
+   public:
+    const char* name() const noexcept override { return "dup-test"; }
+    int lanes() const noexcept override { return 1; }
+    void dispatch(const char*, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) override {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
+  static StubBackend a, b;
+  nm::register_backend("dup-test", &a);
+  EXPECT_EQ(nm::find_backend("dup-test"), &a);
+  EXPECT_THROW(nm::register_backend("dup-test", &b), std::invalid_argument);
+  EXPECT_EQ(nm::find_backend("dup-test"), &a);  // original untouched
+}

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "numeric/blas.hpp"
+#include "numeric/device_backend.hpp"
+#include "numeric/lu.hpp"
 #include "parallel/comm.hpp"
 #include "parallel/device.hpp"
 #include "parallel/thread_pool.hpp"
@@ -68,6 +70,68 @@ TEST(Device, MoveSemanticsOfBuffer) {
   EXPECT_EQ(dev.memory_used(), 60u);
   b = pp::DeviceBuffer{};
   EXPECT_EQ(dev.memory_used(), 0u);
+}
+
+TEST(Device, BufferMoveAssignReleasesTargetExactlyOnce) {
+  // Move-assigning over a live buffer must release the target's bytes
+  // first — once, not twice — and the moved-from buffer must become empty
+  // so its destructor releases nothing.
+  pp::Device dev(7, 100);
+  pp::DeviceBuffer a = dev.allocate(60);
+  pp::DeviceBuffer b = dev.allocate(30);
+  EXPECT_EQ(dev.memory_used(), 90u);
+  b = std::move(a);  // 30 released, 60 transferred
+  EXPECT_EQ(dev.memory_used(), 60u);
+  EXPECT_EQ(b.bytes(), 60u);
+  EXPECT_EQ(a.bytes(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  b = pp::DeviceBuffer{};
+  EXPECT_EQ(dev.memory_used(), 0u);
+  // A second release cannot fire: the accounting stays at zero after the
+  // moved-from handles die.
+  EXPECT_EQ(dev.memory_used(), 0u);
+}
+
+TEST(Device, BufferSelfMoveAssignIsSafe) {
+  pp::Device dev(8, 100);
+  pp::DeviceBuffer a = dev.allocate(40);
+  pp::DeviceBuffer* pa = &a;  // defeat -Wself-move
+  a = std::move(*pa);
+  EXPECT_EQ(a.bytes(), 40u);
+  EXPECT_EQ(dev.memory_used(), 40u);
+}
+
+TEST(Device, BackendOomFallsBackToHostAndReleasesEverything) {
+  // A DeviceBackend over a pool too small for the batch workspace must
+  // degrade to the host path (no throw mid-sweep), produce bit-identical
+  // numbers, and leave no reservation behind — each buffer released
+  // exactly once.
+  pp::DevicePool pool(2, /*memory_bytes=*/256);
+  nm::DeviceBackend backend(pool);
+  const nm::idx s = 12;  // 2 * 16 * 12^2 bytes per item >> 256 B
+  std::vector<nm::CMatrix> as;
+  for (unsigned p = 0; p < 4; ++p) {
+    as.push_back(nm::random_cmatrix(s, s, 60 + p));
+    for (nm::idx i = 0; i < s; ++i) as.back()(i, i) += nm::cplx{12.0, 0.5};
+  }
+  std::vector<const nm::CMatrix*> ptrs;
+  for (const auto& a : as) ptrs.push_back(&a);
+
+  const auto factors = backend.lu_factor_batched(ptrs);
+  EXPECT_EQ(backend.host_fallbacks(), 1u);
+  ASSERT_EQ(factors.size(), 4u);
+  const nm::CMatrix rhs = nm::random_cmatrix(s, 2, 99);
+  for (unsigned p = 0; p < 4; ++p) {
+    const nm::LUFactor ref(as[p]);
+    const nm::CMatrix got = factors[p].solve(rhs);
+    const nm::CMatrix want = ref.solve(rhs);
+    for (nm::idx i = 0; i < s; ++i)
+      for (nm::idx j = 0; j < 2; ++j) {
+        EXPECT_EQ(got(i, j).real(), want(i, j).real());
+        EXPECT_EQ(got(i, j).imag(), want(i, j).imag());
+      }
+  }
+  EXPECT_EQ(pool.device(0).memory_used(), 0u);
+  EXPECT_EQ(pool.device(1).memory_used(), 0u);
 }
 
 TEST(Device, TransferAccounting) {
