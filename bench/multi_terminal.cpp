@@ -1,0 +1,230 @@
+// N-terminal contact bench and CI gate (BENCH_contact.json).
+//
+// Three gates guard the ContactSet refactor:
+//   * symmetric parity — the classic two-identical-contacts device spelled
+//     out as an explicit ContactSet must reproduce the implicit pipeline
+//     *bitwise* (max |dT| and max |drho| exactly 0, not a tolerance): the
+//     engine normalizes the symmetric pair back onto the pre-refactor
+//     code path, caching included;
+//   * per-contact cache reuse — across an asymmetric-bias SCF iteration
+//     history (dissimilar source/drain leads, per-contact shifts), every
+//     contact's boundary-cache hit rate from the 2nd charge evaluation on
+//     must be >= 90%: lead eigenproblems depend on (k, E, shift, lead),
+//     never on the device potential the SCF loop updates;
+//   * 3-terminal current conservation — the Buettiker currents from the
+//     pairwise T_pq table satisfy sum_p I_p = 0 to machine rounding, for
+//     both kMultiTerminal solver backends (rgf, block_lu).
+// Nonzero exit if any gate fails.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obc/boundary_cache.hpp"
+#include "omen/simulator.hpp"
+#include "poisson/scf.hpp"
+#include "transport/bands.hpp"
+#include "transport/contacts.hpp"
+
+using namespace omenx;
+using numeric::idx;
+
+namespace {
+
+lattice::Structure chain_structure(idx cells, double cell_length = 0.5) {
+  lattice::Structure chain;
+  chain.cell_atoms = {{lattice::Species::kLi, {0.0, 0.0, 0.0}}};
+  chain.cell_length = cell_length;
+  chain.num_cells = cells;
+  chain.name = "contact bench chain";
+  return chain;
+}
+
+omen::SimulationConfig base_config(idx cells) {
+  omen::SimulationConfig cfg;
+  cfg.structure = chain_structure(cells);
+  cfg.build.cutoff_nm = 1.0;  // NBW = 2: folded supercells
+  cfg.point.obc = transport::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = transport::SolverAlgorithm::kBlockLU;
+  return cfg;
+}
+
+std::vector<omen::ContactConfig> explicit_pair() {
+  std::vector<omen::ContactConfig> cs(2);
+  cs[0].block = 0;
+  cs[1].block = transport::kLastBlock;
+  return cs;
+}
+
+double max_abs_delta(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double out = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+    out = std::max(out, std::abs(a[i] - b[i]));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("N-terminal contacts: symmetric parity, cache reuse, "
+                    "current conservation");
+
+  omen::Simulator probe(base_config(16));
+  const auto win = transport::band_window(probe.bands(9));
+  const double mid = 0.5 * (win.emin + win.emax);
+  std::vector<double> grid;
+  for (double e = win.emin + 0.05; e < win.emax; e += 0.04)
+    grid.push_back(e);
+  std::vector<double> cgrid;
+  for (double e = mid - 0.4; e <= mid + 0.4; e += 0.04) cgrid.push_back(e);
+  std::vector<double> barrier(16, 0.0);
+  barrier[7] = barrier[8] = 0.5;
+
+  // --- gate 1: symmetric limit is bitwise-identical ----------------------
+  omen::Simulator classic(base_config(16));
+  omen::SimulationConfig explicit_cfg = base_config(16);
+  explicit_cfg.contacts = explicit_pair();
+  omen::Simulator spelled(explicit_cfg);
+
+  const auto t_classic = classic.transmission_spectrum(grid, &barrier);
+  const auto t_spelled = spelled.transmission_spectrum(grid, &barrier);
+  const auto q_classic =
+      classic.charge_density(cgrid, mid, mid - 0.2, &barrier);
+  const auto q_spelled =
+      spelled.charge_density(cgrid, mid, mid - 0.2, &barrier);
+  const double sym_dt =
+      max_abs_delta(t_classic.transmission, t_spelled.transmission);
+  const double sym_dq = max_abs_delta(q_classic, q_spelled);
+  const bool sym_gate = sym_dt == 0.0 && sym_dq == 0.0;
+  std::printf("symmetric pair, explicit vs implicit: max|dT| = %.3g, "
+              "max|drho| = %.3g (gate == 0: %s)\n",
+              sym_dt, sym_dq, sym_gate ? "yes" : "NO");
+
+  // --- gate 2: per-contact cache reuse across an asymmetric-bias SCF -----
+  // Dissimilar leads (drain cell stretched to 0.6 nm) under per-contact
+  // shifts: every boundary key is contact-scoped, and nothing in the SCF
+  // loop touches the leads — from the 2nd charge evaluation on, both
+  // contacts must serve >= 90% of their boundary fetches from the cache.
+  omen::SimulationConfig asym_cfg = base_config(16);
+  asym_cfg.contacts = explicit_pair();
+  asym_cfg.contacts[1].material = chain_structure(16, 0.6);
+  omen::Simulator asym(asym_cfg);
+  asym.set_contact_shift(0, 0.0);
+  asym.set_contact_shift(1, -0.08);
+
+  const lattice::DeviceRegions regions{5, 6, 5};
+  poisson::ScfOptions scf;
+  scf.poisson.screening_length_cells = 2.0;
+  scf.poisson.charge_coupling = 0.25;
+  scf.max_iter = 4;
+  scf.tol = 1e-14;  // never converges early: exactly 4 charge sweeps
+  scf.charge_tol = 0.0;
+
+  std::vector<std::vector<obc::BoundaryCache::Stats>> per_iter;
+  benchutil::WallTimer timer;
+  poisson::ChargeModel charge = [&](const std::vector<double>& v) {
+    auto rho = asym.charge_density(cgrid, mid, mid - 0.25, &v);
+    per_iter.push_back(asym.last_sweep_stats().contact_cache_stats);
+    return rho;
+  };
+  const auto scf_res =
+      poisson::self_consistent_potential(regions, 0.1, 0.25, charge, scf);
+  const double scf_wall = timer.seconds();
+  benchutil::consume(scf_res.potential);
+
+  double hit_rate[2] = {1.0, 1.0};
+  bool cache_gate = per_iter.size() >= 2;
+  for (int c = 0; c < 2; ++c) {
+    std::uint64_t hits = 0, misses = 0;
+    for (std::size_t it = 1; it < per_iter.size(); ++it) {
+      if (per_iter[it].size() < 2) continue;
+      hits += per_iter[it][static_cast<std::size_t>(c)].hits;
+      misses += per_iter[it][static_cast<std::size_t>(c)].misses;
+    }
+    hit_rate[c] = static_cast<double>(hits) /
+                  static_cast<double>(std::max<std::uint64_t>(1, hits + misses));
+    cache_gate = cache_gate && hit_rate[c] >= 0.9;
+  }
+  std::printf("asymmetric-bias SCF (%zu evaluations, %.3f s): per-contact "
+              "hit rate from 2nd iteration = %.1f%% / %.1f%% "
+              "(gate >= 90%%: %s)\n",
+              per_iter.size(), scf_wall, 100.0 * hit_rate[0],
+              100.0 * hit_rate[1], cache_gate ? "yes" : "NO");
+
+  // --- gate 3: 3-terminal current conservation ---------------------------
+  bool current_gate = true;
+  double worst_leak = 0.0;
+  double currents_lu[3] = {0.0, 0.0, 0.0};
+  for (const auto solver : {transport::SolverAlgorithm::kBlockLU,
+                            transport::SolverAlgorithm::kRgf}) {
+    omen::SimulationConfig cfg3 = base_config(16);
+    cfg3.point.solver = solver;
+    cfg3.contacts.resize(3);
+    cfg3.contacts[0].block = 0;
+    cfg3.contacts[1].block = 3;  // interior probe
+    cfg3.contacts[2].block = transport::kLastBlock;
+    omen::Simulator three(cfg3);
+    const std::vector<double> mu{mid + 0.12, mid, mid - 0.12};
+    const auto currents = three.terminal_currents(grid, mu, &barrier);
+    double total = 0.0, scale = 0.0;
+    for (const double i : currents) {
+      total += i;
+      scale = std::max(scale, std::abs(i));
+    }
+    const double leak = std::abs(total) / std::max(1.0, scale);
+    worst_leak = std::max(worst_leak, leak);
+    current_gate = current_gate && leak <= 1e-12 && scale > 1e-9;
+    if (solver == transport::SolverAlgorithm::kBlockLU)
+      for (int c = 0; c < 3; ++c)
+        currents_lu[c] = currents[static_cast<std::size_t>(c)];
+    std::printf("3-terminal %s: I = {%+.4e, %+.4e, %+.4e}, "
+                "|sum| / max|I| = %.3g\n",
+                solver == transport::SolverAlgorithm::kBlockLU ? "block_lu"
+                                                               : "rgf",
+                currents[0], currents[1], currents[2], leak);
+  }
+  std::printf("current conservation gate (<= 1e-12): %s\n",
+              current_gate ? "yes" : "NO");
+
+  // --- JSON record -------------------------------------------------------
+  std::string json = "{\n";
+  {
+    benchutil::JsonWriter w;
+    w.field("max_dt", sym_dt);
+    w.field("max_drho", sym_dq, true);
+    json += "  \"symmetric_parity\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("scf_evaluations", static_cast<double>(per_iter.size()));
+    w.field("scf_wall_s", scf_wall);
+    w.field("hit_rate_contact0", hit_rate[0]);
+    w.field("hit_rate_contact1", hit_rate[1], true);
+    json += "  \"scf_cache\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("current_source", currents_lu[0]);
+    w.field("current_probe", currents_lu[1]);
+    w.field("current_drain", currents_lu[2]);
+    w.field("conservation_leak", worst_leak, true);
+    json += "  \"three_terminal\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("symmetric_bitwise_identical", sym_gate ? 1.0 : 0.0);
+    w.field("cache_hit_rate_ge_90", cache_gate ? 1.0 : 0.0);
+    w.field("currents_conserve", current_gate ? 1.0 : 0.0, true);
+    json += "  \"gates\": {" + w.body + "}\n}\n";
+  }
+  std::FILE* f = std::fopen("BENCH_contact.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_contact.json\n");
+  }
+  return sym_gate && cache_gate && current_gate ? 0 : 1;
+}

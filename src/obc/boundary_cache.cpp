@@ -13,9 +13,11 @@ std::shared_ptr<const Boundary> BoundaryCache::find(const BoundaryKey& key) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    ++contact_stats_[key.contact].misses;
     return nullptr;
   }
   ++stats_.hits;
+  ++contact_stats_[key.contact].hits;
   return it->second;
 }
 
@@ -26,6 +28,7 @@ std::shared_ptr<const Boundary> BoundaryCache::insert(const BoundaryKey& key,
   const auto [it, inserted] = entries_.emplace(key, std::move(entry));
   if (inserted) {
     ++stats_.insertions;
+    ++contact_stats_[key.contact].insertions;
     order_.push_back(key);
     while (entries_.size() > max_entries_ && !order_.empty()) {
       entries_.erase(order_.front());  // FIFO: oldest insertion goes first
@@ -40,6 +43,20 @@ void BoundaryCache::invalidate() {
   entries_.clear();
   order_.clear();
   ++stats_.invalidations;
+  for (auto& [contact, s] : contact_stats_) ++s.invalidations;
+}
+
+void BoundaryCache::invalidate_contact(int contact) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();)
+    it = it->first.contact == contact ? entries_.erase(it) : std::next(it);
+  order_.erase(std::remove_if(order_.begin(), order_.end(),
+                              [contact](const BoundaryKey& k) {
+                                return k.contact == contact;
+                              }),
+               order_.end());
+  ++stats_.invalidations;
+  ++contact_stats_[contact].invalidations;
 }
 
 void BoundaryCache::reserve(std::size_t min_entries) {
@@ -60,6 +77,20 @@ std::size_t BoundaryCache::max_entries() const {
 BoundaryCache::Stats BoundaryCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
+}
+
+BoundaryCache::Stats BoundaryCache::contact_stats(int contact) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = contact_stats_.find(contact);
+  return it == contact_stats_.end() ? Stats{} : it->second;
+}
+
+std::vector<int> BoundaryCache::contacts_seen() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> out;
+  out.reserve(contact_stats_.size());
+  for (const auto& [contact, s] : contact_stats_) out.push_back(contact);
+  return out;
 }
 
 }  // namespace omenx::obc

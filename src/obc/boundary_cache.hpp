@@ -27,6 +27,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "numeric/types.hpp"
 #include "obc/self_energy.hpp"
@@ -53,13 +54,25 @@ struct BoundaryKey {
   /// 100% after the first pass).  Kept last so the pre-existing four-field
   /// aggregate initializers keep meaning what they always did (real axis).
   double energy_imag = 0.0;
+  /// Canonical contact id (ContactSet::representative) the boundary belongs
+  /// to.  Identical contacts share one id — the symmetric pair caches under
+  /// the left contact's id 0, exactly the pre-refactor key population —
+  /// while dissimilar leads and per-contact shifts get disjoint key ranges
+  /// that invalidate_contact() can drop independently.
+  int contact = 0;
+  /// FNV-1a content hash of the contact's lead (lead_content_hash); 0 =
+  /// untracked (direct callers without an engine fingerprint).  Makes a
+  /// swapped lead material a guaranteed miss even under a reused contact id.
+  std::uint64_t lead_hash = 0;
 
   friend bool operator<(const BoundaryKey& a, const BoundaryKey& b) noexcept {
+    if (a.contact != b.contact) return a.contact < b.contact;
     if (a.k != b.k) return a.k < b.k;
     if (a.energy != b.energy) return a.energy < b.energy;
     if (a.energy_imag != b.energy_imag) return a.energy_imag < b.energy_imag;
     if (a.contact_shift != b.contact_shift)
       return a.contact_shift < b.contact_shift;
+    if (a.lead_hash != b.lead_hash) return a.lead_hash < b.lead_hash;
     return a.algorithm < b.algorithm;
   }
 };
@@ -92,6 +105,12 @@ class BoundaryCache {
   /// changed).  Outstanding shared_ptr handles stay valid.
   void invalidate();
 
+  /// Drop only the entries cached under canonical contact id `contact` —
+  /// with dissimilar contacts, a shift or lead change on one terminal must
+  /// not cost the other terminals their cached eigenproblems.  Counts one
+  /// invalidation against that contact's stats (and the totals).
+  void invalidate_contact(int contact);
+
   /// Raise the eviction cap to at least `min_entries` (never lowers it).
   void reserve(std::size_t min_entries);
 
@@ -99,12 +118,20 @@ class BoundaryCache {
   std::size_t max_entries() const;
   Stats stats() const;
 
+  /// Hit/miss/insertion/invalidation counters of one canonical contact id
+  /// (zeros if the id was never seen).
+  Stats contact_stats(int contact) const;
+
+  /// Sorted canonical contact ids with recorded activity.
+  std::vector<int> contacts_seen() const;
+
  private:
   mutable std::mutex mutex_;
   std::size_t max_entries_;
   std::map<BoundaryKey, std::shared_ptr<const Boundary>> entries_;
   std::deque<BoundaryKey> order_;  ///< insertion order, oldest first
   Stats stats_;
+  std::map<int, Stats> contact_stats_;  ///< per canonical contact id
 };
 
 }  // namespace omenx::obc

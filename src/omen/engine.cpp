@@ -204,6 +204,70 @@ dft::LeadBlocks recv_lead_blocks(Comm& comm, int src) {
   return lead;
 }
 
+/// Is the request's terminal layout the classic symmetric pair (or no
+/// contacts at all)?  Symmetric requests are normalized back onto the
+/// pre-refactor pipeline — same batching, same spatial cooperation, same
+/// cache keys — so the symmetric limit stays bit-identical at every world
+/// size.  The comparison is on the *literal* block values {0, kLastBlock}:
+/// the engine has no device length here, and that pair is how the simulator
+/// spells the classic ends.
+bool contacts_are_classic_symmetric(const SweepRequest& req) {
+  if (req.contacts.empty()) return true;
+  if (req.contacts.size() != 2) return false;
+  const SweepContact& a = req.contacts[0];
+  const SweepContact& b = req.contacts[1];
+  if (a.material >= 0 || b.material >= 0) return false;
+  if (a.shift != b.shift) return false;
+  return (a.block == 0 && b.block == transport::kLastBlock) ||
+         (a.block == transport::kLastBlock && b.block == 0);
+}
+
+/// Lead materials that travel beside the classic per-k blocks: every row of
+/// contact_leads, but only for contact-mode requests (a symmetric classic
+/// pair references material -1 exclusively and ships nothing extra).
+std::size_t num_extra_materials(const SweepRequest& req) {
+  if (contacts_are_classic_symmetric(req)) return 0;
+  return req.contact_leads != nullptr ? req.contact_leads->size() : 0;
+}
+
+/// Two contacts at the classic ends of an nb-block device (either order)?
+/// Those route through solve_boundary and may still cooperate spatially;
+/// anything else is a solo kMultiTerminal solve on the group leader.
+bool classic_pair_blocks(const SweepRequest& req, idx nb) {
+  if (req.contacts.size() != 2) return false;
+  const auto resolve = [nb](idx b) { return b < 0 ? nb - 1 : b; };
+  const idx b0 = resolve(req.contacts[0].block);
+  const idx b1 = resolve(req.contacts[1].block);
+  return (b0 == 0 && b1 == nb - 1) || (b0 == nb - 1 && b1 == 0);
+}
+
+/// The request's terminal layout over one k's materials.  `lead`/`folded`
+/// are the classic (material -1) blocks; `extras`/`extra_folded` index the
+/// materials >= 0.  Every referenced object must outlive the returned set.
+transport::ContactSet build_contact_set(
+    const SweepRequest& req, const dft::LeadBlocks& lead,
+    const dft::FoldedLead& folded, const std::vector<dft::LeadBlocks>& extras,
+    const std::vector<dft::FoldedLead>& extra_folded) {
+  std::vector<transport::Contact> cs;
+  cs.reserve(req.contacts.size());
+  for (const SweepContact& sc : req.contacts) {
+    transport::Contact c;
+    if (sc.material < 0) {
+      c.lead = &lead;
+      c.folded = &folded;
+    } else {
+      c.lead = &extras[static_cast<std::size_t>(sc.material)];
+      c.folded = &extra_folded[static_cast<std::size_t>(sc.material)];
+    }
+    c.mu = sc.mu;
+    c.shift = sc.shift;
+    c.block = sc.block;
+    c.lead_hash = transport::lead_content_hash(*c.lead);
+    cs.push_back(c);
+  }
+  return transport::ContactSet(std::move(cs));
+}
+
 /// Coordinator service loop: runs on a helper thread next to rank 0's own
 /// worker (point-to-point only — collectives stay on the rank thread).  On
 /// an internal error every leader gets a done marker so the world drains
@@ -220,6 +284,10 @@ void serve_queue(Comm comm, Coordinator& co, const SweepRequest& req,
       if (kind == 1) {  // a thief fetching the blocks of a k it never owned
         const auto k = static_cast<std::size_t>(msg.at(1));
         send_lead_blocks(comm, status.source, (*req.leads)[k]);
+        // Contact-mode thieves expect the extra materials right behind the
+        // classic blocks, in material order.
+        for (std::size_t m = 0; m < num_extra_materials(req); ++m)
+          send_lead_blocks(comm, status.source, (*req.contact_leads)[m][k]);
         continue;
       }
       const int color = static_cast<int>(msg.at(1));
@@ -249,8 +317,10 @@ void serve_queue(Comm comm, Coordinator& co, const SweepRequest& req,
       // empty-lead poison wakes it, its KData build fails on the empty
       // lead, and the leader's stage handler degrades to the drain path.
       // (A stream truncated mid-matrix still surfaces as an unpack error
-      // rather than a hang for the same reason.)
-      comm.send({0.0}, r, kTagBlocks);
+      // rather than a hang for the same reason.)  Contact-mode thieves
+      // read 1 + M streams per fetch, so the poison matches that count.
+      for (std::size_t s = 0; s < 1 + num_extra_materials(req); ++s)
+        comm.send({0.0}, r, kTagBlocks);
     }
   }
 }
@@ -261,25 +331,45 @@ void serve_queue(Comm comm, Coordinator& co, const SweepRequest& req,
 struct KData {
   dft::LeadBlocks lead;
   dft::FoldedLead folded;  ///< leaders only; members never run the OBCs
+  /// Extra lead materials (SweepContact::material >= 0) and their folds —
+  /// contact-mode leaders only; members and classic runs keep them empty.
+  std::vector<dft::LeadBlocks> extra_leads;
+  std::vector<dft::FoldedLead> extra_folded;
   dft::DeviceMatrices dm;
+  transport::ContactSet contacts;  ///< empty in classic and member mode
   std::unique_ptr<transport::EnergySweepWorker> worker;  ///< leaders only
 
   /// `build_worker` = false is the spatial-member variant: members only
   /// need the assembled device matrices to compute SPIKE partitions of A,
-  /// so the lead folding and the sweep worker are skipped.
+  /// so the lead folding and the sweep worker are skipped.  `contact_mode`
+  /// routes the worker through the ContactSet entry points; the set points
+  /// at this KData's own members, which are stable for its lifetime (the
+  /// per-rank cache holds KData by unique_ptr).
   KData(dft::LeadBlocks l, const SweepRequest& req,
         const transport::EnergyPointOptions& opts,
         transport::EnergyPointContext& ctx, parallel::DevicePool* pool,
-        const dft::FoldedLead* pre_folded = nullptr, bool build_worker = true)
+        const dft::FoldedLead* pre_folded = nullptr, bool build_worker = true,
+        std::vector<dft::LeadBlocks> extras = {}, bool contact_mode = false)
       : lead(std::move(l)),
         folded(build_worker
                    ? (pre_folded != nullptr ? *pre_folded
                                             : dft::fold_lead(lead))
                    : dft::FoldedLead{}),
+        extra_leads(std::move(extras)),
         dm(dft::assemble_device(lead, req.cells, req.potential)) {
-    if (build_worker)
+    if (!build_worker) return;
+    if (contact_mode) {
+      extra_folded.reserve(extra_leads.size());
+      for (const dft::LeadBlocks& ex : extra_leads)
+        extra_folded.push_back(dft::fold_lead(ex));
+      contacts =
+          build_contact_set(req, lead, folded, extra_leads, extra_folded);
       worker = std::make_unique<transport::EnergySweepWorker>(
-          ctx, dm, lead, folded, opts, pool);
+          ctx, dm, contacts, opts, pool);
+      return;
+    }
+    worker = std::make_unique<transport::EnergySweepWorker>(
+        ctx, dm, lead, folded, opts, pool);
   }
 };
 
@@ -305,21 +395,57 @@ struct RankLocal {
   idx residency_misses = 0;  ///< staged operands that paid an H2D transfer
 };
 
-void record_sample(RankLocal& local, const Layout& lay, idx ik, idx ie,
+/// Doubles per real-axis sample on the gather wire: the classic 4 plus, for
+/// >= 3-terminal requests, the row-major nc x nc pairwise T matrix.
+/// Identical on every rank (all read the same request object).
+std::size_t sample_stride(const SweepRequest& req) {
+  const std::size_t nc = req.contacts.size();
+  return 4 + (nc >= 3 ? nc * nc : 0);
+}
+
+void record_sample(RankLocal& local, const Layout& lay,
+                   const SweepRequest& req, idx ik, idx ie,
                    const transport::EnergyPointResult& res) {
   local.samples.push_back(
       static_cast<double>(lay.e_prefix[static_cast<std::size_t>(ik)] + ie));
   local.samples.push_back(res.transmission);
   local.samples.push_back(res.transmission_caroli);
   local.samples.push_back(static_cast<double>(res.num_propagating));
+  const std::size_t nc = req.contacts.size();
+  if (nc >= 3) {
+    // Zero-padded to the fixed stride so a task whose solve produced no
+    // T matrix (nothing propagates) still parses on the root.
+    const std::size_t want = nc * nc;
+    for (std::size_t i = 0; i < want; ++i)
+      local.samples.push_back(i < res.t_matrix.size() ? res.t_matrix[i]
+                                                      : 0.0);
+  }
 }
 
-/// Two-contact per-cell charge of one task: source-injected density times
-/// its (mu_L) weight plus, when requested, drain-injected density times its
-/// (mu_R) weight.  Empty result = this task carries no charge.
+/// Per-cell charge of one task.  N-terminal requests sum every contact's
+/// injected density times its own Fermi weight; classic requests keep the
+/// source (mu_L) + optional drain (mu_R) pair.  Empty result = this task
+/// carries no charge.
 std::vector<double> weighted_task_charge(
     const SweepRequest& req, idx block_dim, idx ik, idx ie,
     const transport::EnergyPointResult& res) {
+  if (!req.density_weight_contacts.empty()) {
+    const auto sk = static_cast<std::size_t>(ik);
+    const auto se = static_cast<std::size_t>(ie);
+    std::vector<double> out;
+    for (std::size_t p = 0; p < req.density_weight_contacts.size() &&
+                            p < res.contact_density.size();
+         ++p) {
+      if (res.contact_density[p].empty()) continue;
+      const auto per_cell = transport::density_per_cell(
+          res.contact_density[p], block_dim, req.cells);
+      const double w = req.density_weight_contacts[p][sk][se];
+      if (out.empty()) out.assign(static_cast<std::size_t>(req.cells), 0.0);
+      for (std::size_t c = 0; c < per_cell.size(); ++c)
+        out[c] += w * per_cell[c];
+    }
+    return out;
+  }
   if (req.density_weight.empty()) return {};
   const auto sk = static_cast<std::size_t>(ik);
   const auto se = static_cast<std::size_t>(ie);
@@ -424,6 +550,19 @@ obc::BoundaryCache::Stats Engine::boundary_cache_stats() const {
   return total;
 }
 
+obc::BoundaryCache::Stats Engine::contact_boundary_cache_stats(
+    int contact) const {
+  obc::BoundaryCache::Stats total;
+  for (const auto& c : caches_) {
+    const auto s = c->contact_stats(contact);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.insertions += s.insertions;
+    total.invalidations += s.invalidations;
+  }
+  return total;
+}
+
 namespace {
 
 void validate_request(const SweepRequest& req) {
@@ -468,6 +607,42 @@ void validate_request(const SweepRequest& req) {
   } else if (!req.gf_weights.empty()) {
     throw std::invalid_argument("Engine: gf_weights without gf_nodes");
   }
+  if (req.contacts.size() == 1)
+    throw std::invalid_argument(
+        "Engine: contacts must be empty (classic) or have >= 2 entries");
+  if (!req.contacts.empty()) {
+    const int materials = static_cast<int>(
+        req.contact_leads != nullptr ? req.contact_leads->size() : 0);
+    for (const SweepContact& c : req.contacts)
+      if (c.material >= materials)
+        throw std::invalid_argument(
+            "Engine: contact material index out of range");
+    if (req.contact_leads != nullptr)
+      for (const auto& row : *req.contact_leads)
+        if (row.size() < req.energies.size())
+          throw std::invalid_argument(
+              "Engine: contact_leads k-shape mismatch");
+  }
+  if (req.contacts.size() >= 3 && !req.density_weight.empty())
+    throw std::invalid_argument(
+        "Engine: >= 3-terminal charge uses density_weight_contacts");
+  if (!req.density_weight_contacts.empty()) {
+    if (req.contacts.size() < 3)
+      throw std::invalid_argument(
+          "Engine: density_weight_contacts requires >= 3 contacts");
+    if (req.density_weight_contacts.size() != req.contacts.size())
+      throw std::invalid_argument(
+          "Engine: density_weight_contacts contact-shape mismatch");
+    for (const auto& table : req.density_weight_contacts) {
+      if (table.size() != req.energies.size())
+        throw std::invalid_argument(
+            "Engine: density_weight_contacts k-shape mismatch");
+      for (std::size_t k = 0; k < table.size(); ++k)
+        if (table[k].size() != req.energies[k].size())
+          throw std::invalid_argument(
+              "Engine: density_weight_contacts E-shape mismatch");
+    }
+  }
 }
 
 /// FNV-1a over the lead blocks' shapes and raw entries — the *content*
@@ -499,6 +674,34 @@ std::uint64_t leads_fingerprint(const std::vector<dft::LeadBlocks>& leads) {
   return h;
 }
 
+/// Per-contact cache-validity signature: the contact's lead-material
+/// content, its shift bits, and its attachment block.  mu is deliberately
+/// absent — it weights observables, never the cached Boundary.
+/// `classic_hash` is leads_fingerprint(*req.leads), shared by every
+/// material -1 contact.
+std::vector<std::uint64_t> contact_signatures(const SweepRequest& req,
+                                              std::uint64_t classic_hash) {
+  std::vector<std::uint64_t> sigs;
+  sigs.reserve(req.contacts.size());
+  for (const SweepContact& c : req.contacts) {
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    mix(c.material < 0
+            ? classic_hash
+            : leads_fingerprint(
+                  (*req.contact_leads)[static_cast<std::size_t>(c.material)]));
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &c.shift, sizeof(bits));
+    mix(bits);
+    mix(static_cast<std::uint64_t>(c.block));
+    sigs.push_back(h);
+  }
+  return sigs;
+}
+
 SweepResult shaped_result(const SweepRequest& req) {
   SweepResult out;
   const std::size_t nk = req.energies.size();
@@ -510,7 +713,15 @@ SweepResult shaped_result(const SweepRequest& req) {
     out.caroli[k].assign(req.energies[k].size(), 0.0);
     out.propagating[k].assign(req.energies[k].size(), 0);
   }
-  if (!req.density_weight.empty() || request_has_greens(req))
+  const std::size_t nc = req.contacts.size();
+  if (nc >= 3) {
+    out.t_matrix.resize(nk);
+    for (std::size_t k = 0; k < nk; ++k)
+      out.t_matrix[k].assign(req.energies[k].size(),
+                             std::vector<double>(nc * nc, 0.0));
+  }
+  if (!req.density_weight.empty() || !req.density_weight_contacts.empty() ||
+      request_has_greens(req))
     out.charge.assign(static_cast<std::size_t>(req.cells), 0.0);
   return out;
 }
@@ -627,30 +838,87 @@ SweepResult Engine::run(const SweepRequest& request) {
   for (const auto& grid : request.energies) total += grid.size();
   for (const auto& nodes : request.gf_nodes) total += nodes.size();
   if (total == 0) return shaped_result(request);
+  const std::size_t nc = request.contacts.size();
   if (!caches_.empty() || !residency_.empty()) {
     // Cached Boundaries (and the device-resident operands derived from
     // them) are only replayable while the OBC options and the lead
     // matrices hold: the backend is part of the cache key, but an annulus/
     // ridge/eta change — or different lead Hamiltonians under the same
-    // (k, E) keys — is not.  Drop everything on either mismatch.
-    const bool opts_changed =
-        last_obc_opts_.has_value() &&
-        !obc::obc_options_equal(*last_obc_opts_, request.point.obc_opts);
+    // (k, E) keys — is not.
     const std::uint64_t leads_hash = leads_fingerprint(*request.leads);
-    const bool leads_changed =
-        last_leads_hash_.has_value() && *last_leads_hash_ != leads_hash;
-    if (opts_changed || leads_changed) invalidate_boundary_caches();
+    if (request.contacts.empty()) {
+      // Classic request: drop everything on either mismatch — exactly the
+      // pre-contact discipline.
+      const bool opts_changed =
+          last_obc_opts_.has_value() &&
+          !obc::obc_options_equal(*last_obc_opts_, request.point.obc_opts);
+      const bool leads_changed =
+          last_leads_hash_.has_value() && *last_leads_hash_ != leads_hash;
+      if (opts_changed || leads_changed) invalidate_boundary_caches();
+      last_contact_sigs_.reset();
+    } else {
+      // Contact request: the global contact_shift is neutral in the
+      // options comparison (shifts live per contact), and a change
+      // confined to one contact's lead material, shift, or attachment
+      // block drops only that contact's key range — the dissimilar-lead
+      // independence the per-contact cache keys exist for.
+      bool opts_changed = false;
+      if (last_obc_opts_.has_value()) {
+        obc::ObcOptions prev = *last_obc_opts_;
+        prev.contact_shift = request.point.obc_opts.contact_shift;
+        opts_changed = !obc::obc_options_equal(prev, request.point.obc_opts);
+      }
+      const auto sigs = contact_signatures(request, leads_hash);
+      if (opts_changed) {
+        invalidate_boundary_caches();
+      } else if (last_contact_sigs_.has_value() &&
+                 last_contact_sigs_->size() == sigs.size()) {
+        bool any = false;
+        for (std::size_t p = 0; p < sigs.size(); ++p)
+          if (sigs[p] != (*last_contact_sigs_)[p]) {
+            for (auto& c : caches_)
+              c->invalidate_contact(static_cast<int>(p));
+            any = true;
+          }
+        // Device-resident operands are not keyed per contact; any stale
+        // contact drops them all (mirrors invalidate_boundary_caches).
+        if (any)
+          for (auto& r : residency_) r->invalidate();
+      }
+      last_contact_sigs_ = sigs;
+    }
     last_obc_opts_ = request.point.obc_opts;
     last_leads_hash_ = leads_hash;
     // One sweep must always fit: a cap below the task count would evict
-    // entries mid-sweep and forfeit every cross-iteration hit.
-    for (auto& c : caches_) c->reserve(2 * total);
+    // entries mid-sweep and forfeit every cross-iteration hit.  Contact
+    // mode fetches up to nc boundaries per task.
+    const std::size_t per_task = std::max<std::size_t>(2, nc);
+    for (auto& c : caches_) c->reserve(per_task * total);
   }
+  // Per-contact cache counters are cumulative on the persistent caches;
+  // snapshot around the sweep so the stats report this run's deltas.
+  std::vector<obc::BoundaryCache::Stats> contact_stats_before;
+  if (!caches_.empty() && nc >= 2)
+    for (std::size_t p = 0; p < nc; ++p)
+      contact_stats_before.push_back(
+          contact_boundary_cache_stats(static_cast<int>(p)));
   const PoolSnapshot snapshot = snapshot_pool(pool_);
   SweepResult out = (config_.num_ranks == 1 && config_.flat_single_rank)
                         ? run_flat(request)
                         : run_distributed(request);
   apply_pool_delta(out.stats, pool_, snapshot);
+  if (!caches_.empty() && nc >= 2) {
+    out.stats.contact_cache_stats.resize(nc);
+    for (std::size_t p = 0; p < nc; ++p) {
+      const auto after = contact_boundary_cache_stats(static_cast<int>(p));
+      auto& d = out.stats.contact_cache_stats[p];
+      d.hits = after.hits - contact_stats_before[p].hits;
+      d.misses = after.misses - contact_stats_before[p].misses;
+      d.insertions = after.insertions - contact_stats_before[p].insertions;
+      d.invalidations =
+          after.invalidations - contact_stats_before[p].invalidations;
+    }
+  }
   return out;
 }
 
@@ -672,6 +940,14 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   // Only pay the drain-injection RHS columns when the request carries a
   // drain-side weight to fold them into.
   popt.want_density_r = !request.density_weight_r.empty();
+  // Terminal layout: a symmetric classic pair collapses onto the global
+  // contact shift and the entire pre-refactor pipeline below (batching
+  // included) runs unchanged; anything else routes per-task through the
+  // ContactSet entry points.
+  const bool contact_mode = !contacts_are_classic_symmetric(request);
+  if (!request.contacts.empty() && !contact_mode)
+    popt.obc_opts.contact_shift = request.contacts[0].shift;
+  const std::size_t ncon = request.contacts.size();
 
   // Root-local device assembly, one per k (shared across its energies).
   // Pre-folded leads from the request are reused as-is.
@@ -688,8 +964,32 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
     dms[k] = dft::assemble_device((*request.leads)[k], request.cells,
                                   request.potential);
 
+  // Contact mode: per-k copies of the extra lead materials, their folds,
+  // and the ContactSet pointing at them (stable — the vectors are fully
+  // built before any set references them).
+  std::vector<std::vector<dft::LeadBlocks>> extra_leads_k;
+  std::vector<std::vector<dft::FoldedLead>> extra_folded_k;
+  std::vector<transport::ContactSet> contact_sets;
+  if (contact_mode) {
+    const std::size_t m_count = num_extra_materials(request);
+    extra_leads_k.resize(nk);
+    extra_folded_k.resize(nk);
+    contact_sets.resize(nk);
+    for (std::size_t k = 0; k < nk; ++k) {
+      for (std::size_t m = 0; m < m_count; ++m) {
+        extra_leads_k[k].push_back((*request.contact_leads)[m][k]);
+        extra_folded_k[k].push_back(dft::fold_lead(extra_leads_k[k].back()));
+      }
+      contact_sets[k] =
+          build_contact_set(request, (*request.leads)[k], (*folded)[k],
+                            extra_leads_k[k], extra_folded_k[k]);
+    }
+  }
+
   const bool has_greens = request_has_greens(request);
-  const bool want_charge = !request.density_weight.empty() || has_greens;
+  const bool want_charge = !request.density_weight.empty() ||
+                           !request.density_weight_contacts.empty() ||
+                           has_greens;
   std::vector<std::vector<double>> point_charge;
   if (want_charge) point_charge.resize(n);
   double busy_total = 0.0;
@@ -704,9 +1004,14 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
         static_cast<std::size_t>(ie - lay.n_real[sk]);
     transport::EnergyPointOptions task_opt = popt;
     task_opt.k_index = ik;
-    const auto diag = transport::solve_greens_diagonal(
-        dms[sk], (*request.leads)[sk], (*folded)[sk],
-        request.gf_nodes[sk][sg], task_opt);
+    const auto diag =
+        contact_mode
+            ? transport::solve_greens_diagonal(dms[sk], contact_sets[sk],
+                                               request.gf_nodes[sk][sg],
+                                               task_opt)
+            : transport::solve_greens_diagonal(
+                  dms[sk], (*request.leads)[sk], (*folded)[sk],
+                  request.gf_nodes[sk][sg], task_opt);
     point_charge[flat] = greens_task_charge(
         request, (*request.leads)[sk].block_dim(), request.gf_weights[sk][sg],
         diag);
@@ -725,7 +1030,10 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
       config_, device_storage, pool_, rank_residency(0));
 
   bool use_batches = false;
-  if (config_.batch_tasks && n > 0) {
+  // Contact mode never batches: the batched pipeline is the classic
+  // single-boundary arithmetic, and contact tasks route through the
+  // ContactSet entry points one at a time (still across-task parallel).
+  if (config_.batch_tasks && n > 0 && !contact_mode) {
     const idx nbb = dms[0].h.num_blocks();
     const idx sbb = dms[0].h.block_size();
     solvers::SolverContext binding;
@@ -837,14 +1145,20 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
       // The cache key's momentum component is the global k index.
       transport::EnergyPointOptions task_opt = popt;
       task_opt.k_index = ik;
-      const auto res = transport::solve_energy_point(
-          dms[sk], (*request.leads)[sk], (*folded)[sk],
-          request.energies[sk][se],
-          task_opt, pool_);
+      const auto res =
+          contact_mode
+              ? transport::solve_energy_point(dms[sk], contact_sets[sk],
+                                              request.energies[sk][se],
+                                              task_opt, pool_)
+              : transport::solve_energy_point(
+                    dms[sk], (*request.leads)[sk], (*folded)[sk],
+                    request.energies[sk][se], task_opt, pool_);
       busy[flat] = now_seconds() - t0;
       out.transmission[sk][se] = res.transmission;
       out.caroli[sk][se] = res.transmission_caroli;
       out.propagating[sk][se] = res.num_propagating;
+      if (ncon >= 3 && !res.t_matrix.empty())
+        out.t_matrix[sk][se] = res.t_matrix;
       if (want_charge)
         point_charge[flat] = weighted_task_charge(
             request, (*request.leads)[sk].block_dim(), ik, ie, res);
@@ -877,6 +1191,12 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
   const Layout lay(request, config_.num_ranks,
                    config_.ranks_per_energy_group);
   Coordinator co(lay, request, config_.work_stealing);
+  // Terminal layout, computed identically on every rank from the shared
+  // request: symmetric classic pairs normalize onto the pre-refactor
+  // pipeline; contact mode threads ContactSets through the leaders.
+  const bool contact_mode = !contacts_are_classic_symmetric(request);
+  const std::size_t m_count = num_extra_materials(request);
+  const std::size_t stride = sample_stride(request);
 
   parallel::CommWorld world(config_.num_ranks);
   std::exception_ptr service_error;
@@ -906,9 +1226,17 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       for (int c = 0; c < lay.num_groups; ++c) {
         const int lr = lay.group_first_rank[static_cast<std::size_t>(c)];
         if (lr == 0) continue;
-        for (const idx k : lay.owned[static_cast<std::size_t>(c)])
+        for (const idx k : lay.owned[static_cast<std::size_t>(c)]) {
           send_lead_blocks(comm, lr,
                            (*request.leads)[static_cast<std::size_t>(k)]);
+          // Contact mode: the extra materials ride right behind the
+          // classic blocks, in material order (the receiver loop below
+          // reads them back symmetrically).
+          for (std::size_t m = 0; m < m_count; ++m)
+            send_lead_blocks(
+                comm, lr,
+                (*request.contact_leads)[m][static_cast<std::size_t>(k)]);
+        }
       }
       Comm service_comm = comm;  // same rank, shared mailboxes
       service = std::thread(
@@ -974,6 +1302,11 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       // Mirrors run_flat: drain-injection columns only when there is a
       // drain-side weight to consume them.
       popt.want_density_r = !request.density_weight_r.empty();
+      // Symmetric classic contacts collapse onto the global shift (the
+      // classic cache keys, batching, and spatial protocol all apply);
+      // contact mode keeps per-contact shifts inside the ContactSet.
+      if (!request.contacts.empty() && !contact_mode)
+        popt.obc_opts.contact_shift = request.contacts[0].shift;
       if (leader && spatial_group) {
         spatial_comm = e_comm;
         members_released = false;
@@ -996,18 +1329,28 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
       std::map<idx, std::unique_ptr<KData>> cache;
       for (const idx k : lay.owned[static_cast<std::size_t>(my_color)]) {
         dft::LeadBlocks lead;
+        std::vector<dft::LeadBlocks> extras(m_count);
         if (k_comm.rank() == 0 && rank_error == nullptr) {
           try {
             lead = wr == 0 ? (*request.leads)[static_cast<std::size_t>(k)]
                            : recv_lead_blocks(comm, 0);
+            for (std::size_t m = 0; m < m_count; ++m)
+              extras[m] = wr == 0 ? (*request.contact_leads)[m]
+                                                            [static_cast<
+                                                                std::size_t>(k)]
+                                  : recv_lead_blocks(comm, 0);
           } catch (...) {
             rank_error = std::current_exception();
             lead = dft::LeadBlocks{};
+            extras.assign(m_count, dft::LeadBlocks{});
           }
         }
-        // Collective over the momentum group — always runs, so members
-        // never stall on a group whose inputs failed to arrive.
+        // Collectives over the momentum group — always run, so members
+        // never stall on a group whose inputs failed to arrive.  The
+        // extras broadcast count is symmetric on every rank (m_count comes
+        // from the shared request).
         broadcast_lead_blocks(k_comm, lead);
+        for (auto& ex : extras) broadcast_lead_blocks(k_comm, ex);
         if ((!leader && !spatial_group) || rank_error != nullptr) continue;
         try {
           // The root folded its leads when the simulator was built (and
@@ -1024,7 +1367,9 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
           kopt.k_index = k;
           cache.emplace(k, std::make_unique<KData>(std::move(lead), request,
                                                    kopt, ctx, my_pool, pre,
-                                                   /*build_worker=*/leader));
+                                                   /*build_worker=*/leader,
+                                                   std::move(extras),
+                                                   contact_mode));
         } catch (...) {
           rank_error = std::current_exception();
         }
@@ -1037,8 +1382,11 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         // on a block-structure change (a stolen k with different blocks),
         // and at protocol end.  Stolen blocks are still fetched at
         // accumulation time, so the fetch rides ahead of the flush.
-        // Spatial groups solve cooperatively, one point at a time.
-        const bool use_batches = config_.batch_tasks && !spatial_group;
+        // Spatial groups solve cooperatively, one point at a time; contact
+        // mode routes every task through the ContactSet entry points
+        // (never the batched classic pipeline).
+        const bool use_batches =
+            config_.batch_tasks && !spatial_group && !contact_mode;
         const std::size_t batch_cap =
             static_cast<std::size_t>(std::max(1, config_.max_batch));
         // This leader's backend policy over its accelerator slice.  The
@@ -1091,7 +1439,8 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             local.residency_hits += bs.residency_hits;
             local.residency_misses += bs.residency_misses;
             for (std::size_t j = 0; j < batch.size(); ++j) {
-              record_sample(local, lay, batch[j].ik, batch[j].ie, res[j]);
+              record_sample(local, lay, request, batch[j].ik, batch[j].ie,
+                            res[j]);
               accumulate_charge(local, request, lay, *batch[j].kd,
                                 batch[j].ik, batch[j].ie, res[j]);
             }
@@ -1125,10 +1474,17 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
                       : nullptr;
               transport::EnergyPointOptions kopt = popt;
               kopt.k_index = ik;
+              dft::LeadBlocks stolen = recv_lead_blocks(comm, 0);
+              std::vector<dft::LeadBlocks> stolen_extras(m_count);
+              for (std::size_t m = 0; m < m_count; ++m)
+                stolen_extras[m] = recv_lead_blocks(comm, 0);
               it = cache
                        .emplace(ik, std::make_unique<KData>(
-                                        recv_lead_blocks(comm, 0), request,
-                                        kopt, ctx, my_pool, pre))
+                                        std::move(stolen), request, kopt,
+                                        ctx, my_pool, pre,
+                                        /*build_worker=*/true,
+                                        std::move(stolen_extras),
+                                        contact_mode))
                        .first;
               fetched = true;
             }
@@ -1172,11 +1528,19 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               const idx sbb = it->second->dm.h.block_size();
               // GF nodes announce the (non-cooperative) RGF diagonal: the
               // members run the fetched-blocks broadcast and skip the
-              // solve, exactly like a statically requested RGF task.
+              // solve, exactly like a statically requested RGF task.  So
+              // do multi-terminal attachments (>= 3 contacts or interior
+              // blocks): solve_attached never splits spatially, and the
+              // members must not wait to serve a cooperative solve the
+              // leader runs solo.  A dissimilar classic pair still routes
+              // through solve_boundary and may cooperate.
+              const bool solo =
+                  is_gf ||
+                  (contact_mode && !classic_pair_blocks(request, nbb));
               const auto algo =
-                  is_gf ? solvers::SolverAlgorithm::kRgf
-                        : solvers::resolve_algorithm(popt.solver, nbb, sbb,
-                                                     2 * sbb, binding);
+                  solo ? solvers::SolverAlgorithm::kRgf
+                       : solvers::resolve_algorithm(popt.solver, nbb, sbb,
+                                                    2 * sbb, binding);
               std::vector<double> task{
                   1.0, static_cast<double>(ik), static_cast<double>(ie),
                   fetched ? 1.0 : 0.0,
@@ -1192,9 +1556,12 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               gopt.k_index = ik;
               gopt.spatial = nullptr;  // the RGF diagonal is a solo solve
               const double t0 = now_seconds();
-              const auto diag = transport::solve_greens_diagonal(
-                  ctx, it->second->dm, it->second->lead, it->second->folded,
-                  z, gopt);
+              const auto diag =
+                  contact_mode
+                      ? it->second->worker->solve_greens(z, gopt)
+                      : transport::solve_greens_diagonal(
+                            ctx, it->second->dm, it->second->lead,
+                            it->second->folded, z, gopt);
               local.busy_seconds += now_seconds() - t0;
               ++local.tasks;
               ++local.greens_tasks;
@@ -1215,7 +1582,7 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
             const auto res = it->second->worker->solve(energy);
             local.busy_seconds += now_seconds() - t0;
             ++local.tasks;
-            record_sample(local, lay, ik, ie, res);
+            record_sample(local, lay, request, ik, ie, res);
             accumulate_charge(local, request, lay, *it->second, ik, ie, res);
           } catch (...) {
             rank_error = std::current_exception();
@@ -1303,8 +1670,9 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
     // --- assembly: rooted collectives ----------------------------------
     const auto gathered = comm.gatherv(local.samples, 0);
     std::vector<double> charge_gathered;
-    const bool want_charge =
-        !request.density_weight.empty() || request_has_greens(request);
+    const bool want_charge = !request.density_weight.empty() ||
+                             !request.density_weight_contacts.empty() ||
+                             request_has_greens(request);
     if (want_charge) charge_gathered = comm.gatherv(local.charge_samples, 0);
     const auto rank_stats = comm.gatherv(
         {local.busy_seconds, static_cast<double>(local.tasks),
@@ -1319,13 +1687,16 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         0);
 
     if (wr == 0) {
-      for (std::size_t i = 0; i + 3 < gathered.size(); i += 4) {
+      for (std::size_t i = 0; i + stride <= gathered.size(); i += stride) {
         const auto [ik, ie] = lay.unflatten(static_cast<idx>(gathered[i]));
         const auto sk = static_cast<std::size_t>(ik);
         const auto se = static_cast<std::size_t>(ie);
         out.transmission[sk][se] = gathered[i + 1];
         out.caroli[sk][se] = gathered[i + 2];
         out.propagating[sk][se] = static_cast<idx>(gathered[i + 3]);
+        // stride > 4 carries the row-major ncon x ncon pairwise T matrix.
+        for (std::size_t q = 0; q + 4 < stride; ++q)
+          out.t_matrix[sk][se][q] = gathered[i + 4 + q];
       }
       if (want_charge) {
         // Deterministic charge: per-task contributions summed in flat task

@@ -93,6 +93,25 @@ struct EngineConfig {
   std::string backend = "auto";
 };
 
+/// One terminal of a sweep, in wire-friendly scalar form: every rank reads
+/// these scalars straight from the shared request object (mu and the
+/// per-contact cache-key ingredients never need explicit messages); only
+/// the lead *matrices* travel through the communicator.
+struct SweepContact {
+  /// Chemical potential (eV).  The engine records it into the per-k
+  /// ContactSet; charge weighting itself arrives pre-computed through the
+  /// density-weight tables, and terminal currents are integrated by the
+  /// caller (transport::buttiker_currents) from the returned T matrix.
+  double mu = 0.0;
+  double shift = 0.0;  ///< per-contact lead potential shift (eV)
+  /// Attachment block: 0, transport::kLastBlock, or an interior block
+  /// (interior blocks need a kMultiTerminal solver: rgf/block_lu/auto).
+  idx block = transport::kLastBlock;
+  /// Lead material: -1 = this k's entry of `leads` (the classic material),
+  /// m >= 0 = row m of `contact_leads`.
+  int material = -1;
+};
+
 /// Inputs of one distributed (k, E) sweep.  Only the root reads the lead
 /// matrices; every other rank sees grid shapes and scalar options and
 /// receives matrices through the communicator.
@@ -125,6 +144,23 @@ struct SweepRequest {
   /// contribute charge only — no transmission entries.
   std::vector<std::vector<numeric::cplx>> gf_nodes;
   std::vector<std::vector<numeric::cplx>> gf_weights;  ///< same shape
+  /// Terminal layout.  Empty = the classic two-identical-contacts sweep
+  /// (exactly the pre-refactor pipeline).  A symmetric classic pair (two
+  /// material -1 contacts with equal shifts at {0, last}) is *normalized
+  /// back onto that pipeline* — batching, spatial cooperation, and cache
+  /// keys included — so the symmetric limit stays bit-identical at every
+  /// world size.  Anything else routes each task through the ContactSet
+  /// entry points; batching is disabled for those requests.
+  std::vector<SweepContact> contacts;
+  /// Extra lead materials, indexed [material][ik] (root only, like
+  /// `leads`).  Referenced by SweepContact::material.
+  const std::vector<std::vector<dft::LeadBlocks>>* contact_leads = nullptr;
+  /// Per-contact density weights for >= 3-terminal charge:
+  /// [contact][ik][ie] multiplies contact p's injected per-cell density
+  /// (its own Fermi weight at mu_p).  Mutually exclusive with
+  /// `density_weight`; 2-terminal requests keep the classic pair of
+  /// weight tables.
+  std::vector<std::vector<std::vector<double>>> density_weight_contacts;
 };
 
 struct EngineStats {
@@ -151,6 +187,12 @@ struct EngineStats {
   /// Per pool device: kernel-busy seconds accumulated during this run —
   /// the Fig. 12(b) occupancy timeline's integral.  Empty without a pool.
   std::vector<double> device_busy_seconds;
+  /// Per-contact boundary-cache activity of *this run* (deltas of the
+  /// persistent caches, summed over ranks; index = contact id).  Empty for
+  /// classic requests (no `contacts`) or when caching is disabled.  The
+  /// per-contact lead-solve count of a run is `misses` (every miss is one
+  /// OBC eigenproblem for that contact).
+  std::vector<obc::BoundaryCache::Stats> contact_cache_stats;
 };
 
 /// Sweep outputs, valid on the calling (root) thread.
@@ -159,6 +201,9 @@ struct SweepResult {
   std::vector<std::vector<double>> caroli;        ///< [ik][ie] Green's-fn
   std::vector<std::vector<idx>> propagating;      ///< [ik][ie] channels
   std::vector<double> charge;                     ///< per cell, if requested
+  /// Pairwise transmission [ik][ie][p*nc+q] — only shaped/filled for
+  /// >= 3-terminal requests (2-terminal T stays in `transmission`/`caroli`).
+  std::vector<std::vector<std::vector<double>>> t_matrix;
   EngineStats stats;
 };
 
@@ -184,6 +229,10 @@ class Engine {
   /// Cumulative hit/miss/insert/invalidate counters summed over the
   /// per-rank caches (zeros when caching is disabled).
   obc::BoundaryCache::Stats boundary_cache_stats() const;
+
+  /// Cumulative counters of one contact id, summed over the per-rank
+  /// caches.  Classic (no-contacts) requests fetch under contact id 0.
+  obc::BoundaryCache::Stats contact_boundary_cache_stats(int contact) const;
 
  private:
   SweepResult run_flat(const SweepRequest& request);
@@ -216,6 +265,12 @@ class Engine {
   /// address).  Hashing the entries once per run is noise next to the
   /// sweep itself.
   std::optional<std::uint64_t> last_leads_hash_;
+  /// Per-contact signatures (lead-material fingerprint + shift + block) of
+  /// the previous contact-mode run(): a change in one contact's lead or
+  /// shift drops only that contact's cache entries (invalidate_contact)
+  /// instead of the whole cache — the dissimilar-lead independence the
+  /// per-contact keys exist for.
+  std::optional<std::vector<std::uint64_t>> last_contact_sigs_;
 };
 
 }  // namespace omenx::omen

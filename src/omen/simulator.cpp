@@ -26,6 +26,59 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
     lead_.push_back(dft::build_lead_blocks(config_.structure, basis, opts));
     folded_.push_back(dft::fold_lead(lead_.back()));
   }
+  // N-terminal layout: build the per-material lead tables and validate the
+  // attachment geometry *now* — a bad layout must surface as
+  // std::invalid_argument at construction, before any engine world exists
+  // to drain, not as a failed solve three sweeps later.
+  if (!config_.contacts.empty()) {
+    if (config_.contacts.size() < 2)
+      throw std::invalid_argument(
+          "Simulator: contact layout needs >= 2 terminals (leave the list "
+          "empty for the implicit classic pair)");
+    for (const ContactConfig& cc : config_.contacts) {
+      if (!cc.material.has_value()) {
+        contact_material_.push_back(-1);
+        continue;
+      }
+      contact_material_.push_back(static_cast<int>(contact_leads_.size()));
+      std::vector<dft::LeadBlocks> row;
+      std::vector<dft::FoldedLead> frow;
+      for (idx ik = 0; ik < nk; ++ik) {
+        dft::BuildOptions opts = config_.build;
+        opts.k_transverse = k_values_[static_cast<std::size_t>(ik)];
+        row.push_back(dft::build_lead_blocks(*cc.material, basis, opts));
+        frow.push_back(dft::fold_lead(row.back()));
+      }
+      if (row.front().block_dim() != lead_.front().block_dim())
+        throw std::invalid_argument(
+            "Simulator: contact lead material must match the device's "
+            "orbitals per cell (the self-energy block must fit the device "
+            "diagonal)");
+      contact_leads_.push_back(std::move(row));
+      contact_folded_.push_back(std::move(frow));
+    }
+    // Resolve the attachment blocks against the actual folded device:
+    // assemble_device fixes the supercell fold, and with it the block
+    // count every sweep will see.
+    const auto probe = dft::assemble_device(
+        lead_.front(), config_.structure.num_cells,
+        std::vector<double>(
+            static_cast<std::size_t>(config_.structure.num_cells), 0.0));
+    device_blocks_ = probe.h.num_blocks();
+    for (const ContactConfig& cc : config_.contacts) {
+      const idx b =
+          cc.block == transport::kLastBlock ? device_blocks_ - 1 : cc.block;
+      if (b < 0 || b >= device_blocks_)
+        throw std::invalid_argument(
+            "Simulator: contact attachment block out of range");
+      for (const idx other : contact_blocks_)
+        if (other == b)
+          throw std::invalid_argument(
+              "Simulator: contacts must attach to pairwise-distinct device "
+              "blocks");
+      contact_blocks_.push_back(b);
+    }
+  }
   pool_ = std::make_unique<parallel::DevicePool>(
       std::max(1, config_.num_devices));
   EngineConfig engine_cfg;
@@ -49,11 +102,24 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
 }
 
 void Simulator::set_contact_shift(double shift) {
-  // No direct invalidation here: the engine compares each run's ObcOptions
+  // Deprecated uniform-shift wrapper: one value for every terminal.  No
+  // direct invalidation here: the engine compares each run's ObcOptions
   // (shift included) against the previous run's and drops the caches
   // exactly once at the next sweep iff the value actually changed —
   // invalidating both here and there would double-count.
   config_.point.obc_opts.contact_shift = shift;
+  for (ContactConfig& cc : config_.contacts) cc.shift = shift;
+}
+
+void Simulator::set_contact_shift(idx contact, double shift) {
+  if (contact < 0 ||
+      static_cast<std::size_t>(contact) >= config_.contacts.size())
+    throw std::invalid_argument(
+        "set_contact_shift: contact index out of range");
+  // Same discipline as the uniform wrapper: the engine's per-contact
+  // signatures see the changed shift at the next sweep and drop exactly
+  // this contact's cache entries (invalidate_contact), keeping the rest.
+  config_.contacts[static_cast<std::size_t>(contact)].shift = shift;
 }
 
 void Simulator::invalidate_boundary_cache() {
@@ -62,6 +128,33 @@ void Simulator::invalidate_boundary_cache() {
 
 obc::BoundaryCache::Stats Simulator::boundary_cache_stats() const {
   return engine_->boundary_cache_stats();
+}
+
+obc::BoundaryCache::Stats Simulator::contact_boundary_cache_stats(
+    idx contact) const {
+  return engine_->contact_boundary_cache_stats(static_cast<int>(contact));
+}
+
+void Simulator::attach_contacts(SweepRequest& req,
+                                const std::vector<double>* mu) const {
+  if (config_.contacts.empty()) return;
+  req.contacts.reserve(config_.contacts.size());
+  for (std::size_t i = 0; i < config_.contacts.size(); ++i) {
+    SweepContact sc;
+    sc.mu = mu != nullptr && i < mu->size() ? (*mu)[i] : 0.0;
+    sc.shift = config_.contacts[i].shift;
+    sc.block = config_.contacts[i].block;
+    sc.material = contact_material_[i];
+    req.contacts.push_back(sc);
+  }
+  if (!contact_leads_.empty()) req.contact_leads = &contact_leads_;
+}
+
+std::pair<idx, idx> Simulator::classic_pair_indices() const {
+  // Construction guarantees distinct resolved blocks, so for a two-contact
+  // layout exactly one of them can sit at block 0.
+  if (config_.contacts.size() == 2 && contact_blocks_[1] == 0) return {1, 0};
+  return {0, 1};
 }
 
 const dft::LeadBlocks& Simulator::lead_blocks(idx ik) const {
@@ -124,6 +217,7 @@ Spectrum Simulator::transmission_spectrum(
   req.point = config_.point;
   req.point.want_density = false;
   req.point.want_current = false;
+  attach_contacts(req, nullptr);
   const SweepResult res = engine_->run(req);
   stats_ = res.stats;
   total_tasks_ += res.stats.tasks_total;
@@ -151,6 +245,20 @@ Spectrum Simulator::transmission_spectrum(
       out.propagating[se] += prop;
     }
   }
+  // >= 3-terminal layouts carry the full pairwise table, k-averaged with
+  // the same BZ weights as the scalar transmission.
+  const std::size_t ncon = config_.contacts.size();
+  if (ncon >= 3 && !res.t_matrix.empty()) {
+    out.t_matrix.assign(static_cast<std::size_t>(ne),
+                        std::vector<double>(ncon * ncon, 0.0));
+    for (idx ik = 0; ik < nk; ++ik)
+      for (idx ie = 0; ie < ne; ++ie) {
+        const auto sk = static_cast<std::size_t>(ik);
+        const auto se = static_cast<std::size_t>(ie);
+        for (std::size_t q = 0; q < ncon * ncon; ++q)
+          out.t_matrix[se][q] += wk[sk] * res.t_matrix[sk][se][q];
+      }
+  }
   return out;
 }
 
@@ -159,6 +267,26 @@ transport::EnergyPointResult Simulator::solve_point(
   const idx cells = config_.structure.num_cells;
   const std::vector<double> pot = flat_or(cell_potential, cells);
   const auto dm = dft::assemble_device(lead_.front(), cells, pot);
+  if (!config_.contacts.empty()) {
+    // Direct N-terminal solve at the first k point: the ContactSet points
+    // at the simulator-owned lead tables, so the set is cheap to rebuild
+    // per call.
+    std::vector<transport::Contact> cs(config_.contacts.size());
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const int m = contact_material_[i];
+      cs[i].lead = m < 0 ? &lead_.front()
+                         : &contact_leads_[static_cast<std::size_t>(m)].front();
+      cs[i].folded =
+          m < 0 ? &folded_.front()
+                : &contact_folded_[static_cast<std::size_t>(m)].front();
+      cs[i].shift = config_.contacts[i].shift;
+      cs[i].block = config_.contacts[i].block;
+      cs[i].lead_hash = transport::lead_content_hash(*cs[i].lead);
+    }
+    return transport::solve_energy_point(dm,
+                                         transport::ContactSet(std::move(cs)),
+                                         energy, config_.point, pool_.get());
+  }
   return transport::solve_energy_point(dm, lead_.front(), folded_.front(),
                                        energy, config_.point, pool_.get());
 }
@@ -169,6 +297,18 @@ std::vector<double> Simulator::charge_density(
     charge::QuadratureAlgorithm quadrature,
     const charge::QuadratureOptions& quadrature_options) {
   const idx cells = config_.structure.num_cells;
+  const std::size_t ncon = config_.contacts.size();
+  if (ncon >= 3)
+    throw std::invalid_argument(
+        "charge_density(mu_l, mu_r): >= 3 contacts configured — use the "
+        "per-terminal mu overload");
+  if (ncon == 2 &&
+      !((contact_blocks_[0] == 0 && contact_blocks_[1] == device_blocks_ - 1) ||
+        (contact_blocks_[1] == 0 && contact_blocks_[0] == device_blocks_ - 1)))
+    throw std::invalid_argument(
+        "charge_density(mu_l, mu_r): the two-reservoir weights assume "
+        "contacts at the device ends — interior probes need the "
+        "per-terminal overload");
   // Same grid contract as landauer_current: the quadrature backends assume
   // a strictly increasing window of >= 2 points, and a violated contract
   // must surface here — not as NaNs three SCF iterations later.
@@ -200,8 +340,13 @@ std::vector<double> Simulator::charge_density(
   // the contour nodes literally identical across iterations, so the
   // boundary cache serves every node from iteration 2 onward instead of
   // missing on each micro-shifted anchor.
-  const double depth = std::min(0.0, pot_min) +
-                       std::min(0.0, config_.point.obc_opts.contact_shift);
+  // With per-contact shifts, the most negative one bounds how far any lead
+  // spectrum is pushed down; the classic layout reduces to the scalar
+  // ObcOptions shift.
+  double shift_min = std::min(0.0, config_.point.obc_opts.contact_shift);
+  for (const ContactConfig& cc : config_.contacts)
+    shift_min = std::min(shift_min, cc.shift);
+  const double depth = std::min(0.0, pot_min) + shift_min;
   window.band_bottom =
       lead_band_min_ + 0.5 * std::floor(depth / 0.5) - 0.5;
   const charge::NodeSet nodes =
@@ -229,6 +374,17 @@ std::vector<double> Simulator::charge_density(
     req.gf_nodes = {nodes.gf_nodes};
     req.gf_weights = {nodes.gf_weights};
   }
+  if (ncon == 2) {
+    // weight_l occupies the contact at block 0, weight_r the one at the
+    // last block — record mu on the matching terminals.
+    const auto [src, drn] = classic_pair_indices();
+    std::vector<double> mu(2, 0.0);
+    mu[static_cast<std::size_t>(src)] = mu_l;
+    mu[static_cast<std::size_t>(drn)] = mu_r;
+    attach_contacts(req, &mu);
+  } else {
+    attach_contacts(req, nullptr);
+  }
   const SweepResult res = engine_->run(req);
   stats_ = res.stats;
   total_tasks_ += res.stats.tasks_total;
@@ -237,6 +393,94 @@ std::vector<double> Simulator::charge_density(
   if (res.charge.empty())
     return std::vector<double>(static_cast<std::size_t>(cells), 0.0);
   return res.charge;
+}
+
+std::vector<double> Simulator::charge_density(
+    const std::vector<double>& energies, const std::vector<double>& mu,
+    const std::vector<double>* potential,
+    charge::QuadratureAlgorithm quadrature,
+    const charge::QuadratureOptions& quadrature_options) {
+  const std::size_t ncon = config_.contacts.size();
+  if (mu.size() != std::max<std::size_t>(ncon, 2))
+    throw std::invalid_argument(
+        "charge_density: one chemical potential per terminal");
+  if (ncon < 3) {
+    // Two terminals (configured or implicit): the classic pair path, with
+    // mu routed onto the source/drain roles by attachment block — the
+    // weights are bit-identical to the scalar-mu entry point.
+    const auto [src, drn] =
+        ncon == 2 ? classic_pair_indices() : std::pair<idx, idx>{0, 1};
+    return charge_density(energies, mu[static_cast<std::size_t>(src)],
+                          mu[static_cast<std::size_t>(drn)], potential,
+                          quadrature, quadrature_options);
+  }
+  // >= 3 terminals: per-contact trapezoid-times-Fermi weights on the real
+  // grid.  The contour's equilibrium/bias-window split is a two-reservoir
+  // construction, so only kRealGrid applies here.
+  if (quadrature != charge::QuadratureAlgorithm::kRealGrid)
+    throw std::invalid_argument(
+        "charge_density: >= 3-terminal charge supports the real_grid "
+        "quadrature only");
+  const idx cells = config_.structure.num_cells;
+  if (energies.size() < 2)
+    throw std::invalid_argument(
+        "charge_density: need at least two energy points");
+  for (std::size_t ie = 1; ie < energies.size(); ++ie)
+    if (!(energies[ie] > energies[ie - 1]))
+      throw std::invalid_argument(
+          "charge_density: energies must be strictly increasing");
+  const std::vector<double> w = transport::trapezoid_weights(energies);
+  SweepRequest req;
+  req.leads = &lead_;
+  req.folded = &folded_;
+  req.energies = {energies};
+  req.potential = flat_or(potential, cells);
+  req.cells = cells;
+  req.point = config_.point;
+  req.point.want_density = true;
+  req.point.want_current = false;
+  req.point.want_caroli = false;
+  req.density_weight_contacts.resize(ncon);
+  for (std::size_t p = 0; p < ncon; ++p) {
+    std::vector<double> wp(w.size());
+    for (std::size_t ie = 0; ie < w.size(); ++ie)
+      wp[ie] = w[ie] * transport::fermi(energies[ie], mu[p], kt_);
+    req.density_weight_contacts[p] = {std::move(wp)};
+  }
+  attach_contacts(req, &mu);
+  const SweepResult res = engine_->run(req);
+  stats_ = res.stats;
+  total_tasks_ += res.stats.tasks_total;
+  if (res.charge.empty())
+    return std::vector<double>(static_cast<std::size_t>(cells), 0.0);
+  return res.charge;
+}
+
+std::vector<double> Simulator::terminal_currents(
+    const std::vector<double>& energies, const std::vector<double>& mu,
+    const std::vector<double>* potential) {
+  const std::size_t ncon = config_.contacts.size();
+  if (mu.size() != std::max<std::size_t>(ncon, 2))
+    throw std::invalid_argument(
+        "terminal_currents: one chemical potential per terminal");
+  if (ncon < 3) {
+    // Two terminals: I = {+I_landauer, -I_landauer}, source first in
+    // terminal order.
+    const auto [src, drn] =
+        ncon == 2 ? classic_pair_indices() : std::pair<idx, idx>{0, 1};
+    const double i =
+        current(energies, mu[static_cast<std::size_t>(src)],
+                mu[static_cast<std::size_t>(drn)], potential);
+    std::vector<double> out(2, 0.0);
+    out[static_cast<std::size_t>(src)] = i;
+    out[static_cast<std::size_t>(drn)] = -i;
+    return out;
+  }
+  const Spectrum sp = transmission_spectrum(energies, potential);
+  if (sp.t_matrix.empty())
+    throw std::logic_error(
+        "terminal_currents: sweep returned no pairwise T matrix");
+  return transport::buttiker_currents(sp.energies, sp.t_matrix, mu, kt_);
 }
 
 std::vector<double> Simulator::adaptive_energy_grid(
@@ -264,6 +508,7 @@ std::vector<double> Simulator::adaptive_energy_grid(
             (obc::obc_algorithm_capabilities(req.point.obc) &
              obc::kProvidesInjection) == 0;
         req.point.want_caroli = caroli;
+        attach_contacts(req, nullptr);
         const SweepResult res = engine_->run(req);
         stats_ = res.stats;
         total_tasks_ += res.stats.tasks_total;
@@ -296,10 +541,20 @@ std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
     throw std::invalid_argument(
         "transfer_characteristics: regions must cover all cells");
   // The bias sweep's lead electrostatics: apply the configured contact
-  // shift up front — set_contact_shift invalidates the boundary caches iff
-  // the value actually changed, so back-to-back sweeps at the same shift
-  // keep their cached lead eigenproblems.
-  set_contact_shift(scf.contact_shift);
+  // shift(s) up front — the engine invalidates the boundary caches iff a
+  // value actually changed (per contact, in the N-terminal case), so
+  // back-to-back sweeps at the same shifts keep their cached lead
+  // eigenproblems.
+  if (!scf.contact_shifts.empty()) {
+    if (scf.contact_shifts.size() != config_.contacts.size())
+      throw std::invalid_argument(
+          "transfer_characteristics: scf.contact_shifts must have one entry "
+          "per configured contact");
+    for (std::size_t i = 0; i < scf.contact_shifts.size(); ++i)
+      set_contact_shift(static_cast<idx>(i), scf.contact_shifts[i]);
+  } else {
+    set_contact_shift(scf.contact_shift);
+  }
   const double mu_drain = mu_source - vds;
   std::vector<IvPoint> out;
   out.reserve(vgs_values.size());

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "charge/quadrature.hpp"
@@ -30,11 +31,38 @@ namespace omenx::omen {
 
 using numeric::idx;
 
+/// One terminal of the device as the user configures it — the simulator
+/// builds the lead blocks, resolves the attachment block, and threads the
+/// result through every engine sweep as a transport::ContactSet.
+struct ContactConfig {
+  /// Uniform lead potential shift (eV), the per-contact generalization of
+  /// ObcOptions::contact_shift.  Mutable after construction through
+  /// Simulator::set_contact_shift(contact, shift).
+  double shift = 0.0;
+  /// Device block the contact attaches to: 0, transport::kLastBlock, or an
+  /// interior block (interior attachments need a kMultiTerminal solver:
+  /// rgf, block_lu, or kAuto).
+  idx block = transport::kLastBlock;
+  /// Optional lead material: when set, lead blocks are built from this
+  /// structure (dissimilar leads); empty reuses the device's own lead.
+  /// Must match the device's orbitals-per-cell (the self-energy block must
+  /// fit the device diagonal).
+  std::optional<lattice::Structure> material;
+};
+
 struct SimulationConfig {
   lattice::Structure structure;
   dft::Functional functional = dft::Functional::kLDA;
   dft::BuildOptions build;
   transport::EnergyPointOptions point;
+  /// Terminal layout.  Empty = the classic two-identical-contacts device
+  /// (source at block 0, drain at the last block, both the device's lead
+  /// material) — the seed behavior, bit-identical.  Non-empty layouts are
+  /// validated at construction (>= 2 contacts, in-range pairwise-distinct
+  /// attachment blocks); a symmetric pair configured explicitly is
+  /// normalized by the engine back onto the classic pipeline and stays
+  /// bit-identical to the empty layout.
+  std::vector<ContactConfig> contacts;
   idx num_k = 1;          ///< transverse momentum points (z-periodic only)
   int num_devices = 2;    ///< emulated accelerators
   double temperature_k = 300.0;
@@ -71,6 +99,10 @@ struct Spectrum {
   std::vector<double> energies;
   std::vector<double> transmission;         ///< k-averaged T(E)
   std::vector<idx> propagating;             ///< k-summed channel counts
+  /// Pairwise terminal transmission, k-averaged with the same BZ weights:
+  /// t_matrix[ie][p * nc + q] = T_pq(E_ie).  Filled only for >= 3-terminal
+  /// layouts (the classic pair is fully described by `transmission`).
+  std::vector<std::vector<double>> t_matrix;
 };
 
 class Simulator {
@@ -110,12 +142,41 @@ class Simulator {
   /// `energies` must hold >= 2 strictly increasing points (it anchors the
   /// spectral window even when the contour replaces it); throws
   /// std::invalid_argument otherwise.
+  ///
+  /// Deprecated in favor of the per-terminal overload below: this is the
+  /// classic two-contact entry point, kept as a thin forwarding wrapper so
+  /// existing examples and tests compile unchanged.  mu_l occupies the
+  /// contact attached at block 0, mu_r the one at the last block.  Throws
+  /// std::invalid_argument when >= 3 contacts are configured.
   std::vector<double> charge_density(
       const std::vector<double>& energies, double mu_l, double mu_r,
       const std::vector<double>* potential,
       charge::QuadratureAlgorithm quadrature =
           charge::QuadratureAlgorithm::kRealGrid,
       const charge::QuadratureOptions& quadrature_options = {});
+
+  /// N-terminal charge per physical cell: contact p's injected density is
+  /// occupied at mu[p] (one entry per configured contact, terminal order).
+  /// Two-terminal layouts forward to the classic pair path above
+  /// (bit-identical weights); >= 3 terminals integrate per-contact
+  /// trapezoid-times-Fermi weights on `energies` (real-grid only — the
+  /// contour's equilibrium/bias split is a two-reservoir construction).
+  std::vector<double> charge_density(
+      const std::vector<double>& energies, const std::vector<double>& mu,
+      const std::vector<double>* potential,
+      charge::QuadratureAlgorithm quadrature =
+          charge::QuadratureAlgorithm::kRealGrid,
+      const charge::QuadratureOptions& quadrature_options = {});
+
+  /// Terminal currents I_p (2e/h * eV units, positive into the device) of
+  /// the configured contact layout at the given chemical potentials:
+  /// the Buettiker sum over the k-averaged T_pq spectrum.  sum_p I_p
+  /// vanishes to rounding (transport::buttiker_currents's antisymmetric
+  /// accumulation).  Two-terminal layouts reduce to {+I, -I} of the
+  /// Landauer current.
+  std::vector<double> terminal_currents(const std::vector<double>& energies,
+                                        const std::vector<double>& mu,
+                                        const std::vector<double>* potential);
 
   /// Adaptive energy grid for the given potential: bisect the base grid
   /// where the transmission (Caroli under decimation) jumps by more than
@@ -172,7 +233,22 @@ class Simulator {
   /// stage.  A changed value invalidates the boundary caches at the next
   /// sweep (the engine detects the option change, exactly once); an
   /// unchanged value keeps every cached lead solve.
+  ///
+  /// Deprecated in favor of set_contact_shift(contact, shift): this is the
+  /// uniform-shift wrapper, forwarding the one value to every configured
+  /// contact (and to the classic ObcOptions::contact_shift).
   void set_contact_shift(double shift);
+
+  /// Per-contact lead potential shift.  The engine's per-contact
+  /// signatures detect the change and drop exactly that contact's cache
+  /// entries at the next sweep — the other contacts keep their cached lead
+  /// solves.  Throws std::invalid_argument for an out-of-range index.
+  void set_contact_shift(idx contact, double shift);
+
+  /// Number of configured contacts (0 = the implicit classic pair).
+  idx num_contacts() const noexcept {
+    return static_cast<idx>(config_.contacts.size());
+  }
 
   /// Drop every cached boundary (lead electrostatics changed by other
   /// means, or to bound the footprint between very different workloads).
@@ -181,11 +257,36 @@ class Simulator {
   /// Cumulative boundary-cache counters of the engine's per-rank caches.
   obc::BoundaryCache::Stats boundary_cache_stats() const;
 
+  /// Cumulative counters of one contact's cache entries (classic requests
+  /// fetch under contact id 0).
+  obc::BoundaryCache::Stats contact_boundary_cache_stats(idx contact) const;
+
  private:
+  /// Builds the SweepContact list (+ lead-table pointer) for one request;
+  /// no-op for the empty classic layout.  `mu` (terminal order, optional)
+  /// fills the per-contact chemical potentials.
+  void attach_contacts(SweepRequest& req, const std::vector<double>* mu) const;
+
+  /// Terminal indices of the classic pair: .first attaches at block 0,
+  /// .second at the last block.  Only valid for two-contact layouts.
+  std::pair<idx, idx> classic_pair_indices() const;
+
   SimulationConfig config_;
   std::vector<dft::LeadBlocks> lead_;    ///< one per k point
   std::vector<dft::FoldedLead> folded_;  ///< one per k point
   std::vector<double> k_values_;
+  /// Lead blocks of the distinct contact materials: [material][ik], the
+  /// table SweepRequest::contact_leads points at.  One row per configured
+  /// contact with a material override, in contact order.
+  std::vector<std::vector<dft::LeadBlocks>> contact_leads_;
+  std::vector<std::vector<dft::FoldedLead>> contact_folded_;
+  /// Per contact: row index into contact_leads_, or -1 for the device's
+  /// own lead material.
+  std::vector<int> contact_material_;
+  /// Resolved attachment block per contact (kLastBlock -> last), validated
+  /// in-range and pairwise distinct at construction.
+  std::vector<idx> contact_blocks_;
+  idx device_blocks_ = 0;  ///< block count of the assembled device
   std::unique_ptr<parallel::DevicePool> pool_;
   std::unique_ptr<Engine> engine_;       ///< all sweeps route through this
   EngineStats stats_;

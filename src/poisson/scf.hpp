@@ -56,6 +56,13 @@ struct ScfOptions {
   /// value changes — cached lead self-energies are reusable only while the
   /// lead electrostatics stay fixed.
   double contact_shift = 0.0;
+  /// Per-contact shifts (terminal order) for N-terminal layouts.  Empty =
+  /// apply the scalar `contact_shift` uniformly (the classic behavior).
+  /// Non-empty must match the driver's configured contact count; drivers
+  /// hand each entry to Simulator::set_contact_shift(contact, shift), so a
+  /// change in one contact's electrostatics drops only that contact's
+  /// cached lead solves.
+  std::vector<double> contact_shifts;
   /// Charge-quadrature backend for the SCF charge evaluations
   /// (charge::Quadrature registry).  kRealGrid is the seed's trapezoid
   /// integration of the caller grid; kContour moves the equilibrium window

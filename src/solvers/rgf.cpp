@@ -79,6 +79,41 @@ CMatrix rgf_block_columns(const BlockTridiag& a) {
   return q;
 }
 
+CMatrix rgf_solve(const BlockTridiag& a, const CMatrix& b) {
+  const idx nb = a.num_blocks();
+  const idx s = a.block_size();
+  // Forward elimination (top-down fold): at row i the pivot is
+  //   D_i = A_ii - A_{i,i-1} C_{i-1}  with  C_i = D_i^{-1} A_{i,i+1},
+  // and the folded RHS is  Y_i = D_i^{-1} (B_i - A_{i,i-1} Y_{i-1}).
+  std::vector<CMatrix> c(static_cast<std::size_t>(nb));
+  std::vector<CMatrix> y(static_cast<std::size_t>(nb));
+  for (idx i = 0; i < nb; ++i) {
+    CMatrix m = a.diag(i);
+    CMatrix r = b.block(i * s, 0, s, b.cols());
+    if (i > 0) {
+      numeric::gemm(a.lower(i - 1), c[static_cast<std::size_t>(i - 1)], m,
+                    cplx{-1.0}, cplx{1.0});
+      numeric::gemm(a.lower(i - 1), y[static_cast<std::size_t>(i - 1)], r,
+                    cplx{-1.0}, cplx{1.0});
+    }
+    const numeric::LUFactor lu(std::move(m));
+    if (i + 1 < nb) c[static_cast<std::size_t>(i)] = lu.solve(a.upper(i));
+    y[static_cast<std::size_t>(i)] = lu.solve(r);
+  }
+  // Back substitution: X_{nb-1} = Y_{nb-1}; X_i = Y_i - C_i X_{i+1}.
+  CMatrix x(a.dim(), b.cols());
+  CMatrix xi = y[static_cast<std::size_t>(nb - 1)];
+  x.set_block((nb - 1) * s, 0, xi);
+  for (idx i = nb - 2; i >= 0; --i) {
+    CMatrix next = y[static_cast<std::size_t>(i)];
+    numeric::gemm(c[static_cast<std::size_t>(i)], xi, next, cplx{-1.0},
+                  cplx{1.0});
+    xi = std::move(next);
+    x.set_block(i * s, 0, xi);
+  }
+  return x;
+}
+
 std::vector<CMatrix> rgf_diagonal_blocks(const BlockTridiag& a) {
   const idx nb = a.num_blocks();
   // Backward sweep: gR_i = (A_ii - A_{i,i+1} gR_{i+1} A_{i+1,i})^{-1}.

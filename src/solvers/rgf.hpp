@@ -32,4 +32,10 @@ CMatrix rgf_block_columns(const BlockTridiag& a);
 /// Diagonal blocks of A^{-1} (standard RGF forward/backward recursion).
 std::vector<CMatrix> rgf_diagonal_blocks(const BlockTridiag& a);
 
+/// x = A^{-1} b for a general dense b (dim() x m): the downward-fold
+/// recursion of Algorithm 1 applied to an arbitrary right-hand side (block
+/// Thomas with per-block LU pivots).  This is the N-terminal path — RHS
+/// rows may be non-zero at any block, not just the corners.
+CMatrix rgf_solve(const BlockTridiag& a, const CMatrix& b);
+
 }  // namespace omenx::solvers

@@ -20,6 +20,64 @@ namespace omenx::solvers {
 
 using numeric::cplx;
 
+namespace {
+
+/// T = A - sum_p diag(sigma_p at block_p) — the N-terminal generalization
+/// of apply_boundary_into.
+void apply_attachments_into(BlockTridiag& t, const BlockTridiag& a,
+                            const std::vector<Attachment>& attachments) {
+  t = a;
+  for (const Attachment& at : attachments)
+    t.diag(at.block).add_block(0, 0, *at.sigma, cplx{-1.0});
+}
+
+/// Dense RHS with the listed block rows occupied (everything else zero).
+void expand_attached_rhs_into(CMatrix& b, idx dim, idx s,
+                              const std::vector<RhsBlock>& rhs) {
+  b.resize(dim, rhs.front().b->cols());
+  for (const RhsBlock& r : rhs) b.set_block(r.block * s, 0, *r.b);
+}
+
+/// Checks the attachment/RHS lists and reports whether this problem is the
+/// classic {0, nb-1} corner pair (solvable by every backend through
+/// solve_boundary).
+bool attachments_are_corner_pair(const BlockTridiag& a,
+                                 const std::vector<Attachment>& attachments,
+                                 const std::vector<RhsBlock>& rhs,
+                                 const char* who) {
+  const idx nb = a.num_blocks();
+  if (attachments.empty() || rhs.empty())
+    throw std::invalid_argument(std::string(who) +
+                                ": empty attachment or RHS list");
+  bool corners = attachments.size() == 2;
+  for (const Attachment& at : attachments) {
+    if (at.sigma == nullptr)
+      throw std::invalid_argument(std::string(who) + ": null self-energy");
+    if (at.block < 0 || at.block >= nb)
+      throw std::invalid_argument(std::string(who) +
+                                  ": attachment block out of range");
+    corners = corners && (at.block == 0 || at.block == nb - 1);
+  }
+  for (const RhsBlock& r : rhs) {
+    if (r.b == nullptr)
+      throw std::invalid_argument(std::string(who) + ": null RHS block");
+    if (r.block < 0 || r.block >= nb)
+      throw std::invalid_argument(std::string(who) +
+                                  ": RHS block out of range");
+    if (r.b->cols() != rhs.front().b->cols())
+      throw std::invalid_argument(std::string(who) +
+                                  ": RHS column counts differ");
+    corners = corners && (r.block == 0 || r.block == nb - 1);
+  }
+  if (corners && attachments.size() == 2 &&
+      attachments[0].block == attachments[1].block)
+    throw std::invalid_argument(std::string(who) +
+                                ": duplicate attachment block");
+  return corners && nb > 1;
+}
+
+}  // namespace
+
 // --- base-class defaults ---------------------------------------------------
 
 void Solver::factor(const BlockTridiag&) {
@@ -38,6 +96,37 @@ CMatrix Solver::solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
   apply_boundary_into(t_, a, sigma_l, sigma_r);
   factor(t_);
   expand_boundary_rhs_into(b_, a.dim(), b_top, b_bot);
+  return solve(b_);
+}
+
+CMatrix Solver::solve_attached(const BlockTridiag& a,
+                               const std::vector<Attachment>& attachments,
+                               const std::vector<RhsBlock>& rhs) {
+  if (attachments_are_corner_pair(a, attachments, rhs, name())) {
+    // Classic source/drain pair: route through solve_boundary so every
+    // backend's validated (and overridden) 2-terminal path serves it,
+    // bit-identically to the pre-refactor call.
+    const idx nb = a.num_blocks();
+    const idx s = a.block_size();
+    const idx m = rhs.front().b->cols();
+    const CMatrix* sl = attachments[0].block == 0 ? attachments[0].sigma
+                                                  : attachments[1].sigma;
+    const CMatrix* sr = attachments[0].block == nb - 1 ? attachments[0].sigma
+                                                       : attachments[1].sigma;
+    CMatrix b_top(s, m), b_bot(s, m);
+    for (const RhsBlock& r : rhs) (r.block == 0 ? b_top : b_bot) = *r.b;
+    return solve_boundary(a, *sl, *sr, b_top, b_bot);
+  }
+  if ((capabilities() & kMultiTerminal) == 0)
+    throw std::logic_error(
+        std::string(name()) +
+        ": interior attachment blocks need a kMultiTerminal backend");
+  // Generic interior path for kFactorSolve backends: apply every
+  // self-energy, factor, solve the expanded dense RHS.  kMultiTerminal
+  // backends without factor/solve (rgf) override this method.
+  apply_attachments_into(t_, a, attachments);
+  factor(t_);
+  expand_attached_rhs_into(b_, a.dim(), a.block_size(), rhs);
   return solve(b_);
 }
 
@@ -98,7 +187,9 @@ class BlockLUSolver final : public Solver {
  public:
   const char* name() const noexcept override { return "block_lu"; }
   unsigned capabilities() const noexcept override {
-    return kFactorSolve | kBatchable;
+    // kMultiTerminal is served by the base-class generic path: apply every
+    // attachment, factor, solve the dense RHS.
+    return kFactorSolve | kBatchable | kMultiTerminal;
   }
   void factor(const BlockTridiag& t) override { lu_.factor(t); }
   CMatrix solve(const CMatrix& b) override { return lu_.solve(b); }
@@ -160,7 +251,19 @@ class RgfSolver final : public Solver {
  public:
   const char* name() const noexcept override { return "rgf"; }
   unsigned capabilities() const noexcept override {
-    return kDiagonalBlocksNative | kBatchable;
+    return kDiagonalBlocksNative | kBatchable | kMultiTerminal;
+  }
+  CMatrix solve_attached(const BlockTridiag& a,
+                         const std::vector<Attachment>& attachments,
+                         const std::vector<RhsBlock>& rhs) override {
+    if (attachments_are_corner_pair(a, attachments, rhs, name()))
+      return Solver::solve_attached(a, attachments, rhs);
+    // Interior attachments break the corner-RHS structure the block-column
+    // kernel exploits; run the RGF downward-fold recursion against the full
+    // dense RHS instead (rgf_solve = block Thomas with per-block LU pivots).
+    apply_attachments_into(t_, a, attachments);
+    expand_attached_rhs_into(b_, a.dim(), a.block_size(), rhs);
+    return rgf_solve(t_, b_);
   }
   CMatrix solve_boundary(const BlockTridiag& a, const CMatrix& sigma_l,
                          const CMatrix& sigma_r, const CMatrix& b_top,
@@ -432,11 +535,11 @@ unsigned algorithm_capabilities(SolverAlgorithm algo) noexcept {
   // without instantiating a backend.
   switch (algo) {
     case SolverAlgorithm::kBlockLU:
-      return kFactorSolve | kBatchable;
+      return kFactorSolve | kBatchable | kMultiTerminal;
     case SolverAlgorithm::kBcr:
       return kFactorSolve;
     case SolverAlgorithm::kRgf:
-      return kDiagonalBlocksNative | kBatchable;
+      return kDiagonalBlocksNative | kBatchable | kMultiTerminal;
     case SolverAlgorithm::kSpike:
       return kDiagonalBlocksNative | kSpatialCooperative | kUsesDevicePool;
     case SolverAlgorithm::kSplitSolve:

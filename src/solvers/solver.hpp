@@ -69,6 +69,12 @@ enum Capability : unsigned {
   /// (the paper's Section 5E pipeline), bit-identical per problem to the
   /// scalar solve_boundary path.
   kBatchable = 1u << 5,
+  /// solve_attached accepts self-energy attachments at *interior* device
+  /// blocks (>= 3-terminal layouts, probe contacts), not just the {first,
+  /// last} corner pair.  Backends without this bit still handle any
+  /// 2-terminal attachment at the corners through the default delegation
+  /// to the validated solve_boundary path.
+  kMultiTerminal = 1u << 6,
 };
 
 /// Capability bits of an algorithm without instantiating it (the batch
@@ -112,6 +118,21 @@ struct BoundaryProblem {
   const CMatrix* sigma_r = nullptr;
   const CMatrix* b_top = nullptr;
   const CMatrix* b_bot = nullptr;
+};
+
+/// One self-energy attachment of an N-terminal solve: `sigma` (s x s) is
+/// subtracted from diagonal block `block` of A.  The classic two-terminal
+/// problem is the pair {0, sigma_l}, {nb-1, sigma_r}.
+struct Attachment {
+  idx block = 0;
+  const CMatrix* sigma = nullptr;
+};
+
+/// One non-zero block row of an N-terminal right-hand side: `b` (s x m,
+/// shared column count m across all entries) occupies block row `block`.
+struct RhsBlock {
+  idx block = 0;
+  const CMatrix* b = nullptr;
 };
 
 /// Strategy interface.  Instances are stateful (cached factorizations, warm
@@ -166,6 +187,18 @@ class Solver {
   /// i's operands.  The default (any backend) is exactly that scalar loop.
   virtual std::vector<CMatrix> solve_boundary_batched(
       const std::vector<BoundaryProblem>& problems, numeric::Backend& backend);
+
+  /// N-terminal work unit: x = T^{-1} B with T = a - sum_p diag(sigma_p at
+  /// block_p) and B assembled from the non-zero block rows in `rhs`.
+  /// When the attachments are exactly the {0, nb-1} corner pair the default
+  /// delegates to solve_boundary — same arithmetic, same backend overrides,
+  /// bit-identical to the 2-terminal path.  Interior attachment blocks
+  /// require kMultiTerminal; backends without it throw std::logic_error.
+  /// The kFactorSolve default for interior attachments applies every
+  /// self-energy, factors, and solves the expanded dense RHS.
+  virtual CMatrix solve_attached(const BlockTridiag& a,
+                                 const std::vector<Attachment>& attachments,
+                                 const std::vector<RhsBlock>& rhs);
 
   /// Diagonal blocks of t^{-1} (LDOS / charge assembly).  The default is
   /// the identity-solve fallback (factor + one solve per block column,

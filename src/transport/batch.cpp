@@ -181,9 +181,9 @@ std::vector<EnergyPointResult> solve_energy_batch(
     const obc::Boundary& bnd = boundaries[i].get();
     results[i].energy = tasks[i].energy;
     results[i].num_propagating = bnd.num_incident;
-    shapes[i] = detail::rhs_shape(bnd, have_injection, sf, options);
+    shapes[i] = detail::rhs_shape(bnd, bnd, have_injection, sf, options);
     if (shapes[i].m == 0) continue;  // nothing propagates at this energy
-    detail::build_rhs(ctx.b_top[i], ctx.b_bot[i], bnd, shapes[i], sf);
+    detail::build_rhs(ctx.b_top[i], ctx.b_bot[i], bnd, bnd, shapes[i], sf);
     solvable.push_back(i);
   }
 
@@ -256,7 +256,8 @@ std::vector<EnergyPointResult> solve_energy_batch(
   backend.dispatch("batch_finalize", solvable.size(), [&](std::size_t j) {
     const std::size_t i = solvable[j];
     detail::finalize_observables(results[i], ctx.a[i], boundaries[i].get(),
-                                 have_injection, shapes[i], xs[j], options);
+                                 boundaries[i].get(), have_injection, shapes[i],
+                                 xs[j], options);
   });
 
   if (stats != nullptr) *stats += local;

@@ -1,0 +1,101 @@
+#include "transport/contacts.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace omenx::transport {
+
+idx ContactSet::resolve_block(idx i, idx nb) const {
+  const idx b = contacts_.at(static_cast<std::size_t>(i)).block;
+  return b == kLastBlock ? nb - 1 : b;
+}
+
+void ContactSet::validate(idx nb) const {
+  if (size() < 2)
+    throw std::invalid_argument("ContactSet: need >= 2 contacts, got " +
+                                std::to_string(size()));
+  for (idx i = 0; i < size(); ++i) {
+    const Contact& c = contacts_[static_cast<std::size_t>(i)];
+    if (c.lead == nullptr || c.folded == nullptr)
+      throw std::invalid_argument("ContactSet: contact " + std::to_string(i) +
+                                  " has no lead material");
+    const idx b = resolve_block(i, nb);
+    if (b < 0 || b >= nb)
+      throw std::invalid_argument(
+          "ContactSet: contact " + std::to_string(i) + " attachment block " +
+          std::to_string(c.block) + " out of range for " + std::to_string(nb) +
+          " device blocks");
+    for (idx j = 0; j < i; ++j)
+      if (resolve_block(j, nb) == b)
+        throw std::invalid_argument(
+            "ContactSet: contacts " + std::to_string(j) + " and " +
+            std::to_string(i) + " attach to the same block " +
+            std::to_string(b));
+  }
+}
+
+bool ContactSet::classic_pair(idx nb) const {
+  if (size() != 2) return false;
+  const idx b0 = resolve_block(0, nb);
+  const idx b1 = resolve_block(1, nb);
+  return (b0 == 0 && b1 == nb - 1) || (b1 == 0 && b0 == nb - 1);
+}
+
+idx ContactSet::left(idx nb) const { return resolve_block(0, nb) == 0 ? 0 : 1; }
+
+idx ContactSet::right(idx nb) const {
+  return resolve_block(0, nb) == 0 ? 1 : 0;
+}
+
+bool ContactSet::same_boundary(idx i, idx j) const {
+  const Contact& a = contacts_.at(static_cast<std::size_t>(i));
+  const Contact& b = contacts_.at(static_cast<std::size_t>(j));
+  const bool same_lead =
+      a.lead == b.lead ||
+      (a.lead_hash != 0 && b.lead_hash != 0 && a.lead_hash == b.lead_hash);
+  return same_lead && a.shift == b.shift;
+}
+
+idx ContactSet::representative(idx i) const {
+  for (idx j = 0; j < i; ++j)
+    if (same_boundary(j, i)) return j;
+  return i;
+}
+
+ContactSet ContactSet::pair(const dft::LeadBlocks& lead,
+                            const dft::FoldedLead& folded, double mu_l,
+                            double mu_r, double shift,
+                            std::uint64_t lead_hash) {
+  std::vector<Contact> c(2);
+  c[0] = Contact{&lead, &folded, mu_l, shift, 0, lead_hash};
+  c[1] = Contact{&lead, &folded, mu_r, shift, kLastBlock, lead_hash};
+  return ContactSet(std::move(c));
+}
+
+std::uint64_t lead_content_hash(const dft::LeadBlocks& lead) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  const auto mix_matrix = [&](const numeric::CMatrix& m) {
+    mix(static_cast<std::uint64_t>(m.rows()));
+    mix(static_cast<std::uint64_t>(m.cols()));
+    for (idx i = 0; i < m.rows(); ++i)
+      for (idx j = 0; j < m.cols(); ++j) {
+        const double parts[2] = {m(i, j).real(), m(i, j).imag()};
+        std::uint64_t bits;
+        std::memcpy(&bits, &parts[0], sizeof(bits));
+        mix(bits);
+        std::memcpy(&bits, &parts[1], sizeof(bits));
+        mix(bits);
+      }
+  };
+  mix(static_cast<std::uint64_t>(lead.h.size()));
+  for (const auto& m : lead.h) mix_matrix(m);
+  for (const auto& m : lead.s) mix_matrix(m);
+  return h;
+}
+
+}  // namespace omenx::transport

@@ -1,0 +1,117 @@
+// N-terminal contact description — the refactor that removes the deepest
+// assumption left from the seed: that every device has exactly two
+// *identical* pristine contacts at its first and last blocks.
+//
+// A Contact bundles what used to be scattered across the pipeline: the lead
+// material (dft::LeadBlocks + its folded supercell), the chemical potential
+// mu (previously the scalar mu_l/mu_r arguments), the per-contact potential
+// shift (previously the single global ObcOptions::contact_shift), and the
+// attachment block index on the device diagonal (previously hardwired to
+// {0, nb-1} as the sigma_l/sigma_r pair in every solver).
+//
+// The symmetric two-identical-contacts limit is routed through *literally*
+// the same arithmetic as the pre-refactor pipeline (one boundary fetch, the
+// same sigma_l/sigma_r solve), so it stays bit-identical — the parity suite
+// and BENCH_contact.json gate on EXPECT_EQ, not a tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/matrix.hpp"
+
+namespace omenx::transport {
+
+using numeric::idx;
+
+/// Sentinel for "the last device block" — resolved against the actual block
+/// count at use time, so a ContactSet built before the device is assembled
+/// stays valid for any length.
+constexpr idx kLastBlock = -1;
+
+/// One terminal of the device.
+struct Contact {
+  /// Lead material (unit-cell blocks).  Never owned; must outlive the set.
+  const dft::LeadBlocks* lead = nullptr;
+  /// Folded supercell blocks of the same lead.
+  const dft::FoldedLead* folded = nullptr;
+  /// Chemical potential (eV) — the Fermi weight of carriers this contact
+  /// injects, and the mu_p of the Buettiker current sum.
+  double mu = 0.0;
+  /// Uniform lead potential shift (eV): H -> H + shift*S, i.e. the boundary
+  /// at energy E equals the pristine lead's at E - shift.  Part of the
+  /// per-contact BoundaryCache key.
+  double shift = 0.0;
+  /// Device block the self-energy attaches to (kLastBlock = last).  Blocks
+  /// other than {0, last} are interior ("probe") attachments and require a
+  /// solver advertising solvers::kMultiTerminal.
+  idx block = kLastBlock;
+  /// FNV-1a content hash of *lead (lead_content_hash).  0 = untracked —
+  /// the cache then distinguishes leads by contact id only, which is the
+  /// pre-refactor behavior for direct (non-engine) callers.
+  std::uint64_t lead_hash = 0;
+};
+
+/// An ordered set of >= 2 contacts.  Index order is the terminal index p of
+/// the transmission matrix T_pq and the Buettiker sum.
+class ContactSet {
+ public:
+  ContactSet() = default;
+  explicit ContactSet(std::vector<Contact> contacts)
+      : contacts_(std::move(contacts)) {}
+
+  idx size() const noexcept { return static_cast<idx>(contacts_.size()); }
+  bool empty() const noexcept { return contacts_.empty(); }
+  const Contact& operator[](idx i) const {
+    return contacts_.at(static_cast<std::size_t>(i));
+  }
+  Contact& at(idx i) { return contacts_.at(static_cast<std::size_t>(i)); }
+  const std::vector<Contact>& contacts() const noexcept { return contacts_; }
+
+  /// Attachment block of contact i against an nb-block device (resolves
+  /// kLastBlock).  Does not range-check; validate() does.
+  idx resolve_block(idx i, idx nb) const;
+
+  /// Throws std::invalid_argument unless the set has >= 2 contacts with
+  /// non-null leads, in-range attachment blocks, and pairwise-distinct
+  /// resolved blocks.  Same discipline as the PR-7 grid validation.
+  void validate(idx nb) const;
+
+  /// True when the set is exactly the classic source/drain pair: two
+  /// contacts attached at block 0 and the last block (either order is
+  /// normalized by left()/right()).
+  bool classic_pair(idx nb) const;
+
+  /// Index of the contact attached at block 0 / the last block.  Only
+  /// meaningful when classic_pair().
+  idx left(idx nb) const;
+  idx right(idx nb) const;
+
+  /// True when contacts i and j share boundary data: same lead content
+  /// (identical pointer, or equal nonzero hashes) and the same shift.
+  /// mu may differ — it weights observables, not the boundary itself.
+  bool same_boundary(idx i, idx j) const;
+
+  /// Lowest contact index with the same boundary data as contact i — the
+  /// canonical id under which this boundary is fetched and cached, so
+  /// identical contacts share cache entries (the symmetric pair fetches
+  /// once, under id of the left contact).
+  idx representative(idx i) const;
+
+  /// The classic symmetric pair: one lead serves both ends.
+  static ContactSet pair(const dft::LeadBlocks& lead,
+                         const dft::FoldedLead& folded, double mu_l,
+                         double mu_r, double shift = 0.0,
+                         std::uint64_t lead_hash = 0);
+
+ private:
+  std::vector<Contact> contacts_;
+};
+
+/// FNV-1a hash over a lead's block dimensions and matrix bit patterns —
+/// the per-lead half of the engine's request fingerprint, reused as the
+/// BoundaryKey lead_hash so dissimilar leads cache independently.
+std::uint64_t lead_content_hash(const dft::LeadBlocks& lead);
+
+}  // namespace omenx::transport

@@ -79,16 +79,41 @@ FetchedBoundary fetch_boundary(obc::Strategy& strategy,
   return out;
 }
 
-RhsShape rhs_shape(const obc::Boundary& bnd, bool have_injection, idx sf,
+FetchedBoundary fetch_boundary(obc::Strategy& strategy, const Contact& contact,
+                               int contact_id, cplx energy,
+                               const EnergyPointOptions& options) {
+  obc::ObcOptions opts = options.obc_opts;
+  opts.contact_shift = contact.shift;
+  FetchedBoundary out;
+  if (options.boundary_cache != nullptr) {
+    obc::BoundaryKey key{options.k_index, energy.real(), contact.shift,
+                         static_cast<int>(options.obc), energy.imag()};
+    key.contact = contact_id;
+    key.lead_hash = contact.lead_hash;
+    out.cached = options.boundary_cache->find(key);
+    out.hit = out.cached != nullptr;
+    if (out.cached == nullptr)
+      out.cached = options.boundary_cache->insert(
+          key,
+          strategy.boundary(*contact.lead, *contact.folded, energy, opts));
+  } else {
+    out.computed =
+        strategy.boundary(*contact.lead, *contact.folded, energy, opts);
+  }
+  return out;
+}
+
+RhsShape rhs_shape(const obc::Boundary& left, const obc::Boundary& right,
+                   bool have_injection, idx sf,
                    const EnergyPointOptions& options) {
   RhsShape shape;
-  shape.n_inc = have_injection ? bnd.num_incident : 0;
+  shape.n_inc = have_injection ? left.num_incident : 0;
   // Drain-side injection columns are only carried when the two-contact
   // density is requested (the SCF charge path): transmission and current
   // need no right-incident states, and the extra RHS columns are not free.
   shape.n_inc_r = have_injection && options.want_density &&
                           options.want_density_r
-                      ? bnd.num_incident_right
+                      ? right.num_incident_right
                       : 0;
   shape.want_caroli = options.want_caroli || !have_injection;
   shape.gcols = shape.want_caroli ? 2 * sf : 0;
@@ -96,8 +121,8 @@ RhsShape rhs_shape(const obc::Boundary& bnd, bool have_injection, idx sf,
   return shape;
 }
 
-void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& bnd,
-               const RhsShape& shape, idx sf) {
+void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& left,
+               const obc::Boundary& right, const RhsShape& shape, idx sf) {
   b_top.resize(sf, shape.m);
   b_bot.resize(sf, shape.m);
   if (shape.want_caroli) {
@@ -107,17 +132,17 @@ void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& bnd,
     }
   }
   for (idx j = 0; j < shape.n_inc; ++j)
-    for (idx i = 0; i < sf; ++i) b_top(i, shape.gcols + j) = bnd.inj(i, j);
+    for (idx i = 0; i < sf; ++i) b_top(i, shape.gcols + j) = left.inj(i, j);
   // Right-contact injection enters through the last block.
   for (idx j = 0; j < shape.n_inc_r; ++j)
     for (idx i = 0; i < sf; ++i)
-      b_bot(i, shape.gcols + shape.n_inc + j) = bnd.inj_r(i, j);
+      b_bot(i, shape.gcols + shape.n_inc + j) = right.inj_r(i, j);
 }
 
 void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
-                          const obc::Boundary& bnd, bool have_injection,
-                          const RhsShape& shape, const CMatrix& x,
-                          const EnergyPointOptions& options) {
+                          const obc::Boundary& left, const obc::Boundary& right,
+                          bool have_injection, const RhsShape& shape,
+                          const CMatrix& x, const EnergyPointOptions& options) {
   const idx sf = a.block_size();
   const idx gcols = shape.gcols;
   const idx n_inc = shape.n_inc;
@@ -127,7 +152,7 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
   if (shape.want_caroli) {
     const CMatrix g_first_last = x.block(0, sf, sf, sf);
     out.transmission_caroli =
-        caroli_transmission(bnd.sigma_l, bnd.sigma_r, g_first_last);
+        caroli_transmission(left.sigma_l, right.sigma_r, g_first_last);
   }
 
   // --- Wave-function observables ---
@@ -138,7 +163,7 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
     // Same ridge as the self-energy construction: one BoundaryOptions
     // governs every pseudo-inverse of the mode basis.
     const CMatrix uplus = obc::pseudo_inverse(
-        bnd.right_basis, options.obc_opts.boundary.pinv_ridge);
+        right.right_basis, options.obc_opts.boundary.pinv_ridge);
     const CMatrix amps = numeric::matmul(uplus, psi_last);
     // Flux-normalized amplitudes: the mode vectors have unit 2-norm, so the
     // flux a mode carries is v*beta (beta = Bloch norm u^H S_v u), stored
@@ -147,10 +172,10 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
     double total = 0.0;
     for (idx p = 0; p < n_inc; ++p) {
       const double fp =
-          std::max(bnd.inj_flux[static_cast<std::size_t>(p)], 1e-12);
+          std::max(left.inj_flux[static_cast<std::size_t>(p)], 1e-12);
       for (idx n = 0; n < amps.rows(); ++n) {
-        if (!bnd.right_propagating[static_cast<std::size_t>(n)]) continue;
-        const double fn = bnd.right_flux[static_cast<std::size_t>(n)];
+        if (!right.right_propagating[static_cast<std::size_t>(n)]) continue;
+        const double fn = right.right_flux[static_cast<std::size_t>(n)];
         total += std::norm(amps(n, p)) * fn / fp;
       }
     }
@@ -163,7 +188,7 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
       out.orbital_density.assign(static_cast<std::size_t>(a.dim()), 0.0);
       for (idx p = 0; p < n_inc; ++p) {
         const double w =
-            1.0 / std::max(bnd.inj_flux[static_cast<std::size_t>(p)], 1e-12);
+            1.0 / std::max(left.inj_flux[static_cast<std::size_t>(p)], 1e-12);
         for (idx i = 0; i < a.dim(); ++i)
           out.orbital_density[static_cast<std::size_t>(i)] +=
               w * std::norm(x(i, gcols + p));
@@ -177,7 +202,7 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
         for (idx p = 0; p < n_inc; ++p) {
           const double w =
               1.0 /
-              std::max(bnd.inj_flux[static_cast<std::size_t>(p)], 1e-12);
+              std::max(left.inj_flux[static_cast<std::size_t>(p)], 1e-12);
           cplx acc{0.0};
           for (idx i = 0; i < sf; ++i) {
             const cplx psi_i = x(iface * sf + i, gcols + p);
@@ -199,7 +224,7 @@ void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
     for (idx p = 0; p < n_inc_r; ++p) {
       const double w =
           1.0 /
-          std::max(bnd.inj_r_flux[static_cast<std::size_t>(p)], 1e-12);
+          std::max(right.inj_r_flux[static_cast<std::size_t>(p)], 1e-12);
       for (idx i = 0; i < a.dim(); ++i)
         out.orbital_density_r[static_cast<std::size_t>(i)] +=
             w * std::norm(x(i, gcols + n_inc + p));
@@ -312,7 +337,7 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
   // RHS layout: [e_first I (s), e_last I (s), Inj (n_inc)] so one solve
   // covers both formalisms.
   const detail::RhsShape shape =
-      detail::rhs_shape(bnd, have_injection, sf, options);
+      detail::rhs_shape(bnd, bnd, have_injection, sf, options);
   if (shape.m == 0) {
     // Nothing to solve at this energy — but cooperative/asynchronous
     // backends may have outstanding work (spatial members' partitions,
@@ -321,13 +346,311 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
     return out;
   }
 
-  detail::build_rhs(ctx.b_top, ctx.b_bot, bnd, shape, sf);
+  detail::build_rhs(ctx.b_top, ctx.b_bot, bnd, bnd, shape, sf);
 
   CMatrix& x = ctx.x;
   x = solver.solve_boundary(a, bnd.sigma_l, bnd.sigma_r, ctx.b_top, ctx.b_bot);
 
-  detail::finalize_observables(out, a, bnd, have_injection, shape, x, options);
+  detail::finalize_observables(out, a, bnd, bnd, have_injection, shape, x,
+                               options);
   return out;
+}
+
+namespace {
+
+// Per-contact boundary views: which of a Boundary's two lead orientations a
+// contact reads.  A contact on the last block is the classic drain and uses
+// the right-extending lead data (sigma_r, inj_r); every other attachment —
+// block 0 and interior probes alike — uses the left-extending data
+// (sigma_l, inj), the "left-facing probe" convention.
+struct ContactView {
+  const CMatrix* sigma = nullptr;
+  const CMatrix* inj = nullptr;
+  const std::vector<double>* inj_flux = nullptr;
+  idx n_modes = 0;  ///< incident channel count of this orientation
+  idx block = 0;    ///< resolved attachment block
+};
+
+ContactView contact_view(const obc::Boundary& bnd, idx block, idx nb) {
+  ContactView v;
+  v.block = block;
+  if (block == nb - 1) {
+    v.sigma = &bnd.sigma_r;
+    v.inj = &bnd.inj_r;
+    v.inj_flux = &bnd.inj_r_flux;
+    v.n_modes = bnd.num_incident_right;
+  } else {
+    v.sigma = &bnd.sigma_l;
+    v.inj = &bnd.inj;
+    v.inj_flux = &bnd.inj_flux;
+    v.n_modes = bnd.num_incident;
+  }
+  return v;
+}
+
+// Fetch every contact's boundary, one solve per *distinct* boundary: a
+// contact whose lead content + shift matches a lower-indexed contact reuses
+// that contact's Boundary (and its cache entry — representative() is the
+// canonical cache id).  `fetched` must be reserved to nc: FetchedBoundary
+// may own its Boundary by value, so reallocation would dangle the pointers.
+void fetch_contact_boundaries(obc::Strategy& strategy,
+                              const ContactSet& contacts, cplx energy,
+                              const EnergyPointOptions& options,
+                              std::vector<detail::FetchedBoundary>& fetched,
+                              std::vector<const obc::Boundary*>& bnd) {
+  const idx nc = contacts.size();
+  fetched.clear();
+  fetched.reserve(static_cast<std::size_t>(nc));
+  bnd.assign(static_cast<std::size_t>(nc), nullptr);
+  for (idx i = 0; i < nc; ++i) {
+    const idx rep = contacts.representative(i);
+    if (rep == i) {
+      fetched.push_back(detail::fetch_boundary(
+          strategy, contacts[i], static_cast<int>(i), energy, options));
+      bnd[static_cast<std::size_t>(i)] = &fetched.back().get();
+    } else {
+      bnd[static_cast<std::size_t>(i)] = bnd[static_cast<std::size_t>(rep)];
+    }
+  }
+}
+
+// Backend choice for the interior-attachment solve: the resolved algorithm
+// must advertise kMultiTerminal.  kAuto falls back deterministically to the
+// cheaper of rgf/block_lu under the same cost model the 2-terminal
+// resolution uses; an explicitly requested non-capable backend is an error,
+// not a silent substitution.
+solvers::SolverAlgorithm multi_terminal_algorithm(
+    solvers::SolverAlgorithm requested, idx nb, idx s, idx nrhs,
+    const solvers::SolverContext& binding) {
+  const solvers::SolverAlgorithm resolved =
+      solvers::resolve_algorithm(requested, nb, s, nrhs, binding);
+  if ((solvers::algorithm_capabilities(resolved) & solvers::kMultiTerminal) !=
+      0)
+    return resolved;
+  if (requested != solvers::SolverAlgorithm::kAuto)
+    throw std::invalid_argument(
+        std::string("solve_energy_point: solver '") +
+        solvers::algorithm_name(resolved) +
+        "' does not support interior contact attachments; use rgf, "
+        "block_lu, or kAuto");
+  const double rgf = solvers::estimate_boundary_solve_seconds(
+      solvers::SolverAlgorithm::kRgf, nb, s, nrhs, binding.partitions, 1);
+  const double blu = solvers::estimate_boundary_solve_seconds(
+      solvers::SolverAlgorithm::kBlockLU, nb, s, nrhs, binding.partitions, 1);
+  return rgf <= blu ? solvers::SolverAlgorithm::kRgf
+                    : solvers::SolverAlgorithm::kBlockLU;
+}
+
+// Route 2: two dissimilar contacts at {0, last}.  Same 2-terminal solve as
+// the classic path — only the boundary stage differs (two per-contact
+// fetches instead of one shared fetch), so every solver backend works.
+EnergyPointResult solve_dissimilar_pair(EnergyPointContext& ctx,
+                                        const dft::DeviceMatrices& dm,
+                                        const ContactSet& contacts, idx cl,
+                                        idx cr, double energy,
+                                        const EnergyPointOptions& options,
+                                        parallel::DevicePool* pool) {
+  const numeric::WorkspaceScope scope(ctx.workspace);
+  EnergyPointResult out;
+  out.energy = energy;
+  const cplx e{energy, 0.0};
+  ctx.a.assign_es_minus_h(e, dm.s, dm.h);
+  const BlockTridiag& a = ctx.a;
+  const idx sf = a.block_size();
+
+  solvers::SolverContext binding;
+  binding.pool = pool;
+  binding.partitions = options.partitions;
+  binding.spatial =
+      options.spatial != nullptr && options.spatial->size() > 1
+          ? options.spatial
+          : nullptr;
+  solvers::Solver& solver =
+      ctx.solver(options.solver, binding, a.num_blocks(), sf);
+  obc::Strategy& obc_strategy = ctx.obc_strategy(options.obc);
+  const bool have_injection =
+      (obc_strategy.capabilities() & obc::kProvidesInjection) != 0;
+  detail::require_injection_support(obc_strategy, have_injection, options);
+
+  solver.prepare(a);
+
+  const detail::FetchedBoundary fl = detail::fetch_boundary(
+      obc_strategy, contacts[cl], static_cast<int>(cl), e, options);
+  const detail::FetchedBoundary fr = detail::fetch_boundary(
+      obc_strategy, contacts[cr], static_cast<int>(cr), e, options);
+  const obc::Boundary& left = fl.get();
+  const obc::Boundary& right = fr.get();
+  out.num_propagating = left.num_incident;
+
+  const detail::RhsShape shape =
+      detail::rhs_shape(left, right, have_injection, sf, options);
+  if (shape.m == 0) {
+    solver.discard();
+    return out;
+  }
+
+  detail::build_rhs(ctx.b_top, ctx.b_bot, left, right, shape, sf);
+
+  CMatrix& x = ctx.x;
+  x = solver.solve_boundary(a, left.sigma_l, right.sigma_r, ctx.b_top,
+                            ctx.b_bot);
+
+  detail::finalize_observables(out, a, left, right, have_injection, shape, x,
+                               options);
+  return out;
+}
+
+// Route 3: >= 3 contacts or interior attachment blocks.  One solve against
+// nc identity column groups (pairwise Caroli T_pq) plus, when the density
+// is requested, every contact's injected modes.  Interface bond currents
+// are not defined per-pair here and stay empty — terminal currents come
+// from buttiker_currents over the T_pq table.
+EnergyPointResult solve_multi_terminal(EnergyPointContext& ctx,
+                                       const dft::DeviceMatrices& dm,
+                                       const ContactSet& contacts,
+                                       double energy,
+                                       const EnergyPointOptions& options,
+                                       parallel::DevicePool* pool) {
+  const numeric::WorkspaceScope scope(ctx.workspace);
+  EnergyPointResult out;
+  out.energy = energy;
+  const cplx e{energy, 0.0};
+  ctx.a.assign_es_minus_h(e, dm.s, dm.h);
+  const BlockTridiag& a = ctx.a;
+  const idx sf = a.block_size();
+  const idx nb = a.num_blocks();
+  const idx nc = contacts.size();
+
+  solvers::SolverContext binding;
+  binding.pool = pool;
+  binding.partitions = options.partitions;
+  const solvers::SolverAlgorithm algo =
+      multi_terminal_algorithm(options.solver, nb, sf, nc * sf, binding);
+  solvers::Solver& solver = ctx.solver(algo, binding, nb, sf);
+  obc::Strategy& obc_strategy = ctx.obc_strategy(options.obc);
+  const bool have_injection =
+      (obc_strategy.capabilities() & obc::kProvidesInjection) != 0;
+  detail::require_injection_support(obc_strategy, have_injection, options);
+
+  solver.prepare(a);
+
+  std::vector<detail::FetchedBoundary> fetched;
+  std::vector<const obc::Boundary*> bnd;
+  fetch_contact_boundaries(obc_strategy, contacts, e, options, fetched, bnd);
+
+  std::vector<ContactView> view(static_cast<std::size_t>(nc));
+  for (idx p = 0; p < nc; ++p)
+    view[static_cast<std::size_t>(p)] =
+        contact_view(*bnd[static_cast<std::size_t>(p)],
+                     contacts.resolve_block(p, nb), nb);
+
+  // RHS layout: [I at b_0 (sf), ..., I at b_{nc-1} (sf), Inj_0, ...,
+  // Inj_{nc-1}].  Identity group q yields the block column G_{:,b_q}, so
+  // G_{b_p, b_q} sits at x.block(b_p*sf, q*sf) — the Caroli operand.
+  const idx gcols = nc * sf;
+  const bool want_inj = have_injection && options.want_density;
+  std::vector<idx> inj_off(static_cast<std::size_t>(nc), 0);
+  idx m = gcols;
+  idx total_modes = 0;
+  for (idx p = 0; p < nc; ++p) {
+    const ContactView& v = view[static_cast<std::size_t>(p)];
+    total_modes += v.n_modes;
+    inj_off[static_cast<std::size_t>(p)] = m;
+    if (want_inj) m += v.n_modes;
+  }
+  out.num_propagating = have_injection ? total_modes : 0;
+
+  std::vector<CMatrix> rhs_blocks(static_cast<std::size_t>(nc));
+  std::vector<solvers::Attachment> attachments;
+  std::vector<solvers::RhsBlock> rhs;
+  attachments.reserve(static_cast<std::size_t>(nc));
+  rhs.reserve(static_cast<std::size_t>(nc));
+  for (idx p = 0; p < nc; ++p) {
+    const ContactView& v = view[static_cast<std::size_t>(p)];
+    attachments.push_back({v.block, v.sigma});
+    CMatrix& rb = rhs_blocks[static_cast<std::size_t>(p)];
+    rb.resize(sf, m);
+    for (idx i = 0; i < sf; ++i) rb(i, p * sf + i) = cplx{1.0};
+    if (want_inj)
+      for (idx j = 0; j < v.n_modes; ++j)
+        for (idx i = 0; i < sf; ++i)
+          rb(i, inj_off[static_cast<std::size_t>(p)] + j) = (*v.inj)(i, j);
+    rhs.push_back({v.block, &rb});
+  }
+
+  CMatrix& x = ctx.x;
+  x = solver.solve_attached(a, attachments, rhs);
+
+  // --- Pairwise Caroli transmission T_pq = Tr[G_p G Gq G^H] ---
+  out.t_matrix.assign(static_cast<std::size_t>(nc * nc), 0.0);
+  for (idx p = 0; p < nc; ++p) {
+    const ContactView& vp = view[static_cast<std::size_t>(p)];
+    for (idx q = 0; q < nc; ++q) {
+      if (q == p) continue;
+      const ContactView& vq = view[static_cast<std::size_t>(q)];
+      const CMatrix g_pq = x.block(vp.block * sf, q * sf, sf, sf);
+      out.t_matrix[static_cast<std::size_t>(p * nc + q)] =
+          caroli_transmission(*vp.sigma, *vq.sigma, g_pq);
+    }
+  }
+  // Scalar fields stay meaningful for mixed consumers: T_01 is the
+  // source->drain channel of the classic labeling.
+  out.transmission_caroli = out.t_matrix[1];
+  out.transmission = out.t_matrix[1];
+
+  // --- Per-contact flux-normalized injected densities ---
+  if (want_inj) {
+    out.contact_density.assign(static_cast<std::size_t>(nc), {});
+    for (idx p = 0; p < nc; ++p) {
+      const ContactView& v = view[static_cast<std::size_t>(p)];
+      std::vector<double>& d = out.contact_density[static_cast<std::size_t>(p)];
+      d.assign(static_cast<std::size_t>(a.dim()), 0.0);
+      for (idx j = 0; j < v.n_modes; ++j) {
+        const double w =
+            1.0 /
+            std::max((*v.inj_flux)[static_cast<std::size_t>(j)], 1e-12);
+        for (idx i = 0; i < a.dim(); ++i)
+          d[static_cast<std::size_t>(i)] +=
+              w * std::norm(x(i, inj_off[static_cast<std::size_t>(p)] + j));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
+                                     const dft::DeviceMatrices& dm,
+                                     const ContactSet& contacts, double energy,
+                                     const EnergyPointOptions& options,
+                                     parallel::DevicePool* pool) {
+  const idx nb = dm.h.num_blocks();
+  contacts.validate(nb);
+  if (contacts.classic_pair(nb)) {
+    const idx cl = contacts.left(nb);
+    const idx cr = contacts.right(nb);
+    if (contacts.same_boundary(cl, cr)) {
+      // Route 1: the symmetric limit runs *literally* the pre-refactor
+      // pipeline — one boundary fetch under the classic key, the same
+      // sigma_l/sigma_r solve — so it is bit-identical by construction.
+      EnergyPointOptions opts = options;
+      opts.obc_opts.contact_shift = contacts[cl].shift;
+      return solve_energy_point(ctx, dm, *contacts[cl].lead,
+                                *contacts[cl].folded, energy, opts, pool);
+    }
+    return solve_dissimilar_pair(ctx, dm, contacts, cl, cr, energy, options,
+                                 pool);
+  }
+  return solve_multi_terminal(ctx, dm, contacts, energy, options, pool);
+}
+
+EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
+                                     const ContactSet& contacts, double energy,
+                                     const EnergyPointOptions& options,
+                                     parallel::DevicePool* pool) {
+  return solve_energy_point(thread_context(), dm, contacts, energy, options,
+                            pool);
 }
 
 std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
@@ -369,6 +692,58 @@ std::vector<cplx> solve_greens_diagonal(const dft::DeviceMatrices& dm,
                                         const EnergyPointOptions& options) {
   return solve_greens_diagonal(thread_context(), dm, lead, folded, energy,
                                options);
+}
+
+std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
+                                        const dft::DeviceMatrices& dm,
+                                        const ContactSet& contacts, cplx energy,
+                                        const EnergyPointOptions& options) {
+  const idx nb = dm.h.num_blocks();
+  contacts.validate(nb);
+  if (contacts.classic_pair(nb)) {
+    const idx cl = contacts.left(nb);
+    const idx cr = contacts.right(nb);
+    if (contacts.same_boundary(cl, cr)) {
+      // Symmetric limit: one fetch, the exact two-contact folds.
+      EnergyPointOptions opts = options;
+      opts.obc_opts.contact_shift = contacts[cl].shift;
+      return solve_greens_diagonal(ctx, dm, *contacts[cl].lead,
+                                   *contacts[cl].folded, energy, opts);
+    }
+  }
+  const numeric::WorkspaceScope scope(ctx.workspace);
+  ctx.a.assign_es_minus_h(energy, dm.s, dm.h);
+  BlockTridiag& a = ctx.a;
+  const idx sf = a.block_size();
+
+  obc::Strategy& strategy = ctx.obc_strategy(options.obc);
+  std::vector<detail::FetchedBoundary> fetched;
+  std::vector<const obc::Boundary*> bnd;
+  fetch_contact_boundaries(strategy, contacts, energy, options, fetched, bnd);
+
+  // Fold every contact's self-energy into its attachment block (last block
+  // uses the right-extending lead orientation, everything else the
+  // left-facing probe convention — same as the wave-function path), then
+  // read the diagonal of G = (z S - H - sum_p Sigma_p)^{-1}.
+  for (idx p = 0; p < contacts.size(); ++p) {
+    const idx bp = contacts.resolve_block(p, nb);
+    const obc::Boundary& b = *bnd[static_cast<std::size_t>(p)];
+    a.diag(bp) -= bp == nb - 1 ? b.sigma_r : b.sigma_l;
+  }
+  const auto blocks = ctx.greens_solver().diagonal_blocks(a);
+
+  std::vector<cplx> out(static_cast<std::size_t>(a.dim()));
+  for (idx b = 0; b < a.num_blocks(); ++b)
+    for (idx i = 0; i < sf; ++i)
+      out[static_cast<std::size_t>(b * sf + i)] =
+          blocks[static_cast<std::size_t>(b)](i, i);
+  return out;
+}
+
+std::vector<cplx> solve_greens_diagonal(const dft::DeviceMatrices& dm,
+                                        const ContactSet& contacts, cplx energy,
+                                        const EnergyPointOptions& options) {
+  return solve_greens_diagonal(thread_context(), dm, contacts, energy, options);
 }
 
 std::vector<EnergyPointResult> sweep_energy_points(
@@ -455,6 +830,41 @@ double landauer_current(const std::vector<double>& energies,
     current += w[i] * transmission[i] *
                (fermi(energies[i], mu_l, kt) - fermi(energies[i], mu_r, kt));
   return current;
+}
+
+std::vector<double> buttiker_currents(
+    const std::vector<double>& energies,
+    const std::vector<std::vector<double>>& t_matrix,
+    const std::vector<double>& mu, double kt) {
+  const std::size_t nc = mu.size();
+  if (nc < 2)
+    throw std::invalid_argument("buttiker_currents: need >= 2 terminals");
+  if (t_matrix.size() != energies.size() || energies.size() < 2)
+    throw std::invalid_argument("buttiker_currents: bad table");
+  for (const std::vector<double>& t : t_matrix)
+    if (t.size() != nc * nc)
+      throw std::invalid_argument("buttiker_currents: t_matrix row size");
+  const std::vector<double> w = trapezoid_weights(energies);
+  std::vector<double> out(nc, 0.0);
+  // Antisymmetric pair accumulation: each pair's contribution
+  //   c_pq = w [T_pq f_p - T_qp f_q]
+  // enters I_p as +c_pq and I_q as -c_pq — the *same* double both times —
+  // so sum_p I_p collapses to exact +-c cancellations (current
+  // conservation to rounding of the final nc-term sum, which is what the
+  // 3-terminal tests and BENCH_contact.json gate on).
+  for (std::size_t i = 0; i < energies.size(); ++i) {
+    const std::vector<double>& t = t_matrix[i];
+    for (std::size_t p = 0; p < nc; ++p) {
+      const double fp = fermi(energies[i], mu[p], kt);
+      for (std::size_t q = p + 1; q < nc; ++q) {
+        const double fq = fermi(energies[i], mu[q], kt);
+        const double c = w[i] * (t[p * nc + q] * fp - t[q * nc + p] * fq);
+        out[p] += c;
+        out[q] -= c;
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<double> density_per_cell(const std::vector<double>& orbital_density,

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "dft/hamiltonian.hpp"
@@ -20,6 +21,7 @@
 #include "obc/strategy.hpp"
 #include "parallel/device.hpp"
 #include "solvers/solver.hpp"
+#include "transport/contacts.hpp"
 
 namespace omenx::parallel {
 class Comm;
@@ -89,6 +91,15 @@ struct EnergyPointResult {
   /// set; empty when the OBC provides no injection data (decimation).
   std::vector<double> orbital_density_r;
   std::vector<double> interface_current;  ///< bond current per interface
+  /// Pairwise Caroli transmission T_pq = Tr[Gamma_p G_pq Gamma_q G_pq^H]
+  /// (row-major nc x nc, diagonal 0) — filled only by the >= 3-terminal
+  /// ContactSet path.  The 2-terminal paths keep T in `transmission` /
+  /// `transmission_caroli` exactly as before.
+  std::vector<double> t_matrix;
+  /// Per-contact flux-normalized injected density (nc vectors of dim()
+  /// entries) — filled only by the >= 3-terminal path when want_density.
+  /// The 2-terminal paths keep orbital_density / orbital_density_r.
+  std::vector<std::vector<double>> contact_density;
 };
 
 /// Reusable per-thread state for repeated energy-point solves.  The
@@ -153,6 +164,32 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
                                      const EnergyPointOptions& options = {},
                                      parallel::DevicePool* pool = nullptr);
 
+/// N-terminal entry point.  Routing keeps the validated paths hot:
+///   * two identical contacts at {0, last}  -> the exact pre-refactor
+///     single-boundary pipeline (bit-identical, including cache behavior);
+///   * two dissimilar contacts at {0, last} -> the same 2-terminal solve
+///     with the left contact's (sigma_l, inj) and the right contact's
+///     (sigma_r, inj_r, mode basis), each fetched under its own per-contact
+///     cache key — every solver backend works;
+///   * anything else (>= 3 contacts or interior attachment blocks) -> the
+///     multi-terminal path: per-contact boundary fetches (deduplicated for
+///     contacts sharing lead content + shift), solvers::Attachment solve
+///     (kMultiTerminal backends: rgf, block_lu), pairwise Caroli T_pq and
+///     per-contact injected densities.  Interior contacts use the lead's
+///     left-facing self-energy and injection set (probe convention).
+/// Contact shifts override options.obc_opts.contact_shift per contact.
+EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
+                                     const dft::DeviceMatrices& dm,
+                                     const ContactSet& contacts, double energy,
+                                     const EnergyPointOptions& options = {},
+                                     parallel::DevicePool* pool = nullptr);
+
+/// Same, on the thread-local context.
+EnergyPointResult solve_energy_point(const dft::DeviceMatrices& dm,
+                                     const ContactSet& contacts, double energy,
+                                     const EnergyPointOptions& options = {},
+                                     parallel::DevicePool* pool = nullptr);
+
 /// Diagonal of the retarded Green's function G = (z S - H - Sigma)^{-1} at a
 /// complex energy node z, ordered orbital-by-orbital like orbital_density.
 /// The OBC strategy is evaluated at z itself: with Im z > 0 every lead mode
@@ -177,6 +214,19 @@ std::vector<cplx> solve_greens_diagonal(const dft::DeviceMatrices& dm,
                                         cplx energy,
                                         const EnergyPointOptions& options = {});
 
+/// N-terminal Green's-function diagonal: every contact's self-energy is
+/// folded into its attachment block (the symmetric pair reproduces the
+/// two-contact overload bit for bit — one boundary fetch, same folds).
+std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
+                                        const dft::DeviceMatrices& dm,
+                                        const ContactSet& contacts, cplx energy,
+                                        const EnergyPointOptions& options = {});
+
+/// Same, on the thread-local context.
+std::vector<cplx> solve_greens_diagonal(const dft::DeviceMatrices& dm,
+                                        const ContactSet& contacts, cplx energy,
+                                        const EnergyPointOptions& options = {});
+
 /// Sweep many energies.  With `threads`, the sweep is parallelized over the
 /// pool's workers, each reusing its own thread-local context; serial
 /// otherwise.  Results are returned in energy order.
@@ -198,19 +248,41 @@ class EnergySweepWorker {
                     const dft::LeadBlocks& lead, const dft::FoldedLead& folded,
                     const EnergyPointOptions& options,
                     parallel::DevicePool* pool = nullptr)
-      : ctx_(ctx), dm_(dm), lead_(lead), folded_(folded), options_(options),
+      : ctx_(ctx), dm_(dm), lead_(&lead), folded_(&folded), options_(options),
+        pool_(pool) {}
+
+  /// N-terminal variant: the worker routes every point through the
+  /// ContactSet entry (whose symmetric-classic case is the constructor
+  /// above's path, bit for bit).  The set's leads/folded must outlive the
+  /// worker; the set itself is copied.
+  EnergySweepWorker(EnergyPointContext& ctx, const dft::DeviceMatrices& dm,
+                    ContactSet contacts, const EnergyPointOptions& options,
+                    parallel::DevicePool* pool = nullptr)
+      : ctx_(ctx), dm_(dm), contacts_(std::move(contacts)), options_(options),
         pool_(pool) {}
 
   EnergyPointResult solve(double energy) {
-    return solve_energy_point(ctx_, dm_, lead_, folded_, energy, options_,
+    if (!contacts_.empty())
+      return solve_energy_point(ctx_, dm_, contacts_, energy, options_, pool_);
+    return solve_energy_point(ctx_, dm_, *lead_, *folded_, energy, options_,
                               pool_);
   }
+
+  std::vector<cplx> solve_greens(cplx energy,
+                                 const EnergyPointOptions& options) {
+    if (!contacts_.empty())
+      return solve_greens_diagonal(ctx_, dm_, contacts_, energy, options);
+    return solve_greens_diagonal(ctx_, dm_, *lead_, *folded_, energy, options);
+  }
+
+  const ContactSet& contacts() const noexcept { return contacts_; }
 
  private:
   EnergyPointContext& ctx_;
   const dft::DeviceMatrices& dm_;
-  const dft::LeadBlocks& lead_;
-  const dft::FoldedLead& folded_;
+  const dft::LeadBlocks* lead_ = nullptr;
+  const dft::FoldedLead* folded_ = nullptr;
+  ContactSet contacts_;  ///< empty = classic two-identical-contacts mode
   EnergyPointOptions options_;
   parallel::DevicePool* pool_;
 };
@@ -257,6 +329,15 @@ FetchedBoundary fetch_boundary(obc::Strategy& strategy,
                                const dft::FoldedLead& folded, cplx energy,
                                const EnergyPointOptions& options);
 
+/// Per-contact variant: the cache key carries the contact's canonical id,
+/// its own shift, and its lead content hash, so dissimilar leads and
+/// per-contact shifts cache (and invalidate) independently.  The boundary
+/// itself is evaluated at E - contact.shift regardless of the global
+/// options.obc_opts.contact_shift.
+FetchedBoundary fetch_boundary(obc::Strategy& strategy, const Contact& contact,
+                               int contact_id, cplx energy,
+                               const EnergyPointOptions& options);
+
 /// The RHS column layout of one point:
 /// [e_first I, e_last I (gcols), Inj (n_inc), Inj_r (n_inc_r)].
 struct RhsShape {
@@ -267,19 +348,24 @@ struct RhsShape {
   bool want_caroli = false;
 };
 
-RhsShape rhs_shape(const obc::Boundary& bnd, bool have_injection, idx sf,
+/// `left` supplies the source-side data (sigma_l, inj), `right` the
+/// drain-side data (sigma_r, inj_r, mode basis).  The symmetric pipeline
+/// passes the same Boundary for both — every read then aliases the
+/// pre-refactor single-boundary arithmetic exactly.
+RhsShape rhs_shape(const obc::Boundary& left, const obc::Boundary& right,
+                   bool have_injection, idx sf,
                    const EnergyPointOptions& options);
 
 /// Stage 3a: assemble the sparse boundary RHS blocks for `shape`.
-void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& bnd,
-               const RhsShape& shape, idx sf);
+void build_rhs(CMatrix& b_top, CMatrix& b_bot, const obc::Boundary& left,
+               const obc::Boundary& right, const RhsShape& shape, idx sf);
 
 /// Stage 4: all observables (Caroli + wave-function transmission, density,
 /// currents) from the solved block columns `x`.
 void finalize_observables(EnergyPointResult& out, const BlockTridiag& a,
-                          const obc::Boundary& bnd, bool have_injection,
-                          const RhsShape& shape, const CMatrix& x,
-                          const EnergyPointOptions& options);
+                          const obc::Boundary& left, const obc::Boundary& right,
+                          bool have_injection, const RhsShape& shape,
+                          const CMatrix& x, const EnergyPointOptions& options);
 
 /// Shared guard: density/current requests need a mode-based OBC.
 void require_injection_support(const obc::Strategy& strategy,
@@ -309,6 +395,18 @@ std::vector<cplx> matsubara_poles(double mu, double kt, int n);
 double landauer_current(const std::vector<double>& energies,
                         const std::vector<double>& transmission, double mu_l,
                         double mu_r, double kt);
+
+/// Multi-terminal Buettiker currents (same units as landauer_current):
+///   I_p = integral sum_{q != p} [T_pq(E) f(E, mu_p) - T_qp(E) f(E, mu_q)] dE.
+/// `t_matrix[i]` is the row-major nc x nc pairwise matrix at energies[i]
+/// and `mu` has nc entries.  Every product T_pq f_p enters the sum twice
+/// with opposite signs, so sum_p I_p vanishes to rounding — the
+/// current-conservation identity the 3-terminal tests gate on.  For nc = 2
+/// with T_01 == T_10 this reduces to landauer_current term by term.
+std::vector<double> buttiker_currents(
+    const std::vector<double>& energies,
+    const std::vector<std::vector<double>>& t_matrix,
+    const std::vector<double>& mu, double kt);
 
 /// Sum orbital density onto physical cells (fold * cells entries).
 std::vector<double> density_per_cell(const std::vector<double>& orbital_density,

@@ -1,0 +1,212 @@
+// Tests for the N-terminal contact layer: ContactSet geometry/routing
+// helpers, the lead content hash, and the per-contact partitioning of the
+// BoundaryCache (dissimilar leads must cache — and invalidate —
+// independently).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dft/hamiltonian.hpp"
+#include "numeric/matrix.hpp"
+#include "obc/boundary_cache.hpp"
+#include "transport/contacts.hpp"
+
+namespace df = omenx::dft;
+namespace nm = omenx::numeric;
+namespace ob = omenx::obc;
+namespace tr = omenx::transport;
+using nm::CMatrix;
+using nm::cplx;
+using nm::idx;
+
+namespace {
+
+df::LeadBlocks chain_lead(double t = -1.0, double onsite = 0.0) {
+  df::LeadBlocks lead;
+  lead.h.resize(2);
+  lead.s.resize(2);
+  lead.h[0] = CMatrix{{cplx{onsite}}};
+  lead.h[1] = CMatrix{{cplx{t}}};
+  lead.s[0] = CMatrix::identity(1);
+  lead.s[1] = CMatrix(1, 1);
+  return lead;
+}
+
+}  // namespace
+
+TEST(ContactSet, PairFactoryIsTheClassicLayout) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto set = tr::ContactSet::pair(lead, folded, 0.1, -0.1);
+  ASSERT_EQ(set.size(), 2);
+  EXPECT_TRUE(set.classic_pair(5));
+  EXPECT_EQ(set.left(5), 0);
+  EXPECT_EQ(set.right(5), 1);
+  EXPECT_EQ(set.resolve_block(0, 5), 0);
+  EXPECT_EQ(set.resolve_block(1, 5), 4);  // kLastBlock resolves to nb - 1
+  EXPECT_DOUBLE_EQ(set[0].mu, 0.1);
+  EXPECT_DOUBLE_EQ(set[1].mu, -0.1);
+  // One lead serves both ends: the contacts share boundary data, so the
+  // right contact caches under the left contact's canonical id.
+  EXPECT_TRUE(set.same_boundary(0, 1));
+  EXPECT_EQ(set.representative(0), 0);
+  EXPECT_EQ(set.representative(1), 0);
+  EXPECT_NO_THROW(set.validate(5));
+}
+
+TEST(ContactSet, ReversedPairNormalizesLeftRight) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  std::vector<tr::Contact> cs(2);
+  cs[0].lead = &lead;
+  cs[0].folded = &folded;
+  cs[0].block = tr::kLastBlock;
+  cs[1].lead = &lead;
+  cs[1].folded = &folded;
+  cs[1].block = 0;
+  const tr::ContactSet set(std::move(cs));
+  EXPECT_TRUE(set.classic_pair(4));
+  EXPECT_EQ(set.left(4), 1);
+  EXPECT_EQ(set.right(4), 0);
+}
+
+TEST(ContactSet, ValidateRejectsBadLayouts) {
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  // Fewer than two terminals.
+  {
+    std::vector<tr::Contact> cs(1);
+    cs[0].lead = &lead;
+    cs[0].folded = &folded;
+    cs[0].block = 0;
+    EXPECT_THROW(tr::ContactSet(std::move(cs)).validate(4),
+                 std::invalid_argument);
+  }
+  // Duplicate attachment blocks (kLastBlock aliases nb - 1).
+  {
+    std::vector<tr::Contact> cs(2);
+    for (auto& c : cs) {
+      c.lead = &lead;
+      c.folded = &folded;
+    }
+    cs[0].block = 3;
+    cs[1].block = tr::kLastBlock;
+    EXPECT_THROW(tr::ContactSet(std::move(cs)).validate(4),
+                 std::invalid_argument);
+  }
+  // Out-of-range block.
+  {
+    std::vector<tr::Contact> cs(2);
+    for (auto& c : cs) {
+      c.lead = &lead;
+      c.folded = &folded;
+    }
+    cs[0].block = 0;
+    cs[1].block = 9;
+    EXPECT_THROW(tr::ContactSet(std::move(cs)).validate(4),
+                 std::invalid_argument);
+  }
+  // Null lead.
+  {
+    std::vector<tr::Contact> cs(2);
+    cs[0].lead = &lead;
+    cs[0].folded = &folded;
+    cs[0].block = 0;
+    cs[1].block = tr::kLastBlock;
+    EXPECT_THROW(tr::ContactSet(std::move(cs)).validate(4),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ContactSet, DissimilarContactsGetDistinctRepresentatives) {
+  const auto lead_a = chain_lead(-1.0);
+  const auto lead_b = chain_lead(-1.4);
+  const auto folded_a = df::fold_lead(lead_a);
+  const auto folded_b = df::fold_lead(lead_b);
+  std::vector<tr::Contact> cs(3);
+  cs[0].lead = &lead_a;
+  cs[0].folded = &folded_a;
+  cs[0].block = 0;
+  cs[1].lead = &lead_b;
+  cs[1].folded = &folded_b;
+  cs[1].block = 1;
+  cs[2].lead = &lead_a;
+  cs[2].folded = &folded_a;
+  cs[2].block = tr::kLastBlock;
+  const tr::ContactSet set(std::move(cs));
+  EXPECT_FALSE(set.classic_pair(4));
+  EXPECT_FALSE(set.same_boundary(0, 1));
+  EXPECT_TRUE(set.same_boundary(0, 2));
+  EXPECT_EQ(set.representative(1), 1);
+  EXPECT_EQ(set.representative(2), 0);
+  // A per-contact shift splits otherwise identical contacts: the boundary
+  // at energy E depends on the shift.
+  auto shifted = set.contacts();
+  shifted[2].shift = 0.2;
+  const tr::ContactSet split(std::move(shifted));
+  EXPECT_FALSE(split.same_boundary(0, 2));
+  EXPECT_EQ(split.representative(2), 2);
+}
+
+TEST(ContactSet, LeadContentHashTracksTheMatrixBits) {
+  const auto lead = chain_lead(-1.0, 0.2);
+  auto copy = lead;
+  EXPECT_EQ(tr::lead_content_hash(lead), tr::lead_content_hash(copy));
+  copy.h[1](0, 0) += cplx{1e-15};  // any bit change must re-key the cache
+  EXPECT_NE(tr::lead_content_hash(lead), tr::lead_content_hash(copy));
+  EXPECT_NE(tr::lead_content_hash(lead),
+            tr::lead_content_hash(chain_lead(-1.2, 0.2)));
+}
+
+TEST(BoundaryCache, ContactsPartitionTheKeySpace) {
+  ob::BoundaryCache cache;
+  ob::Boundary bnd;
+  bnd.sigma_l = CMatrix::identity(1);
+  ob::BoundaryKey key0{/*k=*/0, /*energy=*/0.5, /*contact_shift=*/0.0,
+                       /*algorithm=*/1};
+  ob::BoundaryKey key1 = key0;
+  key1.contact = 1;
+  key1.lead_hash = 77;
+  // Same (k, E, shift, algorithm) under different contact ids are distinct
+  // entries.
+  EXPECT_EQ(cache.find(key0), nullptr);
+  cache.insert(key0, bnd);
+  EXPECT_EQ(cache.find(key1), nullptr);
+  cache.insert(key1, bnd);
+  EXPECT_NE(cache.find(key0), nullptr);
+  EXPECT_NE(cache.find(key1), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Per-contact counters saw exactly their own traffic.
+  const auto s0 = cache.contact_stats(0);
+  const auto s1 = cache.contact_stats(1);
+  EXPECT_EQ(s0.hits, 1u);
+  EXPECT_EQ(s0.misses, 1u);
+  EXPECT_EQ(s1.hits, 1u);
+  EXPECT_EQ(s1.misses, 1u);
+  EXPECT_EQ(cache.contacts_seen(), (std::vector<int>{0, 1}));
+
+  // Dropping contact 0 must leave contact 1's entries untouched.
+  cache.invalidate_contact(0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(key0), nullptr);
+  EXPECT_NE(cache.find(key1), nullptr);
+  EXPECT_EQ(cache.contact_stats(0).invalidations, 1u);
+  EXPECT_EQ(cache.contact_stats(1).invalidations, 0u);
+}
+
+TEST(BoundaryCache, LeadHashKeysDissimilarMaterials) {
+  // A swapped lead material under a *reused* contact id must still miss:
+  // the content hash is part of the key.
+  ob::BoundaryCache cache;
+  ob::Boundary bnd;
+  ob::BoundaryKey a{/*k=*/0, /*energy=*/1.0, /*contact_shift=*/0.0,
+                    /*algorithm=*/0};
+  a.contact = 1;
+  a.lead_hash = tr::lead_content_hash(chain_lead(-1.0));
+  ob::BoundaryKey b = a;
+  b.lead_hash = tr::lead_content_hash(chain_lead(-1.3));
+  cache.insert(a, bnd);
+  EXPECT_NE(cache.find(a), nullptr);
+  EXPECT_EQ(cache.find(b), nullptr);
+}
