@@ -1,0 +1,218 @@
+// Dissipative-transport bench and CI gate (BENCH_scattering.json).
+//
+// Four gates guard the scattering::SelfEnergy layer:
+//   * ballistic parity — buttiker_probe at eta = 0 attaches nothing, and
+//     the pipeline must reproduce the kNone run *bitwise* (max |dT| and
+//     max |drho| exactly 0, not a tolerance): the provider list degrades
+//     to the contacts alone and routes through the pre-refactor code path,
+//     caching included;
+//   * probe-current leak — with eta > 0 the inner Newton loop tunes every
+//     probe's chemical potential to zero net current: the relative leak
+//     max_p |I_p| / max_q |I_q| must be <= 1e-10, and the two real
+//     terminals must balance to the same precision;
+//   * monotonic dephasing — the two-terminal current must be
+//     non-increasing over an eta ramp {0, 0.02, 0.1, 0.3}: probes only
+//     ever redistribute current, never amplify it;
+//   * world-size bit-identity — the dissipative sweep (probe contacts on
+//     the multi-terminal wire protocol) must be bit-identical across
+//     engine world sizes {1, 2, 4} with work stealing enabled.
+// Nonzero exit if any gate fails.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "omen/simulator.hpp"
+#include "scattering/self_energy.hpp"
+#include "transport/bands.hpp"
+#include "transport/contacts.hpp"
+#include "transport/transmission.hpp"
+
+using namespace omenx;
+using numeric::idx;
+
+namespace {
+
+lattice::Structure chain_structure(idx cells, double cell_length = 0.5) {
+  lattice::Structure chain;
+  chain.cell_atoms = {{lattice::Species::kLi, {0.0, 0.0, 0.0}}};
+  chain.cell_length = cell_length;
+  chain.num_cells = cells;
+  chain.name = "scattering bench chain";
+  return chain;
+}
+
+omen::SimulationConfig base_config(idx cells) {
+  omen::SimulationConfig cfg;
+  cfg.structure = chain_structure(cells);
+  cfg.build.cutoff_nm = 1.0;  // NBW = 2: folded supercells
+  cfg.point.obc = transport::ObcAlgorithm::kShiftInvert;
+  cfg.point.solver = transport::SolverAlgorithm::kBlockLU;
+  return cfg;
+}
+
+scattering::Spec buttiker(double eta, std::vector<idx> blocks = {}) {
+  scattering::Spec spec;
+  spec.algorithm = scattering::ScatteringAlgorithm::kButtikerProbe;
+  spec.options.buttiker.eta = eta;
+  spec.options.buttiker.blocks = std::move(blocks);
+  return spec;
+}
+
+double max_abs_delta(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double out = 0.0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i)
+    out = std::max(out, std::abs(a[i] - b[i]));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::header("Buettiker-probe scattering: ballistic parity, probe "
+                    "leak, monotonic dephasing, world-size identity");
+
+  omen::Simulator probe(base_config(16));
+  const auto win = transport::band_window(probe.bands(9));
+  const double mid = 0.5 * (win.emin + win.emax);
+  std::vector<double> grid;
+  for (double e = win.emin + 0.05; e < win.emax; e += 0.04)
+    grid.push_back(e);
+  std::vector<double> cgrid;
+  for (double e = mid - 0.4; e <= mid + 0.4; e += 0.04) cgrid.push_back(e);
+  std::vector<double> barrier(16, 0.0);
+  barrier[7] = barrier[8] = 0.5;
+
+  // --- gate 1: eta = 0 is bitwise-identical to the ballistic pipeline ----
+  omen::Simulator ballistic(base_config(16));
+  omen::Simulator zero_eta(base_config(16));
+  zero_eta.set_scattering(buttiker(0.0));
+
+  const auto t_ballistic = ballistic.transmission_spectrum(grid, &barrier);
+  const auto t_zero = zero_eta.transmission_spectrum(grid, &barrier);
+  const auto q_ballistic =
+      ballistic.charge_density(cgrid, mid, mid - 0.2, &barrier);
+  const auto q_zero = zero_eta.charge_density(cgrid, mid, mid - 0.2, &barrier);
+  const double parity_dt =
+      max_abs_delta(t_ballistic.transmission, t_zero.transmission);
+  const double parity_dq = max_abs_delta(q_ballistic, q_zero);
+  const bool parity_gate = parity_dt == 0.0 && parity_dq == 0.0 &&
+                           zero_eta.probe_sites().empty();
+  std::printf("ballistic parity (eta = 0): max|dT| = %.3g, max|drho| = %.3g "
+              "(gate == 0: %s)\n",
+              parity_dt, parity_dq, parity_gate ? "yes" : "NO");
+
+  // --- gate 2: tuned probes leak nothing -------------------------------
+  // A dephasing ladder over the interior of the barrier device: after the
+  // Newton loop every probe's net current must vanish to <= 1e-10 relative
+  // to the terminal currents, which then balance exactly.
+  omen::Simulator dissipative(base_config(16));
+  dissipative.set_scattering(buttiker(0.1));
+  const std::size_t num_probes = dissipative.probe_sites().size();
+  benchutil::WallTimer tune_timer;
+  const auto currents =
+      dissipative.terminal_currents(grid, {mid + 0.1, mid - 0.1}, &barrier);
+  const double tune_wall = tune_timer.seconds();
+  const auto& tune = dissipative.last_probe_tune();
+  const double terminal_scale =
+      std::max(std::abs(currents[0]), std::abs(currents[1]));
+  const double balance =
+      std::abs(currents[0] + currents[1]) / std::max(1.0, terminal_scale);
+  const bool leak_gate = tune.converged && tune.max_residual <= 1e-10 &&
+                         balance <= 1e-10 && terminal_scale > 1e-9;
+  std::printf("probe leak (%zu probes, %d Newton iterations, %.3f s): "
+              "max|I_p|/max|I| = %.3g, terminal balance = %.3g "
+              "(gate <= 1e-10: %s)\n",
+              num_probes, tune.iterations, tune_wall, tune.max_residual,
+              balance, leak_gate ? "yes" : "NO");
+
+  // --- gate 3: conductance degrades monotonically with eta ---------------
+  const std::vector<double> etas{0.0, 0.02, 0.1, 0.3};
+  std::vector<double> ramp;
+  bool mono_gate = true;
+  for (const double eta : etas) {
+    omen::Simulator sim(base_config(16));
+    if (eta > 0.0) sim.set_scattering(buttiker(eta));
+    const double current =
+        sim.current(grid, mid + 0.05, mid - 0.05, &barrier);
+    if (!ramp.empty())
+      mono_gate = mono_gate && current <= ramp.back() * (1.0 + 1e-12);
+    mono_gate = mono_gate && current > 0.0;
+    ramp.push_back(current);
+  }
+  std::printf("dephasing ramp I(eta): {%.5e, %.5e, %.5e, %.5e} "
+              "(monotone non-increasing: %s)\n",
+              ramp[0], ramp[1], ramp[2], ramp[3], mono_gate ? "yes" : "NO");
+
+  // --- gate 4: bit-identity across world sizes under stealing ------------
+  omen::SimulationConfig world_cfg = base_config(16);
+  world_cfg.point.scattering = buttiker(0.07, {2, 5});
+  omen::Simulator reference(world_cfg);
+  const auto t_ref = reference.transmission_spectrum(grid, &barrier);
+  const auto i_ref =
+      reference.terminal_currents(grid, {mid + 0.1, mid - 0.1}, &barrier);
+  bool world_gate = !t_ref.t_matrix.empty();
+  double worst_world_dt = 0.0;
+  for (const int ranks : {1, 2, 4}) {
+    omen::SimulationConfig cfg = world_cfg;
+    cfg.num_ranks = ranks;
+    cfg.work_stealing = true;
+    omen::Simulator sim(cfg);
+    const auto sp = sim.transmission_spectrum(grid, &barrier);
+    const auto currents =
+        sim.terminal_currents(grid, {mid + 0.1, mid - 0.1}, &barrier);
+    double dt = 0.0;
+    for (std::size_t ie = 0; ie < t_ref.t_matrix.size(); ++ie)
+      dt = std::max(dt, max_abs_delta(sp.t_matrix[ie], t_ref.t_matrix[ie]));
+    dt = std::max(dt, max_abs_delta(currents, i_ref));
+    worst_world_dt = std::max(worst_world_dt, dt);
+    world_gate = world_gate && dt == 0.0;
+  }
+  std::printf("world sizes {1, 2, 4} + stealing: max|dT_pq| + max|dI| = %.3g "
+              "(gate == 0: %s)\n",
+              worst_world_dt, world_gate ? "yes" : "NO");
+
+  // --- JSON record -------------------------------------------------------
+  std::string json = "{\n";
+  {
+    benchutil::JsonWriter w;
+    w.field("max_dt", parity_dt);
+    w.field("max_drho", parity_dq, true);
+    json += "  \"ballistic_parity\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("num_probes", static_cast<double>(num_probes));
+    w.field("newton_iterations", static_cast<double>(tune.iterations));
+    w.field("tune_wall_s", tune_wall);
+    w.field("probe_leak", tune.max_residual);
+    w.field("terminal_balance", balance, true);
+    json += "  \"probe_tuning\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("current_eta_0", ramp[0]);
+    w.field("current_eta_0p02", ramp[1]);
+    w.field("current_eta_0p1", ramp[2]);
+    w.field("current_eta_0p3", ramp[3], true);
+    json += "  \"dephasing_ramp\": {" + w.body + "},\n";
+  }
+  {
+    benchutil::JsonWriter w;
+    w.field("ballistic_bitwise_identical", parity_gate ? 1.0 : 0.0);
+    w.field("probe_leak_le_1e10", leak_gate ? 1.0 : 0.0);
+    w.field("conductance_monotone", mono_gate ? 1.0 : 0.0);
+    w.field("world_sizes_bit_identical", world_gate ? 1.0 : 0.0, true);
+    json += "  \"gates\": {" + w.body + "}\n}\n";
+  }
+  std::FILE* f = std::fopen("BENCH_scattering.json", "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scattering.json\n");
+  }
+  return parity_gate && leak_gate && mono_gate && world_gate ? 0 : 1;
+}

@@ -64,6 +64,12 @@ struct BoundaryKey {
   /// untracked (direct callers without an engine fingerprint).  Makes a
   /// swapped lead material a guaranteed miss even under a reused contact id.
   std::uint64_t lead_hash = 0;
+  /// Scattering-model component (scattering::boundary_key_component): 0 for
+  /// the ballistic pipeline and for every model that leaves the contact
+  /// boundaries untouched (Büttiker probes live on interior blocks).  Only
+  /// models advertising kModifiesBoundaries populate it, so existing callers'
+  /// keys — ordering, values, hit rates — are bit-identical to pre-refactor.
+  std::uint64_t scattering = 0;
 
   friend bool operator<(const BoundaryKey& a, const BoundaryKey& b) noexcept {
     if (a.contact != b.contact) return a.contact < b.contact;
@@ -73,6 +79,7 @@ struct BoundaryKey {
     if (a.contact_shift != b.contact_shift)
       return a.contact_shift < b.contact_shift;
     if (a.lead_hash != b.lead_hash) return a.lead_hash < b.lead_hash;
+    if (a.scattering != b.scattering) return a.scattering < b.scattering;
     return a.algorithm < b.algorithm;
   }
 };

@@ -12,7 +12,16 @@
 namespace omenx::obc {
 
 struct DecimationOptions {
-  double eta = 1e-6;     ///< imaginary energy broadening (eV)
+  /// Imaginary energy broadening (eV).  THE single default: 1e-7 — small
+  /// enough that decimation and the eigenvalue OBCs agree to the parity
+  /// tolerances, large enough that the Sancho-Rubio iteration converges in
+  /// a handful of doublings.  (Historically this header said 1e-6 while
+  /// ObcOptions overrode it to 1e-7; the override is gone and this value
+  /// is authoritative.)  On the real axis eta must be > 0 — the surface
+  /// Green's function has poles there — and DecimationStrategy rejects
+  /// eta <= 0 with std::invalid_argument; off-axis (contour) energies
+  /// carry their own Im(E) and tolerate eta = 0.
+  double eta = 1e-7;
   idx max_iter = 200;
   double tol = 1e-12;    ///< convergence on the coupling norm
 

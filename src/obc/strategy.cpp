@@ -72,8 +72,16 @@ class DecimationStrategy final : public Strategy {
   unsigned capabilities() const noexcept override { return 0; }
 
  protected:
-  Boundary compute(const dft::LeadBlocks&, const LeadOperators& ops, cplx,
+  Boundary compute(const dft::LeadBlocks&, const LeadOperators& ops, cplx e,
                    const ObcOptions& options) override {
+    // On the real axis the surface Green's function has poles at the lead
+    // bands: without a positive broadening the Sancho-Rubio iteration
+    // diverges or stalls on them.  Off-axis (contour) energies carry their
+    // own Im(E) and need no artificial eta.
+    if (e.imag() == 0.0 && options.decimation.eta <= 0.0)
+      throw std::invalid_argument(
+          "decimation: eta must be > 0 on the real axis (the surface "
+          "Green's function has poles there)");
     Boundary out;
     out.sigma_l = sigma_left_decimation(ops, options.decimation);
     out.sigma_r = sigma_right_decimation(ops, options.decimation);

@@ -57,7 +57,9 @@ struct ObcOptions {
   FeastOptions feast;
   BeynOptions beyn;
   ShiftInvertOptions shift_invert;
-  DecimationOptions decimation{/*eta=*/1e-7};
+  /// Default-constructed: DecimationOptions' own eta = 1e-7 is the single
+  /// authoritative broadening default (an override here once shadowed it).
+  DecimationOptions decimation;
   BoundaryOptions boundary;  ///< shared pseudo-inverse ridge
   /// Uniform lead (contact) potential shift (eV).  A lead floating at
   /// potential V has H -> H + V*S, so its boundary at energy E equals the

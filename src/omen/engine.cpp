@@ -217,6 +217,7 @@ bool contacts_are_classic_symmetric(const SweepRequest& req) {
   const SweepContact& a = req.contacts[0];
   const SweepContact& b = req.contacts[1];
   if (a.material >= 0 || b.material >= 0) return false;
+  if (a.probe_eta > 0.0 || b.probe_eta > 0.0) return false;
   if (a.shift != b.shift) return false;
   return (a.block == 0 && b.block == transport::kLastBlock) ||
          (a.block == transport::kLastBlock && b.block == 0);
@@ -252,7 +253,11 @@ transport::ContactSet build_contact_set(
   cs.reserve(req.contacts.size());
   for (const SweepContact& sc : req.contacts) {
     transport::Contact c;
-    if (sc.material < 0) {
+    if (sc.probe_eta > 0.0) {
+      // Büttiker probe: no lead material travels or caches for this
+      // terminal — its self-energy is the local -i*eta*I.
+      c.probe_eta = sc.probe_eta;
+    } else if (sc.material < 0) {
       c.lead = &lead;
       c.folded = &folded;
     } else {
@@ -262,7 +267,7 @@ transport::ContactSet build_contact_set(
     c.mu = sc.mu;
     c.shift = sc.shift;
     c.block = sc.block;
-    c.lead_hash = transport::lead_content_hash(*c.lead);
+    if (c.lead != nullptr) c.lead_hash = transport::lead_content_hash(*c.lead);
     cs.push_back(c);
   }
   return transport::ContactSet(std::move(cs));
@@ -613,10 +618,17 @@ void validate_request(const SweepRequest& req) {
   if (!req.contacts.empty()) {
     const int materials = static_cast<int>(
         req.contact_leads != nullptr ? req.contact_leads->size() : 0);
-    for (const SweepContact& c : req.contacts)
+    for (const SweepContact& c : req.contacts) {
       if (c.material >= materials)
         throw std::invalid_argument(
             "Engine: contact material index out of range");
+      if (c.probe_eta < 0.0)
+        throw std::invalid_argument("Engine: contact probe_eta is negative");
+      if (c.probe_eta > 0.0 && c.material >= 0)
+        throw std::invalid_argument(
+            "Engine: a Buettiker probe carries no lead material "
+            "(probe_eta > 0 requires material == -1)");
+    }
     if (req.contact_leads != nullptr)
       for (const auto& row : *req.contact_leads)
         if (row.size() < req.energies.size())
@@ -689,14 +701,17 @@ std::vector<std::uint64_t> contact_signatures(const SweepRequest& req,
       h ^= v;
       h *= 1099511628211ull;
     };
-    mix(c.material < 0
-            ? classic_hash
-            : leads_fingerprint(
-                  (*req.contact_leads)[static_cast<std::size_t>(c.material)]));
+    mix(c.probe_eta > 0.0
+            ? 0  // probes carry no lead material
+            : (c.material < 0 ? classic_hash
+                              : leads_fingerprint((*req.contact_leads)
+                                    [static_cast<std::size_t>(c.material)])));
     std::uint64_t bits = 0;
     std::memcpy(&bits, &c.shift, sizeof(bits));
     mix(bits);
     mix(static_cast<std::uint64_t>(c.block));
+    std::memcpy(&bits, &c.probe_eta, sizeof(bits));
+    mix(bits);
     sigs.push_back(h);
   }
   return sigs;
@@ -1029,11 +1044,23 @@ SweepResult Engine::run_flat(const SweepRequest& request) {
   const BackendArbiter arbiter = make_backend_arbiter(
       config_, device_storage, pool_, rank_residency(0));
 
+  // Classic-mode scattering that attaches probes turns every task into a
+  // multi-terminal solve: the batched classic pipeline no longer applies
+  // (solve_energy_batch would only degrade it back to scalar solves), so
+  // keep the across-task thread-pool parallelism instead.  A model that
+  // attaches nothing (kNone, buttiker at eta <= 0) changes nothing here.
+  const bool scattering_probes =
+      !contact_mode && n > 0 &&
+      popt.scattering.algorithm != scattering::ScatteringAlgorithm::kNone &&
+      !scattering::assemble_probes(popt.scattering, dms[0].h.num_blocks(),
+                                   {0, dms[0].h.num_blocks() - 1})
+           .empty();
+
   bool use_batches = false;
   // Contact mode never batches: the batched pipeline is the classic
   // single-boundary arithmetic, and contact tasks route through the
   // ContactSet entry points one at a time (still across-task parallel).
-  if (config_.batch_tasks && n > 0 && !contact_mode) {
+  if (config_.batch_tasks && n > 0 && !contact_mode && !scattering_probes) {
     const idx nbb = dms[0].h.num_blocks();
     const idx sbb = dms[0].h.block_size();
     solvers::SolverContext binding;
@@ -1385,8 +1412,14 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
         // Spatial groups solve cooperatively, one point at a time; contact
         // mode routes every task through the ContactSet entry points
         // (never the batched classic pipeline).
+        // An active scattering model disqualifies batching outright (the
+        // device shape is unknown until a task's blocks arrive, so this is
+        // spec-level, conservative): attached probes would only degrade
+        // the batch to serial scalar solves inside solve_energy_batch.
         const bool use_batches =
-            config_.batch_tasks && !spatial_group && !contact_mode;
+            config_.batch_tasks && !spatial_group && !contact_mode &&
+            popt.scattering.algorithm ==
+                scattering::ScatteringAlgorithm::kNone;
         const std::size_t batch_cap =
             static_cast<std::size_t>(std::max(1, config_.max_batch));
         // This leader's backend policy over its accelerator slice.  The
@@ -1534,9 +1567,18 @@ SweepResult Engine::run_distributed(const SweepRequest& request) {
               // members must not wait to serve a cooperative solve the
               // leader runs solo.  A dissimilar classic pair still routes
               // through solve_boundary and may cooperate.
+              // Classic tasks whose scattering model attaches probes also
+              // run solo: the solve delegates to the multi-terminal path,
+              // which never splits spatially.
               const bool solo =
                   is_gf ||
-                  (contact_mode && !classic_pair_blocks(request, nbb));
+                  (contact_mode && !classic_pair_blocks(request, nbb)) ||
+                  (!contact_mode &&
+                   popt.scattering.algorithm !=
+                       scattering::ScatteringAlgorithm::kNone &&
+                   !scattering::assemble_probes(popt.scattering, nbb,
+                                                {0, nbb - 1})
+                        .empty());
               const auto algo =
                   solo ? solvers::SolverAlgorithm::kRgf
                        : solvers::resolve_algorithm(popt.solver, nbb, sbb,

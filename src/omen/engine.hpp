@@ -110,6 +110,12 @@ struct SweepContact {
   /// Lead material: -1 = this k's entry of `leads` (the classic material),
   /// m >= 0 = row m of `contact_leads`.
   int material = -1;
+  /// Büttiker-probe strength (eV).  > 0 marks this terminal as a lead-less
+  /// phenomenological probe (transport::Contact::probe_eta): no lead blocks
+  /// travel or cache for it, its self-energy is the local -i*eta*I, and
+  /// `material` must stay -1 (validate_request).  mu is the probe potential,
+  /// normally pre-tuned by the caller (scattering::tune_probe_potentials).
+  double probe_eta = 0.0;
 };
 
 /// Inputs of one distributed (k, E) sweep.  Only the root reads the lead
@@ -187,6 +193,13 @@ struct EngineStats {
   /// Per pool device: kernel-busy seconds accumulated during this run —
   /// the Fig. 12(b) occupancy timeline's integral.  Empty without a pool.
   std::vector<double> device_busy_seconds;
+  // --- dissipative-transport counters (zero for ballistic sweeps; the
+  // probe-tuning loop runs *above* the engine, so these are filled by the
+  // caller that owns it — omen::Simulator records its last tuning pass
+  // here before handing the stats out) --------------------------------
+  idx probe_terminals = 0;        ///< Büttiker probes attached per task
+  idx probe_iterations = 0;       ///< Newton iterations of the tuning loop
+  double probe_residual = 0.0;    ///< final max |I_probe| / max |I_terminal|
   /// Per-contact boundary-cache activity of *this run* (deltas of the
   /// persistent caches, summed over ranks; index = contact id).  Empty for
   /// classic requests (no `contacts`) or when caching is disabled.  The

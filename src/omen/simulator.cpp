@@ -26,6 +26,16 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
     lead_.push_back(dft::build_lead_blocks(config_.structure, basis, opts));
     folded_.push_back(dft::fold_lead(lead_.back()));
   }
+  // The device's block count is fixed by the supercell fold of
+  // assemble_device — resolve it once: contact attachment blocks validate
+  // against it, and the scattering model's probe layout is built from it.
+  {
+    const auto assembled = dft::assemble_device(
+        lead_.front(), config_.structure.num_cells,
+        std::vector<double>(
+            static_cast<std::size_t>(config_.structure.num_cells), 0.0));
+    device_blocks_ = assembled.h.num_blocks();
+  }
   // N-terminal layout: build the per-material lead tables and validate the
   // attachment geometry *now* — a bad layout must surface as
   // std::invalid_argument at construction, before any engine world exists
@@ -57,14 +67,7 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
       contact_leads_.push_back(std::move(row));
       contact_folded_.push_back(std::move(frow));
     }
-    // Resolve the attachment blocks against the actual folded device:
-    // assemble_device fixes the supercell fold, and with it the block
-    // count every sweep will see.
-    const auto probe = dft::assemble_device(
-        lead_.front(), config_.structure.num_cells,
-        std::vector<double>(
-            static_cast<std::size_t>(config_.structure.num_cells), 0.0));
-    device_blocks_ = probe.h.num_blocks();
+    // Resolve the attachment blocks against the actual folded device.
     for (const ContactConfig& cc : config_.contacts) {
       const idx b =
           cc.block == transport::kLastBlock ? device_blocks_ - 1 : cc.block;
@@ -99,6 +102,28 @@ Simulator::Simulator(SimulationConfig config) : config_(std::move(config)) {
   lead_band_min_ =
       transport::band_window(transport::lead_band_structure(folded_.front()))
           .emin;
+  rebuild_probe_sites();
+}
+
+void Simulator::rebuild_probe_sites() {
+  probe_sites_.clear();
+  if (config_.point.scattering.algorithm ==
+      scattering::ScatteringAlgorithm::kNone)
+    return;
+  std::vector<idx> occupied = contact_blocks_;
+  if (occupied.empty()) occupied = {0, device_blocks_ - 1};
+  probe_sites_ = scattering::assemble_probes(config_.point.scattering,
+                                             device_blocks_, occupied);
+}
+
+void Simulator::set_scattering(const scattering::Spec& spec) {
+  // No cache invalidation: the built-in models never modify a contact
+  // boundary (scattering::kModifiesBoundaries), so cached lead solves are
+  // shared between ballistic and dissipative sweeps — by design, and the
+  // reason BENCH_scattering's parity gate can check hit rates.
+  config_.point.scattering = spec;
+  rebuild_probe_sites();
+  last_tune_ = {};
 }
 
 void Simulator::set_contact_shift(double shift) {
@@ -137,16 +162,47 @@ obc::BoundaryCache::Stats Simulator::contact_boundary_cache_stats(
 
 void Simulator::attach_contacts(SweepRequest& req,
                                 const std::vector<double>* mu) const {
-  if (config_.contacts.empty()) return;
-  req.contacts.reserve(config_.contacts.size());
-  for (std::size_t i = 0; i < config_.contacts.size(); ++i) {
+  if (config_.contacts.empty() && probe_sites_.empty()) return;
+  const std::size_t nreal = std::max<std::size_t>(config_.contacts.size(), 2);
+  req.contacts.reserve(nreal + probe_sites_.size());
+  if (config_.contacts.empty()) {
+    // Probe materialization on the implicit classic pair: the engine grows
+    // the terminal set only through explicit contacts, so the pair is
+    // spelled out the way the simulator always resolves it — source at
+    // block 0, drain at the last block, the device's own lead material,
+    // the uniform contact shift.
+    for (int i = 0; i < 2; ++i) {
+      SweepContact sc;
+      sc.mu = mu != nullptr && static_cast<std::size_t>(i) < mu->size()
+                  ? (*mu)[static_cast<std::size_t>(i)]
+                  : 0.0;
+      sc.shift = config_.point.obc_opts.contact_shift;
+      sc.block = i == 0 ? 0 : transport::kLastBlock;
+      req.contacts.push_back(sc);
+    }
+  } else {
+    for (std::size_t i = 0; i < config_.contacts.size(); ++i) {
+      SweepContact sc;
+      sc.mu = mu != nullptr && i < mu->size() ? (*mu)[i] : 0.0;
+      sc.shift = config_.contacts[i].shift;
+      sc.block = config_.contacts[i].block;
+      sc.material = contact_material_[i];
+      req.contacts.push_back(sc);
+    }
+  }
+  for (std::size_t p = 0; p < probe_sites_.size(); ++p) {
     SweepContact sc;
-    sc.mu = mu != nullptr && i < mu->size() ? (*mu)[i] : 0.0;
-    sc.shift = config_.contacts[i].shift;
-    sc.block = config_.contacts[i].block;
-    sc.material = contact_material_[i];
+    const std::size_t t = req.contacts.size();
+    sc.mu = mu != nullptr && t < mu->size() ? (*mu)[t] : 0.0;
+    sc.block = probe_sites_[p].block;
+    sc.probe_eta = probe_sites_[p].eta;
     req.contacts.push_back(sc);
   }
+  // Probes are materialized into the terminal list: clear the per-point
+  // spec so the transport-layer provider assembly cannot attach them a
+  // second time (it already skips sets carrying probes — clearing keeps
+  // the request self-describing).
+  if (!probe_sites_.empty()) req.point.scattering = {};
   if (!contact_leads_.empty()) req.contact_leads = &contact_leads_;
 }
 
@@ -246,8 +302,10 @@ Spectrum Simulator::transmission_spectrum(
     }
   }
   // >= 3-terminal layouts carry the full pairwise table, k-averaged with
-  // the same BZ weights as the scalar transmission.
-  const std::size_t ncon = config_.contacts.size();
+  // the same BZ weights as the scalar transmission.  Probe materialization
+  // counts: a classic pair plus attached probes sweeps as >= 3 terminals,
+  // so the effective count is the request's, not the configured one.
+  const std::size_t ncon = req.contacts.size();
   if (ncon >= 3 && !res.t_matrix.empty()) {
     out.t_matrix.assign(static_cast<std::size_t>(ne),
                         std::vector<double>(ncon * ncon, 0.0));
@@ -319,6 +377,23 @@ std::vector<double> Simulator::charge_density(
     if (!(energies[ie] > energies[ie - 1]))
       throw std::invalid_argument(
           "charge_density: energies must be strictly increasing");
+
+  if (!probe_sites_.empty()) {
+    // Dissipative charge: two-pass (tune the probe potentials, then occupy
+    // every terminal's injected states at its own mu).  The contour's
+    // equilibrium/bias-window split is a two-coherent-reservoir
+    // construction and does not extend to probe terminals.
+    if (quadrature != charge::QuadratureAlgorithm::kRealGrid)
+      throw std::invalid_argument(
+          "charge_density: dissipative (Buettiker-probe) charge supports "
+          "the real_grid quadrature only");
+    const auto [src, drn] =
+        ncon == 2 ? classic_pair_indices() : std::pair<idx, idx>{0, 1};
+    std::vector<double> mu(2, 0.0);
+    mu[static_cast<std::size_t>(src)] = mu_l;
+    mu[static_cast<std::size_t>(drn)] = mu_r;
+    return dissipative_charge(energies, mu, potential);
+  }
 
   // Plan the integration with the selected backend.  real_grid reproduces
   // the seed's trapezoid-times-Fermi weights bit-identically (same products
@@ -429,6 +504,8 @@ std::vector<double> Simulator::charge_density(
     if (!(energies[ie] > energies[ie - 1]))
       throw std::invalid_argument(
           "charge_density: energies must be strictly increasing");
+  if (!probe_sites_.empty())
+    return dissipative_charge(energies, mu, potential);
   const std::vector<double> w = transport::trapezoid_weights(energies);
   SweepRequest req;
   req.leads = &lead_;
@@ -456,6 +533,79 @@ std::vector<double> Simulator::charge_density(
   return res.charge;
 }
 
+const std::vector<double>& Simulator::tune_probes(const Spectrum& sp,
+                                                  const std::vector<double>& mu) {
+  if (sp.t_matrix.empty())
+    throw std::logic_error(
+        "tune_probes: sweep returned no pairwise T matrix");
+  const std::size_t nreal = mu.size();
+  const std::size_t nc = nreal + probe_sites_.size();
+  std::vector<double> mu_full(nc, 0.0);
+  std::vector<bool> is_probe(nc, false);
+  double mu0 = 0.0;
+  for (std::size_t p = 0; p < nreal; ++p) {
+    mu_full[p] = mu[p];
+    mu0 += mu[p];
+  }
+  // Probes start from the real terminals' mean — the exact zero-current
+  // solution at equilibrium, and a bracketing guess under bias.
+  mu0 /= static_cast<double>(nreal);
+  for (std::size_t p = nreal; p < nc; ++p) {
+    mu_full[p] = mu0;
+    is_probe[p] = true;
+  }
+  last_tune_ = scattering::tune_probe_potentials(
+      sp.energies, sp.t_matrix, std::move(mu_full), is_probe, kt_,
+      config_.probe_tune);
+  stats_.probe_terminals = static_cast<idx>(probe_sites_.size());
+  stats_.probe_iterations = last_tune_.iterations;
+  stats_.probe_residual = last_tune_.max_residual;
+  return last_tune_.mu;
+}
+
+std::vector<double> Simulator::dissipative_charge(
+    const std::vector<double>& energies, const std::vector<double>& mu,
+    const std::vector<double>* potential) {
+  // Pass 1: pairwise T over real + probe terminals at this potential, then
+  // drive every probe's net current to zero.
+  const Spectrum sp = transmission_spectrum(energies, potential);
+  const std::vector<double>& mu_full = tune_probes(sp, mu);
+  // Pass 2: per-terminal real-grid charge — every terminal occupies its
+  // injected states with its own Fermi weight, the probes at their tuned
+  // mu_p (a probe both absorbs and re-injects carriers; its occupation is
+  // what the zero-current condition fixes).
+  const idx cells = config_.structure.num_cells;
+  const std::vector<double> w = transport::trapezoid_weights(energies);
+  SweepRequest req;
+  req.leads = &lead_;
+  req.folded = &folded_;
+  req.energies = {energies};
+  req.potential = flat_or(potential, cells);
+  req.cells = cells;
+  req.point = config_.point;
+  req.point.want_density = true;
+  req.point.want_current = false;
+  req.point.want_caroli = false;
+  req.density_weight_contacts.resize(mu_full.size());
+  for (std::size_t p = 0; p < mu_full.size(); ++p) {
+    std::vector<double> wp(w.size());
+    for (std::size_t ie = 0; ie < w.size(); ++ie)
+      wp[ie] = w[ie] * transport::fermi(energies[ie], mu_full[p], kt_);
+    req.density_weight_contacts[p] = {std::move(wp)};
+  }
+  attach_contacts(req, &mu_full);
+  const SweepResult res = engine_->run(req);
+  const scattering::ProbeTuneResult tune = last_tune_;
+  stats_ = res.stats;
+  stats_.probe_terminals = static_cast<idx>(probe_sites_.size());
+  stats_.probe_iterations = tune.iterations;
+  stats_.probe_residual = tune.max_residual;
+  total_tasks_ += res.stats.tasks_total;
+  if (res.charge.empty())
+    return std::vector<double>(static_cast<std::size_t>(cells), 0.0);
+  return res.charge;
+}
+
 std::vector<double> Simulator::terminal_currents(
     const std::vector<double>& energies, const std::vector<double>& mu,
     const std::vector<double>* potential) {
@@ -463,6 +613,20 @@ std::vector<double> Simulator::terminal_currents(
   if (mu.size() != std::max<std::size_t>(ncon, 2))
     throw std::invalid_argument(
         "terminal_currents: one chemical potential per terminal");
+  if (!probe_sites_.empty()) {
+    // Dissipative currents: sweep the pairwise T over real + probe
+    // terminals, tune the probe potentials to zero net probe current, and
+    // integrate the Buettiker sum over the full terminal set.  Only the
+    // real terminals' currents are reported — the probes' vanish by
+    // construction (to the tuning tolerance), which is exactly what makes
+    // the real-terminal total conserved.
+    const Spectrum sp = transmission_spectrum(energies, potential);
+    const std::vector<double>& mu_full = tune_probes(sp, mu);
+    std::vector<double> currents = transport::buttiker_currents(
+        sp.energies, sp.t_matrix, mu_full, kt_);
+    currents.resize(mu.size());
+    return currents;
+  }
   if (ncon < 3) {
     // Two terminals: I = {+I_landauer, -I_landauer}, source first in
     // terminal order.
@@ -527,6 +691,19 @@ std::vector<double> Simulator::adaptive_energy_grid(
 
 double Simulator::current(const std::vector<double>& energies, double mu_l,
                           double mu_r, const std::vector<double>* potential) {
+  if (!probe_sites_.empty() && config_.contacts.size() < 3) {
+    // Dissipative drain current: the Landauer integral over the coherent
+    // T_01 misses the probe-mediated (phase-broken) share, so route
+    // through the tuned Buettiker sum and report the source terminal.
+    const auto [src, drn] = config_.contacts.size() == 2
+                                ? classic_pair_indices()
+                                : std::pair<idx, idx>{0, 1};
+    std::vector<double> mu(2, 0.0);
+    mu[static_cast<std::size_t>(src)] = mu_l;
+    mu[static_cast<std::size_t>(drn)] = mu_r;
+    return terminal_currents(energies, mu,
+                             potential)[static_cast<std::size_t>(src)];
+  }
   const Spectrum sp = transmission_spectrum(energies, potential);
   return transport::landauer_current(sp.energies, sp.transmission, mu_l, mu_r,
                                      kt_);
@@ -540,21 +717,25 @@ std::vector<Simulator::IvPoint> Simulator::transfer_characteristics(
   if (regions.total() != config_.structure.num_cells)
     throw std::invalid_argument(
         "transfer_characteristics: regions must cover all cells");
-  // The bias sweep's lead electrostatics: apply the configured contact
-  // shift(s) up front — the engine invalidates the boundary caches iff a
-  // value actually changed (per contact, in the N-terminal case), so
-  // back-to-back sweeps at the same shifts keep their cached lead
-  // eigenproblems.
-  if (!scf.contact_shifts.empty()) {
-    if (scf.contact_shifts.size() != config_.contacts.size())
-      throw std::invalid_argument(
-          "transfer_characteristics: scf.contact_shifts must have one entry "
-          "per configured contact");
-    for (std::size_t i = 0; i < scf.contact_shifts.size(); ++i)
-      set_contact_shift(static_cast<idx>(i), scf.contact_shifts[i]);
-  } else {
-    set_contact_shift(scf.contact_shift);
-  }
+  // Dissipation model of this sweep: kNone leaves the simulator's
+  // configured model untouched (the common spelling is on
+  // SimulationConfig::point.scattering); anything else swaps it in for the
+  // whole bias sweep.
+  if (scf.scattering.algorithm != scattering::ScatteringAlgorithm::kNone)
+    set_scattering(scf.scattering);
+  // The bias sweep's lead electrostatics: both spellings resolve onto ONE
+  // per-contact vector (resolved_contact_shifts validates the scalar thin
+  // forward), applied through one path — the engine invalidates the
+  // boundary caches iff a value actually changed (per contact, in the
+  // N-terminal case), so back-to-back sweeps at the same shifts keep their
+  // cached lead eigenproblems.
+  const std::vector<double> shifts =
+      scf.resolved_contact_shifts(config_.contacts.size());
+  if (config_.contacts.empty())
+    set_contact_shift(shifts.front());
+  else
+    for (std::size_t i = 0; i < shifts.size(); ++i)
+      set_contact_shift(static_cast<idx>(i), shifts[i]);
   const double mu_drain = mu_source - vds;
   std::vector<IvPoint> out;
   out.reserve(vgs_values.size());

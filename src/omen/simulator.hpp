@@ -24,6 +24,7 @@
 #include "omen/engine.hpp"
 #include "parallel/device.hpp"
 #include "poisson/scf.hpp"
+#include "scattering/self_energy.hpp"
 #include "transport/bands.hpp"
 #include "transport/transmission.hpp"
 
@@ -54,7 +55,15 @@ struct SimulationConfig {
   lattice::Structure structure;
   dft::Functional functional = dft::Functional::kLDA;
   dft::BuildOptions build;
+  /// Per-point transport options.  `point.scattering` selects the
+  /// dissipation model (scattering::Spec): the default kNone is the exact
+  /// ballistic pipeline; buttiker_probe at eta > 0 makes the simulator
+  /// materialize the model's probe pseudo-terminals into every sweep's
+  /// terminal list and run the zero-current tuning loop where observables
+  /// need it (terminal_currents, dissipative charge_density).
   transport::EnergyPointOptions point;
+  /// Inner Newton loop of the probe chemical-potential tuning.
+  scattering::ProbeTuneOptions probe_tune;
   /// Terminal layout.  Empty = the classic two-identical-contacts device
   /// (source at block 0, drain at the last block, both the device's lead
   /// material) — the seed behavior, bit-identical.  Non-empty layouts are
@@ -250,6 +259,28 @@ class Simulator {
     return static_cast<idx>(config_.contacts.size());
   }
 
+  /// Swap the scattering model (scattering::Spec) and rebuild the probe
+  /// layout against the configured contacts.  kNone (or buttiker_probe at
+  /// eta <= 0) restores the exact ballistic pipeline.  Lead boundary caches
+  /// survive: none of the built-in models modifies a contact boundary
+  /// (scattering::kModifiesBoundaries), so cached lead solves stay valid —
+  /// and are *shared* between ballistic and dissipative sweeps.
+  void set_scattering(const scattering::Spec& spec);
+
+  /// Probe pseudo-terminals the configured model attaches (empty =
+  /// ballistic).  Terminal order of every sweep is [real contacts...,
+  /// probes in this order].
+  const std::vector<scattering::ProbeSite>& probe_sites() const noexcept {
+    return probe_sites_;
+  }
+
+  /// Result of the most recent probe-tuning pass (terminal_currents or a
+  /// dissipative charge_density): tuned mu per terminal, Newton iteration
+  /// count, and the final relative probe-current leak.
+  const scattering::ProbeTuneResult& last_probe_tune() const noexcept {
+    return last_tune_;
+  }
+
   /// Drop every cached boundary (lead electrostatics changed by other
   /// means, or to bound the footprint between very different workloads).
   void invalidate_boundary_cache();
@@ -271,6 +302,25 @@ class Simulator {
   /// .second at the last block.  Only valid for two-contact layouts.
   std::pair<idx, idx> classic_pair_indices() const;
 
+  /// Recompute probe_sites_ from the configured scattering model against
+  /// the device's block layout and contact attachment blocks.
+  void rebuild_probe_sites();
+
+  /// Tune the probe potentials against a swept pairwise T matrix: `mu`
+  /// holds the real terminals' potentials (terminal order); probes start
+  /// from their mean.  Records the result in last_tune_ and the probe
+  /// counters in stats_.  Returns the full tuned mu vector.
+  const std::vector<double>& tune_probes(const Spectrum& sp,
+                                         const std::vector<double>& mu);
+
+  /// Two-pass dissipative charge: T sweep + probe tuning, then a
+  /// per-terminal real-grid charge sweep where every terminal (probes at
+  /// their tuned mu_p included) occupies its injected states with its own
+  /// Fermi weight.
+  std::vector<double> dissipative_charge(const std::vector<double>& energies,
+                                         const std::vector<double>& mu,
+                                         const std::vector<double>* potential);
+
   SimulationConfig config_;
   std::vector<dft::LeadBlocks> lead_;    ///< one per k point
   std::vector<dft::FoldedLead> folded_;  ///< one per k point
@@ -287,6 +337,11 @@ class Simulator {
   /// in-range and pairwise distinct at construction.
   std::vector<idx> contact_blocks_;
   idx device_blocks_ = 0;  ///< block count of the assembled device
+  /// Probe pseudo-terminals of the configured scattering model, resolved
+  /// against device_blocks_ and contact_blocks_ (empty = ballistic).
+  std::vector<scattering::ProbeSite> probe_sites_;
+  /// Most recent probe-tuning pass (see last_probe_tune()).
+  scattering::ProbeTuneResult last_tune_;
   std::unique_ptr<parallel::DevicePool> pool_;
   std::unique_ptr<Engine> engine_;       ///< all sweeps route through this
   EngineStats stats_;

@@ -24,6 +24,7 @@
 #include "charge/quadrature.hpp"
 #include "lattice/structure.hpp"
 #include "poisson/poisson1d.hpp"
+#include "scattering/self_energy.hpp"
 
 namespace omenx::poisson {
 
@@ -49,20 +50,30 @@ struct ScfOptions {
   bool adaptive_energy_grid = false;
   double grid_refine_tol = 0.5;    ///< indicator jump that triggers bisection
   double grid_min_spacing = 1e-3;  ///< eV floor for adaptive refinement
-  /// Uniform lead (contact) potential shift (eV) the transport stage
-  /// applies when building the open boundary conditions for this sweep.
-  /// Drivers hand it to the OBC layer (Simulator::set_contact_shift), which
-  /// explicitly invalidates the cross-sweep boundary cache whenever the
-  /// value changes — cached lead self-energies are reusable only while the
-  /// lead electrostatics stay fixed.
+  /// Uniform lead (contact) potential shift (eV) — the *scalar spelling*
+  /// of the per-contact `contact_shifts` vector: drivers never read this
+  /// field directly but call resolved_contact_shifts(), which forwards the
+  /// scalar onto every terminal.  Setting both spellings at once (nonzero
+  /// scalar + non-empty vector) is ambiguous and throws there.
   double contact_shift = 0.0;
-  /// Per-contact shifts (terminal order) for N-terminal layouts.  Empty =
-  /// apply the scalar `contact_shift` uniformly (the classic behavior).
-  /// Non-empty must match the driver's configured contact count; drivers
-  /// hand each entry to Simulator::set_contact_shift(contact, shift), so a
-  /// change in one contact's electrostatics drops only that contact's
-  /// cached lead solves.
+  /// Per-contact shifts (terminal order) — the canonical spelling.  Empty =
+  /// the scalar `contact_shift` applies uniformly (the classic behavior).
+  /// Non-empty must match the driver's configured contact count
+  /// (resolved_contact_shifts validates); drivers hand each resolved entry
+  /// to Simulator::set_contact_shift(contact, shift), so a change in one
+  /// contact's electrostatics drops only that contact's cached lead solves
+  /// — one cache-invalidation path for both spellings.
   std::vector<double> contact_shifts;
+  /// Unify the two spellings: one shift per contact, max(num_contacts, 1)
+  /// entries (classic no-contact layouts read entry 0 as the uniform
+  /// ObcOptions shift).  Throws std::invalid_argument when `contact_shifts`
+  /// is non-empty and its size disagrees with `num_contacts`, or when both
+  /// spellings are set at once.
+  std::vector<double> resolved_contact_shifts(std::size_t num_contacts) const;
+  /// Dissipation model the bias sweep runs under (scattering::Spec).  The
+  /// default kNone leaves the driver's configured model untouched; anything
+  /// else is handed to Simulator::set_scattering for the whole sweep.
+  scattering::Spec scattering;
   /// Charge-quadrature backend for the SCF charge evaluations
   /// (charge::Quadrature registry).  kRealGrid is the seed's trapezoid
   /// integration of the caller grid; kContour moves the equilibrium window

@@ -68,6 +68,37 @@ std::vector<EnergyPointResult> solve_energy_batch(
   for (const BatchTask& task : tasks)
     if (task.dm == nullptr || task.lead == nullptr || task.folded == nullptr)
       throw std::invalid_argument("solve_energy_batch: null task operand");
+
+  if (options.scattering.algorithm != scattering::ScatteringAlgorithm::kNone) {
+    // Provider assembly can grow the terminal set beyond the classic pair,
+    // and the batched two-contact arithmetic then no longer applies.
+    // Degrade to per-task scalar solves — each routes through the
+    // ContactSet multi-terminal path with the probes attached.  A model
+    // that attaches nothing (buttiker_probe at eta <= 0) falls through to
+    // the batched pipeline below, bit-identically.
+    const idx nb0 = tasks[0].dm->h.num_blocks();
+    const std::vector<scattering::ProbeSite> sites =
+        scattering::assemble_probes(options.scattering, nb0, {0, nb0 - 1});
+    if (!sites.empty()) {
+      for (std::size_t i = 0; i < n; ++i) {
+        EnergyPointOptions task_options = options;
+        task_options.k_index = tasks[i].k_index;
+        results[i] =
+            solve_energy_point(ctx.point, *tasks[i].dm, *tasks[i].lead,
+                               *tasks[i].folded, tasks[i].energy, task_options,
+                               pool);
+      }
+      if (stats != nullptr) {
+        BatchStats local;
+        local.batches = 1;
+        local.tasks = static_cast<idx>(n);
+        local.batched_solve = false;
+        *stats += local;
+      }
+      return results;
+    }
+  }
+
   auto& threads = parallel::ThreadPool::global();
   std::vector<std::future<detail::FetchedBoundary>> prefetch;
   prefetch.reserve(n);

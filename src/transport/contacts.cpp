@@ -15,9 +15,21 @@ void ContactSet::validate(idx nb) const {
   if (size() < 2)
     throw std::invalid_argument("ContactSet: need >= 2 contacts, got " +
                                 std::to_string(size()));
+  if (size() - num_probes() < 2)
+    throw std::invalid_argument(
+        "ContactSet: need >= 2 lead-backed contacts (probes are pseudo-"
+        "terminals, not carrier reservoirs), got " +
+        std::to_string(size() - num_probes()));
   for (idx i = 0; i < size(); ++i) {
     const Contact& c = contacts_[static_cast<std::size_t>(i)];
-    if (c.lead == nullptr || c.folded == nullptr)
+    if (c.probe_eta < 0.0)
+      throw std::invalid_argument("ContactSet: contact " + std::to_string(i) +
+                                  " has negative probe_eta");
+    if (c.is_probe() && c.folded != nullptr)
+      throw std::invalid_argument("ContactSet: probe contact " +
+                                  std::to_string(i) +
+                                  " must not carry lead material");
+    if (!c.is_probe() && (c.lead == nullptr || c.folded == nullptr))
       throw std::invalid_argument("ContactSet: contact " + std::to_string(i) +
                                   " has no lead material");
     const idx b = resolve_block(i, nb);
@@ -48,9 +60,25 @@ idx ContactSet::right(idx nb) const {
   return resolve_block(0, nb) == 0 ? 1 : 0;
 }
 
+bool ContactSet::has_probes() const noexcept {
+  for (const Contact& c : contacts_)
+    if (c.is_probe()) return true;
+  return false;
+}
+
+idx ContactSet::num_probes() const noexcept {
+  idx n = 0;
+  for (const Contact& c : contacts_)
+    if (c.is_probe()) ++n;
+  return n;
+}
+
 bool ContactSet::same_boundary(idx i, idx j) const {
   const Contact& a = contacts_.at(static_cast<std::size_t>(i));
   const Contact& b = contacts_.at(static_cast<std::size_t>(j));
+  // Probes have no lead boundary to share: each builds its own -i*eta*I
+  // locally, and none must ever alias a cached lead Boundary.
+  if (a.is_probe() || b.is_probe()) return false;
   const bool same_lead =
       a.lead == b.lead ||
       (a.lead_hash != 0 && b.lead_hash != 0 && a.lead_hash == b.lead_hash);

@@ -51,6 +51,17 @@ struct Contact {
   /// the cache then distinguishes leads by contact id only, which is the
   /// pre-refactor behavior for direct (non-engine) callers.
   std::uint64_t lead_hash = 0;
+  /// Büttiker-probe dephasing strength (eV).  > 0 marks this contact as a
+  /// phenomenological probe terminal: it carries no lead material (`lead`
+  /// and `folded` stay null), its self-energy is -i*probe_eta*I on the
+  /// attachment block, and it enters T_pq / Buettiker sums like any other
+  /// terminal (Gamma_p = 2*probe_eta*I, zero propagating modes).  mu is the
+  /// probe's chemical potential, normally tuned to zero net probe current
+  /// (scattering::tune_probe_potentials).
+  double probe_eta = 0.0;
+
+  /// True when this contact is a lead-less Büttiker probe.
+  bool is_probe() const noexcept { return lead == nullptr && probe_eta > 0.0; }
 };
 
 /// An ordered set of >= 2 contacts.  Index order is the terminal index p of
@@ -73,10 +84,17 @@ class ContactSet {
   /// kLastBlock).  Does not range-check; validate() does.
   idx resolve_block(idx i, idx nb) const;
 
-  /// Throws std::invalid_argument unless the set has >= 2 contacts with
-  /// non-null leads, in-range attachment blocks, and pairwise-distinct
-  /// resolved blocks.  Same discipline as the PR-7 grid validation.
+  /// Throws std::invalid_argument unless the set has >= 2 lead-backed
+  /// contacts (a contact without a lead must be a probe: probe_eta > 0),
+  /// in-range attachment blocks, and pairwise-distinct resolved blocks.
+  /// Same discipline as the PR-7 grid validation.
   void validate(idx nb) const;
+
+  /// True when any contact is a lead-less Büttiker probe.
+  bool has_probes() const noexcept;
+
+  /// Number of probe contacts / real (lead-backed) contacts.
+  idx num_probes() const noexcept;
 
   /// True when the set is exactly the classic source/drain pair: two
   /// contacts attached at block 0 and the last block (either order is

@@ -34,6 +34,35 @@ double caroli_transmission(const CMatrix& sigma_l, const CMatrix& sigma_r,
   return tr.real();
 }
 
+// Provider assembly: the contacts are always provider #0; an active
+// scattering model appends its probe pseudo-terminals as lead-less
+// contacts.  Returns false when the model contributes nothing — kNone, a
+// disabled model (buttiker_probe at eta <= 0), or a set whose probes were
+// already materialized upstream (omen::Simulator) — and the caller then
+// proceeds on the unmodified set/path, bit-identically.
+bool assemble_providers(const ContactSet& contacts, idx nb,
+                        const scattering::Spec& spec, ContactSet& out) {
+  if (spec.algorithm == scattering::ScatteringAlgorithm::kNone) return false;
+  if (contacts.has_probes()) return false;
+  std::vector<idx> occupied;
+  occupied.reserve(static_cast<std::size_t>(contacts.size()));
+  for (idx i = 0; i < contacts.size(); ++i)
+    occupied.push_back(contacts.resolve_block(i, nb));
+  const std::vector<scattering::ProbeSite> sites =
+      scattering::assemble_probes(spec, nb, occupied);
+  if (sites.empty()) return false;
+  std::vector<Contact> cs = contacts.contacts();
+  cs.reserve(cs.size() + sites.size());
+  for (const scattering::ProbeSite& site : sites) {
+    Contact p;
+    p.block = site.block;
+    p.probe_eta = site.eta;
+    cs.push_back(p);
+  }
+  out = ContactSet(std::move(cs));
+  return true;
+}
+
 }  // namespace
 
 namespace detail {
@@ -65,9 +94,10 @@ FetchedBoundary fetch_boundary(obc::Strategy& strategy,
   // follow the same discipline — Im(E) is part of the key.
   FetchedBoundary out;
   if (options.boundary_cache != nullptr) {
-    const obc::BoundaryKey key{options.k_index, energy.real(),
-                               options.obc_opts.contact_shift,
-                               static_cast<int>(options.obc), energy.imag()};
+    obc::BoundaryKey key{options.k_index, energy.real(),
+                         options.obc_opts.contact_shift,
+                         static_cast<int>(options.obc), energy.imag()};
+    key.scattering = scattering::boundary_key_component(options.scattering);
     out.cached = options.boundary_cache->find(key);
     out.hit = out.cached != nullptr;
     if (out.cached == nullptr)
@@ -90,6 +120,7 @@ FetchedBoundary fetch_boundary(obc::Strategy& strategy, const Contact& contact,
                          static_cast<int>(options.obc), energy.imag()};
     key.contact = contact_id;
     key.lead_hash = contact.lead_hash;
+    key.scattering = scattering::boundary_key_component(options.scattering);
     out.cached = options.boundary_cache->find(key);
     out.hit = out.cached != nullptr;
     if (out.cached == nullptr)
@@ -300,6 +331,30 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
                                      double energy,
                                      const EnergyPointOptions& options,
                                      parallel::DevicePool* pool) {
+  if (options.scattering.algorithm != scattering::ScatteringAlgorithm::kNone) {
+    // Provider assembly on the classic path: when the model attaches
+    // probes, the point becomes a multi-terminal solve over the classic
+    // pair plus the probe pseudo-terminals.  When it attaches nothing the
+    // assembly is a no-op and the ballistic pipeline below runs unchanged.
+    const ContactSet pair = ContactSet::pair(lead, folded, 0.0, 0.0,
+                                             options.obc_opts.contact_shift);
+    ContactSet assembled;
+    if (assemble_providers(pair, dm.h.num_blocks(), options.scattering,
+                           assembled)) {
+      EnergyPointResult r =
+          solve_energy_point(ctx, dm, assembled, energy, options, pool);
+      // Map the per-contact densities back onto the classic source/drain
+      // slots (providers 0/1 are the classic pair).  Probe-injected charge
+      // has no slot in the two-table classic weighting — N-terminal charge
+      // consumers use contact_density with density_weight_contacts instead.
+      if (!r.contact_density.empty()) {
+        r.orbital_density = r.contact_density[0];
+        if (options.want_density_r && r.contact_density.size() > 1)
+          r.orbital_density_r = r.contact_density[1];
+      }
+      return r;
+    }
+  }
   const numeric::WorkspaceScope scope(ctx.workspace);
   EnergyPointResult out;
   out.energy = energy;
@@ -369,6 +424,8 @@ struct ContactView {
   const std::vector<double>* inj_flux = nullptr;
   idx n_modes = 0;  ///< incident channel count of this orientation
   idx block = 0;    ///< resolved attachment block
+  bool probe = false;  ///< lead-less Büttiker probe (sigma = -i*eta*I)
+  double eta = 0.0;    ///< probe dephasing strength (Gamma = 2*eta*I)
 };
 
 ContactView contact_view(const obc::Boundary& bnd, idx block, idx nb) {
@@ -403,6 +460,9 @@ void fetch_contact_boundaries(obc::Strategy& strategy,
   fetched.reserve(static_cast<std::size_t>(nc));
   bnd.assign(static_cast<std::size_t>(nc), nullptr);
   for (idx i = 0; i < nc; ++i) {
+    // Probes have no lead boundary: their -i*eta*I self-energy is built
+    // locally by the caller, and their bnd slot stays null.
+    if (contacts[i].is_probe()) continue;
     const idx rep = contacts.representative(i);
     if (rep == i) {
       fetched.push_back(detail::fetch_boundary(
@@ -538,11 +598,30 @@ EnergyPointResult solve_multi_terminal(EnergyPointContext& ctx,
   std::vector<const obc::Boundary*> bnd;
   fetch_contact_boundaries(obc_strategy, contacts, e, options, fetched, bnd);
 
+  // Probe self-energies are built locally — Sigma_p = -i*eta*I on the
+  // attachment block, so Gamma_p = i(Sigma - Sigma^H) = 2*eta*I.  The
+  // vector is reserved up front: views hold pointers into it.
+  std::vector<CMatrix> probe_sigma;
+  probe_sigma.reserve(static_cast<std::size_t>(nc));
   std::vector<ContactView> view(static_cast<std::size_t>(nc));
-  for (idx p = 0; p < nc; ++p)
-    view[static_cast<std::size_t>(p)] =
-        contact_view(*bnd[static_cast<std::size_t>(p)],
-                     contacts.resolve_block(p, nb), nb);
+  for (idx p = 0; p < nc; ++p) {
+    const Contact& c = contacts[p];
+    if (c.is_probe()) {
+      probe_sigma.emplace_back(sf, sf);
+      CMatrix& s = probe_sigma.back();
+      for (idx i = 0; i < sf; ++i) s(i, i) = cplx{0.0, -c.probe_eta};
+      ContactView v;
+      v.sigma = &s;
+      v.block = contacts.resolve_block(p, nb);
+      v.probe = true;
+      v.eta = c.probe_eta;
+      view[static_cast<std::size_t>(p)] = v;
+    } else {
+      view[static_cast<std::size_t>(p)] =
+          contact_view(*bnd[static_cast<std::size_t>(p)],
+                       contacts.resolve_block(p, nb), nb);
+    }
+  }
 
   // RHS layout: [I at b_0 (sf), ..., I at b_{nc-1} (sf), Inj_0, ...,
   // Inj_{nc-1}].  Identity group q yields the block column G_{:,b_q}, so
@@ -605,6 +684,18 @@ EnergyPointResult solve_multi_terminal(EnergyPointContext& ctx,
       const ContactView& v = view[static_cast<std::size_t>(p)];
       std::vector<double>& d = out.contact_density[static_cast<std::size_t>(p)];
       d.assign(static_cast<std::size_t>(a.dim()), 0.0);
+      if (v.probe) {
+        // Probe spectral injection from the identity columns already
+        // solved: [G Gamma_p G^H]_ii = 2*eta * sum_j |G(i, b_p*sf + j)|^2 —
+        // the same normalization the 1/flux mode weights satisfy, so probe
+        // and contact densities add coherently in the charge assembly.
+        const double g = 2.0 * v.eta;
+        for (idx j = 0; j < sf; ++j)
+          for (idx i = 0; i < a.dim(); ++i)
+            d[static_cast<std::size_t>(i)] +=
+                g * std::norm(x(i, p * sf + j));
+        continue;
+      }
       for (idx j = 0; j < v.n_modes; ++j) {
         const double w =
             1.0 /
@@ -626,8 +717,13 @@ EnergyPointResult solve_energy_point(EnergyPointContext& ctx,
                                      const EnergyPointOptions& options,
                                      parallel::DevicePool* pool) {
   const idx nb = dm.h.num_blocks();
+  {
+    ContactSet assembled;
+    if (assemble_providers(contacts, nb, options.scattering, assembled))
+      return solve_energy_point(ctx, dm, assembled, energy, options, pool);
+  }
   contacts.validate(nb);
-  if (contacts.classic_pair(nb)) {
+  if (contacts.classic_pair(nb) && !contacts.has_probes()) {
     const idx cl = contacts.left(nb);
     const idx cr = contacts.right(nb);
     if (contacts.same_boundary(cl, cr)) {
@@ -659,6 +755,16 @@ std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
                                         const dft::FoldedLead& folded,
                                         cplx energy,
                                         const EnergyPointOptions& options) {
+  if (options.scattering.algorithm != scattering::ScatteringAlgorithm::kNone) {
+    // Probe broadening enters G through the same provider assembly as the
+    // wave-function path: -i*eta*I folded into each probe block.
+    const ContactSet pair = ContactSet::pair(lead, folded, 0.0, 0.0,
+                                             options.obc_opts.contact_shift);
+    ContactSet assembled;
+    if (assemble_providers(pair, dm.h.num_blocks(), options.scattering,
+                           assembled))
+      return solve_greens_diagonal(ctx, dm, assembled, energy, options);
+  }
   const numeric::WorkspaceScope scope(ctx.workspace);
   ctx.a.assign_es_minus_h(energy, dm.s, dm.h);
   BlockTridiag& a = ctx.a;
@@ -699,8 +805,13 @@ std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
                                         const ContactSet& contacts, cplx energy,
                                         const EnergyPointOptions& options) {
   const idx nb = dm.h.num_blocks();
+  {
+    ContactSet assembled;
+    if (assemble_providers(contacts, nb, options.scattering, assembled))
+      return solve_greens_diagonal(ctx, dm, assembled, energy, options);
+  }
   contacts.validate(nb);
-  if (contacts.classic_pair(nb)) {
+  if (contacts.classic_pair(nb) && !contacts.has_probes()) {
     const idx cl = contacts.left(nb);
     const idx cr = contacts.right(nb);
     if (contacts.same_boundary(cl, cr)) {
@@ -727,6 +838,13 @@ std::vector<cplx> solve_greens_diagonal(EnergyPointContext& ctx,
   // read the diagonal of G = (z S - H - sum_p Sigma_p)^{-1}.
   for (idx p = 0; p < contacts.size(); ++p) {
     const idx bp = contacts.resolve_block(p, nb);
+    if (contacts[p].is_probe()) {
+      // A - Sigma_p with Sigma_p = -i*eta*I: adds +i*eta to the diagonal.
+      CMatrix& d = a.diag(bp);
+      const double eta = contacts[p].probe_eta;
+      for (idx i = 0; i < a.block_size(); ++i) d(i, i) += cplx{0.0, eta};
+      continue;
+    }
     const obc::Boundary& b = *bnd[static_cast<std::size_t>(p)];
     a.diag(bp) -= bp == nb - 1 ? b.sigma_r : b.sigma_l;
   }

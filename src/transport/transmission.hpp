@@ -20,6 +20,7 @@
 #include "obc/boundary_cache.hpp"
 #include "obc/strategy.hpp"
 #include "parallel/device.hpp"
+#include "scattering/self_energy.hpp"
 #include "solvers/solver.hpp"
 #include "transport/contacts.hpp"
 
@@ -75,6 +76,13 @@ struct EnergyPointOptions {
   bool want_density_r = true;
   bool want_current = true;
   bool want_caroli = true;         ///< also compute Tr[GL G GR G^H]
+  /// Scattering model (scattering/self_energy.hpp registry).  The point's
+  /// self-energy providers are assembled in order: the contacts are always
+  /// provider #0, then the model's probe terminals.  The default (kNone) —
+  /// and any model whose options disable it, e.g. buttiker_probe at
+  /// eta <= 0 — contributes nothing and leaves the ballistic pipeline
+  /// bit-identical, cache keys included.
+  scattering::Spec scattering;
 };
 
 struct EnergyPointResult {

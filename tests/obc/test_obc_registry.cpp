@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 
 #include "dft/hamiltonian.hpp"
 #include "numeric/blas.hpp"
@@ -466,4 +467,34 @@ TEST(BoundaryCache, CachedSolveSkipsLeadEigenproblemBitIdentically) {
   const auto control = tr::solve_energy_point(dm, lead, folded, -0.5, plain);
   EXPECT_EQ(control.transmission, first.transmission);
   EXPECT_EQ(control.transmission_caroli, first.transmission_caroli);
+}
+
+// --------------------------------------------- broadening default (eta) --
+
+TEST(Decimation, SingleAuthoritativeEtaDefault) {
+  // DecimationOptions' own default is the one true broadening; the old
+  // ObcOptions override (1e-7 shadowing a 1e-6 header default) is gone.
+  EXPECT_EQ(ob::DecimationOptions{}.eta, 1e-7);
+  EXPECT_EQ(ob::ObcOptions{}.decimation.eta, 1e-7);
+}
+
+TEST(Decimation, RealAxisRejectsNonPositiveEta) {
+  // On the real axis the surface Green's function has poles at the lead
+  // bands: eta <= 0 is rejected loudly instead of diverging quietly.
+  const auto lead = chain_lead();
+  const auto folded = df::fold_lead(lead);
+  const auto strategy = ob::make_obc_strategy("decimation");
+  for (const double eta : {0.0, -1e-9}) {
+    ob::ObcOptions opts;
+    opts.decimation.eta = eta;
+    EXPECT_THROW(strategy->boundary(lead, folded, cplx{-1.0, 0.0}, opts),
+                 std::invalid_argument)
+        << "eta = " << eta;
+  }
+  // Off-axis (contour) energies carry their own Im(E): eta = 0 is fine.
+  ob::ObcOptions contour;
+  contour.decimation.eta = 0.0;
+  const auto bnd =
+      strategy->boundary(lead, folded, cplx{-1.0, 0.05}, contour);
+  EXPECT_EQ(bnd.sigma_l.rows(), 1);
 }

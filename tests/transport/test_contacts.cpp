@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "dft/hamiltonian.hpp"
 #include "numeric/matrix.hpp"
 #include "obc/boundary_cache.hpp"
 #include "transport/contacts.hpp"
+#include "transport/transmission.hpp"
 
 namespace df = omenx::dft;
 namespace nm = omenx::numeric;
@@ -209,4 +211,100 @@ TEST(BoundaryCache, LeadHashKeysDissimilarMaterials) {
   cache.insert(a, bnd);
   EXPECT_NE(cache.find(a), nullptr);
   EXPECT_EQ(cache.find(b), nullptr);
+}
+
+// ----------------------------------------- Buettiker current edge cases --
+
+namespace {
+
+// Constant-in-energy pairwise table replicated over `ne` energies.
+std::vector<std::vector<double>> constant_table(std::size_t ne,
+                                                std::vector<double> t) {
+  return std::vector<std::vector<double>>(ne, std::move(t));
+}
+
+}  // namespace
+
+TEST(ButtikerCurrents, AllZeroTransmissionYieldsExactZeros) {
+  // A terminal with every T_pq == 0 (all rows *and* columns) carries
+  // exactly zero current — not a rounding-sized residue — because every
+  // accumulated product has a literal 0.0 factor.  And with the whole
+  // table zero, every terminal's current is exactly 0.0 whatever the bias.
+  const std::vector<double> energies{-0.5, 0.0, 0.5, 1.0};
+  const auto t = constant_table(energies.size(),
+                                {0.0, 0.0, 0.0,  //
+                                 0.0, 0.0, 0.7,  //
+                                 0.0, 0.7, 0.0});
+  const auto currents = tr::buttiker_currents(
+      energies, t, {0.3, 0.1, -0.2}, 0.025);
+  ASSERT_EQ(currents.size(), 3u);
+  EXPECT_EQ(currents[0], 0.0);  // decoupled terminal: exact zero
+  EXPECT_NE(currents[1], 0.0);  // the coupled pair still conducts
+  EXPECT_EQ(currents[1], -currents[2]);
+
+  const auto dead = tr::buttiker_currents(
+      energies, constant_table(energies.size(), std::vector<double>(9, 0.0)),
+      {0.3, 0.1, -0.2}, 0.025);
+  for (const double i : dead) EXPECT_EQ(i, 0.0);
+}
+
+TEST(ButtikerCurrents, TwoTerminalDegeneratesToLandauer) {
+  // For nc = 2 with a symmetric table the Buettiker sum reduces to the
+  // Landauer integral term by term: EXPECT_EQ, not a tolerance.
+  std::vector<double> energies;
+  std::vector<std::vector<double>> table;
+  for (double e = -1.0; e <= 1.0; e += 0.05) {
+    energies.push_back(e);
+    const double t = 0.8 / (1.0 + e * e);  // smooth Lorentzian-ish T(E)
+    table.push_back({0.0, t, t, 0.0});
+  }
+  std::vector<double> transmission;
+  for (const auto& row : table) transmission.push_back(row[1]);
+
+  const double mu_l = 0.22, mu_r = -0.13, kt = 0.025;
+  const double landauer =
+      tr::landauer_current(energies, transmission, mu_l, mu_r, kt);
+  const auto currents =
+      tr::buttiker_currents(energies, table, {mu_l, mu_r}, kt);
+  ASSERT_EQ(currents.size(), 2u);
+  EXPECT_EQ(currents[0], landauer);
+  EXPECT_EQ(currents[1], -landauer);
+}
+
+TEST(ButtikerCurrents, EquivariantUnderContactPermutation) {
+  // Relabeling the terminals permutes the currents — no hidden dependence
+  // on terminal order — and each current flips sign when the bias table is
+  // transposed (reciprocal T) with the potentials negated.
+  const std::vector<double> energies{-0.4, 0.0, 0.4};
+  const std::vector<double> t{0.0, 0.6, 0.2,  //
+                              0.6, 0.0, 0.4,  //
+                              0.2, 0.4, 0.0};
+  const std::vector<double> mu{0.2, 0.05, -0.15};
+  const double kt = 0.025;
+  const auto base =
+      tr::buttiker_currents(energies, constant_table(3, t), mu, kt);
+
+  // Cyclic permutation p -> (p + 1) % 3 of the labels.
+  const std::size_t perm[3] = {1, 2, 0};
+  std::vector<double> t_perm(9, 0.0), mu_perm(3, 0.0);
+  for (std::size_t p = 0; p < 3; ++p) {
+    mu_perm[perm[p]] = mu[p];
+    for (std::size_t q = 0; q < 3; ++q)
+      t_perm[perm[p] * 3 + perm[q]] = t[p * 3 + q];
+  }
+  const auto permuted = tr::buttiker_currents(
+      energies, constant_table(3, t_perm), mu_perm, kt);
+  // To rounding, not bitwise: relabeling reorders the q-accumulation.
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_NEAR(permuted[perm[p]], base[p], 1e-14) << "terminal " << p;
+
+  // Antisymmetry under bias reversal: on a symmetric energy grid with an
+  // energy-independent symmetric table, f(E, -mu) = 1 - f(-E, mu) mirrors
+  // every Fermi difference, so negating all potentials reverses every
+  // current (to rounding — the trapezoid visits the mirrored points in the
+  // opposite order).
+  const auto reversed = tr::buttiker_currents(
+      energies, constant_table(3, t), {-mu[0], -mu[1], -mu[2]}, kt);
+  for (std::size_t p = 0; p < 3; ++p)
+    EXPECT_NEAR(reversed[p], -base[p], 1e-12) << "terminal " << p;
 }
